@@ -1,0 +1,71 @@
+"""Ablation — CREST's two optimizations, measured in labeling counts and time.
+
+The paper's Section VI argument made concrete: the changed-interval
+technique cuts the number of influence computations k from CREST-A's
+per-event relabeling down to Theta(r), and the baseline's grid inflates it
+to m = O(n^2).  We record k in extra_info for every variant so the
+`--benchmark-only` table shows both times and counts.
+"""
+
+import pytest
+
+from repro.core.baseline import run_baseline
+from repro.core.sweep_linf import run_crest
+from repro.geometry.arrangement import (
+    DegenerateArrangementError,
+    square_arrangement_stats,
+)
+
+from conftest import cached_workload
+
+N = 192
+RATIO = 8
+
+
+@pytest.mark.parametrize("variant", ("crest", "crest-a", "baseline"))
+def test_labeling_counts(benchmark, variant):
+    wl = cached_workload("uniform", N, RATIO, metric="l1")
+    benchmark.group = "ablation labelings"
+
+    def run():
+        if variant == "baseline":
+            return run_baseline(wl.circles, wl.measure, collect_fragments=False)
+        return run_crest(
+            wl.circles, wl.measure,
+            use_changed_intervals=(variant == "crest"),
+            collect_fragments=False,
+        )
+
+    stats, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["labels_k"] = stats.labels
+    try:
+        benchmark.extra_info["regions_r"] = square_arrangement_stats(
+            wl.circles
+        ).regions
+    except DegenerateArrangementError:
+        pass
+
+
+def test_expensive_measure_amplifies_the_gap(benchmark):
+    """With a deliberately costly measure, k dominates the runtime — the
+    regime the paper's generic-measure argument targets."""
+    wl = cached_workload("uniform", N, RATIO, metric="l1")
+
+    def costly(rnn_set):
+        total = 0.0
+        for _ in range(50):
+            total += sum(1 for _o in rnn_set)
+        return total / 50 if rnn_set else 0.0
+
+    benchmark.group = "ablation costly measure"
+
+    def run():
+        s1, _ = run_crest(wl.circles, costly, collect_fragments=False)
+        s2, _ = run_crest(wl.circles, costly, collect_fragments=False,
+                          use_changed_intervals=False)
+        return s1, s2
+
+    s1, s2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["crest_k"] = s1.labels
+    benchmark.extra_info["crest_a_k"] = s2.labels
+    assert s1.labels < s2.labels

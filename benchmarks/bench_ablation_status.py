@@ -1,0 +1,52 @@
+"""Ablation — the line-status structure (DESIGN.md substitution 3).
+
+Algorithm 1 calls for a balanced tree with linked leaves; we compare the
+bisect-backed array against the skip list on the same sweep, plus raw
+structure microbenchmarks.  (In CPython the array wins at these sizes;
+the skip list documents the O(log n)-per-op alternative.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sweep_linf import run_crest
+from repro.index.bplustree import BPlusTree
+from repro.index.skiplist import SkipList
+from repro.index.sortedlist import SortedKeyList
+
+from conftest import cached_workload
+
+
+@pytest.mark.parametrize("backend", ("sortedlist", "skiplist", "bplustree"))
+def test_sweep_status_backend(benchmark, backend):
+    wl = cached_workload("uniform", 512, 16, metric="l1")
+    benchmark.group = "ablation status backend (sweep)"
+
+    def run():
+        stats, _ = run_crest(wl.circles, wl.measure, status_backend=backend,
+                             collect_fragments=False)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["labels"] = stats.labels
+
+
+@pytest.mark.parametrize("cls", (SortedKeyList, SkipList, BPlusTree),
+                         ids=lambda c: c.__name__)
+def test_structure_microbench(benchmark, cls):
+    """Insert/delete churn at sweep-realistic sizes."""
+    rng = np.random.default_rng(0)
+    keys = [(float(v), int(k), i) for i, (v, k) in
+            enumerate(zip(rng.random(2000) * 100, rng.integers(0, 2, 2000)))]
+    benchmark.group = "ablation status backend (micro)"
+
+    def run():
+        s = cls()
+        for key in keys:
+            s.insert(key)
+        for key in keys[::2]:
+            s.remove(key)
+        return len(s)
+
+    remaining = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert remaining == 1000

@@ -1,0 +1,57 @@
+"""Dynamic-workload benchmarks: the paper's 'clients move around' scenario.
+
+Compares incremental NN-circle maintenance + lazy re-sweep against naive
+from-scratch recomputation (NN circles + sweep) per tick.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.heatmap import RNNHeatMap
+from repro.dynamic import DynamicHeatMap
+
+N_CLIENTS = 400
+N_FACILITIES = 40
+MOVES_PER_TICK = 10
+TICKS = 5
+
+
+def _world(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((N_CLIENTS, 2)), rng.random((N_FACILITIES, 2)), rng
+
+
+def test_dynamic_incremental(benchmark):
+    clients, facilities, rng = _world()
+    benchmark.group = "dynamic ticks"
+
+    def run():
+        world = DynamicHeatMap(clients, facilities, metric="linf")
+        total = 0.0
+        for _tick in range(TICKS):
+            for h in rng.choice(N_CLIENTS, size=MOVES_PER_TICK, replace=False):
+                world.move_client(int(h), *rng.random(2))
+            total += world.result().stats.max_heat
+        return total
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_dynamic_from_scratch(benchmark):
+    clients, facilities, rng = _world()
+    benchmark.group = "dynamic ticks"
+
+    def run():
+        pts = clients.copy()
+        total = 0.0
+        for _tick in range(TICKS):
+            for h in rng.choice(N_CLIENTS, size=MOVES_PER_TICK, replace=False):
+                pts[int(h)] = rng.random(2)
+            result = RNNHeatMap(pts, facilities, metric="linf",
+                                nn_backend="python").build(
+                "crest", collect_fragments=True
+            )
+            total += result.stats.max_heat
+        return total
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

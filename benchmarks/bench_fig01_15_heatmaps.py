@@ -1,0 +1,51 @@
+"""Fig. 1 / Fig. 15 / Table II — building the city heat maps end to end.
+
+Paper: 20,000 clients / 6,000 facilities sampled from the NYC (128,547
+POIs) and LA (116,596 POIs) datasets, size measure, rendered darker =
+hotter.  Scaled to 1,000 / 300 here; REPRO_BENCH_SCALE multiplies.
+"""
+
+import pytest
+
+from repro.core.heatmap import RNNHeatMap
+from repro.data.datasets import get_dataset
+from repro.data.sampling import sample_clients_facilities
+from repro.render.colormap import apply_colormap
+
+from conftest import SCALE
+
+N_CLIENTS = 1000 * SCALE
+N_FACILITIES = 300 * SCALE
+
+
+def _city_instance(city):
+    pool = get_dataset(city, n=4 * (N_CLIENTS + N_FACILITIES), seed=0)
+    return sample_clients_facilities(pool, N_CLIENTS, N_FACILITIES, seed=1)
+
+
+@pytest.mark.parametrize("city", ("nyc", "la"))
+def test_build_city_heatmap(benchmark, city):
+    clients, facilities = _city_instance(city)
+    hm = RNNHeatMap(clients, facilities, metric="l2")
+    benchmark.group = f"fig1/15 {city}"
+
+    def run():
+        return hm.build("crest", collect_fragments=False)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["labels"] = result.labels
+
+
+@pytest.mark.parametrize("city", ("nyc", "la"))
+def test_render_city_heatmap(benchmark, city):
+    """The rendering stage alone: rasterize + colormap at 300x300."""
+    clients, facilities = _city_instance(city)
+    result = RNNHeatMap(clients, facilities, metric="l2").build("crest")
+    benchmark.group = f"fig1/15 render {city}"
+
+    def run():
+        grid, _ = result.rasterize(300, 300)
+        return apply_colormap(grid, "gray_dark")
+
+    img = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert img.shape == (300, 300)

@@ -1,0 +1,40 @@
+"""Fig. 16 — effect of |O|/|F| with L1 distance: BA vs CREST-A vs CREST.
+
+Paper: ratios 2^1..2^10 at |O| = 2^10 (C++); here ratios 2^1..2^5 at
+|O| = 128 by default.  The expected shape: CREST faster than CREST-A by
+several times and faster than BA by orders of magnitude at every ratio,
+with moderate growth in the ratio for both CREST variants.
+"""
+
+import pytest
+
+from repro.core.baseline import run_baseline
+from repro.core.sweep_linf import run_crest
+
+from conftest import cached_workload
+
+DATASETS = ("uniform", "nyc")
+RATIOS = (2, 8, 32)
+N_CLIENTS = 128
+
+
+def _run(wl, algorithm):
+    if algorithm == "baseline":
+        return run_baseline(wl.circles, wl.measure, collect_fragments=False)
+    if algorithm == "crest-a":
+        return run_crest(wl.circles, wl.measure, use_changed_intervals=False,
+                         collect_fragments=False)
+    return run_crest(wl.circles, wl.measure, collect_fragments=False)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("ratio", RATIOS)
+@pytest.mark.parametrize("algorithm", ("baseline", "crest-a", "crest"))
+def test_fig16(benchmark, dataset, ratio, algorithm):
+    wl = cached_workload(dataset, N_CLIENTS, ratio, metric="l1")
+    benchmark.group = f"fig16 {dataset} ratio={ratio}"
+    stats, _ = benchmark.pedantic(
+        _run, args=(wl, algorithm), rounds=1, iterations=1
+    )
+    benchmark.extra_info["labels"] = stats.labels
+    benchmark.extra_info["ratio"] = ratio

@@ -1,0 +1,42 @@
+"""Fig. 17 — effect of |O| with L1 distance at a fixed ratio.
+
+Paper: |O| = 2^7..2^16 at ratio 2^7, BA terminated past 2^13.  Here
+|O| = 128..512 at ratio 16, BA capped at 256 (same reason, scaled).
+Expected shape: BA grows much faster than both CREST variants; the
+CREST-A/CREST gap widens with |O|.
+"""
+
+import pytest
+
+from repro.core.baseline import run_baseline
+from repro.core.sweep_linf import run_crest
+
+from conftest import cached_workload
+
+DATASET = "uniform"
+RATIO = 16
+SIZES = (128, 256, 512)
+BASELINE_CAP = 256
+
+
+def _run(wl, algorithm):
+    if algorithm == "baseline":
+        return run_baseline(wl.circles, wl.measure, collect_fragments=False)
+    if algorithm == "crest-a":
+        return run_crest(wl.circles, wl.measure, use_changed_intervals=False,
+                         collect_fragments=False)
+    return run_crest(wl.circles, wl.measure, collect_fragments=False)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ("baseline", "crest-a", "crest"))
+def test_fig17(benchmark, n, algorithm):
+    if algorithm == "baseline" and n > BASELINE_CAP:
+        pytest.skip("baseline capped (paper: '>24 hours' past 2^13)")
+    wl = cached_workload(DATASET, n, RATIO, metric="l1")
+    benchmark.group = f"fig17 |O|={n}"
+    stats, _ = benchmark.pedantic(
+        _run, args=(wl, algorithm), rounds=1, iterations=1
+    )
+    benchmark.extra_info["labels"] = stats.labels
+    benchmark.extra_info["n_clients"] = n

@@ -1,0 +1,53 @@
+"""Fig. 18 — L2 + capacity measure, max-influence region: Pruning [22] vs
+CREST-L2 across ratios.
+
+Paper: ratios 2^1..2^10, |O| = 2^10; Pruning's curve explodes past 10^7 ms
+at high ratios (exponential region enumeration).  Here |O| = 48 with
+Pruning run only at the ratios it can finish; CREST-L2 covers the full
+range.  Expected shape: roughly flat-ish CREST-L2, exploding Pruning.
+"""
+
+import pytest
+
+from repro.core.pruning import run_pruning_max
+from repro.core.sweep_l2 import run_crest_l2
+
+from conftest import cached_workload
+
+N_CLIENTS = 48
+CREST_RATIOS = (2, 4, 8, 16)
+PRUNING_RATIOS = (2, 4, 8)
+
+
+@pytest.mark.parametrize("ratio", CREST_RATIOS)
+def test_fig18_crest_l2(benchmark, ratio):
+    wl = cached_workload("uniform", N_CLIENTS, ratio, metric="l2",
+                         measure="capacity")
+    benchmark.group = f"fig18 ratio={ratio}"
+
+    def run():
+        stats, _ = run_crest_l2(wl.circles, wl.measure, collect_fragments=False)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["labels"] = stats.labels
+    benchmark.extra_info["max_heat"] = stats.max_heat
+
+
+@pytest.mark.parametrize("ratio", PRUNING_RATIOS)
+def test_fig18_pruning(benchmark, ratio):
+    from repro.errors import BudgetExceededError
+
+    wl = cached_workload("uniform", N_CLIENTS, ratio, metric="l2",
+                         measure="capacity")
+    benchmark.group = f"fig18 ratio={ratio}"
+
+    def run():
+        return run_pruning_max(wl.circles, wl.measure, time_budget_s=120)
+
+    try:
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+    except BudgetExceededError as exc:
+        pytest.skip(f"pruning exceeded its budget: {exc}")
+    benchmark.extra_info["leaves"] = result.leaves
+    benchmark.extra_info["max_heat"] = result.max_heat

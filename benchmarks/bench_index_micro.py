@@ -1,0 +1,70 @@
+"""Microbenchmarks for the index substrates the algorithms stand on:
+point-enclosure indexes (the baseline's S-tree stand-in vs R-tree vs
+brute force) and the kd-tree NN backends."""
+
+import numpy as np
+import pytest
+
+from repro.index.enclosure import BruteForceEnclosure, SegmentTreeEnclosureIndex
+from repro.index.kdtree import KDTree
+from repro.index.rtree import RTree
+
+N_RECTS = 2000
+N_QUERIES = 500
+
+
+def _rects(seed=0):
+    rng = np.random.default_rng(seed)
+    cx, cy = rng.random(N_RECTS) * 10, rng.random(N_RECTS) * 10
+    r = rng.random(N_RECTS) * 0.3
+    return cx - r, cx + r, cy - r, cy + r
+
+
+@pytest.mark.parametrize(
+    "cls", (SegmentTreeEnclosureIndex, RTree, BruteForceEnclosure),
+    ids=("segment_tree", "rtree", "brute"),
+)
+def test_enclosure_query_throughput(benchmark, cls):
+    args = _rects()
+    index = cls(*args)
+    query = index.query_point if isinstance(index, RTree) else index.query
+    rng = np.random.default_rng(1)
+    points = rng.random((N_QUERIES, 2)) * 10
+    benchmark.group = "enclosure queries"
+
+    def run():
+        total = 0
+        for (x, y) in points:
+            total += len(query(x, y))
+        return total
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["hits"] = total
+
+
+@pytest.mark.parametrize("backend", ("python", "scipy"))
+def test_nn_circle_backend(benchmark, backend):
+    from repro.nn.nncircles import nn_distances
+
+    rng = np.random.default_rng(2)
+    clients = rng.random((4000, 2))
+    facilities = rng.random((500, 2))
+    benchmark.group = "nn backends"
+
+    def run():
+        return nn_distances(clients, facilities, "l2", backend=backend)
+
+    d = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(d) == 4000
+
+
+def test_enclosure_build_cost(benchmark):
+    """Index construction is part of BA's front cost (n log^2 n term)."""
+    args = _rects()
+    benchmark.group = "enclosure build"
+
+    def run():
+        return SegmentTreeEnclosureIndex(*args)
+
+    index = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(index) == N_RECTS

@@ -1,0 +1,68 @@
+"""Post-build throughput: point queries, rasterization, persistence.
+
+The heat map is built once and explored many times; these benchmarks cover
+the exploration side — heat_at point queries through the fragment R-tree,
+full-frame rasterization, fragment->face merging, and save/load round
+trips — at a city-flavored scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.heatmap import RNNHeatMap
+from repro.core.serialize import load_region_set, save_region_set
+from repro.post.regions import merge_regions
+from repro.render.colormap import apply_colormap
+
+
+@pytest.fixture(scope="module")
+def built():
+    rng = np.random.default_rng(0)
+    clients = rng.random((800, 2))
+    facilities = rng.random((120, 2))
+    return RNNHeatMap(clients, facilities, metric="linf").build("crest")
+
+
+def test_point_queries(benchmark, built):
+    rng = np.random.default_rng(1)
+    pts = rng.random((2000, 2))
+    benchmark.group = "exploration"
+
+    def run():
+        return float(built.region_set.heats_at(pts).sum())
+
+    total = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert total > 0
+
+
+def test_rasterize_400(benchmark, built):
+    benchmark.group = "exploration"
+
+    def run():
+        grid, _b = built.rasterize(400, 400)
+        return apply_colormap(grid, "gray_dark")
+
+    img = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert img.shape == (400, 400)
+
+
+def test_merge_regions(benchmark, built):
+    benchmark.group = "exploration"
+
+    def run():
+        return merge_regions(built.region_set)
+
+    regions = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["regions"] = len(regions)
+
+
+def test_save_load_roundtrip(benchmark, built, tmp_path):
+    benchmark.group = "exploration"
+    path = tmp_path / "map.npz"
+
+    def run():
+        save_region_set(built.region_set, path)
+        return load_region_set(path)
+
+    back = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(back) == len(built.region_set)

@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Benchmarks time the *RC algorithms only*: workloads (sampling + NN-circle
+computation) are built once per parameter set and cached, mirroring the
+paper's setup where NN-circles are precomputed.  Default sizes are scaled
+for pure Python (see DESIGN.md substitution 4); set REPRO_BENCH_SCALE=2 (or
+more) to multiply the client counts.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.experiments.workloads import build_workload
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+@lru_cache(maxsize=None)
+def cached_workload(dataset: str, n_clients: int, ratio: float,
+                    metric: str = "l1", measure: str = "size", seed: int = 0):
+    return build_workload(
+        dataset, n_clients * SCALE, ratio, metric=metric,
+        measure=measure, seed=seed,
+    )

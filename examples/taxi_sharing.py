@@ -1,0 +1,66 @@
+"""Taxi-sharing heat maps (Fig. 3): why superimposition is not enough.
+
+O = app users waiting for rides, F = taxis.  A driver profits most from
+picking up *connected* passengers (destinations within a kilometer), so a
+location's influence is the number of connections among its RNN set — a
+measure no overlay of translucent NN-circles can express.  We build both
+the superimposition (count) map and the CREST connectivity map and show
+they pick different hot spots.
+
+Run:  python examples/taxi_sharing.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro import ConnectivityMeasure, RNNHeatMap
+from repro.data import uniform_points
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    passengers = uniform_points(160, seed=4)
+    taxis = uniform_points(25, seed=5)
+
+    # Destination graph: random geometric graph over *destinations* — two
+    # passengers connect when their destinations are close.
+    destinations = rng.random((len(passengers), 2))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(passengers)))
+    radius = 0.11
+    for i in range(len(passengers)):
+        for j in range(i + 1, len(passengers)):
+            if np.hypot(*(destinations[i] - destinations[j])) < radius:
+                graph.add_edge(i, j)
+    print(f"passengers={len(passengers)} taxis={len(taxis)} "
+          f"shared-destination edges={graph.number_of_edges()}")
+
+    measure = ConnectivityMeasure.from_graph(graph)
+    hm = RNNHeatMap(passengers, taxis, metric="linf", measure=measure)
+    connectivity = hm.build("crest")
+
+    # The overlay cannot render the connectivity measure at all — it only
+    # ever shows counts, so it must be built with the size measure.
+    overlay = RNNHeatMap(passengers, taxis, metric="linf").build("superimposition")
+
+    cx, cy = connectivity.stats.max_heat_point
+    print(f"connectivity map: best pickup spot ({cx:.3f}, {cy:.3f}) "
+          f"bundles {connectivity.stats.max_heat:g} connections")
+
+    hottest_cell = overlay.region_set.max_fragment()
+    ox, oy = hottest_cell.representative_point()
+    print(f"superimposition: darkest cell at ({ox:.3f}, {oy:.3f}) "
+          f"covers {hottest_cell.heat:g} passengers")
+
+    # The paper's point: the overlay's darkest spot may bundle passengers
+    # that do NOT want to share a cab.
+    overlay_conn = connectivity.heat_at(ox, oy)
+    print(f"connections at the overlay's darkest spot: {overlay_conn:g} "
+          f"(vs {connectivity.stats.max_heat:g} at the connectivity optimum)")
+    if overlay_conn < connectivity.stats.max_heat:
+        print("=> counting passengers alone would send the driver to the "
+              "wrong corner; the RNN-set heat map fixes it (Fig. 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim enabling legacy editable installs (`pip install -e .`) in
+environments without the `wheel` package (PEP 660 builds need bdist_wheel).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

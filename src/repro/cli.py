@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+    rnnhm heatmap --dataset nyc --clients 2000 --facilities 600 \\
+        --metric l2 --out nyc.pgm
+    rnnhm figure 16 --scale small
+    rnnhm info
+
+Also runnable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rnnhm",
+        description="Reverse Nearest Neighbor heat maps (CREST) — "
+        "reproduction of Sun et al., ICDE 2016",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    hm = sub.add_parser("heatmap", help="build and render a heat map")
+    hm.add_argument("--dataset", default="nyc",
+                    choices=("nyc", "la", "uniform", "zipfian"))
+    hm.add_argument("--clients", type=int, default=2000)
+    hm.add_argument("--facilities", type=int, default=600)
+    hm.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
+    hm.add_argument("--algorithm", default="crest",
+                    choices=("crest", "crest-a", "baseline", "superimposition"))
+    hm.add_argument("--resolution", type=int, default=400)
+    hm.add_argument("--out", type=Path, default=None,
+                    help="output PGM path (default: ASCII to stdout)")
+    hm.add_argument("--seed", type=int, default=0)
+    hm.add_argument("--top-k", type=int, default=5,
+                    help="report the top-k heat values")
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure's series")
+    fig.add_argument("number", choices=("16", "17", "18", "19", "1", "15"))
+    fig.add_argument("--scale", default="small", choices=("small", "medium"),
+                     help="small: seconds-to-minutes; medium: larger sweeps")
+    fig.add_argument("--datasets", nargs="*", default=None)
+    fig.add_argument("--csv", type=Path, default=None, help="save table as CSV")
+    fig.add_argument("--svg", type=Path, default=None,
+                     help="also render the figure as an SVG line chart")
+    fig.add_argument("--out-dir", type=Path, default=None,
+                     help="figure 1/15: directory for rendered PGMs")
+
+    ver = sub.add_parser("verify", help="build a heat map and self-verify it "
+                         "against the brute-force RNN definition")
+    ver.add_argument("--dataset", default="uniform",
+                     choices=("nyc", "la", "uniform", "zipfian"))
+    ver.add_argument("--clients", type=int, default=300)
+    ver.add_argument("--facilities", type=int, default=60)
+    ver.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
+    ver.add_argument("--algorithm", default="crest",
+                     choices=("crest", "crest-a", "baseline"))
+    ver.add_argument("--probes", type=int, default=500)
+    ver.add_argument("--seed", type=int, default=0)
+
+    mx = sub.add_parser("maxregion", help="find the maximum-influence region "
+                        "(the optimal-location query)")
+    mx.add_argument("--dataset", default="uniform",
+                    choices=("nyc", "la", "uniform", "zipfian"))
+    mx.add_argument("--clients", type=int, default=200)
+    mx.add_argument("--facilities", type=int, default=40)
+    mx.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
+    mx.add_argument("--algorithm", default="crest", choices=("crest", "pruning"))
+    mx.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("claims", help="check the paper's qualitative claims "
+                   "(Section VIII shapes) at laptop scale")
+
+    sub.add_parser("info", help="print package and experiment inventory")
+    return parser
+
+
+def _cmd_heatmap(args) -> int:
+    from .core.heatmap import RNNHeatMap
+    from .data.datasets import get_dataset
+    from .data.sampling import sample_clients_facilities
+    from .render.ascii_art import ascii_heat_map
+    from .render.colormap import apply_colormap
+    from .render.image import write_pgm
+
+    pool = get_dataset(
+        args.dataset, n=4 * (args.clients + args.facilities), seed=args.seed
+    )
+    clients, facilities = sample_clients_facilities(
+        pool, args.clients, args.facilities, seed=args.seed + 1
+    )
+    hm = RNNHeatMap(clients, facilities, metric=args.metric)
+    result = hm.build(args.algorithm)
+    grid, bounds = result.rasterize(args.resolution, args.resolution)
+    print(
+        f"dataset={args.dataset} |O|={args.clients} |F|={args.facilities} "
+        f"metric={args.metric} algorithm={args.algorithm}"
+    )
+    print(
+        f"labels(k)={result.stats.labels} fragments={result.stats.n_fragments} "
+        f"max_heat={result.stats.max_heat:g}"
+    )
+    print(f"top-{args.top_k} heats: "
+          + ", ".join(f"{h:g}" for h in result.region_set.top_k_heats(args.top_k)))
+    if args.out is not None:
+        write_pgm(args.out, apply_colormap(grid, "gray_dark"))
+        print(f"wrote {args.out}")
+    else:
+        print(ascii_heat_map(grid))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .experiments import figures
+
+    datasets = tuple(args.datasets) if args.datasets else figures.DEFAULT_DATASETS
+    medium = args.scale == "medium"
+    if args.number == "16":
+        table = figures.figure16(
+            ratios=(2, 4, 8, 16, 32, 64, 128) if medium else (2, 4, 8, 16, 32, 64),
+            n_clients=512 if medium else 256,
+            datasets=datasets,
+        )
+    elif args.number == "17":
+        table = figures.figure17(
+            sizes=(128, 256, 512, 1024, 2048, 4096) if medium else (128, 256, 512, 1024, 2048),
+            datasets=datasets,
+        )
+    elif args.number == "18":
+        table = figures.figure18(
+            ratios=(2, 4, 8, 16, 32, 64) if medium else (2, 4, 8, 16, 32),
+            n_clients=256 if medium else 128,
+            datasets=datasets,
+        )
+    elif args.number == "19":
+        table = figures.figure19(
+            sizes=(128, 256, 512, 1024, 2048) if medium else (128, 256, 512, 1024),
+            datasets=datasets,
+        )
+    else:  # 1 / 15: the city heat maps
+        table = figures.table2_city_heatmaps(
+            n_clients=20000 if medium else 2000,
+            n_facilities=6000 if medium else 600,
+            out_dir=args.out_dir,
+        )
+    table.print()
+    if args.csv is not None:
+        table.save_csv(args.csv)
+        print(f"saved {args.csv}")
+    if args.svg is not None and args.number in ("16", "17", "18", "19"):
+        from .render.svg_charts import chart_from_result_table
+
+        x_from = "ratio" if args.number in ("16", "18") else "n_clients"
+        x_label = "|O|/|F|" if x_from == "ratio" else "|O|"
+        chart = chart_from_result_table(
+            table, f"Figure {args.number} (scaled reproduction)",
+            x_label, x_from=x_from, dataset=datasets[0],
+        )
+        chart.save(args.svg)
+        print(f"saved {args.svg}")
+    return 0
+
+
+def _cmd_info() -> int:
+    from . import __version__
+    from .core.heatmap import ALGORITHMS
+    from .data.datasets import DATASET_FULL_SIZES
+
+    print(f"rnnhm {__version__} — RNN heat maps (Sun et al., ICDE 2016)")
+    print(f"algorithms: {', '.join(ALGORITHMS)} + crest-l2/pruning under L2")
+    print("datasets:  " + ", ".join(
+        f"{k} ({v:,})" for k, v in DATASET_FULL_SIZES.items()))
+    print("figures:   16, 17 (L1 sweeps); 18, 19 (L2 sweeps); 1/15 (city maps)")
+    return 0
+
+
+def _instance(args):
+    from .data.datasets import get_dataset
+    from .data.sampling import sample_clients_facilities
+
+    pool = get_dataset(
+        args.dataset, n=4 * (args.clients + args.facilities), seed=args.seed
+    )
+    return sample_clients_facilities(
+        pool, args.clients, args.facilities, seed=args.seed + 1
+    )
+
+
+def _cmd_verify(args) -> int:
+    from .core.heatmap import RNNHeatMap
+    from .core.verify import verify_region_set
+
+    clients, facilities = _instance(args)
+    hm = RNNHeatMap(clients, facilities, metric=args.metric)
+    result = hm.build(args.algorithm)
+    report = verify_region_set(hm.circles, result.region_set,
+                               n_probes=args.probes)
+    print(report.summary())
+    for kind, point, got, expected in report.examples:
+        print(f"  {kind} at {point}: got {sorted(got)} expected {sorted(expected)}")
+    return 0 if report.ok else 1
+
+
+def _cmd_maxregion(args) -> int:
+    from .core.heatmap import RNNHeatMap
+
+    clients, facilities = _instance(args)
+    hm = RNNHeatMap(clients, facilities, metric=args.metric)
+    result = hm.max_region(args.algorithm)
+    print(f"max influence = {result.max_heat:g} "
+          f"(serves {len(result.max_rnn)} clients)")
+    if result.max_point is not None:
+        print(f"at ({result.max_point[0]:.5f}, {result.max_point[1]:.5f})")
+    return 0
+
+
+def _cmd_claims() -> int:
+    from .experiments.shapes import check_all_claims
+
+    results = check_all_claims(verbose=True)
+    return 0 if all(r.holds for r in results) else 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "heatmap":
+        return _cmd_heatmap(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "maxregion":
+        return _cmd_maxregion(args)
+    if args.command == "claims":
+        return _cmd_claims()
+    return _cmd_info()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Sweep-line elements and event construction for the L-infinity CREST.
+
+Line-status keys are tuples ``(y, kind, circle_idx)``: the y-coordinate of
+a horizontal side, whether it is the LOWER or UPPER side, and the index of
+its NN-circle.  Tuple comparison yields the paper's ordering — ascending y
+with ties broken arbitrarily-but-consistently (Section V-A notes any tie
+order is valid because valid pairs require strictly increasing y).
+
+Events are the vertical sides: (x, op, circle_idx) with op INSERT for a
+left side and REMOVE for a right side, sorted ascending and processed in
+same-x batches (Algorithm 1 lines 13-14).
+"""
+
+from __future__ import annotations
+
+from ..geometry.circle import NNCircleSet
+
+__all__ = [
+    "LOWER",
+    "UPPER",
+    "INSERT",
+    "REMOVE",
+    "uid_of",
+    "uid_of_key",
+    "build_events",
+]
+
+LOWER = 0
+UPPER = 1
+
+INSERT = 0
+REMOVE = 1
+
+
+def uid_of(circle_idx: int, kind: int) -> int:
+    """The paper's record key scheme (Section V-C2): 2i-1 for a lower side
+    and 2i for an upper one — realized 0-based as 2*idx + kind."""
+    return 2 * circle_idx + kind
+
+
+def uid_of_key(key: tuple) -> int:
+    return 2 * key[2] + key[1]
+
+
+def build_events(circles: NNCircleSet) -> "list[tuple[float, int, int]]":
+    """The event queue Q_x: vertical sides sorted ascending by x.
+
+    Within one x-coordinate the relative order of inserts and removes is
+    immaterial — the engine applies the whole batch before labeling — but
+    we sort deterministically for reproducibility.
+    """
+    x_lo = circles.x_lo
+    x_hi = circles.x_hi
+    events: "list[tuple[float, int, int]]" = []
+    for i in range(len(circles)):
+        events.append((float(x_lo[i]), INSERT, i))
+        events.append((float(x_hi[i]), REMOVE, i))
+    events.sort()
+    return events

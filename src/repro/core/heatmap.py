@@ -1,0 +1,232 @@
+"""The public facade: build an RNN heat map end to end.
+
+``RNNHeatMap`` wires the full pipeline of the paper: NN-circle computation
+(Section III-A), the L1 -> L-infinity rotation (Section VII-B), algorithm
+dispatch (CREST / CREST-A / baseline / superimposition / CREST-L2), and the
+labeled-region output supporting interactive exploration.
+
+    >>> hm = RNNHeatMap(clients, facilities, metric="l2")
+    >>> result = hm.build()                       # CREST
+    >>> result.heat_at(0.5, 0.5)
+    >>> result.region_set.top_k_heats(5)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AlgorithmUnsupportedError, UnknownAlgorithmError
+from ..geometry.circle import NNCircleSet
+from ..geometry.metrics import Metric, get_metric
+from ..geometry.transforms import IDENTITY, ROTATE_L1_TO_LINF, Transform
+from ..influence.measures import InfluenceMeasure, SizeMeasure
+from ..nn.nncircles import compute_nn_circles
+from .baseline import run_baseline
+from .pruning import PruningResult, run_pruning_max
+from .regionset import RegionSet
+from .superimposition import run_superimposition
+from .sweep_l2 import run_crest_l2
+from .sweep_linf import SweepStats, run_crest
+
+__all__ = ["RNNHeatMap", "HeatMapResult", "build_heat_map", "ALGORITHMS"]
+
+ALGORITHMS = ("crest", "crest-a", "baseline", "superimposition")
+
+
+@dataclass
+class HeatMapResult:
+    """A built heat map: the labeled subdivision plus work counters."""
+
+    region_set: RegionSet
+    stats: SweepStats
+
+    def heat_at(self, x: float, y: float) -> float:
+        return self.region_set.heat_at(x, y)
+
+    def rnn_at(self, x: float, y: float) -> frozenset:
+        return self.region_set.rnn_at(x, y)
+
+    def rasterize(self, width: int, height: int, bounds=None):
+        return self.region_set.rasterize(width, height, bounds)
+
+    @property
+    def labels(self) -> int:
+        """The paper's k: number of region labelings/influence computations."""
+        return self.stats.labels
+
+
+class RNNHeatMap:
+    """Configure and build RNN heat maps (Definition 1 / the RC problem).
+
+    Args:
+        clients: (n, 2) array — the set O.
+        facilities: (m, 2) array — the set F (ignored when monochromatic).
+        metric: 'l1', 'l2' or 'linf'.
+        measure: influence measure (default: RNN-set size).
+        monochromatic: O == F with self-exclusion (Section VII-A).
+        nn_backend: NN-circle backend ('auto' | 'python' | 'scipy' | 'brute').
+        k: reverse k-nearest-neighbor order (k=1 is the paper's RNN heat
+            map; k>1 makes circle radii the k-th-NN distances, giving the
+            R-k-NN heat map with the identical region-coloring reduction).
+    """
+
+    def __init__(
+        self,
+        clients: np.ndarray,
+        facilities: "np.ndarray | None" = None,
+        *,
+        metric: "Metric | str" = "l2",
+        measure: "InfluenceMeasure | None" = None,
+        monochromatic: bool = False,
+        nn_backend: str = "auto",
+        k: int = 1,
+    ) -> None:
+        self.metric = get_metric(metric)
+        self.measure = measure if measure is not None else SizeMeasure()
+        self.monochromatic = monochromatic
+        self.k = int(k)
+        clients = np.asarray(clients, dtype=float)
+        facilities = None if facilities is None else np.asarray(facilities, dtype=float)
+        self.clients = clients
+        self.facilities = clients if monochromatic else facilities
+
+        if self.metric.name == "l1":
+            # Section VII-B: rotate by pi/4 and solve under L-infinity.
+            self.transform: Transform = ROTATE_L1_TO_LINF
+            internal_clients = self.transform.forward_array(clients)
+            internal_facilities = (
+                None if facilities is None else self.transform.forward_array(facilities)
+            )
+            internal_metric = "linf"
+        else:
+            self.transform = IDENTITY
+            internal_clients = clients
+            internal_facilities = facilities
+            internal_metric = self.metric
+
+        self.circles: NNCircleSet = compute_nn_circles(
+            internal_clients,
+            internal_facilities,
+            internal_metric,
+            monochromatic=monochromatic,
+            backend=nn_backend,
+            k=self.k,
+        )
+
+    @property
+    def sweep_metric_name(self) -> str:
+        """Metric the internal engine runs under ('linf' for L1 inputs)."""
+        return self.circles.metric.name
+
+    def build(
+        self,
+        algorithm: str = "crest",
+        *,
+        collect_fragments: bool = True,
+        status_backend: str = "sortedlist",
+        baseline_index: str = "segment_tree",
+        on_label=None,
+    ) -> HeatMapResult:
+        """Solve the RC problem and return the labeled subdivision.
+
+        Algorithms: 'crest' (default), 'crest-a' (no changed intervals),
+        'baseline' (grid + enclosure queries; square metrics only),
+        'superimposition' (size measure only).
+        """
+        algorithm = algorithm.lower()
+        if self.circles.metric.name == "l2":
+            if algorithm in ("crest", "crest-l2"):
+                stats, region_set = run_crest_l2(
+                    self.circles,
+                    self.measure,
+                    collect_fragments=collect_fragments,
+                    transform=self.transform,
+                    on_label=on_label,
+                )
+            elif algorithm in ALGORITHMS:
+                raise AlgorithmUnsupportedError(
+                    f"{algorithm!r} supports square NN-circles only; "
+                    "under L2 use 'crest' (the arc sweep) or 'pruning' via max_region()"
+                )
+            else:
+                raise UnknownAlgorithmError(f"unknown algorithm {algorithm!r}")
+        elif algorithm == "crest":
+            stats, region_set = run_crest(
+                self.circles,
+                self.measure,
+                use_changed_intervals=True,
+                status_backend=status_backend,
+                collect_fragments=collect_fragments,
+                transform=self.transform,
+                on_label=on_label,
+            )
+        elif algorithm == "crest-a":
+            stats, region_set = run_crest(
+                self.circles,
+                self.measure,
+                use_changed_intervals=False,
+                status_backend=status_backend,
+                collect_fragments=collect_fragments,
+                transform=self.transform,
+                on_label=on_label,
+            )
+        elif algorithm == "baseline":
+            stats, region_set = run_baseline(
+                self.circles,
+                self.measure,
+                index=baseline_index,
+                collect_fragments=collect_fragments,
+                transform=self.transform,
+                on_label=on_label,
+            )
+        elif algorithm == "superimposition":
+            stats, region_set = run_superimposition(
+                self.circles, self.measure, transform=self.transform
+            )
+        else:
+            raise UnknownAlgorithmError(f"unknown algorithm {algorithm!r}")
+
+        if region_set is None:
+            region_set = RegionSet([], self.transform, float(self.measure(frozenset())))
+        return HeatMapResult(region_set, stats)
+
+    def max_region(self, algorithm: str = "crest", **kwargs):
+        """Find the maximum-influence region (the optimal-location query).
+
+        Under L2 the 'pruning' comparator of [22] is available; 'crest'
+        answers via a full sweep (stats.max_heat / max_heat_point).
+        """
+        algorithm = algorithm.lower()
+        if algorithm == "pruning":
+            if self.circles.metric.name != "l2":
+                raise AlgorithmUnsupportedError("pruning runs under L2 only")
+            return run_pruning_max(self.circles, self.measure, **kwargs)
+        result = self.build(algorithm, collect_fragments=False, **kwargs)
+        s = result.stats
+        point = s.max_heat_point
+        if point is not None and not self.transform.is_identity:
+            point = self.transform.inverse(*point)
+        return PruningResult(s.max_heat, s.max_heat_rnn, point)
+
+
+def build_heat_map(
+    clients: np.ndarray,
+    facilities: "np.ndarray | None" = None,
+    *,
+    metric: "Metric | str" = "l2",
+    measure: "InfluenceMeasure | None" = None,
+    monochromatic: bool = False,
+    algorithm: str = "crest",
+    **kwargs,
+) -> HeatMapResult:
+    """One-shot convenience wrapper around ``RNNHeatMap(...).build(...)``."""
+    hm = RNNHeatMap(
+        clients,
+        facilities,
+        metric=metric,
+        measure=measure,
+        monochromatic=monochromatic,
+    )
+    return hm.build(algorithm, **kwargs)

@@ -1,0 +1,35 @@
+"""Changed-interval merging (Section V-C1).
+
+When the sweep line crosses an event, each inserted or removed NN-circle
+contributes a changed interval [y_c, y-bar_c]; overlapping or touching
+intervals must be merged before processing so no region is labeled twice
+across intervals: intervals [a, b] and [a', b'] with a <= a' merge into
+[a, max(b, b')] whenever b >= a'.
+"""
+
+from __future__ import annotations
+
+__all__ = ["merge_intervals"]
+
+
+def merge_intervals(
+    intervals: "list[tuple[float, float]]",
+) -> "list[tuple[float, float]]":
+    """Merge touching/overlapping [lo, hi] intervals; result is sorted.
+
+    The inputs arrive as (lo, hi) with lo <= hi; the output intervals are
+    pairwise disjoint (separated by a positive gap) and ascending, which is
+    the order the base-set cache requires (Section V-C2).
+    """
+    if not intervals:
+        return []
+    items = sorted(intervals)
+    merged = [items[0]]
+    for lo, hi in items[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return merged

@@ -1,0 +1,182 @@
+"""The pruning comparator of Sun et al. [22] (Section VII-C, Fig. 18/19).
+
+The algorithm follows the filter-and-refine paradigm: for every NN-circle
+C(o1) and the set N of circles intersecting it, *enumerate* every in/out
+combination of N (filter) and *check the existence* of the corresponding
+region (refine).  The paper adapts it to the RC/max-influence setting and
+notes its exponential worst-case running time — which Fig. 18 shows
+exploding as |O|/|F| grows.  Our refine step checks candidate signatures
+against witness points harvested from the arrangement (circle-boundary
+intersections nudged into adjacent faces, plus centers and extreme points):
+a standard exact-existence oracle for circle arrangements, preserving the
+leaf-dominated exponential cost profile.
+
+Internal-node pruning uses the measure's admissible ``upper_bound`` — the
+"pruning techniques" that give the algorithm its name.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import AlgorithmUnsupportedError, BudgetExceededError
+from ..geometry.arcs import circle_intersections
+from ..geometry.circle import NNCircleSet
+from ..index.grid import UniformGridIndex
+
+__all__ = ["PruningResult", "run_pruning_max"]
+
+
+@dataclass
+class PruningResult:
+    """Outcome of the max-influence search."""
+
+    max_heat: float
+    max_rnn: frozenset
+    max_point: "tuple[float, float] | None"
+    # Work counters (the paper compares wall-clock; these explain it).
+    seeds: int = 0
+    dfs_nodes: int = 0
+    leaves: int = 0
+    existence_checks: int = 0
+    measure_calls: int = 0
+
+
+def _witnesses_for_seed(circles: NNCircleSet, members: "list[int]"):
+    """Candidate points covering every face of the members' sub-arrangement.
+
+    Every bounded face of an arrangement of circles has on its boundary
+    either an intersection point of two circles or the extreme point of a
+    circle; nudging diagonally off such points lands in each adjacent face.
+    """
+    cx, cy, rr = circles.cx, circles.cy, circles.radius
+    r_min = min(float(rr[m]) for m in members)
+    eps = max(r_min * 1e-6, 1e-12)
+    points: "list[tuple[float, float]]" = []
+    for a_pos, a in enumerate(members):
+        points.append((float(cx[a]), float(cy[a])))
+        points.append((float(cx[a]) - float(rr[a]) + eps, float(cy[a])))
+        points.append((float(cx[a]) + float(rr[a]) - eps, float(cy[a])))
+        for b in members[a_pos + 1 :]:
+            for (px, py) in circle_intersections(
+                float(cx[a]), float(cy[a]), float(rr[a]),
+                float(cx[b]), float(cy[b]), float(rr[b]),
+            ):
+                for sx in (-eps, eps):
+                    for sy in (-eps, eps):
+                        points.append((px + sx, py + sy))
+    sigs: "dict[frozenset, tuple[float, float]]" = {}
+    for (px, py) in points:
+        sig = frozenset(
+            m
+            for m in members
+            if (px - cx[m]) ** 2 + (py - cy[m]) ** 2 < float(rr[m]) ** 2
+        )
+        if sig and sig not in sigs:
+            sigs[sig] = (px, py)
+    return sigs
+
+
+def run_pruning_max(
+    circles: NNCircleSet,
+    measure,
+    *,
+    time_budget_s: "float | None" = None,
+    max_neighborhood: int = 30,
+    leaf_budget: "int | None" = None,
+) -> PruningResult:
+    """Find the maximum-influence region by filter-and-refine enumeration.
+
+    Args:
+        time_budget_s: abort with BudgetExceededError past this wall time
+            (the paper early-terminated runs past 24 hours).
+        max_neighborhood: abort when a circle intersects more than this many
+            others (2^k subsets would be enumerated).
+        leaf_budget: abort after this many enumeration leaves (a
+            deterministic alternative to the wall-clock budget).
+
+    Returns:
+        The best heat/RNN set/witness point over all regions (the empty
+        exterior region competes with heat = measure(empty set)).
+    """
+    if circles.metric.circle_shape != "disk":
+        raise AlgorithmUnsupportedError("the pruning comparator runs under L2")
+    start = time.perf_counter()
+    default_heat = float(measure(frozenset()))
+    result = PruningResult(default_heat, frozenset(), None)
+    n = len(circles)
+    if n == 0:
+        return result
+
+    cids = circles.client_ids
+    cx, cy, rr = circles.cx, circles.cy, circles.radius
+    grid = UniformGridIndex(circles.x_lo, circles.x_hi, circles.y_lo, circles.y_hi)
+
+    def intersects(i: int, j: int) -> bool:
+        d2 = (cx[i] - cx[j]) ** 2 + (cy[i] - cy[j]) ** 2
+        return d2 < (rr[i] + rr[j]) ** 2  # interiors overlap
+
+    for seed in range(n):
+        result.seeds += 1
+        if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
+            raise BudgetExceededError(
+                f"pruning exceeded {time_budget_s}s after {seed}/{n} seeds"
+            )
+        neighbors = sorted(
+            j for j in grid.candidates_for(seed) if intersects(seed, j)
+        )
+        if len(neighbors) > max_neighborhood:
+            raise BudgetExceededError(
+                f"seed {seed} intersects {len(neighbors)} circles "
+                f"(> {max_neighborhood}); 2^k enumeration aborted"
+            )
+        members = [seed] + neighbors
+        witnesses = _witnesses_for_seed(circles, members)
+
+        # DFS over in/out assignments of the neighbors; the seed is "in".
+        def dfs(depth: int, included: "set[int]", excluded: "set[int]") -> None:
+            result.dfs_nodes += 1
+            if (
+                time_budget_s is not None
+                and result.dfs_nodes % 4096 == 0
+                and time.perf_counter() - start > time_budget_s
+            ):
+                raise BudgetExceededError(
+                    f"pruning exceeded {time_budget_s}s mid-enumeration"
+                )
+            if depth == len(neighbors):
+                result.leaves += 1
+                if leaf_budget is not None and result.leaves > leaf_budget:
+                    raise BudgetExceededError(
+                        f"pruning exceeded {leaf_budget} enumeration leaves"
+                    )
+                result.existence_checks += 1
+                target = frozenset(included)
+                point = witnesses.get(target)
+                if point is not None:
+                    fs = frozenset(int(cids[m]) for m in target)
+                    heat = float(measure(fs))
+                    result.measure_calls += 1
+                    if heat > result.max_heat:
+                        result.max_heat = heat
+                        result.max_rnn = fs
+                        result.max_point = point
+                return
+            included_clients = frozenset(int(cids[m]) for m in included)
+            undecided_clients = frozenset(
+                int(cids[m]) for m in neighbors[depth:]
+            )
+            bound = measure.upper_bound(included_clients, undecided_clients)
+            if bound <= result.max_heat:
+                return  # the pruning step of [22]
+            nxt = neighbors[depth]
+            included.add(nxt)
+            dfs(depth + 1, included, excluded)
+            included.discard(nxt)
+            excluded.add(nxt)
+            dfs(depth + 1, included, excluded)
+            excluded.discard(nxt)
+
+        dfs(0, {seed}, set())
+    return result

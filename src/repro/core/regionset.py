@@ -1,0 +1,303 @@
+"""The labeled-subdivision output model.
+
+All algorithms emit *fragments*: maximal x-runs of a constant-RNN-set pair
+(rectangles for L-infinity/L1, arc-bounded slabs for L2) that together tile
+the portion of the plane covered by NN-circles.  Points outside every
+fragment have the empty RNN set and the measure's default heat.  A
+``RegionSet`` bundles the fragments with the coordinate transform (identity,
+or the pi/4 rotation for L1) and answers the paper's interactive
+post-processing operations: heat at a point, top-k, thresholding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidInputError
+from ..geometry.arcs import Arc
+from ..geometry.rect import Rect
+from ..geometry.transforms import IDENTITY, Transform
+from ..index.rtree import RTree
+
+__all__ = ["RectFragment", "ArcFragment", "RegionSet"]
+
+
+@dataclass(frozen=True)
+class RectFragment:
+    """An open axis-aligned rectangle of constant RNN set (internal frame)."""
+
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+    heat: float
+    rnn: frozenset
+
+    @property
+    def bbox(self) -> Rect:
+        return Rect(self.x_lo, self.x_hi, self.y_lo, self.y_hi)
+
+    @property
+    def area(self) -> float:
+        return (self.x_hi - self.x_lo) * (self.y_hi - self.y_lo)
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.x_lo < x < self.x_hi and self.y_lo < y < self.y_hi
+
+    def contains_closed(self, x: float, y: float) -> bool:
+        return self.x_lo <= x <= self.x_hi and self.y_lo <= y <= self.y_hi
+
+    def representative_point(self) -> "tuple[float, float]":
+        return ((self.x_lo + self.x_hi) / 2.0, (self.y_lo + self.y_hi) / 2.0)
+
+
+@dataclass(frozen=True)
+class ArcFragment:
+    """A slab x in (x_lo, x_hi) bounded below/above by circular arcs (L2)."""
+
+    x_lo: float
+    x_hi: float
+    lower: Arc
+    upper: Arc
+    heat: float
+    rnn: frozenset
+
+    @property
+    def bbox(self) -> Rect:
+        xs = (self.x_lo, self.x_hi, min(max(self.lower.cx, self.x_lo), self.x_hi))
+        y_lo = min(self.lower.y_at(x) for x in xs)
+        xs_u = (self.x_lo, self.x_hi, min(max(self.upper.cx, self.x_lo), self.x_hi))
+        y_hi = max(self.upper.y_at(x) for x in xs_u)
+        return Rect(self.x_lo, self.x_hi, y_lo, y_hi)
+
+    @property
+    def area(self) -> float:
+        """Numerically integrated area (16-point midpoint rule)."""
+        n = 16
+        xs = np.linspace(self.x_lo, self.x_hi, n + 1)
+        mids = (xs[:-1] + xs[1:]) / 2.0
+        total = 0.0
+        w = (self.x_hi - self.x_lo) / n
+        for x in mids:
+            total += max(self.upper.y_at(x) - self.lower.y_at(x), 0.0) * w
+        return total
+
+    def contains(self, x: float, y: float) -> bool:
+        if not (self.x_lo < x < self.x_hi):
+            return False
+        return self.lower.y_at(x) < y < self.upper.y_at(x)
+
+    def contains_closed(self, x: float, y: float) -> bool:
+        if not (self.x_lo <= x <= self.x_hi):
+            return False
+        return self.lower.y_at(x) <= y <= self.upper.y_at(x)
+
+    def representative_point(self) -> "tuple[float, float]":
+        x = (self.x_lo + self.x_hi) / 2.0
+        return (x, (self.lower.y_at(x) + self.upper.y_at(x)) / 2.0)
+
+
+class RegionSet:
+    """A labeled subdivision supporting exploration queries.
+
+    Attributes:
+        fragments: the labeled pieces, in internal coordinates.
+        transform: maps original coordinates to internal ones (identity
+            except for L1, which runs rotated by pi/4).
+        default_heat: heat of the empty RNN set (everywhere uncovered).
+        metric_name: metric of the originating problem.
+    """
+
+    def __init__(
+        self,
+        fragments: list,
+        transform: Transform = IDENTITY,
+        default_heat: float = 0.0,
+        metric_name: str = "linf",
+    ) -> None:
+        self.fragments = fragments
+        self.transform = transform
+        self.default_heat = float(default_heat)
+        self.metric_name = metric_name
+        self._rtree: "RTree | None" = None
+
+    def __len__(self) -> int:
+        return len(self.fragments)
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionSet({len(self.fragments)} fragments, "
+            f"metric={self.metric_name!r}, "
+            f"transform={self.transform.name!r})"
+        )
+
+    def _index(self) -> "RTree | None":
+        if self._rtree is None and self.fragments:
+            boxes = [f.bbox for f in self.fragments]
+            self._rtree = RTree(
+                [b.x_lo for b in boxes],
+                [b.x_hi for b in boxes],
+                [b.y_lo for b in boxes],
+                [b.y_hi for b in boxes],
+            )
+        return self._rtree
+
+    def fragment_at(self, x: float, y: float):
+        """The fragment containing the point, or None (in original coords).
+
+        Points strictly inside a fragment resolve exactly.  A point on a
+        boundary falls back to closed containment and returns one adjacent
+        fragment: fragment seams interior to a region (an implementation
+        artifact of the sweep) then answer correctly, while points on true
+        region boundaries (NN-circle edges, measure zero) resolve to an
+        arbitrary adjacent region.
+        """
+        ix, iy = self.transform.forward(x, y)
+        index = self._index()
+        if index is None:
+            return None
+        candidates = index.query_point(ix, iy)
+        for i in candidates:
+            frag = self.fragments[i]
+            if frag.contains(ix, iy):
+                return frag
+        for i in candidates:
+            frag = self.fragments[i]
+            if frag.contains_closed(ix, iy):
+                return frag
+        return None
+
+    def heat_at(self, x: float, y: float) -> float:
+        """Heat of the point's region; default heat outside all circles."""
+        frag = self.fragment_at(x, y)
+        return self.default_heat if frag is None else frag.heat
+
+    def rnn_at(self, x: float, y: float) -> frozenset:
+        """The RNN set of the point's region (empty outside all circles)."""
+        frag = self.fragment_at(x, y)
+        return frozenset() if frag is None else frag.rnn
+
+    def heats_at(self, points: np.ndarray) -> np.ndarray:
+        """Heat for an (n, 2) batch of query points (original coords)."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise InvalidInputError("points must have shape (n, 2)")
+        out = np.empty(len(pts))
+        for i, (x, y) in enumerate(pts):
+            out[i] = self.heat_at(float(x), float(y))
+        return out
+
+    def bounds(self) -> "Rect | None":
+        """Bounding box of all fragments, in *internal* coordinates."""
+        if not self.fragments:
+            return None
+        b = self.fragments[0].bbox
+        for f in self.fragments[1:]:
+            b = b.union_bounds(f.bbox)
+        return b
+
+    # ------------------------------------------------------------------
+    # Interactive post-processing (Section I: threshold / top-k support).
+    # ------------------------------------------------------------------
+    def top_k_heats(self, k: int) -> "list[float]":
+        """The k largest distinct heat values."""
+        if k <= 0:
+            raise InvalidInputError("k must be positive")
+        return sorted({f.heat for f in self.fragments}, reverse=True)[:k]
+
+    def top_k_fragments(self, k: int) -> list:
+        """Fragments whose heat is among the k largest distinct values,
+        ordered by descending heat (the paper's top-k influential regions)."""
+        cutoffs = set(self.top_k_heats(k))
+        chosen = [f for f in self.fragments if f.heat in cutoffs]
+        return sorted(chosen, key=lambda f: -f.heat)
+
+    def threshold(self, min_heat: float) -> "RegionSet":
+        """A view keeping only fragments with heat >= min_heat."""
+        kept = [f for f in self.fragments if f.heat >= min_heat]
+        return RegionSet(kept, self.transform, self.default_heat, self.metric_name)
+
+    def zoom(self, x_lo: float, x_hi: float, y_lo: float, y_hi: float) -> "RegionSet":
+        """A view clipped to a window given in *original* coordinates."""
+        if x_lo >= x_hi or y_lo >= y_hi:
+            raise InvalidInputError("zoom window must have positive extent")
+        corners = [
+            self.transform.forward(x, y)
+            for x in (x_lo, x_hi)
+            for y in (y_lo, y_hi)
+        ]
+        ix_lo = min(c[0] for c in corners)
+        ix_hi = max(c[0] for c in corners)
+        iy_lo = min(c[1] for c in corners)
+        iy_hi = max(c[1] for c in corners)
+        window = Rect(ix_lo, ix_hi, iy_lo, iy_hi)
+        kept = [f for f in self.fragments if f.bbox.intersects(window)]
+        return RegionSet(kept, self.transform, self.default_heat, self.metric_name)
+
+    def max_fragment(self):
+        """The hottest fragment, or None when empty."""
+        if not self.fragments:
+            return None
+        return max(self.fragments, key=lambda f: f.heat)
+
+    def total_area(self) -> float:
+        """Sum of all fragment areas (internal frame).  This covers the
+        union of the NN-circles *plus* any labeled empty-set gaps between
+        vertically stacked circles (valid pairs with an empty RNN set are
+        still labeled, per Lemma 1)."""
+        return float(sum(f.area for f in self.fragments))
+
+    def covered_area(self) -> float:
+        """Sum of non-empty-set fragment areas (internal frame) — exactly
+        the area of the union of the NN-circles for L-infinity."""
+        return float(sum(f.area for f in self.fragments if f.rnn))
+
+    def area_above(self, min_heat: float) -> float:
+        """Total area (internal frame) with heat >= min_heat — 'how much
+        of the city is at least this influential?'."""
+        return float(sum(f.area for f in self.fragments if f.heat >= min_heat))
+
+    def heat_distribution(self, bins: int = 10) -> "tuple[np.ndarray, np.ndarray]":
+        """Area-weighted histogram of heat over the labeled plane.
+
+        The paper's abstract: the heat map gives "a global view on the
+        influence distribution in the space"; this is that view as numbers.
+
+        Returns:
+            (bin_edges, areas): ``len(bin_edges) == bins + 1``; ``areas[i]``
+            is the total area with heat in [edges[i], edges[i+1]).
+        """
+        if bins <= 0:
+            raise InvalidInputError("bins must be positive")
+        if not self.fragments:
+            return np.linspace(0.0, 1.0, bins + 1), np.zeros(bins)
+        heats = np.array([f.heat for f in self.fragments])
+        areas = np.array([f.area for f in self.fragments])
+        hi = float(heats.max())
+        lo = min(float(heats.min()), self.default_heat)
+        if hi <= lo:
+            hi = lo + 1.0
+        edges = np.linspace(lo, hi, bins + 1)
+        idx = np.clip(np.digitize(heats, edges) - 1, 0, bins - 1)
+        out = np.zeros(bins)
+        np.add.at(out, idx, areas)
+        return edges, out
+
+    def distinct_rnn_sets(self) -> "set[frozenset]":
+        """All distinct RNN sets labeled, including the implicit empty set."""
+        out = {f.rnn for f in self.fragments}
+        out.add(frozenset())
+        return out
+
+    def rasterize(
+        self,
+        width: int,
+        height: int,
+        bounds: "Rect | None" = None,
+    ) -> "tuple[np.ndarray, Rect]":
+        """Heat raster of the subdivision; see ``repro.render.raster``."""
+        from ..render.raster import rasterize_regionset
+
+        return rasterize_regionset(self, width, height, bounds)

@@ -1,0 +1,102 @@
+"""Self-verification of labeled subdivisions against the RNN definition.
+
+A ``RegionSet`` claims that every point of each fragment has a particular
+RNN set.  This module checks those claims directly against brute-force
+closed-containment (Section III-A), both at fragment representative points
+and at random probes — the same oracle the test suite uses, packaged for
+users who modify the algorithms or feed unusual data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.circle import NNCircleSet
+from .regionset import RegionSet
+
+__all__ = ["VerificationReport", "verify_region_set"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verification pass."""
+
+    fragments_checked: int = 0
+    fragment_mismatches: int = 0
+    probes_checked: int = 0
+    probe_mismatches: int = 0
+    examples: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.fragment_mismatches == 0 and self.probe_mismatches == 0
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        return (
+            f"verification {status}: "
+            f"{self.fragments_checked} fragments "
+            f"({self.fragment_mismatches} bad), "
+            f"{self.probes_checked} probes ({self.probe_mismatches} bad)"
+        )
+
+
+def verify_region_set(
+    circles: NNCircleSet,
+    region_set: RegionSet,
+    n_probes: int = 500,
+    seed: int = 0,
+    max_fragments: "int | None" = 5000,
+    keep_examples: int = 5,
+) -> VerificationReport:
+    """Check a RegionSet against brute-force RNN semantics.
+
+    Args:
+        circles: the NN-circles the RegionSet was built from (in the same
+            *internal* frame, i.e. post-rotation for L1 runs).
+        n_probes: number of random probe points over the circle bounds.
+        max_fragments: cap on representative-point checks (None = all).
+
+    Returns:
+        A report; ``report.ok`` is the verdict.
+    """
+    report = VerificationReport()
+    rng = np.random.default_rng(seed)
+
+    frags = region_set.fragments
+    if max_fragments is not None and len(frags) > max_fragments:
+        idx = rng.choice(len(frags), size=max_fragments, replace=False)
+        frags = [region_set.fragments[int(i)] for i in idx]
+    for frag in frags:
+        x, y = frag.representative_point()
+        expected = frozenset(circles.enclosing(x, y))
+        report.fragments_checked += 1
+        if expected != frag.rnn:
+            report.fragment_mismatches += 1
+            if len(report.examples) < keep_examples:
+                report.examples.append(("fragment", (x, y), frag.rnn, expected))
+
+    if len(circles) and n_probes:
+        b = circles.bounds().expanded(0.05 * max(1e-9, float(circles.radius.max())))
+        for _ in range(n_probes):
+            x = rng.uniform(b.x_lo, b.x_hi)
+            y = rng.uniform(b.y_lo, b.y_hi)
+            expected = frozenset(circles.enclosing(x, y))
+            # Compare in the internal frame: bypass the transform.
+            frag = None
+            index = region_set._index()
+            if index is not None:
+                for i in index.query_point(x, y):
+                    candidate = region_set.fragments[i]
+                    if candidate.contains(x, y):
+                        frag = candidate
+                        break
+            got = frag.rnn if frag is not None else frozenset()
+            report.probes_checked += 1
+            if got != expected:
+                report.probe_mismatches += 1
+                if len(report.examples) < keep_examples:
+                    report.examples.append(("probe", (x, y), got, expected))
+    return report

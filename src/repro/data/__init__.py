@@ -1,0 +1,28 @@
+"""Datasets: synthetic generators, city POI models, and sampling helpers."""
+
+from .city import LA_SIZE, LA_WINDOW, NYC_SIZE, NYC_WINDOW, la_like, nyc_like
+from .datasets import DATASET_FULL_SIZES, DATASET_NAMES, get_dataset
+from .io import load_points_csv, save_points_csv
+from .roads import road_network, road_network_points
+from .sampling import sample_clients_facilities
+from .synthetic import gaussian_cluster_points, uniform_points, zipfian_points
+
+__all__ = [
+    "DATASET_FULL_SIZES",
+    "DATASET_NAMES",
+    "load_points_csv",
+    "save_points_csv",
+    "LA_SIZE",
+    "LA_WINDOW",
+    "NYC_SIZE",
+    "NYC_WINDOW",
+    "gaussian_cluster_points",
+    "get_dataset",
+    "la_like",
+    "nyc_like",
+    "road_network",
+    "road_network_points",
+    "sample_clients_facilities",
+    "uniform_points",
+    "zipfian_points",
+]

@@ -1,0 +1,115 @@
+"""Synthetic city POI models standing in for the paper's NYC/LA datasets.
+
+The paper's real datasets (Table II) are 128,547 points of interest in New
+York City and 116,596 in Los Angeles, obtained from the authors of [2] and
+not redistributable.  We substitute generative models shaped like each
+city: a weighted mixture of anisotropic Gaussian "districts" placed to
+imitate the metro structure (Manhattan's thin tilted spine, the borough
+blobs, LA's broad basin and valley), with rejection masks carving out the
+water/mountain voids that make the paper's heat maps geographically
+legible.  The algorithms are distribution-agnostic; what the experiments
+need is realistic multi-scale density contrast, which these models supply
+(see DESIGN.md, substitution 1).
+
+Coordinates are emitted in the lon/lat windows the paper plots:
+NYC [40.50, 40.95] x [-74.15, -73.70], LA [33.82, 34.17] x [-118.47, -118.12].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidInputError
+
+__all__ = ["nyc_like", "la_like", "NYC_SIZE", "LA_SIZE", "NYC_WINDOW", "LA_WINDOW"]
+
+NYC_SIZE = 128_547
+LA_SIZE = 116_596
+
+# (lon_lo, lon_hi, lat_lo, lat_hi) — the plotting windows of Fig. 1 / Fig. 15.
+NYC_WINDOW = (-74.15, -73.70, 40.50, 40.95)
+LA_WINDOW = (-118.47, -118.12, 33.82, 34.17)
+
+# Districts: (weight, lon_mean, lat_mean, lon_std, lat_std, tilt_radians).
+_NYC_DISTRICTS = [
+    (0.28, -73.975, 40.755, 0.012, 0.055, 0.50),   # Manhattan spine (tilted)
+    (0.22, -73.950, 40.650, 0.055, 0.035, 0.00),   # Brooklyn
+    (0.20, -73.820, 40.730, 0.060, 0.040, 0.00),   # Queens
+    (0.10, -73.890, 40.855, 0.035, 0.030, 0.00),   # Bronx
+    (0.06, -74.130, 40.585, 0.035, 0.030, 0.35),   # Staten Island
+    (0.08, -74.030, 40.730, 0.012, 0.045, 0.15),   # Jersey City / Hoboken edge
+    (0.06, -73.770, 40.660, 0.040, 0.025, 0.00),   # JFK / Jamaica sprawl
+]
+
+# Water voids: (lon_center, lat_center, lon_radius, lat_radius, tilt).
+_NYC_VOIDS = [
+    (-74.035, 40.690, 0.022, 0.045, 0.25),   # Upper Bay / Hudson mouth
+    (-73.885, 40.780, 0.016, 0.022, 0.00),   # Rikers / Flushing Bay
+    (-73.955, 40.790, 0.006, 0.050, 0.50),   # East River upper
+    (-74.060, 40.605, 0.040, 0.028, 0.00),   # Lower Bay
+]
+
+_LA_DISTRICTS = [
+    (0.30, -118.330, 34.060, 0.075, 0.045, 0.10),  # Central LA basin
+    (0.17, -118.400, 34.160, 0.055, 0.020, 0.05),  # San Fernando Valley rim
+    (0.15, -118.260, 33.935, 0.055, 0.040, 0.00),  # South LA / Gateway
+    (0.13, -118.430, 34.020, 0.030, 0.030, 0.20),  # Westside / Santa Monica
+    (0.13, -118.150, 34.060, 0.030, 0.040, 0.00),  # East LA / Alhambra edge
+    (0.12, -118.300, 33.870, 0.055, 0.025, 0.00),  # Torrance / Long Beach rim
+]
+
+_LA_VOIDS = [
+    (-118.300, 34.130, 0.090, 0.022, 0.05),   # Santa Monica Mountains
+    (-118.445, 33.930, 0.030, 0.050, 0.15),   # Pacific (Santa Monica Bay)
+]
+
+
+def _sample_city(n, seed, districts, voids, window):
+    if n <= 0:
+        raise InvalidInputError("n must be positive")
+    lon_lo, lon_hi, lat_lo, lat_hi = window
+    rng = np.random.default_rng(seed)
+    weights = np.array([d[0] for d in districts])
+    weights = weights / weights.sum()
+    out = np.empty((0, 2))
+    # Rejection-sample in batches until n in-window, off-void points remain.
+    while len(out) < n:
+        batch = int((n - len(out)) * 1.6) + 64
+        which = rng.choice(len(districts), size=batch, p=weights)
+        pts = np.empty((batch, 2))
+        for k, (w, mx, my, sx, sy, tilt) in enumerate(districts):
+            mask = which == k
+            m = int(mask.sum())
+            if m == 0:
+                continue
+            local = rng.normal(size=(m, 2)) * (sx, sy)
+            c, s = np.cos(tilt), np.sin(tilt)
+            rotated = np.column_stack(
+                [local[:, 0] * c - local[:, 1] * s, local[:, 0] * s + local[:, 1] * c]
+            )
+            pts[mask] = rotated + (mx, my)
+        keep = (
+            (pts[:, 0] >= lon_lo)
+            & (pts[:, 0] <= lon_hi)
+            & (pts[:, 1] >= lat_lo)
+            & (pts[:, 1] <= lat_hi)
+        )
+        for (vx, vy, rx, ry, tilt) in voids:
+            dx = pts[:, 0] - vx
+            dy = pts[:, 1] - vy
+            c, s = np.cos(-tilt), np.sin(-tilt)
+            ux = dx * c - dy * s
+            uy = dx * s + dy * c
+            keep &= (ux / rx) ** 2 + (uy / ry) ** 2 > 1.0
+        out = np.vstack([out, pts[keep]])
+    return out[:n]
+
+
+def nyc_like(n: int = NYC_SIZE, seed: int = 0) -> np.ndarray:
+    """n POIs shaped like the paper's New York City dataset (Table II)."""
+    return _sample_city(n, seed, _NYC_DISTRICTS, _NYC_VOIDS, NYC_WINDOW)
+
+
+def la_like(n: int = LA_SIZE, seed: int = 0) -> np.ndarray:
+    """n POIs shaped like the paper's Los Angeles dataset (Table II)."""
+    return _sample_city(n, seed, _LA_DISTRICTS, _LA_VOIDS, LA_WINDOW)

@@ -1,0 +1,57 @@
+"""The experiment dataset registry: NYC, LA, Uniform, Zipfian.
+
+These are the four datasets of Section VIII (Table II + synthetic).  The
+"real" city datasets are generative substitutes — see ``repro.data.city``
+and DESIGN.md substitution 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import UnknownDatasetError
+from .city import LA_SIZE, NYC_SIZE, la_like, nyc_like
+from .roads import road_network_points
+from .synthetic import uniform_points, zipfian_points
+
+__all__ = ["get_dataset", "DATASET_NAMES", "DATASET_FULL_SIZES"]
+
+#: The paper's four datasets plus 'roads', an extra street-graph flavor.
+DATASET_NAMES = ("nyc", "la", "uniform", "zipfian", "roads")
+
+#: Full cardinalities (Table II for the cities; synthetic pools match NYC).
+DATASET_FULL_SIZES = {
+    "nyc": NYC_SIZE,
+    "la": LA_SIZE,
+    "uniform": NYC_SIZE,
+    "zipfian": NYC_SIZE,
+    "roads": NYC_SIZE,
+}
+
+
+def get_dataset(name: str, n: "int | None" = None, seed: int = 0) -> np.ndarray:
+    """A point pool by dataset name.
+
+    Args:
+        name: 'nyc' | 'la' | 'uniform' | 'zipfian' (case-insensitive).
+        n: pool size; defaults to the dataset's full cardinality.
+
+    Raises:
+        UnknownDatasetError: for unrecognized names.
+    """
+    key = name.strip().lower()
+    if key not in DATASET_NAMES:
+        raise UnknownDatasetError(
+            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+        )
+    if n is None:
+        n = DATASET_FULL_SIZES[key]
+    if key == "nyc":
+        return nyc_like(n, seed)
+    if key == "la":
+        return la_like(n, seed)
+    if key == "uniform":
+        return uniform_points(n, seed)
+    if key == "roads":
+        return road_network_points(n, seed=seed)
+    return zipfian_points(n, skew=0.2, seed=seed)

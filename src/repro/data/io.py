@@ -1,0 +1,97 @@
+"""Loading and saving point sets (bring-your-own-POI data).
+
+The paper's inputs are just two point sets; users with their own city data
+need only a CSV with two coordinate columns.  Kept dependency-free (no
+pandas): a small tolerant CSV reader/writer with header support.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import InvalidInputError
+
+__all__ = ["load_points_csv", "save_points_csv"]
+
+
+def load_points_csv(
+    path: "str | Path",
+    x_col: "str | int" = 0,
+    y_col: "str | int" = 1,
+    skip_errors: bool = False,
+) -> np.ndarray:
+    """Read an (n, 2) point array from a CSV file.
+
+    Args:
+        x_col, y_col: column names (requires a header row) or 0-based
+            indices.
+        skip_errors: drop unparseable rows instead of raising.
+
+    Returns:
+        float array of shape (n, 2).
+    """
+    path = Path(path)
+    by_name = isinstance(x_col, str) or isinstance(y_col, str)
+    points: "list[tuple[float, float]]" = []
+    with open(path, newline="") as fh:
+        if by_name:
+            reader = csv.DictReader(fh)
+            if reader.fieldnames is None:
+                raise InvalidInputError(f"{path} has no header row")
+            for name in (x_col, y_col):
+                if isinstance(name, str) and name not in reader.fieldnames:
+                    raise InvalidInputError(
+                        f"column {name!r} not in header {reader.fieldnames}"
+                    )
+            rows = ((row[x_col], row[y_col]) for row in reader)
+        else:
+            plain = csv.reader(fh)
+            first = next(plain, None)
+            rows_list = []
+            if first is not None:
+                try:
+                    rows_list.append((first[x_col], first[y_col]))
+                except (ValueError, IndexError):
+                    pass  # header row or short row: skip it
+                else:
+                    # Was it numeric? If not, treat as header and drop it.
+                    try:
+                        float(first[x_col])
+                    except ValueError:
+                        rows_list.pop()
+            rows_list.extend(
+                (r[x_col], r[y_col]) for r in plain if len(r) > max(x_col, y_col)
+            )
+            rows = iter(rows_list)
+        for sx, sy in rows:
+            try:
+                points.append((float(sx), float(sy)))
+            except (TypeError, ValueError):
+                if not skip_errors:
+                    raise InvalidInputError(
+                        f"unparseable row ({sx!r}, {sy!r}) in {path}"
+                    ) from None
+    if not points:
+        raise InvalidInputError(f"no points parsed from {path}")
+    return np.asarray(points, dtype=float)
+
+
+def save_points_csv(
+    path: "str | Path",
+    points: np.ndarray,
+    header: "tuple[str, str] | None" = ("x", "y"),
+) -> Path:
+    """Write an (n, 2) point array as CSV; returns the path."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise InvalidInputError("points must have shape (n, 2)")
+    path = Path(path)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        if header is not None:
+            writer.writerow(header)
+        writer.writerows(pts.tolist())
+    return path

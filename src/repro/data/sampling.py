@@ -1,0 +1,52 @@
+"""Client/facility sampling from a point pool.
+
+The experiments "uniformly sample from the data sets to obtain the client
+set O and the facility set F" (Section VIII); disjoint samples by default
+so a facility never coincides with a client (coincident points yield
+zero-radius NN-circles, which bound no area).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidInputError
+
+__all__ = ["sample_clients_facilities"]
+
+
+def sample_clients_facilities(
+    points: np.ndarray,
+    n_clients: int,
+    n_facilities: int,
+    seed: int = 0,
+    disjoint: bool = True,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Uniformly sample O and F from a point pool.
+
+    Args:
+        disjoint: draw O and F without replacement from the pool so the two
+            sets share no point (the paper's setup).
+
+    Returns:
+        (clients, facilities) arrays.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise InvalidInputError("points must have shape (n, 2)")
+    if n_clients <= 0 or n_facilities <= 0:
+        raise InvalidInputError("sample sizes must be positive")
+    rng = np.random.default_rng(seed)
+    if disjoint:
+        total = n_clients + n_facilities
+        if total > len(points):
+            raise InvalidInputError(
+                f"pool of {len(points)} cannot supply {total} disjoint samples"
+            )
+        idx = rng.choice(len(points), size=total, replace=False)
+        return points[idx[:n_clients]], points[idx[n_clients:]]
+    if n_clients > len(points) or n_facilities > len(points):
+        raise InvalidInputError("sample larger than pool")
+    ci = rng.choice(len(points), size=n_clients, replace=False)
+    fi = rng.choice(len(points), size=n_facilities, replace=False)
+    return points[ci], points[fi]

@@ -1,0 +1,94 @@
+"""Synthetic point generators: Uniform and Zipfian (Section VIII).
+
+The paper's synthetic datasets are points drawn uniformly and from a
+Zipfian distribution with skew coefficient 0.2.  Following common database
+benchmarking practice, the Zipfian generator draws each coordinate from a
+rank-weighted discrete grid (probability of rank i proportional to
+1/i^skew) and jitters within the grid cell so points stay distinct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidInputError
+
+__all__ = ["uniform_points", "zipfian_points", "gaussian_cluster_points"]
+
+_DEFAULT_BOUNDS = (0.0, 1.0, 0.0, 1.0)
+
+
+def _check(n: int, bounds) -> "tuple[float, float, float, float]":
+    if n <= 0:
+        raise InvalidInputError("n must be positive")
+    x_lo, x_hi, y_lo, y_hi = bounds
+    if x_lo >= x_hi or y_lo >= y_hi:
+        raise InvalidInputError(f"malformed bounds {bounds}")
+    return x_lo, x_hi, y_lo, y_hi
+
+
+def uniform_points(
+    n: int,
+    seed: int = 0,
+    bounds: "tuple[float, float, float, float]" = _DEFAULT_BOUNDS,
+) -> np.ndarray:
+    """n points uniform over [x_lo, x_hi] x [y_lo, y_hi]."""
+    x_lo, x_hi, y_lo, y_hi = _check(n, bounds)
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    pts[:, 0] = x_lo + pts[:, 0] * (x_hi - x_lo)
+    pts[:, 1] = y_lo + pts[:, 1] * (y_hi - y_lo)
+    return pts
+
+
+def zipfian_points(
+    n: int,
+    skew: float = 0.2,
+    seed: int = 0,
+    bounds: "tuple[float, float, float, float]" = _DEFAULT_BOUNDS,
+    grid: int = 1024,
+) -> np.ndarray:
+    """n points with Zipf-skewed coordinates (the paper uses skew 0.2).
+
+    Each axis independently picks one of ``grid`` cells with probability
+    proportional to 1/rank^skew, then jitters uniformly inside the cell.
+    """
+    if skew < 0:
+        raise InvalidInputError("skew must be non-negative")
+    x_lo, x_hi, y_lo, y_hi = _check(n, bounds)
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, grid + 1, dtype=float)
+    probs = ranks ** (-skew)
+    probs /= probs.sum()
+    cell_x = rng.choice(grid, size=n, p=probs)
+    cell_y = rng.choice(grid, size=n, p=probs)
+    jitter = rng.random((n, 2))
+    xs = (cell_x + jitter[:, 0]) / grid
+    ys = (cell_y + jitter[:, 1]) / grid
+    out = np.empty((n, 2))
+    out[:, 0] = x_lo + xs * (x_hi - x_lo)
+    out[:, 1] = y_lo + ys * (y_hi - y_lo)
+    return out
+
+
+def gaussian_cluster_points(
+    n: int,
+    n_clusters: int = 8,
+    std: float = 0.05,
+    seed: int = 0,
+    bounds: "tuple[float, float, float, float]" = _DEFAULT_BOUNDS,
+) -> np.ndarray:
+    """n points from a mixture of isotropic Gaussian clusters, clipped to
+    bounds — handy for demos where density contrast matters (Fig. 2)."""
+    x_lo, x_hi, y_lo, y_hi = _check(n, bounds)
+    if n_clusters <= 0:
+        raise InvalidInputError("n_clusters must be positive")
+    rng = np.random.default_rng(seed)
+    centers = rng.random((n_clusters, 2))
+    assignment = rng.integers(0, n_clusters, size=n)
+    pts = centers[assignment] + rng.normal(scale=std, size=(n, 2))
+    pts = np.clip(pts, 0.0, 1.0)
+    out = np.empty_like(pts)
+    out[:, 0] = x_lo + pts[:, 0] * (x_hi - x_lo)
+    out[:, 1] = y_lo + pts[:, 1] * (y_hi - y_lo)
+    return out

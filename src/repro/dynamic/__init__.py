@@ -1,0 +1,6 @@
+"""Dynamic heat maps: incremental NN-circle maintenance + lazy rebuilds."""
+
+from .assignment import DynamicAssignment
+from .heatmap import DynamicHeatMap
+
+__all__ = ["DynamicAssignment", "DynamicHeatMap"]

@@ -1,0 +1,117 @@
+"""A heat map that follows a changing world.
+
+Wraps ``DynamicAssignment`` (incremental NN-circle maintenance) with lazy
+heat-map rebuilding: updates invalidate the cached result; ``result()``
+re-sweeps only when dirty.  The sweep itself is the cheap part (Theorem 2:
+O(n log n + r*lambda)); what this class avoids is restarting the NN phase
+from scratch after every tick of a moving-client workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.heatmap import HeatMapResult
+from ..core.sweep_l2 import run_crest_l2
+from ..core.sweep_linf import run_crest
+from ..errors import AlgorithmUnsupportedError
+from ..geometry.metrics import get_metric
+from ..geometry.transforms import IDENTITY, ROTATE_L1_TO_LINF
+from ..influence.measures import InfluenceMeasure, SizeMeasure
+from .assignment import DynamicAssignment
+
+__all__ = ["DynamicHeatMap"]
+
+
+class DynamicHeatMap:
+    """An updatable RNN heat map over moving clients and facilities.
+
+    All update methods take/return stable integer handles and invalidate
+    the cached result; ``result()`` rebuilds on demand.
+
+    Note: positions given to updates are in *original* coordinates; the L1
+    rotation is applied internally exactly as in ``RNNHeatMap``.
+    """
+
+    def __init__(
+        self,
+        clients: np.ndarray,
+        facilities: np.ndarray,
+        *,
+        metric: str = "l2",
+        measure: "InfluenceMeasure | None" = None,
+    ) -> None:
+        self.metric = get_metric(metric)
+        self.measure = measure if measure is not None else SizeMeasure()
+        if self.metric.name == "l1":
+            self.transform = ROTATE_L1_TO_LINF
+            clients = self.transform.forward_array(np.asarray(clients, dtype=float))
+            facilities = self.transform.forward_array(np.asarray(facilities, dtype=float))
+            internal_metric = "linf"
+        else:
+            self.transform = IDENTITY
+            internal_metric = self.metric
+        self.assignment = DynamicAssignment(clients, facilities, internal_metric)
+        self._cached: "HeatMapResult | None" = None
+        self.rebuilds = 0
+
+    def _point(self, x: float, y: float) -> "tuple[float, float]":
+        return self.transform.forward(x, y)
+
+    # ------------------------------------------------------------------
+    # Updates (each invalidates the cache)
+    # ------------------------------------------------------------------
+    def add_client(self, x: float, y: float) -> int:
+        self._cached = None
+        return self.assignment.add_client(*self._point(x, y))
+
+    def remove_client(self, handle: int) -> None:
+        self._cached = None
+        self.assignment.remove_client(handle)
+
+    def move_client(self, handle: int, x: float, y: float) -> None:
+        self._cached = None
+        self.assignment.move_client(handle, *self._point(x, y))
+
+    def add_facility(self, x: float, y: float) -> int:
+        self._cached = None
+        return self.assignment.add_facility(*self._point(x, y))
+
+    def remove_facility(self, handle: int) -> None:
+        self._cached = None
+        self.assignment.remove_facility(handle)
+
+    def move_facility(self, handle: int, x: float, y: float) -> None:
+        self._cached = None
+        self.assignment.move_facility(handle, *self._point(x, y))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def dirty(self) -> bool:
+        return self._cached is None
+
+    def result(self) -> HeatMapResult:
+        """The current heat map, rebuilding only if updates occurred."""
+        if self._cached is None:
+            circles = self.assignment.circles()
+            if circles.metric.name == "l2":
+                stats, region_set = run_crest_l2(
+                    circles, self.measure, transform=self.transform
+                )
+            elif circles.metric.name == "linf":
+                stats, region_set = run_crest(
+                    circles, self.measure, transform=self.transform
+                )
+            else:  # pragma: no cover - construction prevents this
+                raise AlgorithmUnsupportedError(circles.metric.name)
+            self._cached = HeatMapResult(region_set, stats)
+            self.rebuilds += 1
+        return self._cached
+
+    def heat_at(self, x: float, y: float) -> float:
+        return self.result().heat_at(x, y)
+
+    def rnn_at(self, x: float, y: float) -> frozenset:
+        return self.result().rnn_at(x, y)

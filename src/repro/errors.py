@@ -1,0 +1,38 @@
+"""Exception types for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class InvalidInputError(ReproError):
+    """Raised when user-supplied data is malformed (wrong shape, empty, NaN)."""
+
+
+class UnknownMetricError(ReproError):
+    """Raised when a distance metric name is not recognized."""
+
+
+class UnknownAlgorithmError(ReproError):
+    """Raised when an algorithm name is not recognized."""
+
+
+class UnknownDatasetError(ReproError):
+    """Raised when a dataset name is not recognized."""
+
+
+class AlgorithmUnsupportedError(ReproError):
+    """Raised when an algorithm does not support the requested setting.
+
+    Example: the grid baseline only supports the L-infinity/L1 metrics, and
+    the superimposition overlay only supports the size measure.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """Raised when an algorithm exceeds a caller-imposed time/work budget.
+
+    The pruning comparator is exponential in the worst case; the experiment
+    harness uses this to early-terminate runs the way the paper capped the
+    baseline at 24 hours.
+    """

@@ -1,0 +1,33 @@
+"""The experiment harness regenerating every table and figure."""
+
+from .figures import (
+    figure16,
+    figure17,
+    figure18,
+    figure19,
+    table2_city_heatmaps,
+)
+from .harness import ResultTable, RunRecord, timed_run
+from .profiling import WorkProfile, fit_scaling_exponent, profile_instance
+from .report import generate_report
+from .shapes import ClaimResult, check_all_claims
+from .workloads import Workload, build_workload
+
+__all__ = [
+    "ClaimResult",
+    "WorkProfile",
+    "fit_scaling_exponent",
+    "generate_report",
+    "profile_instance",
+    "ResultTable",
+    "RunRecord",
+    "Workload",
+    "build_workload",
+    "check_all_claims",
+    "figure16",
+    "figure17",
+    "figure18",
+    "figure19",
+    "table2_city_heatmaps",
+    "timed_run",
+]

@@ -1,0 +1,222 @@
+"""Regeneration code for every table and figure of the paper's evaluation.
+
+Each ``figure*`` function runs the corresponding experiment at a
+laptop-appropriate default scale (the paper's C++ runs at |O| up to 2^16 do
+not translate to pure Python; DESIGN.md substitution 4) and returns a
+``ResultTable`` whose rows are the series the paper plots.  Pass larger
+sizes to approach the paper's scale.  ``EXPERIMENTS.md`` records a full run.
+
+The quantities being compared are the same as the paper's: CPU time per
+algorithm, with the baseline/pruning early-terminated on a budget the way
+the paper cut runs at 24 hours.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from ..core.baseline import run_baseline
+from ..core.pruning import run_pruning_max
+from ..core.sweep_l2 import run_crest_l2
+from ..core.sweep_linf import run_crest
+from ..errors import BudgetExceededError
+from .harness import ResultTable, RunRecord
+from .workloads import Workload, build_workload
+
+__all__ = [
+    "figure16",
+    "figure17",
+    "figure18",
+    "figure19",
+    "table2_city_heatmaps",
+    "DEFAULT_DATASETS",
+]
+
+DEFAULT_DATASETS = ("la", "nyc", "uniform", "zipfian")
+
+
+def _time_linf(workload: Workload, algorithm: str):
+    """Time one RC run over precomputed square circles; returns (ms, stats)."""
+    start = time.process_time()
+    if algorithm == "baseline":
+        stats, _ = run_baseline(workload.circles, workload.measure,
+                                collect_fragments=False)
+    elif algorithm == "crest-a":
+        stats, _ = run_crest(workload.circles, workload.measure,
+                             use_changed_intervals=False, collect_fragments=False)
+    elif algorithm == "crest":
+        stats, _ = run_crest(workload.circles, workload.measure,
+                             collect_fragments=False)
+    else:
+        raise ValueError(f"unknown L-inf algorithm {algorithm!r}")
+    return (time.process_time() - start) * 1000.0, stats
+
+
+def figure16(
+    ratios=(2, 4, 8, 16, 32, 64),
+    n_clients: int = 256,
+    datasets=DEFAULT_DATASETS,
+    algorithms=("baseline", "crest-a", "crest"),
+    seed: int = 0,
+) -> ResultTable:
+    """Fig. 16: effect of |O|/|F| with L1 distance (BA / CREST-A / CREST).
+
+    Paper scale: ratios 2^1..2^10 at |O| = 2^10; default here is scaled to
+    ratios 2^1..2^6 at |O| = 2^8 (pure-Python BA dominates the runtime).
+    """
+    table = ResultTable(f"Figure 16 — L1, |O|={n_clients}, varying |O|/|F|")
+    for dataset in datasets:
+        for ratio in ratios:
+            wl = build_workload(dataset, n_clients, ratio, metric="l1", seed=seed)
+            for algorithm in algorithms:
+                ms, stats = _time_linf(wl, algorithm)
+                table.add(RunRecord(
+                    "fig16", dataset, algorithm, len(wl.clients),
+                    len(wl.facilities), ratio, ms,
+                    labels=stats.labels,
+                ))
+    return table
+
+
+def figure17(
+    sizes=(128, 256, 512, 1024, 2048),
+    ratio: float = 128,
+    datasets=DEFAULT_DATASETS,
+    algorithms=("baseline", "crest-a", "crest"),
+    baseline_cap: int = 512,
+    seed: int = 0,
+) -> ResultTable:
+    """Fig. 17: effect of |O| with L1 distance at fixed ratio 2^7.
+
+    Paper scale: |O| = 2^7..2^16 (BA not shown past 2^13: >24h); here BA is
+    capped at ``baseline_cap`` for the same reason, recorded as a timeout.
+    """
+    table = ResultTable(f"Figure 17 — L1, ratio={ratio:g}, varying |O|")
+    for dataset in datasets:
+        for n in sizes:
+            wl = build_workload(dataset, n, ratio, metric="l1", seed=seed)
+            for algorithm in algorithms:
+                if algorithm == "baseline" and n > baseline_cap:
+                    table.add(RunRecord(
+                        "fig17", dataset, algorithm, n,
+                        len(wl.facilities), ratio, None, note="size-sweep",
+                    ))
+                    continue
+                ms, stats = _time_linf(wl, algorithm)
+                table.add(RunRecord(
+                    "fig17", dataset, algorithm, n, len(wl.facilities),
+                    ratio, ms, labels=stats.labels, note="size-sweep",
+                ))
+    return table
+
+
+def _time_l2_max(workload: Workload, algorithm: str, budget_s: "float | None"):
+    start = time.process_time()
+    try:
+        if algorithm == "pruning":
+            result = run_pruning_max(
+                workload.circles, workload.measure, time_budget_s=budget_s
+            )
+            labels = result.measure_calls
+        else:
+            stats, _ = run_crest_l2(
+                workload.circles, workload.measure, collect_fragments=False
+            )
+            labels = stats.labels
+    except BudgetExceededError:
+        return None, 0
+    return (time.process_time() - start) * 1000.0, labels
+
+
+def figure18(
+    ratios=(2, 4, 8, 16, 32),
+    n_clients: int = 128,
+    datasets=DEFAULT_DATASETS,
+    budget_s: float = 60.0,
+    seed: int = 0,
+) -> ResultTable:
+    """Fig. 18: L2, capacity measure, max-influence region — Pruning [22]
+    vs CREST-L2, varying |O|/|F|.  Pruning's enumeration is exponential in
+    the neighborhood size, so high ratios hit the budget (paper: the
+    pruning curve blows past 10^7 ms)."""
+    table = ResultTable(
+        f"Figure 18 — L2 capacity measure, |O|={n_clients}, varying |O|/|F|"
+    )
+    for dataset in datasets:
+        for ratio in ratios:
+            wl = build_workload(
+                dataset, n_clients, ratio, metric="l2",
+                measure="capacity", seed=seed,
+            )
+            for algorithm in ("pruning", "crest-l2"):
+                ms, labels = _time_l2_max(wl, algorithm, budget_s)
+                table.add(RunRecord(
+                    "fig18", dataset, algorithm, len(wl.clients),
+                    len(wl.facilities), ratio, ms, labels=labels,
+                ))
+    return table
+
+
+def figure19(
+    sizes=(128, 256, 512, 1024),
+    ratio: float = 32,
+    datasets=DEFAULT_DATASETS,
+    budget_s: float = 60.0,
+    seed: int = 0,
+) -> ResultTable:
+    """Fig. 19: L2, capacity measure, max-influence region — Pruning [22]
+    vs CREST-L2, varying |O| at ratio 2^5."""
+    table = ResultTable(f"Figure 19 — L2 capacity measure, ratio={ratio:g}")
+    for dataset in datasets:
+        for n in sizes:
+            wl = build_workload(
+                dataset, n, ratio, metric="l2", measure="capacity", seed=seed
+            )
+            for algorithm in ("pruning", "crest-l2"):
+                ms, labels = _time_l2_max(wl, algorithm, budget_s)
+                table.add(RunRecord(
+                    "fig19", dataset, algorithm, n, len(wl.facilities),
+                    ratio, ms, labels=labels, note="size-sweep",
+                ))
+    return table
+
+
+def table2_city_heatmaps(
+    n_clients: int = 2000,
+    n_facilities: int = 600,
+    resolution: int = 400,
+    out_dir: "str | Path | None" = None,
+    metric: str = "l2",
+    seed: int = 0,
+) -> ResultTable:
+    """Fig. 1 / Fig. 15 / Table II: build and render the NYC and LA heat
+    maps (paper samples 20,000 clients / 6,000 facilities; scale up via
+    arguments).  Writes `<city>_heatmap.pgm` when ``out_dir`` is given."""
+    from ..core.heatmap import RNNHeatMap
+    from ..data.datasets import get_dataset
+    from ..data.sampling import sample_clients_facilities
+    from ..render.colormap import apply_colormap
+    from ..render.image import write_pgm
+
+    table = ResultTable(
+        f"Fig. 1/15 — city heat maps, |O|={n_clients}, |F|={n_facilities}"
+    )
+    for city in ("nyc", "la"):
+        pool = get_dataset(city, n=4 * (n_clients + n_facilities), seed=seed)
+        clients, facilities = sample_clients_facilities(
+            pool, n_clients, n_facilities, seed=seed + 1
+        )
+        hm = RNNHeatMap(clients, facilities, metric=metric)
+        start = time.process_time()
+        result = hm.build("crest")
+        ms = (time.process_time() - start) * 1000.0
+        table.add(RunRecord(
+            "fig1/15", city, "crest", n_clients, n_facilities,
+            n_clients / n_facilities, ms, labels=result.labels,
+        ))
+        if out_dir is not None:
+            grid, _bounds = result.rasterize(resolution, resolution)
+            img = apply_colormap(grid, "gray_dark")
+            write_pgm(Path(out_dir) / f"{city}_heatmap.pgm", img)
+    return table

@@ -1,0 +1,113 @@
+"""Experiment harness: timed runs, parameter sweeps, and table output.
+
+Reproduces the paper's measurement discipline: CPU (process) time per
+algorithm run, early termination past a budget (the paper cut the baseline
+off at 24 hours), and per-figure tables whose rows mirror the plotted
+series.  Results can be dumped as CSV/JSON for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..errors import BudgetExceededError
+
+__all__ = ["RunRecord", "ResultTable", "timed_run"]
+
+
+@dataclass
+class RunRecord:
+    """One timed algorithm execution within a sweep."""
+
+    figure: str
+    dataset: str
+    algorithm: str
+    n_clients: int
+    n_facilities: int
+    ratio: float
+    time_ms: "float | None"  # None = exceeded budget (paper: '> 24 hours')
+    labels: int = 0
+    note: str = ""
+
+    def row(self) -> "list[str]":
+        t = "timeout" if self.time_ms is None else f"{self.time_ms:.1f}"
+        return [
+            self.figure,
+            self.dataset,
+            self.algorithm,
+            str(self.n_clients),
+            str(self.n_facilities),
+            f"{self.ratio:g}",
+            t,
+            str(self.labels),
+        ]
+
+
+_HEADER = ["figure", "dataset", "algorithm", "|O|", "|F|", "|O|/|F|", "ms", "labels"]
+
+
+class ResultTable:
+    """Accumulates run records; prints aligned tables; saves CSV/JSON."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.records: "list[RunRecord]" = []
+
+    def add(self, record: RunRecord) -> None:
+        self.records.append(record)
+
+    def render(self) -> str:
+        rows = [_HEADER] + [r.row() for r in self.records]
+        widths = [max(len(row[c]) for row in rows) for c in range(len(_HEADER))]
+        lines = [self.title, "-" * len(self.title)]
+        for i, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+            if i == 0:
+                lines.append("  ".join("-" * widths[c] for c in range(len(row))))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+
+    def save_csv(self, path: "str | Path") -> Path:
+        path = Path(path)
+        with open(path, "w") as fh:
+            fh.write(",".join(_HEADER) + "\n")
+            for r in self.records:
+                fh.write(",".join(r.row()) + "\n")
+        return path
+
+    def save_json(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.write_text(json.dumps([asdict(r) for r in self.records], indent=2))
+        return path
+
+    def series(self, algorithm: str, dataset: "str | None" = None):
+        """(x, time_ms) pairs for one algorithm line, mirroring a plot."""
+        out = []
+        for r in self.records:
+            if r.algorithm != algorithm:
+                continue
+            if dataset is not None and r.dataset != dataset:
+                continue
+            x = r.ratio if r.note != "size-sweep" else r.n_clients
+            out.append((x, r.time_ms))
+        return out
+
+
+def timed_run(fn, *, budget_s: "float | None" = None):
+    """Run fn() measuring process time; (elapsed_ms, result) or (None, None)
+    when the run raises BudgetExceededError."""
+    start = time.process_time()
+    try:
+        result = fn()
+    except BudgetExceededError:
+        return None, None
+    elapsed = (time.process_time() - start) * 1000.0
+    if budget_s is not None and elapsed > budget_s * 1000.0:
+        # Finished but over budget: report the measurement anyway.
+        return elapsed, result
+    return elapsed, result

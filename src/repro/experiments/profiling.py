@@ -1,0 +1,122 @@
+"""Work-profile analysis backing Section VI's complexity claims.
+
+Collects, for a given instance, the quantities the paper reasons about —
+k (labelings), r (regions), lambda (max RNN size), lambda* (average RNN
+size over labeled regions) — and produces the Lemma 3 / optimality
+diagnostics: k/r, lambda/lambda*, and the per-event changed-interval work
+distribution.  ``fit_scaling_exponent`` estimates the empirical growth
+exponent of CREST's running time, the reproduction's check on
+"asymptotically optimal" (near-linear for bounded lambda).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.sweep_linf import run_crest
+from ..geometry.arrangement import (
+    DegenerateArrangementError,
+    square_arrangement_stats,
+)
+from ..geometry.circle import NNCircleSet
+from ..influence.measures import SizeMeasure
+from .workloads import build_workload
+
+__all__ = ["WorkProfile", "profile_instance", "fit_scaling_exponent"]
+
+
+@dataclass
+class WorkProfile:
+    """Section VI quantities for one instance."""
+
+    n_circles: int
+    labels_k: int
+    regions_r: "int | None"        # None when the exact counter declines
+    max_rnn_lambda: int
+    avg_rnn_lambda_star: float
+    merged_intervals: int
+    event_batches: int
+
+    @property
+    def k_over_r(self) -> "float | None":
+        """Lemma 3 predicts 1 <= k/r <= 14 (up to the unbounded face)."""
+        if self.regions_r in (None, 0):
+            return None
+        return self.labels_k / self.regions_r
+
+    @property
+    def lambda_ratio(self) -> float:
+        """Optimality cases (i)/(ii) hinge on lambda = Theta(lambda*)."""
+        if self.avg_rnn_lambda_star == 0:
+            return math.inf if self.max_rnn_lambda else 1.0
+        return self.max_rnn_lambda / self.avg_rnn_lambda_star
+
+    def summary(self) -> str:
+        r = "n/a" if self.regions_r is None else str(self.regions_r)
+        kr = "n/a" if self.k_over_r is None else f"{self.k_over_r:.2f}"
+        return (
+            f"n={self.n_circles} k={self.labels_k} r={r} (k/r={kr}) "
+            f"lambda={self.max_rnn_lambda} lambda*={self.avg_rnn_lambda_star:.2f} "
+            f"(ratio {self.lambda_ratio:.2f})"
+        )
+
+
+def profile_instance(circles: NNCircleSet) -> WorkProfile:
+    """Profile one CREST run over square NN-circles."""
+    sizes: "list[int]" = []
+    stats, _ = run_crest(
+        circles,
+        SizeMeasure(),
+        collect_fragments=False,
+        on_label=lambda fs, _heat: sizes.append(len(fs)),
+    )
+    try:
+        regions = square_arrangement_stats(circles).regions
+    except DegenerateArrangementError:
+        regions = None
+    return WorkProfile(
+        n_circles=len(circles),
+        labels_k=stats.labels,
+        regions_r=regions,
+        max_rnn_lambda=stats.max_rnn_size,
+        avg_rnn_lambda_star=float(np.mean(sizes)) if sizes else 0.0,
+        merged_intervals=stats.merged_intervals,
+        event_batches=stats.n_event_batches,
+    )
+
+
+def fit_scaling_exponent(
+    sizes=(128, 256, 512, 1024, 2048),
+    ratio: float = 16,
+    dataset: str = "uniform",
+    seed: int = 0,
+    min_ms: float = 30.0,
+) -> "tuple[float, list[tuple[int, float]]]":
+    """Least-squares slope of log(time) vs log(n) for CREST.
+
+    Theorem 2 gives O(n log n + r*lambda); with bounded lambda and r =
+    Theta(n)-ish workloads the empirical exponent should sit near 1 (we
+    assert < 2 in tests — decisively sub-quadratic, unlike BA).
+
+    Returns:
+        (exponent, [(n, mean_ms), ...]).
+    """
+    points = []
+    for n in sizes:
+        wl = build_workload(dataset, n, ratio, metric="l1", seed=seed)
+        reps = 0
+        elapsed = 0.0
+        while elapsed < min_ms and reps < 50:
+            start = time.perf_counter()
+            run_crest(wl.circles, wl.measure, collect_fragments=False)
+            elapsed += (time.perf_counter() - start) * 1000.0
+            reps += 1
+        points.append((n, elapsed / reps))
+    xs = np.log([p[0] for p in points])
+    ys = np.log([p[1] for p in points])
+    slope = float(np.polyfit(xs, ys, 1)[0])
+    return slope, points

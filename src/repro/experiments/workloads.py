@@ -1,0 +1,90 @@
+"""Workload builders for the paper's experiments (Section VIII).
+
+Each experiment draws a client set O and facility set F of a given size
+ratio from one of the four datasets (NYC, LA, Uniform, Zipfian), computes
+the NN-circles for the requested metric (with the L1 -> L-infinity rotation
+applied where needed), and hands the precomputed circles to the algorithm
+under test — the paper assumes NN-circles are precomputed, so timing runs
+exclude this step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.heatmap import RNNHeatMap
+from ..errors import InvalidInputError
+from ..geometry.circle import NNCircleSet
+from ..geometry.transforms import Transform
+from ..influence.measures import (
+    CapacityConstrainedMeasure,
+    InfluenceMeasure,
+    SizeMeasure,
+)
+from ..data.datasets import get_dataset
+from ..data.sampling import sample_clients_facilities
+
+__all__ = ["Workload", "build_workload"]
+
+
+@dataclass
+class Workload:
+    """Everything an RC algorithm run needs, precomputed."""
+
+    dataset: str
+    metric: str
+    clients: np.ndarray
+    facilities: np.ndarray
+    circles: NNCircleSet
+    transform: Transform
+    measure: InfluenceMeasure
+
+    @property
+    def ratio(self) -> float:
+        return len(self.clients) / len(self.facilities)
+
+
+def build_workload(
+    dataset: str,
+    n_clients: int,
+    ratio: float,
+    metric: str = "l1",
+    measure: str = "size",
+    seed: int = 0,
+    capacity: int = 3,
+    new_capacity: int = 5,
+) -> Workload:
+    """Sample O and F from a dataset and precompute NN-circles.
+
+    Args:
+        ratio: |O| / |F|; |F| = max(round(n_clients / ratio), 1).
+        measure: 'size' or 'capacity' (the two the paper evaluates).
+    """
+    if n_clients <= 0 or ratio <= 0:
+        raise InvalidInputError("n_clients and ratio must be positive")
+    n_facilities = max(int(round(n_clients / ratio)), 1)
+    pool = get_dataset(dataset, n=n_clients + n_facilities, seed=seed)
+    clients, facilities = sample_clients_facilities(
+        pool, n_clients, n_facilities, seed=seed + 1
+    )
+    if measure == "size":
+        m: InfluenceMeasure = SizeMeasure()
+    elif measure == "capacity":
+        m = CapacityConstrainedMeasure(
+            clients, facilities, capacities=capacity,
+            new_capacity=new_capacity, metric=metric,
+        )
+    else:
+        raise InvalidInputError(f"unknown workload measure {measure!r}")
+    hm = RNNHeatMap(clients, facilities, metric=metric, measure=m)
+    return Workload(
+        dataset=dataset,
+        metric=metric,
+        clients=clients,
+        facilities=facilities,
+        circles=hm.circles,
+        transform=hm.transform,
+        measure=m,
+    )

@@ -1,0 +1,44 @@
+"""Planar geometry substrate: metrics, rectangles, NN-circles, arcs,
+transforms, and exact arrangement analytics."""
+
+from .arcs import Arc, circle_intersections
+from .arrangement import (
+    ArrangementStats,
+    DegenerateArrangementError,
+    square_arrangement_stats,
+    worst_case_circles,
+)
+from .circle import NNCircle, NNCircleSet
+from .disk_arrangement import (
+    DegenerateDiskArrangementError,
+    DiskArrangementStats,
+    disk_arrangement_stats,
+)
+from .metrics import L1, L2, LINF, METRICS, Metric, get_metric
+from .rect import Rect
+from .transforms import IDENTITY, ROTATE_L1_TO_LINF, Rotation, Transform
+
+__all__ = [
+    "Arc",
+    "ArrangementStats",
+    "DegenerateArrangementError",
+    "DegenerateDiskArrangementError",
+    "DiskArrangementStats",
+    "disk_arrangement_stats",
+    "IDENTITY",
+    "L1",
+    "L2",
+    "LINF",
+    "METRICS",
+    "Metric",
+    "NNCircle",
+    "NNCircleSet",
+    "ROTATE_L1_TO_LINF",
+    "Rect",
+    "Rotation",
+    "Transform",
+    "circle_intersections",
+    "get_metric",
+    "square_arrangement_stats",
+    "worst_case_circles",
+]

@@ -1,0 +1,89 @@
+"""Circular-arc geometry for the L2 variant of CREST (Section VII-C).
+
+With the L2 metric NN-circles are disks; the sweep's line elements are the
+upper/lower semicircular arcs of those disks.  Between two consecutive
+events an arc is y-monotone, and the vertical cross-section of a disk at
+abscissa x is exactly [lower_arc(x), upper_arc(x)].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Arc", "LOWER_ARC", "UPPER_ARC", "circle_intersections"]
+
+LOWER_ARC = 0
+UPPER_ARC = 1
+
+
+@dataclass(frozen=True)
+class Arc:
+    """One semicircular arc (upper or lower) of an NN-circle boundary.
+
+    ``circle_idx`` indexes into the NNCircleSet; ``kind`` is LOWER_ARC or
+    UPPER_ARC.  The arc spans x in [cx - r, cx + r].
+    """
+
+    circle_idx: int
+    kind: int
+    cx: float
+    cy: float
+    r: float
+
+    @property
+    def uid(self) -> int:
+        """Stable integer id (2*circle + kind), the paper's record key scheme."""
+        return 2 * self.circle_idx + self.kind
+
+    @property
+    def x_lo(self) -> float:
+        return self.cx - self.r
+
+    @property
+    def x_hi(self) -> float:
+        return self.cx + self.r
+
+    def y_at(self, x: float) -> float:
+        """The arc's y-coordinate at abscissa ``x`` (clamped to the span).
+
+        Clamping guards against floating-point drift when ``x`` sits exactly
+        on an event shared with the circle's extreme points.
+        """
+        dx = x - self.cx
+        if dx < -self.r:
+            dx = -self.r
+        elif dx > self.r:
+            dx = self.r
+        h = math.sqrt(max(self.r * self.r - dx * dx, 0.0))
+        return self.cy - h if self.kind == LOWER_ARC else self.cy + h
+
+
+def circle_intersections(
+    cx1: float, cy1: float, r1: float, cx2: float, cy2: float, r2: float
+) -> "list[tuple[float, float]]":
+    """Intersection points of two circle *boundaries* (0, 1 or 2 points).
+
+    Standard radical-line construction.  Tangency returns a single point;
+    identical circles return [] (their boundaries overlap everywhere, a
+    degeneracy the sweep handles through consistent tie-breaking instead).
+    """
+    dx = cx2 - cx1
+    dy = cy2 - cy1
+    d2 = dx * dx + dy * dy
+    if d2 == 0.0:
+        return []
+    d = math.sqrt(d2)
+    if d > r1 + r2 or d < abs(r1 - r2):
+        return []
+    # Distance from center 1 to the radical line along the center line.
+    a = (r1 * r1 - r2 * r2 + d2) / (2.0 * d)
+    h2 = r1 * r1 - a * a
+    mx = cx1 + a * dx / d
+    my = cy1 + a * dy / d
+    if h2 <= 0.0:
+        return [(mx, my)]
+    h = math.sqrt(h2)
+    ox = -dy * (h / d)
+    oy = dx * (h / d)
+    return [(mx + ox, my + oy), (mx - ox, my - oy)]

@@ -1,0 +1,172 @@
+"""Exact analytics for arrangements of axis-aligned squares.
+
+Section VI of the paper bounds CREST's number of region labelings k by the
+number of regions r in the arrangement (Lemma 3: r <= k <= 14r) using the
+Euler characteristic v - e + r - c = 1, where r counts regions *including*
+the exterior face.  This module computes v, e, c and r exactly for a set of
+squares in general position (shared corners are fine; collinear overlapping
+sides are rejected), which the test suite uses to validate the bound and the
+worst-case construction of Fig. 8 (r = n^2 - n + 2).
+
+Complexity is O(n^2 log n) — this is an *oracle* for tests and analytics,
+not a production path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from .circle import NNCircleSet
+
+__all__ = ["ArrangementStats", "square_arrangement_stats", "DegenerateArrangementError"]
+
+
+class DegenerateArrangementError(ReproError):
+    """Raised when sides overlap collinearly (region count would need
+    symbolic perturbation; CREST itself handles such inputs, this exact
+    counter does not)."""
+
+
+@dataclass(frozen=True)
+class ArrangementStats:
+    """Exact counts for an arrangement of square boundaries."""
+
+    n_squares: int
+    vertices: int
+    edges: int
+    components: int
+
+    @property
+    def regions(self) -> int:
+        """Faces of the subdivision including the exterior (paper's r)."""
+        return self.edges - self.vertices + 1 + self.components
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, a: int) -> int:
+        p = self.parent
+        while p[a] != a:
+            p[a] = p[p[a]]
+            a = p[a]
+        return a
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+    def count(self) -> int:
+        return len({self.find(i) for i in range(len(self.parent))})
+
+
+def square_arrangement_stats(circles: NNCircleSet) -> ArrangementStats:
+    """Compute exact (v, e, c, r) for an arrangement of L-infinity NN-circles.
+
+    Args:
+        circles: square NN-circles (metric must induce squares).
+
+    Raises:
+        DegenerateArrangementError: if two sides overlap collinearly.
+    """
+    n = len(circles)
+    if n == 0:
+        return ArrangementStats(0, 0, 0, 0)
+
+    # Segments: (orientation, fixed coord, lo, hi, square index)
+    # orientation 0 = vertical (fixed x), 1 = horizontal (fixed y).
+    segments = []
+    for i in range(n):
+        xl = float(circles.x_lo[i])
+        xh = float(circles.x_hi[i])
+        yl = float(circles.y_lo[i])
+        yh = float(circles.y_hi[i])
+        segments.append((0, xl, yl, yh, i))
+        segments.append((0, xh, yl, yh, i))
+        segments.append((1, yl, xl, xh, i))
+        segments.append((1, yh, xl, xh, i))
+
+    _check_no_collinear_overlap(segments)
+
+    verticals = [s for s in segments if s[0] == 0]
+    horizontals = [s for s in segments if s[0] == 1]
+
+    # Split points per segment; vertices as exact coordinate tuples.
+    split_points: "list[set[tuple[float, float]]]" = []
+    seg_index = {}
+    for k, seg in enumerate(segments):
+        seg_index[id(seg)] = k
+        if seg[0] == 0:
+            pts = {(seg[1], seg[2]), (seg[1], seg[3])}
+        else:
+            pts = {(seg[2], seg[1]), (seg[3], seg[1])}
+        split_points.append(pts)
+
+    vertices: "set[tuple[float, float]]" = set()
+    for pts in split_points:
+        vertices.update(pts)
+
+    uf = _UnionFind(n)
+    vs = [(s, k) for k, s in enumerate(segments) if s[0] == 0]
+    hs = [(s, k) for k, s in enumerate(segments) if s[0] == 1]
+    for (v, kv) in vs:
+        _, x, vy_lo, vy_hi, si = v
+        for (h, kh) in hs:
+            _, y, hx_lo, hx_hi, sj = h
+            if hx_lo <= x <= hx_hi and vy_lo <= y <= vy_hi:
+                p = (x, y)
+                vertices.add(p)
+                split_points[kv].add(p)
+                split_points[kh].add(p)
+                if si != sj:
+                    uf.union(si, sj)
+
+    # Corner-on-corner contacts between different squares also connect them.
+    corner_owner: "dict[tuple[float, float], int]" = {}
+    for i in range(n):
+        for p in (
+            (float(circles.x_lo[i]), float(circles.y_lo[i])),
+            (float(circles.x_lo[i]), float(circles.y_hi[i])),
+            (float(circles.x_hi[i]), float(circles.y_lo[i])),
+            (float(circles.x_hi[i]), float(circles.y_hi[i])),
+        ):
+            if p in corner_owner and corner_owner[p] != i:
+                uf.union(corner_owner[p], i)
+            corner_owner[p] = i
+
+    edges = 0
+    for k, seg in enumerate(segments):
+        # Points on a segment are collinear; count gaps between sorted points.
+        edges += len(split_points[k]) - 1
+
+    return ArrangementStats(n, len(vertices), edges, uf.count())
+
+
+def _check_no_collinear_overlap(segments) -> None:
+    """Reject arrangements where two parallel sides share more than a point."""
+    by_line: "dict[tuple[int, float], list[tuple[float, float]]]" = {}
+    for orient, fixed, lo, hi, _si in segments:
+        by_line.setdefault((orient, fixed), []).append((lo, hi))
+    for (orient, fixed), spans in by_line.items():
+        if len(spans) < 2:
+            continue
+        spans.sort()
+        for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+            if lo2 < hi1:
+                axis = "x" if orient == 0 else "y"
+                raise DegenerateArrangementError(
+                    f"collinear overlapping sides on {axis}={fixed}"
+                )
+
+
+def worst_case_circles(n: int) -> NNCircleSet:
+    """The adversarial arrangement of Fig. 8: n squares of side length n with
+    the i-th centered at (i, i); it attains r = n^2 - n + 2 regions."""
+    import numpy as np
+
+    centers = np.arange(1, n + 1, dtype=float)
+    radius = np.full(n, n / 2.0)
+    return NNCircleSet(centers, centers, radius, "linf")

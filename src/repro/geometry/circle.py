@@ -1,0 +1,152 @@
+"""NN-circles: metric balls centered at clients with radius = NN distance.
+
+An NN-circle C(o) (Section III-A) is the ball centered at client ``o`` whose
+radius is the distance from ``o`` to its nearest facility.  A query point q
+has o in its RNN set exactly when q lies in the *closed* C(o); since the
+algorithms label open regions, open/closed containment never disagrees on
+points they actually label.
+
+``NNCircleSet`` is the columnar (struct-of-arrays) form consumed by every
+algorithm; ``NNCircle`` is a convenience view for a single circle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import InvalidInputError
+from .metrics import Metric, get_metric
+from .rect import Rect
+
+__all__ = ["NNCircle", "NNCircleSet"]
+
+
+@dataclass(frozen=True)
+class NNCircle:
+    """A single NN-circle: ``client_id`` is the index of its center in O."""
+
+    client_id: int
+    cx: float
+    cy: float
+    radius: float
+    metric: Metric
+
+    def contains(self, x: float, y: float) -> bool:
+        """Closed containment: d(center, q) <= radius."""
+        return self.metric.distance((self.cx, self.cy), (x, y)) <= self.radius
+
+    @property
+    def bbox(self) -> Rect:
+        """Axis-aligned bounding box (for L-infinity this is the circle)."""
+        return Rect.from_center_radius(self.cx, self.cy, self.radius)
+
+
+class NNCircleSet:
+    """A columnar collection of NN-circles under one metric.
+
+    Attributes:
+        cx, cy, radius: float64 arrays of shape (n,).
+        client_ids: int array of shape (n,) mapping circles back to client
+            indices (circles with radius 0 are dropped at construction:
+            they bound no area, see DESIGN.md degeneracies).
+        metric: the metric all circles share.
+    """
+
+    def __init__(
+        self,
+        cx: np.ndarray,
+        cy: np.ndarray,
+        radius: np.ndarray,
+        metric: "Metric | str",
+        client_ids: "np.ndarray | None" = None,
+        drop_degenerate: bool = True,
+    ) -> None:
+        cx = np.asarray(cx, dtype=float)
+        cy = np.asarray(cy, dtype=float)
+        radius = np.asarray(radius, dtype=float)
+        if cx.shape != cy.shape or cx.shape != radius.shape or cx.ndim != 1:
+            raise InvalidInputError("cx, cy, radius must be equal-length 1-D arrays")
+        if not (np.isfinite(cx).all() and np.isfinite(cy).all()):
+            raise InvalidInputError("circle centers must be finite")
+        if not np.isfinite(radius).all() or (radius < 0).any():
+            raise InvalidInputError("radii must be finite and non-negative")
+        if client_ids is None:
+            client_ids = np.arange(len(cx))
+        else:
+            client_ids = np.asarray(client_ids, dtype=np.int64)
+            if client_ids.shape != cx.shape:
+                raise InvalidInputError("client_ids must match circle count")
+        self.n_degenerate = 0
+        if drop_degenerate:
+            keep = radius > 0.0
+            self.n_degenerate = int((~keep).sum())
+            if self.n_degenerate:
+                cx, cy, radius = cx[keep], cy[keep], radius[keep]
+                client_ids = client_ids[keep]
+        self.cx = cx
+        self.cy = cy
+        self.radius = radius
+        self.client_ids = client_ids
+        self.metric = get_metric(metric)
+
+    def __len__(self) -> int:
+        return len(self.cx)
+
+    def __getitem__(self, i: int) -> NNCircle:
+        return NNCircle(
+            int(self.client_ids[i]),
+            float(self.cx[i]),
+            float(self.cy[i]),
+            float(self.radius[i]),
+            self.metric,
+        )
+
+    def __iter__(self) -> Iterator[NNCircle]:
+        for i in range(len(self)):
+            yield self[i]
+
+    # Side coordinate arrays (paper notation: x_i, x-bar_i, y_i, y-bar_i).
+    @property
+    def x_lo(self) -> np.ndarray:
+        return self.cx - self.radius
+
+    @property
+    def x_hi(self) -> np.ndarray:
+        return self.cx + self.radius
+
+    @property
+    def y_lo(self) -> np.ndarray:
+        return self.cy - self.radius
+
+    @property
+    def y_hi(self) -> np.ndarray:
+        return self.cy + self.radius
+
+    def bounds(self) -> Rect:
+        """Bounding box of all circles; raises on an empty set."""
+        if len(self) == 0:
+            raise InvalidInputError("empty NNCircleSet has no bounds")
+        return Rect(
+            float(self.x_lo.min()),
+            float(self.x_hi.max()),
+            float(self.y_lo.min()),
+            float(self.y_hi.max()),
+        )
+
+    def enclosing(self, x: float, y: float) -> "list[int]":
+        """Client ids of all circles (closed) containing (x, y), brute force.
+
+        This is the reference oracle used by tests and the naive RNN query;
+        production paths use the enclosure indexes or the sweep.
+        """
+        q = np.array([x, y], dtype=float)
+        pts = np.column_stack([self.cx, self.cy])
+        d = self.metric.pairwise_to_point(pts, q)
+        mask = d <= self.radius
+        return [int(c) for c in self.client_ids[mask]]
+
+    def contains_any(self, x: float, y: float) -> bool:
+        return bool(self.enclosing(x, y))

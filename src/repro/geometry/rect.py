@@ -1,0 +1,97 @@
+"""Axis-aligned rectangles.
+
+The paper denotes by [x, x', y, y'] the rectangle with diagonally opposite
+corners (x, y) and (x', y'); subregions formed by the sweep are *open*
+rectangles (Section V-A), and degenerate rectangles with y == y' bound no
+points.  This module provides the small value type used throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle [x_lo, x_hi] x [y_lo, y_hi]."""
+
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+
+    def __post_init__(self) -> None:
+        if self.x_lo > self.x_hi or self.y_lo > self.y_hi:
+            raise ValueError(f"malformed rectangle {self}")
+
+    @classmethod
+    def from_center_radius(cls, cx: float, cy: float, r: float) -> "Rect":
+        """The L-infinity ball (square) of radius ``r`` centered at (cx, cy)."""
+        return cls(cx - r, cx + r, cy - r, cy + r)
+
+    @property
+    def width(self) -> float:
+        return self.x_hi - self.x_lo
+
+    @property
+    def height(self) -> float:
+        return self.y_hi - self.y_lo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> "tuple[float, float]":
+        return ((self.x_lo + self.x_hi) / 2.0, (self.y_lo + self.y_hi) / 2.0)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the rectangle has no interior (a segment or a point)."""
+        return self.x_lo == self.x_hi or self.y_lo == self.y_hi
+
+    def contains_open(self, x: float, y: float) -> bool:
+        """Membership in the open rectangle (paper's subregion semantics)."""
+        return self.x_lo < x < self.x_hi and self.y_lo < y < self.y_hi
+
+    def contains_closed(self, x: float, y: float) -> bool:
+        return self.x_lo <= x <= self.x_hi and self.y_lo <= y <= self.y_hi
+
+    def intersects(self, other: "Rect") -> bool:
+        """Closed-rectangle intersection test (touching counts)."""
+        return not (
+            other.x_lo > self.x_hi
+            or other.x_hi < self.x_lo
+            or other.y_lo > self.y_hi
+            or other.y_hi < self.y_lo
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or None when disjoint."""
+        x_lo = max(self.x_lo, other.x_lo)
+        x_hi = min(self.x_hi, other.x_hi)
+        y_lo = max(self.y_lo, other.y_lo)
+        y_hi = min(self.y_hi, other.y_hi)
+        if x_lo > x_hi or y_lo > y_hi:
+            return None
+        return Rect(x_lo, x_hi, y_lo, y_hi)
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """The smallest rectangle containing both."""
+        return Rect(
+            min(self.x_lo, other.x_lo),
+            max(self.x_hi, other.x_hi),
+            min(self.y_lo, other.y_lo),
+            max(self.y_hi, other.y_hi),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """A copy grown by ``margin`` on every side."""
+        return Rect(
+            self.x_lo - margin,
+            self.x_hi + margin,
+            self.y_lo - margin,
+            self.y_hi + margin,
+        )

@@ -1,0 +1,94 @@
+"""Plane transforms, primarily the pi/4 rotation that maps L1 to L-infinity.
+
+Section VII-B of the paper: in two dimensions the L1 metric is equivalent to
+L-infinity after rotating the coordinate system by pi/4 — diamonds become
+squares (up to a uniform scale factor of 1/sqrt(2), which rescales all
+distances identically and therefore preserves every nearest-neighbor
+relation).  CREST runs unchanged in the rotated frame; results carry the
+transform so queries and rasters can be mapped back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Transform", "IDENTITY", "ROTATE_L1_TO_LINF", "Rotation"]
+
+
+@dataclass(frozen=True)
+class Transform:
+    """An invertible affine map of the plane (rotation + uniform scale)."""
+
+    name: str = "identity"
+
+    def forward(self, x: float, y: float) -> "tuple[float, float]":
+        return (x, y)
+
+    def inverse(self, x: float, y: float) -> "tuple[float, float]":
+        return (x, y)
+
+    def forward_array(self, points: np.ndarray) -> np.ndarray:
+        return np.asarray(points, dtype=float)
+
+    def inverse_array(self, points: np.ndarray) -> np.ndarray:
+        return np.asarray(points, dtype=float)
+
+    @property
+    def is_identity(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Rotation(Transform):
+    """Rotation about the origin by ``theta`` radians (no scaling).
+
+    Rotation is an isometry for L2 but, crucially for the paper's reduction,
+    rotating by pi/4 turns L1 balls into L-infinity balls: for any points
+    p, q it holds that d_inf(Rp, Rq) = d_1(p, q) / sqrt(2), so nearest
+    neighbors (and hence NN-circles and RNN sets) are preserved.
+    """
+
+    theta: float = 0.0
+
+    def _cs(self) -> "tuple[float, float]":
+        return math.cos(self.theta), math.sin(self.theta)
+
+    def forward(self, x: float, y: float) -> "tuple[float, float]":
+        c, s = self._cs()
+        return (x * c - y * s, x * s + y * c)
+
+    def inverse(self, x: float, y: float) -> "tuple[float, float]":
+        c, s = self._cs()
+        return (x * c + y * s, -x * s + y * c)
+
+    def forward_array(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        c, s = self._cs()
+        out = np.empty_like(pts)
+        out[:, 0] = pts[:, 0] * c - pts[:, 1] * s
+        out[:, 1] = pts[:, 0] * s + pts[:, 1] * c
+        return out
+
+    def inverse_array(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        c, s = self._cs()
+        out = np.empty_like(pts)
+        out[:, 0] = pts[:, 0] * c + pts[:, 1] * s
+        out[:, 1] = -pts[:, 0] * s + pts[:, 1] * c
+        return out
+
+    @property
+    def is_identity(self) -> bool:
+        return self.theta == 0.0
+
+
+IDENTITY = Transform()
+
+#: The rotation used to solve L1 instances with the L-infinity sweep.
+ROTATE_L1_TO_LINF = Rotation(name="rotate_pi_over_4", theta=math.pi / 4)
+
+#: Scale factor linking the two metrics: d_inf(Rp, Rq) == d_1(p, q) * this.
+L1_TO_LINF_SCALE = 1.0 / math.sqrt(2.0)

@@ -1,0 +1,309 @@
+"""A B+-tree with doubly-linked leaves — Algorithm 1's literal status
+structure ("a balanced search tree in which the data are stored in the
+doubly linked leaf nodes (e.g., a B+-tree)", Section V-D).
+
+Keys are unique comparable tuples; only keys are stored (an ordered set).
+Implements the same ``StatusStructure`` protocol as ``SortedKeyList`` and
+``SkipList`` so the sweep can run on any of the three (see the status
+backend ablation benchmark).
+
+Deletion uses the standard borrow/merge rebalancing; leaves are linked in
+both directions so in-order walks from a found position are O(1) per step.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator
+
+__all__ = ["BPlusTree"]
+
+_ORDER = 32          # max keys per node
+_MIN_KEYS = _ORDER // 2
+
+
+class _Leaf:
+    __slots__ = ("keys", "next", "prev", "parent")
+
+    def __init__(self) -> None:
+        self.keys: list = []
+        self.next: "_Leaf | None" = None
+        self.prev: "_Leaf | None" = None
+        self.parent: "_Internal | None" = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children", "parent")
+
+    def __init__(self) -> None:
+        # children[i] holds keys < keys[i]; children[-1] holds the rest.
+        self.keys: list = []
+        self.children: list = []
+        self.parent: "_Internal | None" = None
+
+
+class BPlusTree:
+    """Ordered set of unique comparable tuples with linked leaves."""
+
+    def __init__(self) -> None:
+        self._root: "_Leaf | _Internal" = _Leaf()
+        self._first: _Leaf = self._root
+        self._len = 0
+
+    # ------------------------------------------------------------------
+    # Search helpers
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            i = bisect_right(node.keys, key)
+            node = node.children[i]
+        return node
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: tuple) -> None:
+        """Insert a key; duplicates raise ValueError."""
+        leaf = self._find_leaf(key)
+        i = bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            raise ValueError(f"duplicate key {key!r}")
+        leaf.keys.insert(i, key)
+        self._len += 1
+        if len(leaf.keys) > _ORDER:
+            self._split_leaf(leaf)
+
+    def _split_leaf(self, leaf: _Leaf) -> None:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        leaf.keys = leaf.keys[:mid]
+        right.next = leaf.next
+        if right.next is not None:
+            right.next.prev = right
+        leaf.next = right
+        right.prev = leaf
+        self._insert_into_parent(leaf, right.keys[0], right)
+
+    def _insert_into_parent(self, left, sep_key, right) -> None:
+        parent = left.parent
+        if parent is None:
+            root = _Internal()
+            root.keys = [sep_key]
+            root.children = [left, right]
+            left.parent = right.parent = root
+            self._root = root
+            return
+        i = bisect_right(parent.keys, sep_key)
+        parent.keys.insert(i, sep_key)
+        parent.children.insert(i + 1, right)
+        right.parent = parent
+        if len(parent.keys) > _ORDER:
+            self._split_internal(parent)
+
+    def _split_internal(self, node: _Internal) -> None:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        for child in right.children:
+            child.parent = right
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self._insert_into_parent(node, sep, right)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def remove(self, key: tuple) -> None:
+        """Remove a key; missing keys raise KeyError."""
+        leaf = self._find_leaf(key)
+        i = bisect_left(leaf.keys, key)
+        if i >= len(leaf.keys) or leaf.keys[i] != key:
+            raise KeyError(key)
+        del leaf.keys[i]
+        self._len -= 1
+        if leaf.parent is not None and len(leaf.keys) < _MIN_KEYS:
+            self._rebalance_leaf(leaf)
+
+    def _child_index(self, parent: _Internal, child) -> int:
+        for i, c in enumerate(parent.children):
+            if c is child:
+                return i
+        raise AssertionError("child not under parent")
+
+    def _rebalance_leaf(self, leaf: _Leaf) -> None:
+        parent = leaf.parent
+        idx = self._child_index(parent, leaf)
+        # Try borrowing from siblings under the same parent.
+        if idx > 0:
+            left = parent.children[idx - 1]
+            if len(left.keys) > _MIN_KEYS:
+                leaf.keys.insert(0, left.keys.pop())
+                parent.keys[idx - 1] = leaf.keys[0]
+                return
+        if idx + 1 < len(parent.children):
+            right = parent.children[idx + 1]
+            if len(right.keys) > _MIN_KEYS:
+                leaf.keys.append(right.keys.pop(0))
+                parent.keys[idx] = right.keys[0]
+                return
+        # Merge with a sibling.
+        if idx > 0:
+            left = parent.children[idx - 1]
+            left.keys.extend(leaf.keys)
+            left.next = leaf.next
+            if leaf.next is not None:
+                leaf.next.prev = left
+            del parent.children[idx]
+            del parent.keys[idx - 1]
+        else:
+            right = parent.children[idx + 1]
+            leaf.keys.extend(right.keys)
+            leaf.next = right.next
+            if right.next is not None:
+                right.next.prev = leaf
+            del parent.children[idx + 1]
+            del parent.keys[idx]
+        self._maybe_shrink(parent)
+
+    def _rebalance_internal(self, node: _Internal) -> None:
+        parent = node.parent
+        idx = self._child_index(parent, node)
+        if idx > 0:
+            left = parent.children[idx - 1]
+            if len(left.keys) > _MIN_KEYS:
+                node.keys.insert(0, parent.keys[idx - 1])
+                parent.keys[idx - 1] = left.keys.pop()
+                child = left.children.pop()
+                child.parent = node
+                node.children.insert(0, child)
+                return
+        if idx + 1 < len(parent.children):
+            right = parent.children[idx + 1]
+            if len(right.keys) > _MIN_KEYS:
+                node.keys.append(parent.keys[idx])
+                parent.keys[idx] = right.keys.pop(0)
+                child = right.children.pop(0)
+                child.parent = node
+                node.children.append(child)
+                return
+        if idx > 0:
+            left = parent.children[idx - 1]
+            left.keys.append(parent.keys[idx - 1])
+            left.keys.extend(node.keys)
+            for child in node.children:
+                child.parent = left
+            left.children.extend(node.children)
+            del parent.children[idx]
+            del parent.keys[idx - 1]
+        else:
+            right = parent.children[idx + 1]
+            node.keys.append(parent.keys[idx])
+            node.keys.extend(right.keys)
+            for child in right.children:
+                child.parent = node
+            node.children.extend(right.children)
+            del parent.children[idx + 1]
+            del parent.keys[idx]
+        self._maybe_shrink(parent)
+
+    def _maybe_shrink(self, node: _Internal) -> None:
+        if node.parent is None:
+            if not node.keys:  # root with a single child: drop a level
+                self._root = node.children[0]
+                self._root.parent = None
+            return
+        if len(node.keys) < _MIN_KEYS:
+            self._rebalance_internal(node)
+
+    # ------------------------------------------------------------------
+    # StatusStructure protocol
+    # ------------------------------------------------------------------
+    def iter_from_value(self, lo: float) -> Iterator[tuple]:
+        """Iterate keys in order from the first whose value >= lo."""
+        probe = (lo,)
+        leaf = self._find_leaf(probe)
+        i = bisect_left(leaf.keys, probe)
+        while leaf is not None:
+            while i < len(leaf.keys):
+                yield leaf.keys[i]
+                i += 1
+            leaf = leaf.next
+            i = 0
+
+    def pred_of_value(self, lo: float) -> "tuple | None":
+        probe = (lo,)
+        leaf = self._find_leaf(probe)
+        i = bisect_left(leaf.keys, probe)
+        if i > 0:
+            return leaf.keys[i - 1]
+        prev = leaf.prev
+        while prev is not None and not prev.keys:
+            prev = prev.prev
+        return prev.keys[-1] if prev is not None else None
+
+    def insert_with_neighbors(self, key: tuple) -> "tuple[tuple | None, tuple | None]":
+        """Insert and return the (predecessor, successor) of the new key."""
+        self.insert(key)
+        return self._neighbors_of_present(key)
+
+    def remove_with_neighbors(self, key: tuple) -> "tuple[tuple | None, tuple | None]":
+        """Remove and return the (predecessor, successor) the key had."""
+        pred, succ = self._neighbors_of_present(key)
+        self.remove(key)
+        return pred, succ
+
+    def _neighbors_of_present(self, key: tuple):
+        leaf = self._find_leaf(key)
+        i = bisect_left(leaf.keys, key)
+        if i >= len(leaf.keys) or leaf.keys[i] != key:
+            raise KeyError(key)
+        if i > 0:
+            pred = leaf.keys[i - 1]
+        else:
+            prev = leaf.prev
+            while prev is not None and not prev.keys:
+                prev = prev.prev
+            pred = prev.keys[-1] if prev is not None else None
+        if i + 1 < len(leaf.keys):
+            succ = leaf.keys[i + 1]
+        else:
+            nxt = leaf.next
+            while nxt is not None and not nxt.keys:
+                nxt = nxt.next
+            succ = nxt.keys[0] if nxt is not None else None
+        return pred, succ
+
+    def succ_of_key(self, key: tuple) -> "tuple | None":
+        leaf = self._find_leaf(key)
+        i = bisect_left(leaf.keys, key)
+        if i >= len(leaf.keys) or leaf.keys[i] != key:
+            return None
+        if i + 1 < len(leaf.keys):
+            return leaf.keys[i + 1]
+        nxt = leaf.next
+        while nxt is not None and not nxt.keys:
+            nxt = nxt.next
+        return nxt.keys[0] if nxt is not None else None
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[tuple]:
+        leaf: "_Leaf | None" = self._first
+        # The first leaf may have been merged away; walk from the leftmost.
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        leaf = node
+        while leaf is not None:
+            yield from leaf.keys
+            leaf = leaf.next
+
+    def __contains__(self, key: tuple) -> bool:
+        leaf = self._find_leaf(key)
+        i = bisect_left(leaf.keys, key)
+        return i < len(leaf.keys) and leaf.keys[i] == key

@@ -1,0 +1,129 @@
+"""Point-enclosure indexes over axis-aligned rectangles.
+
+The baseline algorithm of Section IV answers, for each grid-cell centroid,
+"which NN-circles enclose this point?".  The paper uses the S-tree of
+Vaishnavi [25] (O(log n + alpha) query, O(n log^2 n) space); we substitute a
+segment tree over the x-extents whose canonical nodes each hold an interval
+tree over the y-extents — the same two-level stabbing structure with the
+same asymptotic profile (see DESIGN.md, substitution 2).
+
+``BruteForceEnclosure`` is the O(n)-per-query oracle used in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidInputError
+from .interval_tree import IntervalTree
+
+__all__ = ["SegmentTreeEnclosureIndex", "BruteForceEnclosure"]
+
+
+class BruteForceEnclosure:
+    """Reference point-enclosure: scan every rectangle."""
+
+    def __init__(self, x_lo, x_hi, y_lo, y_hi, ids=None) -> None:
+        self.x_lo = np.asarray(x_lo, dtype=float)
+        self.x_hi = np.asarray(x_hi, dtype=float)
+        self.y_lo = np.asarray(y_lo, dtype=float)
+        self.y_hi = np.asarray(y_hi, dtype=float)
+        n = len(self.x_lo)
+        self.ids = np.arange(n) if ids is None else np.asarray(ids)
+
+    def query(self, x: float, y: float) -> "list[int]":
+        mask = (
+            (self.x_lo <= x)
+            & (x <= self.x_hi)
+            & (self.y_lo <= y)
+            & (y <= self.y_hi)
+        )
+        return [int(i) for i in self.ids[mask]]
+
+
+class SegmentTreeEnclosureIndex:
+    """Segment tree on x-extents with per-node y interval trees.
+
+    Query cost is O(log n * (log n + alpha)); build is O(n log^2 n).
+    """
+
+    def __init__(self, x_lo, x_hi, y_lo, y_hi, ids=None) -> None:
+        x_lo = np.asarray(x_lo, dtype=float)
+        x_hi = np.asarray(x_hi, dtype=float)
+        y_lo = np.asarray(y_lo, dtype=float)
+        y_hi = np.asarray(y_hi, dtype=float)
+        n = len(x_lo)
+        if not (len(x_hi) == len(y_lo) == len(y_hi) == n):
+            raise InvalidInputError("extent arrays must share a length")
+        if ids is None:
+            ids = np.arange(n)
+        self._n_rects = n
+
+        # Elementary slots over the distinct endpoints: even slot 2j is the
+        # *point* xs[j]; odd slot 2j+1 is the *open gap* (xs[j], xs[j+1]).
+        # A rectangle's closed x-range [x_lo, x_hi] covers exactly the slots
+        # 2*index(x_lo) .. 2*index(x_hi) — the interleaving keeps closed
+        # endpoints exact without leaking past them.
+        xs = sorted(set(x_lo.tolist()) | set(x_hi.tolist()))
+        self._xs = xs
+        if not xs:
+            self._tree_pending: "list[list]" = []
+            self._trees: "list[IntervalTree | None]" = []
+            self._size = 0
+            return
+        m = 2 * len(xs) - 1
+        size = 1
+        while size < m:
+            size *= 2
+        self._size = size
+        self._lo_idx = {v: i for i, v in enumerate(xs)}
+        self._tree_pending = [[] for _ in range(2 * size)]
+        for k in range(n):
+            a = 2 * self._lo_idx[float(x_lo[k])]
+            b = 2 * self._lo_idx[float(x_hi[k])]
+            self._insert(1, 0, size - 1, a, b, (float(y_lo[k]), float(y_hi[k]), int(ids[k])))
+        self._trees = [
+            IntervalTree(items) if items else None for items in self._tree_pending
+        ]
+        self._tree_pending = []
+
+    def _insert(self, node: int, node_lo: int, node_hi: int, a: int, b: int, item) -> None:
+        if b < node_lo or a > node_hi:
+            return
+        if a <= node_lo and node_hi <= b:
+            self._tree_pending[node].append(item)
+            return
+        mid = (node_lo + node_hi) // 2
+        self._insert(2 * node, node_lo, mid, a, b, item)
+        self._insert(2 * node + 1, mid + 1, node_hi, a, b, item)
+
+    def query(self, x: float, y: float) -> "list[int]":
+        """Ids of rectangles (closed) containing (x, y)."""
+        if self._size == 0:
+            return []
+        xs = self._xs
+        if x < xs[0] or x > xs[-1]:
+            return []
+        # The root-to-leaf path for the point's elementary slot visits every
+        # canonical node whose x-range covers x.
+        import bisect
+
+        i = bisect.bisect_right(xs, x) - 1
+        j = 2 * i if x == xs[i] else 2 * i + 1
+        out: "list[int]" = []
+        node, lo, hi = 1, 0, self._size - 1
+        while True:
+            tree = self._trees[node]
+            if tree is not None:
+                out.extend(tree.stab(y))
+            if lo == hi:
+                break
+            mid = (lo + hi) // 2
+            if j <= mid:
+                node, hi = 2 * node, mid
+            else:
+                node, lo = 2 * node + 1, mid + 1
+        return out
+
+    def __len__(self) -> int:
+        return self._n_rects

@@ -1,0 +1,97 @@
+"""A uniform grid over rectangle extents.
+
+Used to find intersecting circle pairs quickly (the L2 sweep needs every
+pairwise boundary intersection as an event; the pruning comparator needs
+each circle's intersecting neighborhood) without the O(n^2) all-pairs scan.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import InvalidInputError
+
+__all__ = ["UniformGridIndex"]
+
+
+class UniformGridIndex:
+    """Buckets rectangle ids into a uniform grid keyed by cell coordinates."""
+
+    def __init__(self, x_lo, x_hi, y_lo, y_hi) -> None:
+        self.x_lo = np.asarray(x_lo, dtype=float)
+        self.x_hi = np.asarray(x_hi, dtype=float)
+        self.y_lo = np.asarray(y_lo, dtype=float)
+        self.y_hi = np.asarray(y_hi, dtype=float)
+        n = len(self.x_lo)
+        if not (len(self.x_hi) == len(self.y_lo) == len(self.y_hi) == n):
+            raise InvalidInputError("extent arrays must share a length")
+        self.n = n
+        if n == 0:
+            self.cell = 1.0
+            self._buckets: "dict[tuple[int, int], list[int]]" = {}
+            return
+        widths = self.x_hi - self.x_lo
+        heights = self.y_hi - self.y_lo
+        mean_side = float((widths.mean() + heights.mean()) / 2.0)
+        self.cell = mean_side if mean_side > 0 else 1.0
+        self._buckets = {}
+        for i in range(n):
+            for key in self._cells_of(i):
+                self._buckets.setdefault(key, []).append(i)
+
+    def _cells_of(self, i: int):
+        c = self.cell
+        gx0 = math.floor(self.x_lo[i] / c)
+        gx1 = math.floor(self.x_hi[i] / c)
+        gy0 = math.floor(self.y_lo[i] / c)
+        gy1 = math.floor(self.y_hi[i] / c)
+        for gx in range(gx0, gx1 + 1):
+            for gy in range(gy0, gy1 + 1):
+                yield (gx, gy)
+
+    def candidates_for(self, i: int) -> "set[int]":
+        """Ids whose bounding boxes share a cell with rectangle i (excluding i)."""
+        out: "set[int]" = set()
+        for key in self._cells_of(i):
+            out.update(self._buckets.get(key, ()))
+        out.discard(i)
+        return out
+
+    def intersecting_pairs(self) -> "list[tuple[int, int]]":
+        """All (i, j), i < j, whose rectangles (closed) overlap."""
+        seen: "set[tuple[int, int]]" = set()
+        for bucket in self._buckets.values():
+            k = len(bucket)
+            for a in range(k):
+                i = bucket[a]
+                for b in range(a + 1, k):
+                    j = bucket[b]
+                    pair = (i, j) if i < j else (j, i)
+                    if pair in seen:
+                        continue
+                    if self._overlaps(pair[0], pair[1]):
+                        seen.add(pair)
+        return sorted(seen)
+
+    def _overlaps(self, i: int, j: int) -> bool:
+        return not (
+            self.x_lo[j] > self.x_hi[i]
+            or self.x_hi[j] < self.x_lo[i]
+            or self.y_lo[j] > self.y_hi[i]
+            or self.y_hi[j] < self.y_lo[i]
+        )
+
+    def query_point(self, x: float, y: float) -> "list[int]":
+        """Ids of rectangles (closed) containing the point."""
+        c = self.cell
+        key = (math.floor(x / c), math.floor(y / c))
+        out = []
+        for i in self._buckets.get(key, ()):
+            if (
+                self.x_lo[i] <= x <= self.x_hi[i]
+                and self.y_lo[i] <= y <= self.y_hi[i]
+            ):
+                out.append(i)
+        return out

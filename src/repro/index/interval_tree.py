@@ -1,0 +1,86 @@
+"""A static centered interval tree answering stabbing queries.
+
+Given closed intervals [lo, hi] with payload ids, ``stab(x)`` returns the
+ids of all intervals containing x in O(log n + answer).  Used per-node by
+the rectangle enclosure index (our stand-in for the paper's S-tree [25])
+and directly by the baseline algorithm's vertical filtering.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidInputError
+
+__all__ = ["IntervalTree"]
+
+
+class _ITNode:
+    __slots__ = ("center", "left", "right", "by_lo", "by_hi")
+
+    def __init__(self, center: float) -> None:
+        self.center = center
+        self.left: "_ITNode | None" = None
+        self.right: "_ITNode | None" = None
+        # Intervals containing the center, sorted by lo asc / by hi desc.
+        self.by_lo: "list[tuple[float, float, int]]" = []
+        self.by_hi: "list[tuple[float, float, int]]" = []
+
+
+class IntervalTree:
+    """Centered interval tree over closed intervals (lo, hi, id)."""
+
+    def __init__(self, intervals: "list[tuple[float, float, int]]") -> None:
+        for lo, hi, _id in intervals:
+            if lo > hi:
+                raise InvalidInputError(f"malformed interval [{lo}, {hi}]")
+        self._root = self._build(list(intervals))
+        self._n = len(intervals)
+
+    def _build(self, intervals) -> "_ITNode | None":
+        if not intervals:
+            return None
+        endpoints = []
+        for lo, hi, _id in intervals:
+            endpoints.append(lo)
+            endpoints.append(hi)
+        endpoints.sort()
+        center = endpoints[len(endpoints) // 2]
+        node = _ITNode(center)
+        left_items, right_items = [], []
+        for item in intervals:
+            lo, hi, _id = item
+            if hi < center:
+                left_items.append(item)
+            elif lo > center:
+                right_items.append(item)
+            else:
+                node.by_lo.append(item)
+        node.by_lo.sort(key=lambda t: t[0])
+        node.by_hi = sorted(node.by_lo, key=lambda t: t[1], reverse=True)
+        node.left = self._build(left_items)
+        node.right = self._build(right_items)
+        return node
+
+    def stab(self, x: float) -> "list[int]":
+        """Ids of all intervals with lo <= x <= hi."""
+        out: "list[int]" = []
+        node = self._root
+        while node is not None:
+            if x < node.center:
+                for lo, _hi, iid in node.by_lo:
+                    if lo > x:
+                        break
+                    out.append(iid)
+                node = node.left
+            elif x > node.center:
+                for _lo, hi, iid in node.by_hi:
+                    if hi < x:
+                        break
+                    out.append(iid)
+                node = node.right
+            else:
+                out.extend(iid for _lo, _hi, iid in node.by_lo)
+                break
+        return out
+
+    def __len__(self) -> int:
+        return self._n

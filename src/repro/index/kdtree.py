@@ -1,0 +1,150 @@
+"""A 2-d tree supporting nearest-neighbor queries under L1, L2 and L-inf.
+
+The paper assumes NN-circles are precomputed ("there are efficient
+algorithms to compute and maintain the NN-circles [12]"); this kd-tree is
+the substrate we build for that step.  It supports k-nearest queries with
+optional exclusion of an index (needed for monochromatic RNN, where a
+point's nearest neighbor must not be itself).
+
+SciPy's cKDTree can be swapped in as a faster backend by
+``repro.nn.nncircles``; this pure-Python tree is the reference
+implementation and is exercised against brute force by the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from ..errors import InvalidInputError
+from ..geometry.metrics import Metric, get_metric
+
+__all__ = ["KDTree"]
+
+_LEAF_SIZE = 16
+
+
+class _Node:
+    __slots__ = ("axis", "split", "left", "right", "indices", "x_lo", "x_hi", "y_lo", "y_hi")
+
+    def __init__(self) -> None:
+        self.axis = -1
+        self.split = 0.0
+        self.left = None
+        self.right = None
+        self.indices = None
+        self.x_lo = self.x_hi = self.y_lo = self.y_hi = 0.0
+
+
+def _minkowski_to_box(node: _Node, x: float, y: float, p: float) -> float:
+    """Minimum distance from (x, y) to the node's bounding box under L_p."""
+    dx = max(node.x_lo - x, 0.0, x - node.x_hi)
+    dy = max(node.y_lo - y, 0.0, y - node.y_hi)
+    if p == 1.0:
+        return dx + dy
+    if p == 2.0:
+        return math.hypot(dx, dy)
+    return max(dx, dy)
+
+
+class KDTree:
+    """A static 2-d tree over an (n, 2) point array.
+
+    Args:
+        points: array of shape (n, 2).
+        metric: metric instance or name; determines the distance used by
+            queries (the tree layout itself is metric-independent).
+    """
+
+    def __init__(self, points: np.ndarray, metric: "Metric | str" = "l2") -> None:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise InvalidInputError("points must have shape (n, 2)")
+        if len(pts) == 0:
+            raise InvalidInputError("cannot build a KDTree over zero points")
+        if not np.isfinite(pts).all():
+            raise InvalidInputError("points must be finite")
+        self.points = pts
+        self.metric = get_metric(metric)
+        self._root = self._build(np.arange(len(pts)))
+
+    def _build(self, indices: np.ndarray) -> _Node:
+        node = _Node()
+        xs = self.points[indices, 0]
+        ys = self.points[indices, 1]
+        node.x_lo = float(xs.min())
+        node.x_hi = float(xs.max())
+        node.y_lo = float(ys.min())
+        node.y_hi = float(ys.max())
+        if len(indices) <= _LEAF_SIZE:
+            node.indices = indices
+            return node
+        axis = 0 if (node.x_hi - node.x_lo) >= (node.y_hi - node.y_lo) else 1
+        coords = self.points[indices, axis]
+        order = np.argsort(coords, kind="stable")
+        mid = len(indices) // 2
+        node.axis = axis
+        node.split = float(coords[order[mid]])
+        left_idx = indices[order[:mid]]
+        right_idx = indices[order[mid:]]
+        node.left = self._build(left_idx)
+        node.right = self._build(right_idx)
+        return node
+
+    def query(
+        self,
+        x: float,
+        y: float,
+        k: int = 1,
+        exclude: "int | None" = None,
+    ) -> "list[tuple[float, int]]":
+        """The k nearest points to (x, y) as (distance, index) pairs.
+
+        Args:
+            exclude: a point index to skip (monochromatic self-exclusion).
+
+        Returns:
+            Up to k pairs sorted by ascending distance.
+        """
+        if k <= 0:
+            raise InvalidInputError("k must be positive")
+        p = self.metric.p
+        dist = self.metric.distance
+        # Max-heap of (-distance, index) with at most k entries.
+        heap: "list[tuple[float, int]]" = []
+
+        def visit(node: _Node) -> None:
+            if node is None:
+                return
+            if heap and len(heap) == k and -heap[0][0] <= _minkowski_to_box(node, x, y, p):
+                return
+            if node.indices is not None:
+                for i in node.indices:
+                    ii = int(i)
+                    if ii == exclude:
+                        continue
+                    d = dist((x, y), (self.points[ii, 0], self.points[ii, 1]))
+                    if len(heap) < k:
+                        heapq.heappush(heap, (-d, ii))
+                    elif d < -heap[0][0]:
+                        heapq.heapreplace(heap, (-d, ii))
+                return
+            # Descend the nearer child first.
+            q = x if node.axis == 0 else y
+            first, second = (node.left, node.right) if q < node.split else (node.right, node.left)
+            visit(first)
+            visit(second)
+
+        visit(self._root)
+        out = [(-d, i) for d, i in heap]
+        out.sort()
+        return out
+
+    def nn_distance(self, x: float, y: float, exclude: "int | None" = None) -> float:
+        """Distance to the nearest (non-excluded) point."""
+        result = self.query(x, y, k=1, exclude=exclude)
+        if not result:
+            raise InvalidInputError("no neighbor available (all points excluded)")
+        return result[0][0]

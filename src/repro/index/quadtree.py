@@ -1,0 +1,126 @@
+"""A region quadtree over rectangles — another point-enclosure alternative.
+
+The paper notes the baseline can use any spatial index ("such as the
+R-tree"); this quadtree rounds out the family: rectangles live in the
+smallest quadrant fully containing them, queries descend the quadrant
+chain testing resident rectangles.  Simple, decent in practice on
+city-like data, and a useful comparison point in the index microbench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidInputError
+
+__all__ = ["QuadTree"]
+
+_MAX_DEPTH = 16
+_SPLIT_THRESHOLD = 12
+
+
+class _QNode:
+    __slots__ = ("x_lo", "x_hi", "y_lo", "y_hi", "items", "children")
+
+    def __init__(self, x_lo, x_hi, y_lo, y_hi) -> None:
+        self.x_lo = x_lo
+        self.x_hi = x_hi
+        self.y_lo = y_lo
+        self.y_hi = y_hi
+        self.items: "list[int]" = []
+        self.children: "list[_QNode] | None" = None
+
+
+class QuadTree:
+    """Static quadtree over rectangles given as parallel extent arrays."""
+
+    def __init__(self, x_lo, x_hi, y_lo, y_hi, ids=None) -> None:
+        self.x_lo = np.asarray(x_lo, dtype=float)
+        self.x_hi = np.asarray(x_hi, dtype=float)
+        self.y_lo = np.asarray(y_lo, dtype=float)
+        self.y_hi = np.asarray(y_hi, dtype=float)
+        n = len(self.x_lo)
+        if not (len(self.x_hi) == len(self.y_lo) == len(self.y_hi) == n):
+            raise InvalidInputError("extent arrays must share a length")
+        self.ids = np.arange(n) if ids is None else np.asarray(ids)
+        if n == 0:
+            self._root = None
+            return
+        self._root = _QNode(
+            float(self.x_lo.min()), float(self.x_hi.max()),
+            float(self.y_lo.min()), float(self.y_hi.max()),
+        )
+        for i in range(n):
+            self._insert(self._root, i, 0)
+
+    def _fits(self, node: _QNode, i: int) -> bool:
+        return (
+            node.x_lo <= self.x_lo[i]
+            and self.x_hi[i] <= node.x_hi
+            and node.y_lo <= self.y_lo[i]
+            and self.y_hi[i] <= node.y_hi
+        )
+
+    def _split(self, node: _QNode) -> None:
+        mx = (node.x_lo + node.x_hi) / 2.0
+        my = (node.y_lo + node.y_hi) / 2.0
+        node.children = [
+            _QNode(node.x_lo, mx, node.y_lo, my),
+            _QNode(mx, node.x_hi, node.y_lo, my),
+            _QNode(node.x_lo, mx, my, node.y_hi),
+            _QNode(mx, node.x_hi, my, node.y_hi),
+        ]
+
+    def _insert(self, node: _QNode, i: int, depth: int) -> None:
+        if node.children is None:
+            if len(node.items) < _SPLIT_THRESHOLD or depth >= _MAX_DEPTH:
+                node.items.append(i)
+                return
+            self._split(node)
+            staying = []
+            for j in node.items:
+                child = self._child_for(node, j)
+                if child is None:
+                    staying.append(j)
+                else:
+                    self._insert(child, j, depth + 1)
+            node.items = staying
+        child = self._child_for(node, i)
+        if child is None:
+            node.items.append(i)
+        else:
+            self._insert(child, i, depth + 1)
+
+    def _child_for(self, node: _QNode, i: int) -> "_QNode | None":
+        for child in node.children:
+            if self._fits(child, i):
+                return child
+        return None
+
+    def query_point(self, x: float, y: float) -> "list[int]":
+        """Ids of rectangles (closed) containing the point.
+
+        Descends every child whose (closed) extent covers the point — a
+        point on a quadrant seam lies in two children, and duplicates
+        cannot arise because each rectangle lives in exactly one node.
+        """
+        out: "list[int]" = []
+        if self._root is None:
+            return out
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not (node.x_lo <= x <= node.x_hi and node.y_lo <= y <= node.y_hi):
+                continue
+            for i in node.items:
+                if (
+                    self.x_lo[i] <= x <= self.x_hi[i]
+                    and self.y_lo[i] <= y <= self.y_hi[i]
+                ):
+                    out.append(int(self.ids[i]))
+            if node.children is not None:
+                stack.extend(node.children)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.x_lo)

@@ -1,0 +1,154 @@
+"""A static STR-packed R-tree over rectangles.
+
+Used (a) as an alternative point-enclosure index for the baseline — the
+paper notes "other spatial indexes such as the R-tree may be used" — and
+(b) by ``RegionSet`` to answer heat-at-point queries over output fragments.
+
+Sort-Tile-Recursive bulk loading gives well-shaped leaves without needing
+insert/delete, which none of our uses require.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import InvalidInputError
+
+__all__ = ["RTree"]
+
+_NODE_CAPACITY = 16
+
+
+class _RNode:
+    __slots__ = ("x_lo", "x_hi", "y_lo", "y_hi", "children", "entries")
+
+    def __init__(self) -> None:
+        self.x_lo = math.inf
+        self.x_hi = -math.inf
+        self.y_lo = math.inf
+        self.y_hi = -math.inf
+        self.children: "list[_RNode] | None" = None
+        self.entries: "list[int] | None" = None
+
+
+class RTree:
+    """Static R-tree over rectangles given as parallel extent arrays."""
+
+    def __init__(self, x_lo, x_hi, y_lo, y_hi, ids=None) -> None:
+        self.x_lo = np.asarray(x_lo, dtype=float)
+        self.x_hi = np.asarray(x_hi, dtype=float)
+        self.y_lo = np.asarray(y_lo, dtype=float)
+        self.y_hi = np.asarray(y_hi, dtype=float)
+        n = len(self.x_lo)
+        if not (len(self.x_hi) == len(self.y_lo) == len(self.y_hi) == n):
+            raise InvalidInputError("extent arrays must share a length")
+        self.ids = np.arange(n) if ids is None else np.asarray(ids)
+        self._root = self._bulk_load(np.arange(n)) if n else None
+
+    def _leaf(self, idx: np.ndarray) -> _RNode:
+        node = _RNode()
+        node.entries = [int(i) for i in idx]
+        node.x_lo = float(self.x_lo[idx].min())
+        node.x_hi = float(self.x_hi[idx].max())
+        node.y_lo = float(self.y_lo[idx].min())
+        node.y_hi = float(self.y_hi[idx].max())
+        return node
+
+    def _bulk_load(self, idx: np.ndarray) -> _RNode:
+        """Sort-Tile-Recursive packing."""
+        if len(idx) <= _NODE_CAPACITY:
+            return self._leaf(idx)
+        cx = (self.x_lo[idx] + self.x_hi[idx]) / 2.0
+        cy = (self.y_lo[idx] + self.y_hi[idx]) / 2.0
+        n_leaves = math.ceil(len(idx) / _NODE_CAPACITY)
+        n_slices = math.ceil(math.sqrt(n_leaves))
+        order_x = idx[np.argsort(cx, kind="stable")]
+        slice_size = math.ceil(len(idx) / n_slices)
+        children: "list[_RNode]" = []
+        for s in range(0, len(order_x), slice_size):
+            chunk = order_x[s : s + slice_size]
+            chunk_cy = (self.y_lo[chunk] + self.y_hi[chunk]) / 2.0
+            chunk = chunk[np.argsort(chunk_cy, kind="stable")]
+            for t in range(0, len(chunk), _NODE_CAPACITY):
+                children.append(self._leaf(chunk[t : t + _NODE_CAPACITY]))
+        while len(children) > _NODE_CAPACITY:
+            children = self._pack_nodes(children)
+        root = _RNode()
+        root.children = children
+        for ch in children:
+            root.x_lo = min(root.x_lo, ch.x_lo)
+            root.x_hi = max(root.x_hi, ch.x_hi)
+            root.y_lo = min(root.y_lo, ch.y_lo)
+            root.y_hi = max(root.y_hi, ch.y_hi)
+        return root
+
+    def _pack_nodes(self, nodes: "list[_RNode]") -> "list[_RNode]":
+        nodes = sorted(nodes, key=lambda nd: (nd.x_lo + nd.x_hi))
+        n_groups = math.ceil(len(nodes) / _NODE_CAPACITY)
+        n_slices = math.ceil(math.sqrt(n_groups))
+        slice_size = math.ceil(len(nodes) / n_slices)
+        out: "list[_RNode]" = []
+        for s in range(0, len(nodes), slice_size):
+            chunk = sorted(
+                nodes[s : s + slice_size], key=lambda nd: (nd.y_lo + nd.y_hi)
+            )
+            for t in range(0, len(chunk), _NODE_CAPACITY):
+                group = chunk[t : t + _NODE_CAPACITY]
+                parent = _RNode()
+                parent.children = group
+                for ch in group:
+                    parent.x_lo = min(parent.x_lo, ch.x_lo)
+                    parent.x_hi = max(parent.x_hi, ch.x_hi)
+                    parent.y_lo = min(parent.y_lo, ch.y_lo)
+                    parent.y_hi = max(parent.y_hi, ch.y_hi)
+                out.append(parent)
+        return out
+
+    def query_point(self, x: float, y: float) -> "list[int]":
+        """Ids of rectangles (closed) containing the point."""
+        if self._root is None:
+            return []
+        out: "list[int]" = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not (node.x_lo <= x <= node.x_hi and node.y_lo <= y <= node.y_hi):
+                continue
+            if node.entries is not None:
+                for i in node.entries:
+                    if (
+                        self.x_lo[i] <= x <= self.x_hi[i]
+                        and self.y_lo[i] <= y <= self.y_hi[i]
+                    ):
+                        out.append(int(self.ids[i]))
+            else:
+                stack.extend(node.children)
+        return out
+
+    def query_rect(self, x_lo: float, x_hi: float, y_lo: float, y_hi: float) -> "list[int]":
+        """Ids of rectangles intersecting the closed query rectangle."""
+        if self._root is None:
+            return []
+        out: "list[int]" = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.x_lo > x_hi or node.x_hi < x_lo or node.y_lo > y_hi or node.y_hi < y_lo:
+                continue
+            if node.entries is not None:
+                for i in node.entries:
+                    if not (
+                        self.x_lo[i] > x_hi
+                        or self.x_hi[i] < x_lo
+                        or self.y_lo[i] > y_hi
+                        or self.y_hi[i] < y_lo
+                    ):
+                        out.append(int(self.ids[i]))
+            else:
+                stack.extend(node.children)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.x_lo)

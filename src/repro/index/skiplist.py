@@ -1,0 +1,163 @@
+"""A deterministic-seeded skip list with linked base level.
+
+This is the pointer-based realization of the paper's line-status structure
+("a balanced search tree in which the data are stored in the doubly linked
+leaf nodes"): every operation is O(log n) expected, and the base level is a
+linked list supporting the in-order walks the sweep performs over changed
+intervals.  The randomness source is a private ``random.Random`` with a
+fixed seed so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = ["SkipList"]
+
+_MAX_LEVEL = 32
+_P = 0.5
+
+
+class _SLNode:
+    __slots__ = ("key", "forward")
+
+    def __init__(self, key, level: int) -> None:
+        self.key = key
+        self.forward: "list[_SLNode | None]" = [None] * level
+
+
+class SkipList:
+    """Ordered set of unique comparable tuples (StatusStructure protocol)."""
+
+    def __init__(self, seed: int = 0xC0FFEE) -> None:
+        self._head = _SLNode(None, _MAX_LEVEL)
+        self._level = 1
+        self._len = 0
+        self._rng = random.Random(seed)
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_update(self, key) -> "list[_SLNode]":
+        update = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+        return update
+
+    def insert(self, key: tuple) -> None:
+        """Insert a key; duplicates raise ValueError."""
+        update = self._find_update(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            raise ValueError(f"duplicate key {key!r}")
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _SLNode(key, level)
+        for lvl in range(level):
+            node.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = node
+        self._len += 1
+
+    def remove(self, key: tuple) -> None:
+        """Remove a key; missing keys raise KeyError."""
+        update = self._find_update(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            raise KeyError(key)
+        for lvl in range(len(node.forward)):
+            if update[lvl].forward[lvl] is node:
+                update[lvl].forward[lvl] = node.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._len -= 1
+
+    def iter_from_value(self, lo: float) -> Iterator[tuple]:
+        """Iterate keys in order from the first whose value >= lo."""
+        node = self._head
+        probe = (lo,)
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < probe:
+                node = nxt
+                nxt = node.forward[lvl]
+        node = node.forward[0]
+        while node is not None:
+            yield node.key
+            node = node.forward[0]
+
+    def pred_of_value(self, lo: float) -> "tuple | None":
+        """The largest key whose value is < lo, or None."""
+        node = self._head
+        probe = (lo,)
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < probe:
+                node = nxt
+                nxt = node.forward[lvl]
+        return node.key if node is not self._head else None
+
+    def insert_with_neighbors(self, key: tuple) -> "tuple[tuple | None, tuple | None]":
+        """Insert and return the (predecessor, successor) of the new key."""
+        update = self._find_update(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            raise ValueError(f"duplicate key {key!r}")
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _SLNode(key, level)
+        for lvl in range(level):
+            node.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = node
+        self._len += 1
+        pred = update[0].key if update[0] is not self._head else None
+        succ = node.forward[0].key if node.forward[0] is not None else None
+        return pred, succ
+
+    def remove_with_neighbors(self, key: tuple) -> "tuple[tuple | None, tuple | None]":
+        """Remove and return the (predecessor, successor) the key had."""
+        update = self._find_update(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            raise KeyError(key)
+        succ = node.forward[0].key if node.forward[0] is not None else None
+        pred = update[0].key if update[0] is not self._head else None
+        for lvl in range(len(node.forward)):
+            if update[lvl].forward[lvl] is node:
+                update[lvl].forward[lvl] = node.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._len -= 1
+        return pred, succ
+
+    def succ_of_key(self, key: tuple) -> "tuple | None":
+        """The key immediately after ``key``, or None (also None if absent)."""
+        update = self._find_update(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            return None
+        return node.forward[0].key if node.forward[0] is not None else None
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[tuple]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key
+            node = node.forward[0]
+
+    def __contains__(self, key: tuple) -> bool:
+        update = self._find_update(key)
+        node = update[0].forward[0]
+        return node is not None and node.key == key

@@ -1,0 +1,19 @@
+"""Influence measures computable from RNN sets (Definition 1)."""
+
+from .measures import (
+    CapacityConstrainedMeasure,
+    CompositeMeasure,
+    ConnectivityMeasure,
+    InfluenceMeasure,
+    SizeMeasure,
+    WeightedMeasure,
+)
+
+__all__ = [
+    "CapacityConstrainedMeasure",
+    "CompositeMeasure",
+    "ConnectivityMeasure",
+    "InfluenceMeasure",
+    "SizeMeasure",
+    "WeightedMeasure",
+]

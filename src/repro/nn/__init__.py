@@ -1,0 +1,6 @@
+"""Nearest-neighbor substrate: NN-circle computation and direct RNN queries."""
+
+from .nncircles import compute_nn_circles, nn_distances
+from .rnn import NaiveRNN, rnn_set_of_point
+
+__all__ = ["NaiveRNN", "compute_nn_circles", "nn_distances", "rnn_set_of_point"]

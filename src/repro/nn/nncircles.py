@@ -1,0 +1,165 @@
+"""Computing NN-circles for clients against facilities.
+
+For each client o in O, the NN-circle radius is d(o, NN_F(o)) (Section
+III-A).  In the monochromatic case O == F and a point's own entry is
+excluded from the search.
+
+Backends:
+    * 'python' — our own kd-tree (``repro.index.kdtree``), the reference.
+    * 'scipy'  — scipy.spatial.cKDTree, much faster for large inputs.
+    * 'brute'  — O(|O| * |F|) vectorized scan, test oracle.
+    * 'auto'   — scipy when available and the input is large, else python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidInputError
+from ..geometry.circle import NNCircleSet
+from ..geometry.metrics import Metric, get_metric
+from ..index.kdtree import KDTree
+
+__all__ = ["compute_nn_circles", "nn_distances"]
+
+_AUTO_SCIPY_THRESHOLD = 2048
+
+
+def _validate_points(points: np.ndarray, name: str) -> np.ndarray:
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise InvalidInputError(f"{name} must have shape (n, 2)")
+    if len(pts) == 0:
+        raise InvalidInputError(f"{name} must be non-empty")
+    if not np.isfinite(pts).all():
+        raise InvalidInputError(f"{name} must contain finite coordinates")
+    return pts
+
+
+def nn_distances(
+    clients: np.ndarray,
+    facilities: np.ndarray,
+    metric: "Metric | str" = "l2",
+    monochromatic: bool = False,
+    backend: str = "auto",
+    k: int = 1,
+) -> np.ndarray:
+    """Distance from each client to its k-th nearest facility.
+
+    Args:
+        monochromatic: when True, ``facilities`` is ignored and each client's
+            nearest *other* clients are used (O == F; Section VII-A).
+        backend: 'auto' | 'python' | 'scipy' | 'brute'.
+        k: which neighbor's distance to report (k=1 is the paper's RNN; for
+            k>1 the circles define the R-k-NN heat map — o is in R_k(q) iff
+            q would be among o's k nearest facilities).
+    """
+    clients = _validate_points(clients, "clients")
+    metric = get_metric(metric)
+    if monochromatic:
+        facilities = clients
+        if len(clients) < k + 1:
+            raise InvalidInputError(
+                f"monochromatic R{k}NN needs at least {k + 1} points"
+            )
+    else:
+        facilities = _validate_points(facilities, "facilities")
+        if len(facilities) < k:
+            raise InvalidInputError(
+                f"R{k}NN needs at least k={k} facilities, got {len(facilities)}"
+            )
+    if k < 1:
+        raise InvalidInputError("k must be >= 1")
+
+    if backend == "auto":
+        backend = "scipy" if len(clients) * len(facilities) > _AUTO_SCIPY_THRESHOLD else "python"
+
+    if backend == "brute":
+        return _brute_nn(clients, facilities, metric, monochromatic, k)
+    if backend == "scipy":
+        return _scipy_nn(clients, facilities, metric, monochromatic, k)
+    if backend == "python":
+        return _python_nn(clients, facilities, metric, monochromatic, k)
+    raise InvalidInputError(f"unknown backend {backend!r}")
+
+
+def _brute_nn(clients, facilities, metric: Metric, monochromatic: bool, k: int) -> np.ndarray:
+    out = np.empty(len(clients))
+    for i, (x, y) in enumerate(clients):
+        d = metric.pairwise_to_point(facilities, np.array([x, y]))
+        if monochromatic:
+            d = d.copy()
+            d[i] = np.inf
+        out[i] = np.sort(d)[k - 1] if k > 1 else d.min()
+    return out
+
+
+def _python_nn(clients, facilities, metric: Metric, monochromatic: bool, k: int) -> np.ndarray:
+    tree = KDTree(facilities, metric)
+    out = np.empty(len(clients))
+    for i, (x, y) in enumerate(clients):
+        exclude = i if monochromatic else None
+        hits = tree.query(float(x), float(y), k=k, exclude=exclude)
+        if len(hits) < k:
+            raise InvalidInputError("not enough facilities for the requested k")
+        out[i] = hits[k - 1][0]
+    return out
+
+
+def _scipy_nn(clients, facilities, metric: Metric, monochromatic: bool, k: int) -> np.ndarray:
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(facilities)
+    if monochromatic:
+        # Query one extra neighbor: the self match (usually column 0; with
+        # duplicate coordinates it may land elsewhere) must be dropped by
+        # index, then the k-th remaining distance taken.
+        idx_d, idx_i = tree.query(clients, k=k + 1, p=metric.p)
+        idx_d = np.atleast_2d(idx_d)
+        idx_i = np.atleast_2d(idx_i)
+        out = np.empty(len(clients))
+        for row in range(len(clients)):
+            kept = [d for d, j in zip(idx_d[row], idx_i[row]) if j != row]
+            # If the self index was not returned (all k+1 are others), the
+            # first k entries are already the nearest others.
+            out[row] = kept[k - 1] if len(kept) >= k else idx_d[row][k]
+        return out
+    d, _ = tree.query(clients, k=k, p=metric.p)
+    d = np.atleast_2d(d) if k > 1 else np.asarray(d, dtype=float).reshape(-1, 1)
+    return np.asarray(d[:, k - 1], dtype=float)
+
+
+def compute_nn_circles(
+    clients: np.ndarray,
+    facilities: "np.ndarray | None",
+    metric: "Metric | str" = "l2",
+    monochromatic: bool = False,
+    backend: str = "auto",
+    drop_degenerate: bool = True,
+    k: int = 1,
+) -> NNCircleSet:
+    """Build the NN-circle set for the RC problem.
+
+    Args:
+        k: use the k-th NN distance as the radius (R-k-NN heat maps; the
+            region-coloring reduction is unchanged because q is within o's
+            k nearest iff q lies inside o's k-th-NN circle).
+
+    Returns:
+        An ``NNCircleSet`` whose ``client_ids`` index into ``clients``.
+        Zero-radius circles (client coincides with a facility) bound no area
+        and are dropped by default.
+    """
+    clients = _validate_points(clients, "clients")
+    if monochromatic:
+        facilities = clients
+    elif facilities is None:
+        raise InvalidInputError("facilities are required for bichromatic RNN")
+    radii = nn_distances(clients, facilities, metric, monochromatic, backend, k)
+    return NNCircleSet(
+        clients[:, 0],
+        clients[:, 1],
+        radii,
+        metric,
+        drop_degenerate=drop_degenerate,
+    )

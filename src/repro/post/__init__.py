@@ -1,0 +1,25 @@
+"""Interactive post-processing operations over built heat maps.
+
+The paper emphasizes that CREST's set-labeled output supports operations a
+superimposition cannot: "selectively showing regions with heat values above
+a threshold or regions having the top-k heat values" (Section I).  These
+are thin functional wrappers over ``RegionSet`` methods so exploration code
+reads declaratively.
+"""
+
+from .diff import HeatMapDiff, diff_heat_maps
+from .export import regionset_to_geojson, save_geojson
+from .ops import threshold_regions, top_k_regions, zoom_window
+from .regions import MergedRegion, merge_regions
+
+__all__ = [
+    "HeatMapDiff",
+    "MergedRegion",
+    "diff_heat_maps",
+    "merge_regions",
+    "regionset_to_geojson",
+    "save_geojson",
+    "threshold_regions",
+    "top_k_regions",
+    "zoom_window",
+]

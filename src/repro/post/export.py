@@ -1,0 +1,104 @@
+"""Exporting heat-map regions as GeoJSON.
+
+The city experiments live in lon/lat (Fig. 1/15); emitting regions as a
+GeoJSON FeatureCollection lets any GIS stack overlay the influence
+landscape on a base map.  Rectangle fragments become exact polygons; arc
+fragments sample their bounding arcs at a configurable resolution.
+Fragments in a rotated (L1) frame are mapped back to original coordinates
+vertex by vertex.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.regionset import RegionSet
+from ..errors import InvalidInputError
+
+__all__ = ["regionset_to_geojson", "save_geojson"]
+
+
+def _rect_ring(frag, transform):
+    corners = [
+        (frag.x_lo, frag.y_lo),
+        (frag.x_hi, frag.y_lo),
+        (frag.x_hi, frag.y_hi),
+        (frag.x_lo, frag.y_hi),
+    ]
+    ring = [transform.inverse(x, y) for (x, y) in corners]
+    ring.append(ring[0])
+    return ring
+
+
+def _arc_ring(frag, transform, arc_samples: int):
+    xs = [
+        frag.x_lo + (frag.x_hi - frag.x_lo) * t / arc_samples
+        for t in range(arc_samples + 1)
+    ]
+    bottom = [(x, frag.lower.y_at(x)) for x in xs]
+    top = [(x, frag.upper.y_at(x)) for x in reversed(xs)]
+    ring = [transform.inverse(x, y) for (x, y) in bottom + top]
+    ring.append(ring[0])
+    return ring
+
+
+def regionset_to_geojson(
+    region_set: RegionSet,
+    min_heat: "float | None" = None,
+    arc_samples: int = 8,
+    max_features: "int | None" = 10_000,
+) -> dict:
+    """Convert labeled fragments into a GeoJSON FeatureCollection.
+
+    Args:
+        min_heat: only export fragments at or above this heat.
+        arc_samples: boundary samples per arc for L2 fragments.
+        max_features: hottest-first cap (None = unlimited); city-scale maps
+            hold hundreds of thousands of fragments.
+
+    Returns:
+        A GeoJSON dict: one Polygon feature per fragment with ``heat`` and
+        ``rnn_size`` properties.
+    """
+    if arc_samples < 1:
+        raise InvalidInputError("arc_samples must be >= 1")
+    frags = region_set.fragments
+    if min_heat is not None:
+        frags = [f for f in frags if f.heat >= min_heat]
+    frags = sorted(frags, key=lambda f: -f.heat)
+    if max_features is not None:
+        frags = frags[:max_features]
+
+    features = []
+    transform = region_set.transform
+    for frag in frags:
+        if hasattr(frag, "y_lo"):
+            ring = _rect_ring(frag, transform)
+        else:
+            ring = _arc_ring(frag, transform, arc_samples)
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "Polygon",
+                    "coordinates": [[list(p) for p in ring]],
+                },
+                "properties": {
+                    "heat": frag.heat,
+                    "rnn_size": len(frag.rnn),
+                },
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def save_geojson(
+    region_set: RegionSet,
+    path: "str | Path",
+    **kwargs,
+) -> Path:
+    """Write ``regionset_to_geojson(...)`` to a file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(regionset_to_geojson(region_set, **kwargs)))
+    return path

@@ -1,0 +1,30 @@
+"""Functional post-processing over a RegionSet (threshold / top-k / zoom)."""
+
+from __future__ import annotations
+
+from ..core.regionset import RegionSet
+
+__all__ = ["threshold_regions", "top_k_regions", "zoom_window"]
+
+
+def threshold_regions(region_set: RegionSet, min_heat: float) -> RegionSet:
+    """Regions with heat >= min_heat (everything else drops to default)."""
+    return region_set.threshold(min_heat)
+
+
+def top_k_regions(region_set: RegionSet, k: int) -> RegionSet:
+    """Regions whose heat ranks among the k largest distinct values."""
+    heats = region_set.top_k_heats(k)
+    if not heats:
+        return RegionSet(
+            [], region_set.transform, region_set.default_heat, region_set.metric_name
+        )
+    return region_set.threshold(min(heats))
+
+
+def zoom_window(
+    region_set: RegionSet, x_lo: float, x_hi: float, y_lo: float, y_hi: float
+) -> RegionSet:
+    """Clip the subdivision to a window in original coordinates (the
+    paper's "zoom in to see more details")."""
+    return region_set.zoom(x_lo, x_hi, y_lo, y_hi)

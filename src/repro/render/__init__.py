@@ -1,0 +1,25 @@
+"""Heat-map rendering: rasterization, colormaps, PGM/PPM writers, ASCII."""
+
+from .ascii_art import ascii_heat_map
+from .colormap import apply_colormap, grayscale_dark, heat_colors, normalize
+from .contours import contour_lines
+from .image import read_pgm, read_ppm, write_pgm, write_ppm
+from .raster import rasterize_regionset
+from .svg_charts import LineChart, Series, chart_from_result_table
+
+__all__ = [
+    "LineChart",
+    "Series",
+    "apply_colormap",
+    "ascii_heat_map",
+    "chart_from_result_table",
+    "contour_lines",
+    "grayscale_dark",
+    "heat_colors",
+    "normalize",
+    "rasterize_regionset",
+    "read_pgm",
+    "read_ppm",
+    "write_pgm",
+    "write_ppm",
+]

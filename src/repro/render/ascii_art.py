@@ -1,0 +1,32 @@
+"""Terminal rendering of heat grids — the quickstart's zero-dependency view."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .colormap import normalize
+
+__all__ = ["ascii_heat_map"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heat_map(grid: np.ndarray, width: int = 72) -> str:
+    """Render a heat grid as ASCII art (denser glyph = hotter).
+
+    The grid uses raster orientation (row 0 = bottom); output lines run
+    top-down.  Cells are 2 characters wide to roughly square the aspect.
+    """
+    grid = np.asarray(grid, dtype=float)
+    h, w = grid.shape
+    cols = max(min(width // 2, w), 1)
+    rows = max(int(cols * h / w / 2), 1)
+    row_idx = np.linspace(0, h - 1, rows).astype(int)
+    col_idx = np.linspace(0, w - 1, cols).astype(int)
+    small = grid[np.ix_(row_idx, col_idx)]
+    norm = normalize(small)
+    levels = np.minimum((norm * len(_RAMP)).astype(int), len(_RAMP) - 1)
+    lines = []
+    for r in range(rows - 1, -1, -1):
+        lines.append("".join(_RAMP[v] * 2 for v in levels[r]))
+    return "\n".join(lines)

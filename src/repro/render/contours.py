@@ -1,0 +1,162 @@
+"""Iso-heat contour extraction (marching squares).
+
+Heat maps invite "show me the boundary of everything hotter than h" —
+the vector companion to the raster threshold view.  This is a standard
+marching-squares tracer over the heat raster: it emits closed/open
+polylines along the level set ``heat = level``, with linear interpolation
+along cell edges.  Saddle cells (cases 5 and 10) disambiguate by the cell
+center's value, the usual convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidInputError
+from ..geometry.rect import Rect
+
+__all__ = ["contour_lines"]
+
+# Segment table: case -> list of (edge_in, edge_out) pairs.
+# Edges: 0 = bottom, 1 = right, 2 = top, 3 = left.
+_SEGMENTS = {
+    0: [],
+    1: [(3, 0)],
+    2: [(0, 1)],
+    3: [(3, 1)],
+    4: [(1, 2)],
+    5: None,  # saddle
+    6: [(0, 2)],
+    7: [(3, 2)],
+    8: [(2, 3)],
+    9: [(2, 0)],
+    10: None,  # saddle
+    11: [(2, 1)],
+    12: [(1, 3)],
+    13: [(1, 0)],
+    14: [(0, 3)],
+    15: [],
+}
+
+
+def _edge_point(edge: int, r: int, c: int, grid, level: float):
+    """Interpolated crossing point of ``level`` on a cell edge, in grid
+    coordinates (x = column, y = row)."""
+
+    def t(v0: float, v1: float) -> float:
+        if v1 == v0:
+            return 0.5
+        return (level - v0) / (v1 - v0)
+
+    v_bl = grid[r, c]
+    v_br = grid[r, c + 1]
+    v_tl = grid[r + 1, c]
+    v_tr = grid[r + 1, c + 1]
+    if edge == 0:  # bottom: between (r, c) and (r, c+1)
+        return (c + t(v_bl, v_br), float(r))
+    if edge == 1:  # right: between (r, c+1) and (r+1, c+1)
+        return (float(c + 1), r + t(v_br, v_tr))
+    if edge == 2:  # top: between (r+1, c) and (r+1, c+1)
+        return (c + t(v_tl, v_tr), float(r + 1))
+    return (float(c), r + t(v_bl, v_tl))  # left
+
+
+def contour_lines(
+    grid: np.ndarray,
+    level: float,
+    bounds: "Rect | None" = None,
+) -> "list[list[tuple[float, float]]]":
+    """Marching-squares contours of ``grid`` at ``level``.
+
+    Args:
+        grid: (h, w) heat raster, row 0 at the bottom (raster orientation).
+        bounds: when given, output coordinates are mapped from grid space
+            into this rectangle (pixel centers at the usual offsets);
+            otherwise coordinates are in grid units.
+
+    Returns:
+        A list of polylines, each a list of (x, y) points.  Contour
+        segments are chained into maximal polylines; closed loops repeat
+        their first point at the end.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2 or grid.shape[0] < 2 or grid.shape[1] < 2:
+        raise InvalidInputError("grid must be at least 2x2")
+    h, w = grid.shape
+
+    segments: "list[tuple[tuple, tuple]]" = []
+    above = grid >= level
+    for r in range(h - 1):
+        for c in range(w - 1):
+            case = (
+                (1 if above[r, c] else 0)
+                | (2 if above[r, c + 1] else 0)
+                | (4 if above[r + 1, c + 1] else 0)
+                | (8 if above[r + 1, c] else 0)
+            )
+            pairs = _SEGMENTS[case]
+            if pairs is None:  # saddle: split by the center value
+                center = (
+                    grid[r, c] + grid[r, c + 1] + grid[r + 1, c] + grid[r + 1, c + 1]
+                ) / 4.0
+                if case == 5:
+                    pairs = [(3, 2), (1, 0)] if center >= level else [(3, 0), (1, 2)]
+                else:  # case 10
+                    pairs = [(0, 1), (2, 3)] if center >= level else [(0, 3), (2, 1)]
+            for (e_in, e_out) in pairs:
+                p = _edge_point(e_in, r, c, grid, level)
+                q = _edge_point(e_out, r, c, grid, level)
+                if p != q:
+                    segments.append((p, q))
+
+    polylines = _chain_segments(segments)
+
+    if bounds is not None:
+        sx = bounds.width / w
+        sy = bounds.height / h
+        polylines = [
+            [(bounds.x_lo + (x + 0.5) * sx, bounds.y_lo + (y + 0.5) * sy)
+             for (x, y) in line]
+            for line in polylines
+        ]
+    return polylines
+
+
+def _chain_segments(segments):
+    """Chain individual segments into maximal polylines by endpoint match."""
+
+    def key(p):
+        return (round(p[0], 9), round(p[1], 9))
+
+    starts: "dict[tuple, list[int]]" = {}
+    ends: "dict[tuple, list[int]]" = {}
+    for i, (p, q) in enumerate(segments):
+        starts.setdefault(key(p), []).append(i)
+        ends.setdefault(key(q), []).append(i)
+
+    used = [False] * len(segments)
+    polylines = []
+    for i in range(len(segments)):
+        if used[i]:
+            continue
+        used[i] = True
+        p, q = segments[i]
+        line = [p, q]
+        # Extend forward (append segments starting at the current tail)...
+        while True:
+            nxts = starts.get(key(line[-1]), [])
+            nxt = next((j for j in nxts if not used[j]), None)
+            if nxt is None:
+                break
+            used[nxt] = True
+            line.append(segments[nxt][1])
+        # ... and backward (prepend segments ending at the current head).
+        while True:
+            prevs = ends.get(key(line[0]), [])
+            prev = next((j for j in prevs if not used[j]), None)
+            if prev is None:
+                break
+            used[prev] = True
+            line.insert(0, segments[prev][0])
+        polylines.append(line)
+    return polylines

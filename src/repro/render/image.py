@@ -1,0 +1,92 @@
+"""Dependency-free PGM/PPM image writers (and readers, for round-trip tests).
+
+Heat grids use raster row 0 = bottom; images store row 0 = top, so writers
+flip vertically.  Binary variants (P5/P6) are written; the readers accept
+both binary and ASCII for robustness.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import InvalidInputError
+
+__all__ = ["write_pgm", "write_ppm", "read_pgm", "read_ppm"]
+
+
+def _as_uint8(img: np.ndarray, channels: int) -> np.ndarray:
+    img = np.asarray(img)
+    if img.dtype != np.uint8:
+        raise InvalidInputError("image arrays must be uint8 (use apply_colormap)")
+    if channels == 1 and img.ndim != 2:
+        raise InvalidInputError("PGM expects a 2-D grayscale array")
+    if channels == 3 and (img.ndim != 3 or img.shape[2] != 3):
+        raise InvalidInputError("PPM expects an (h, w, 3) RGB array")
+    return img
+
+
+def write_pgm(path: "str | Path", gray: np.ndarray, flip: bool = True) -> Path:
+    """Write a binary PGM (P5). ``flip`` converts bottom-up grids to images."""
+    gray = _as_uint8(gray, 1)
+    if flip:
+        gray = gray[::-1]
+    path = Path(path)
+    h, w = gray.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(gray.tobytes())
+    return path
+
+
+def write_ppm(path: "str | Path", rgb: np.ndarray, flip: bool = True) -> Path:
+    """Write a binary PPM (P6)."""
+    rgb = _as_uint8(rgb, 3)
+    if flip:
+        rgb = rgb[::-1]
+    path = Path(path)
+    h, w, _ = rgb.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(rgb.tobytes())
+    return path
+
+
+def _read_header(data: bytes, magic: bytes):
+    if not data.startswith(magic):
+        raise InvalidInputError(f"not a {magic.decode()} file")
+    fields = []
+    pos = 2
+    while len(fields) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":  # comment line
+            while pos < len(data) and data[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        fields.append(int(data[start:pos]))
+    return fields[0], fields[1], fields[2], pos + 1
+
+
+def read_pgm(path: "str | Path") -> np.ndarray:
+    """Read a binary PGM into a (h, w) uint8 array (top-down rows)."""
+    data = Path(path).read_bytes()
+    w, h, maxval, offset = _read_header(data, b"P5")
+    if maxval != 255:
+        raise InvalidInputError("only 8-bit PGM supported")
+    return np.frombuffer(data, dtype=np.uint8, count=w * h, offset=offset).reshape(h, w)
+
+
+def read_ppm(path: "str | Path") -> np.ndarray:
+    """Read a binary PPM into an (h, w, 3) uint8 array (top-down rows)."""
+    data = Path(path).read_bytes()
+    w, h, maxval, offset = _read_header(data, b"P6")
+    if maxval != 255:
+        raise InvalidInputError("only 8-bit PPM supported")
+    return np.frombuffer(
+        data, dtype=np.uint8, count=w * h * 3, offset=offset
+    ).reshape(h, w, 3)

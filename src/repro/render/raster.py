@@ -1,0 +1,137 @@
+"""Rasterizing a labeled subdivision into a heat grid.
+
+Fragments are painted directly: rectangle fragments fill pixel blocks; arc
+fragments fill per-column spans evaluated from the bounding arcs.  For L1
+results (internal frame rotated by pi/4) we paint an internal raster and
+resample it through the inverse rotation with vectorized nearest-neighbor
+gathers, so the output is axis-aligned in the original space.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import InvalidInputError
+from ..geometry.rect import Rect
+
+__all__ = ["rasterize_regionset"]
+
+
+def _paint(region_set, width: int, height: int, bounds: Rect) -> np.ndarray:
+    """Paint fragments onto a (height, width) grid over internal bounds.
+
+    Row 0 is the *bottom* of the bounds (y increases with row index).
+    """
+    grid = np.full((height, width), region_set.default_heat, dtype=float)
+    if not region_set.fragments:
+        return grid
+    x_span = bounds.x_hi - bounds.x_lo
+    y_span = bounds.y_hi - bounds.y_lo
+    if x_span <= 0 or y_span <= 0:
+        raise InvalidInputError("raster bounds must have positive extent")
+    sx = width / x_span
+    sy = height / y_span
+
+    # Pixel-center sampling: pixel (r, c) takes a fragment's heat iff its
+    # center lies inside the fragment — fragments tile the plane, so every
+    # pixel is painted by exactly one fragment (boundary hits are measure
+    # zero) and the raster agrees with heat_at at every pixel center.
+    for frag in region_set.fragments:
+        fx0 = (frag.x_lo - bounds.x_lo) * sx
+        fx1 = (frag.x_hi - bounds.x_lo) * sx
+        c0 = max(int(math.ceil(fx0 - 0.5)), 0)
+        c1 = min(int(math.floor(fx1 - 0.5)), width - 1)
+        if c1 < c0:
+            continue
+        if hasattr(frag, "y_lo"):  # rectangle fragment
+            r0 = max(int(math.ceil((frag.y_lo - bounds.y_lo) * sy - 0.5)), 0)
+            r1 = min(int(math.floor((frag.y_hi - bounds.y_lo) * sy - 0.5)), height - 1)
+            if r1 >= r0:
+                grid[r0 : r1 + 1, c0 : c1 + 1] = frag.heat
+        else:  # arc fragment: evaluate the bounding arcs per pixel column
+            cols = np.arange(c0, c1 + 1)
+            xs = bounds.x_lo + (cols + 0.5) / sx
+            xs = np.clip(xs, frag.x_lo, frag.x_hi)
+            lo = frag.lower
+            hi = frag.upper
+            dl = np.clip(xs - lo.cx, -lo.r, lo.r)
+            y_lo_vals = lo.cy - np.sqrt(np.maximum(lo.r**2 - dl**2, 0.0)) \
+                if lo.kind == 0 else lo.cy + np.sqrt(np.maximum(lo.r**2 - dl**2, 0.0))
+            du = np.clip(xs - hi.cx, -hi.r, hi.r)
+            y_hi_vals = hi.cy - np.sqrt(np.maximum(hi.r**2 - du**2, 0.0)) \
+                if hi.kind == 0 else hi.cy + np.sqrt(np.maximum(hi.r**2 - du**2, 0.0))
+            r0s = np.ceil((y_lo_vals - bounds.y_lo) * sy - 0.5).astype(int)
+            r1s = np.floor((y_hi_vals - bounds.y_lo) * sy - 0.5).astype(int)
+            # Clip so spans fully outside the raster stay empty (r1 < r0).
+            np.clip(r0s, 0, height, out=r0s)
+            np.clip(r1s, -1, height - 1, out=r1s)
+            for c, r0, r1 in zip(cols.tolist(), r0s.tolist(), r1s.tolist()):
+                if r1 >= r0:
+                    grid[r0 : r1 + 1, c] = frag.heat
+    return grid
+
+
+def rasterize_regionset(
+    region_set,
+    width: int,
+    height: int,
+    bounds: "Rect | None" = None,
+) -> "tuple[np.ndarray, Rect]":
+    """Rasterize to a (height, width) float grid plus its original-space
+    bounds.  Row 0 is the bottom row (flip with [::-1] for image output,
+    which ``repro.render.image`` does for you).
+
+    Args:
+        bounds: original-space window; defaults to the fragments' extent.
+    """
+    if width <= 0 or height <= 0:
+        raise InvalidInputError("raster dimensions must be positive")
+    transform = region_set.transform
+
+    if transform.is_identity:
+        if bounds is None:
+            bounds = region_set.bounds()
+        if bounds is None:  # no fragments at all
+            bounds = Rect(0.0, 1.0, 0.0, 1.0)
+        return _paint(region_set, width, height, bounds), bounds
+
+    # Rotated internal frame (L1): paint internally, then gather through
+    # the forward transform at output pixel centers.
+    internal_bounds = region_set.bounds()
+    if bounds is None:
+        if internal_bounds is None:
+            bounds = Rect(0.0, 1.0, 0.0, 1.0)
+        else:
+            # Map internal corners back to original space for a default view.
+            corners = [
+                transform.inverse(x, y)
+                for x in (internal_bounds.x_lo, internal_bounds.x_hi)
+                for y in (internal_bounds.y_lo, internal_bounds.y_hi)
+            ]
+            bounds = Rect(
+                min(c[0] for c in corners),
+                max(c[0] for c in corners),
+                min(c[1] for c in corners),
+                max(c[1] for c in corners),
+            )
+    if internal_bounds is None:
+        return np.full((height, width), region_set.default_heat), bounds
+
+    scale = max(width, height) * 2
+    internal = _paint(region_set, scale, scale, internal_bounds)
+
+    xs = bounds.x_lo + (np.arange(width) + 0.5) * (bounds.x_hi - bounds.x_lo) / width
+    ys = bounds.y_lo + (np.arange(height) + 0.5) * (bounds.y_hi - bounds.y_lo) / height
+    gx, gy = np.meshgrid(xs, ys)
+    pts = np.column_stack([gx.ravel(), gy.ravel()])
+    ipts = transform.forward_array(pts)
+    cx = (ipts[:, 0] - internal_bounds.x_lo) / (internal_bounds.x_hi - internal_bounds.x_lo)
+    cy = (ipts[:, 1] - internal_bounds.y_lo) / (internal_bounds.y_hi - internal_bounds.y_lo)
+    cols = np.clip((cx * scale).astype(int), -1, scale)
+    rows = np.clip((cy * scale).astype(int), -1, scale)
+    inside = (cols >= 0) & (cols < scale) & (rows >= 0) & (rows < scale)
+    out = np.full(width * height, region_set.default_heat)
+    out[inside] = internal[rows[inside], cols[inside]]
+    return out.reshape(height, width), bounds

@@ -1,0 +1,236 @@
+"""Dependency-free SVG line charts for the paper's figures.
+
+Figures 16-19 are log-log line charts (CPU time vs ratio or |O|).  No
+plotting library ships in this environment, so this module renders the
+same chart style straight to SVG: log/linear axes with power-of-two tick
+labels, multiple series with distinct markers, a legend, and timeout
+annotations (the paper draws BA's '>24h' runs as arrows off the top).
+
+The output intentionally mimics the paper's look: gnuplot-ish frame,
+series ordered as BA / CREST-A / CREST.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import InvalidInputError
+
+__all__ = ["Series", "LineChart", "chart_from_result_table"]
+
+_COLORS = ("#c0392b", "#2471a3", "#1e8449", "#8e44ad", "#b7950b", "#34495e")
+_MARKERS = ("square", "circle", "triangle", "diamond", "cross", "plus")
+
+
+@dataclass
+class Series:
+    """One polyline: (x, y) points; y=None marks a timeout/missing point."""
+
+    label: str
+    points: "list[tuple[float, float | None]]"
+
+
+@dataclass
+class LineChart:
+    """A log-log (or linear) line chart rendered to SVG text."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: "list[Series]" = field(default_factory=list)
+    x_log: bool = True
+    y_log: bool = True
+    width: int = 520
+    height: int = 380
+
+    _M_LEFT = 70
+    _M_RIGHT = 20
+    _M_TOP = 40
+    _M_BOTTOM = 55
+
+    def add(self, series: Series) -> None:
+        self.series.append(series)
+
+    # ------------------------------------------------------------------
+    def _extent(self):
+        xs, ys = [], []
+        for s in self.series:
+            for (x, y) in s.points:
+                xs.append(x)
+                if y is not None and y > 0:
+                    ys.append(y)
+        if not xs or not ys:
+            raise InvalidInputError("chart needs at least one finite point")
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if self.y_log:
+            y_lo = 10 ** math.floor(math.log10(y_lo))
+            y_hi = 10 ** math.ceil(math.log10(y_hi * 1.01))
+            if y_hi <= y_lo:
+                y_hi = y_lo * 10
+        if self.x_log and x_lo <= 0:
+            raise InvalidInputError("log x-axis requires positive x values")
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _x_pix(self, x, x_lo, x_hi):
+        span = self.width - self._M_LEFT - self._M_RIGHT
+        if self.x_log:
+            t = (math.log(x) - math.log(x_lo)) / max(
+                math.log(x_hi) - math.log(x_lo), 1e-12
+            )
+        else:
+            t = (x - x_lo) / max(x_hi - x_lo, 1e-12)
+        return self._M_LEFT + t * span
+
+    def _y_pix(self, y, y_lo, y_hi):
+        span = self.height - self._M_TOP - self._M_BOTTOM
+        if self.y_log:
+            t = (math.log(y) - math.log(y_lo)) / max(
+                math.log(y_hi) - math.log(y_lo), 1e-12
+            )
+        else:
+            t = (y - y_lo) / max(y_hi - y_lo, 1e-12)
+        return self.height - self._M_BOTTOM - t * span
+
+    def _marker(self, shape: str, x: float, y: float, color: str) -> str:
+        s = 4.0
+        if shape == "square":
+            return (f'<rect x="{x - s:.1f}" y="{y - s:.1f}" width="{2 * s}" '
+                    f'height="{2 * s}" fill="{color}"/>')
+        if shape == "circle":
+            return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{s}" fill="{color}"/>'
+        if shape == "triangle":
+            return (f'<polygon points="{x:.1f},{y - s:.1f} {x - s:.1f},'
+                    f'{y + s:.1f} {x + s:.1f},{y + s:.1f}" fill="{color}"/>')
+        if shape == "diamond":
+            return (f'<polygon points="{x:.1f},{y - s:.1f} {x + s:.1f},{y:.1f} '
+                    f'{x:.1f},{y + s:.1f} {x - s:.1f},{y:.1f}" fill="{color}"/>')
+        return (f'<line x1="{x - s}" y1="{y - s}" x2="{x + s}" y2="{y + s}" '
+                f'stroke="{color}" stroke-width="2"/>'
+                f'<line x1="{x - s}" y1="{y + s}" x2="{x + s}" y2="{y - s}" '
+                f'stroke="{color}" stroke-width="2"/>')
+
+    def _ticks(self, lo, hi, log_scale):
+        if log_scale:
+            lo_e = math.floor(math.log10(lo))
+            hi_e = math.ceil(math.log10(hi))
+            return [10.0 ** e for e in range(int(lo_e), int(hi_e) + 1)
+                    if lo <= 10.0 ** e <= hi * 1.0001]
+        step = (hi - lo) / 5 or 1.0
+        return [lo + i * step for i in range(6)]
+
+    @staticmethod
+    def _fmt(v: float) -> str:
+        if v >= 1 and math.isclose(v, round(v), rel_tol=1e-9):
+            exp = math.log10(v) if v > 0 else 0
+            if v >= 1000 and math.isclose(exp, round(exp), abs_tol=1e-9):
+                return f"1e{int(round(exp))}"
+            return str(int(round(v)))
+        return f"{v:g}"
+
+    def to_svg(self) -> str:
+        x_lo, x_hi, y_lo, y_hi = self._extent()
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14">{self.title}</text>',
+        ]
+        # Frame.
+        fx0, fy0 = self._M_LEFT, self._M_TOP
+        fx1, fy1 = self.width - self._M_RIGHT, self.height - self._M_BOTTOM
+        parts.append(
+            f'<rect x="{fx0}" y="{fy0}" width="{fx1 - fx0}" '
+            f'height="{fy1 - fy0}" fill="none" stroke="#333"/>'
+        )
+        # Ticks + grid.
+        for tx in self._ticks(x_lo, x_hi, self.x_log):
+            px = self._x_pix(tx, x_lo, x_hi)
+            parts.append(f'<line x1="{px:.1f}" y1="{fy1}" x2="{px:.1f}" '
+                         f'y2="{fy1 + 5}" stroke="#333"/>')
+            parts.append(f'<text x="{px:.1f}" y="{fy1 + 18}" '
+                         f'text-anchor="middle">{self._fmt(tx)}</text>')
+        for ty in self._ticks(y_lo, y_hi, self.y_log):
+            py = self._y_pix(ty, y_lo, y_hi)
+            parts.append(f'<line x1="{fx0 - 5}" y1="{py:.1f}" x2="{fx0}" '
+                         f'y2="{py:.1f}" stroke="#333"/>')
+            parts.append(f'<line x1="{fx0}" y1="{py:.1f}" x2="{fx1}" '
+                         f'y2="{py:.1f}" stroke="#eee"/>')
+            parts.append(f'<text x="{fx0 - 8}" y="{py + 4:.1f}" '
+                         f'text-anchor="end">{self._fmt(ty)}</text>')
+        parts.append(
+            f'<text x="{(fx0 + fx1) / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle">{self.x_label}</text>'
+        )
+        parts.append(
+            f'<text x="18" y="{(fy0 + fy1) / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 18 {(fy0 + fy1) / 2})">{self.y_label}</text>'
+        )
+        # Series.
+        for si, s in enumerate(self.series):
+            color = _COLORS[si % len(_COLORS)]
+            marker = _MARKERS[si % len(_MARKERS)]
+            coords = []
+            for (x, y) in s.points:
+                if y is None or (self.y_log and y <= 0):
+                    continue
+                coords.append(
+                    (self._x_pix(x, x_lo, x_hi), self._y_pix(y, y_lo, y_hi))
+                )
+            if len(coords) >= 2:
+                path = " ".join(f"{px:.1f},{py:.1f}" for px, py in coords)
+                parts.append(f'<polyline points="{path}" fill="none" '
+                             f'stroke="{color}" stroke-width="1.5"/>')
+            for (px, py) in coords:
+                parts.append(self._marker(marker, px, py, color))
+            # Timeout arrows off the top of the frame (paper: '>24 hours').
+            for (x, y) in s.points:
+                if y is None:
+                    px = self._x_pix(x, x_lo, x_hi)
+                    parts.append(
+                        f'<line x1="{px:.1f}" y1="{fy0 + 22}" x2="{px:.1f}" '
+                        f'y2="{fy0 + 4}" stroke="{color}" stroke-width="1.5"/>'
+                        f'<polygon points="{px - 4:.1f},{fy0 + 10} '
+                        f'{px + 4:.1f},{fy0 + 10} {px:.1f},{fy0 + 2}" '
+                        f'fill="{color}"/>'
+                    )
+            # Legend entry.
+            ly = fy0 + 14 + 16 * si
+            parts.append(self._marker(marker, fx0 + 14, ly - 4, color))
+            parts.append(f'<text x="{fx0 + 26}" y="{ly}">{s.label}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.write_text(self.to_svg())
+        return path
+
+
+def chart_from_result_table(
+    table,
+    title: str,
+    x_label: str,
+    x_from: str = "ratio",
+    dataset: "str | None" = None,
+) -> LineChart:
+    """Build a paper-style chart from a ``ResultTable``.
+
+    Args:
+        x_from: 'ratio' or 'n_clients' — which sweep variable is the x axis.
+        dataset: restrict to one dataset's records (None = all mixed).
+    """
+    chart = LineChart(title, x_label, "CPU time (ms)")
+    by_algo: "dict[str, list]" = {}
+    for r in table.records:
+        if dataset is not None and r.dataset != dataset:
+            continue
+        x = r.ratio if x_from == "ratio" else r.n_clients
+        by_algo.setdefault(r.algorithm, []).append((x, r.time_ms))
+    for algo in sorted(by_algo):
+        points = sorted(by_algo[algo], key=lambda p: p[0])
+        chart.add(Series(algo, points))
+    return chart

@@ -1,0 +1,81 @@
+"""Arc geometry: y_at evaluation and circle-circle intersections."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.arcs import LOWER_ARC, UPPER_ARC, Arc, circle_intersections
+
+coord = st.floats(-50, 50, allow_nan=False)
+radius = st.floats(0.1, 20, allow_nan=False)
+
+
+class TestArc:
+    def test_y_at_center(self):
+        lo = Arc(0, LOWER_ARC, 0.0, 0.0, 2.0)
+        hi = Arc(0, UPPER_ARC, 0.0, 0.0, 2.0)
+        assert lo.y_at(0.0) == -2.0
+        assert hi.y_at(0.0) == 2.0
+
+    def test_y_at_extremes(self):
+        lo = Arc(0, LOWER_ARC, 1.0, 3.0, 2.0)
+        assert lo.y_at(-1.0) == pytest.approx(3.0)
+        assert lo.y_at(3.0) == pytest.approx(3.0)
+
+    def test_y_at_clamps_outside_span(self):
+        lo = Arc(0, LOWER_ARC, 0.0, 0.0, 1.0)
+        assert lo.y_at(5.0) == pytest.approx(0.0)
+
+    def test_uid_scheme(self):
+        assert Arc(3, LOWER_ARC, 0, 0, 1).uid == 6
+        assert Arc(3, UPPER_ARC, 0, 0, 1).uid == 7
+
+    def test_span(self):
+        a = Arc(0, UPPER_ARC, 2.0, 0.0, 1.5)
+        assert a.x_lo == 0.5 and a.x_hi == 3.5
+
+    @given(cx=coord, cy=coord, r=radius, t=st.floats(0, 2 * math.pi))
+    def test_point_on_circle(self, cx, cy, r, t):
+        """y_at recovers boundary points of the right half-circle."""
+        x = cx + r * math.cos(t)
+        y = cy + r * math.sin(t)
+        kind = UPPER_ARC if y >= cy else LOWER_ARC
+        arc = Arc(0, kind, cx, cy, r)
+        assert arc.y_at(x) == pytest.approx(y, abs=1e-6 * max(1.0, r))
+
+
+class TestIntersections:
+    def test_two_points(self):
+        pts = circle_intersections(0, 0, 1, 1, 0, 1)
+        assert len(pts) == 2
+        for (x, y) in pts:
+            assert x == pytest.approx(0.5)
+            assert abs(y) == pytest.approx(math.sqrt(3) / 2)
+
+    def test_disjoint(self):
+        assert circle_intersections(0, 0, 1, 5, 0, 1) == []
+
+    def test_contained(self):
+        assert circle_intersections(0, 0, 5, 0, 0, 1) == []
+
+    def test_tangent_external(self):
+        pts = circle_intersections(0, 0, 1, 2, 0, 1)
+        assert len(pts) == 1
+        assert pts[0][0] == pytest.approx(1.0)
+        assert pts[0][1] == pytest.approx(0.0)
+
+    def test_identical_circles(self):
+        assert circle_intersections(0, 0, 1, 0, 0, 1) == []
+
+    @given(
+        cx1=coord, cy1=coord, r1=radius,
+        cx2=coord, cy2=coord, r2=radius,
+    )
+    def test_points_lie_on_both_boundaries(self, cx1, cy1, r1, cx2, cy2, r2):
+        for (x, y) in circle_intersections(cx1, cy1, r1, cx2, cy2, r2):
+            d1 = math.hypot(x - cx1, y - cy1)
+            d2 = math.hypot(x - cx2, y - cy2)
+            assert d1 == pytest.approx(r1, rel=1e-6, abs=1e-6)
+            assert d2 == pytest.approx(r2, rel=1e-6, abs=1e-6)

@@ -1,0 +1,83 @@
+"""Exact arrangement analytics: Euler characteristic and the paper's bounds."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.arrangement import (
+    DegenerateArrangementError,
+    square_arrangement_stats,
+    worst_case_circles,
+)
+from repro.geometry.circle import NNCircleSet
+
+
+def squares(centers, radii):
+    cx = np.array([c[0] for c in centers], dtype=float)
+    cy = np.array([c[1] for c in centers], dtype=float)
+    return NNCircleSet(cx, cy, np.asarray(radii, dtype=float), "linf")
+
+
+class TestBasicCounts:
+    def test_empty(self):
+        s = square_arrangement_stats(squares([], []))
+        assert s.regions == 0 or s.n_squares == 0
+
+    def test_single_square(self):
+        # 4 corners, 4 edges, 1 component: r = 4 - 4 + 1 + 1 = 2
+        # (inside + exterior).
+        s = square_arrangement_stats(squares([(0, 0)], [1.0]))
+        assert (s.vertices, s.edges, s.components) == (4, 4, 1)
+        assert s.regions == 2
+
+    def test_two_disjoint_squares(self):
+        s = square_arrangement_stats(squares([(0, 0), (10, 10)], [1.0, 1.0]))
+        assert s.regions == 3  # two insides + exterior = n + 1
+
+    def test_nested_squares(self):
+        """Nested non-touching squares: separate components, n+1 regions."""
+        s = square_arrangement_stats(squares([(0, 0), (0, 0)], [1.0, 3.0]))
+        assert s.components == 2
+        assert s.regions == 3
+
+    def test_two_crossing_squares(self):
+        # Diagonal offset: boundaries cross at 2 points -> 4 regions
+        # (two lens-less parts, the overlap, the exterior).
+        s = square_arrangement_stats(squares([(0, 0), (1, 1)], [1.0, 1.0]))
+        assert s.regions == 4
+
+    def test_disjoint_many(self):
+        centers = [(3 * i, 0) for i in range(6)]
+        s = square_arrangement_stats(squares(centers, [1.0] * 6))
+        assert s.regions == 7  # n + 1 (paper Section IV: r = Theta(n))
+
+
+class TestWorstCase:
+    """Fig. 8: n squares of side n centered at (i, i) give r = n^2 - n + 2."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_formula(self, n):
+        circles = worst_case_circles(n)
+        s = square_arrangement_stats(circles)
+        assert s.regions == n * n - n + 2
+
+
+class TestDegenerate:
+    def test_collinear_overlap_raises(self):
+        # Two squares sharing part of a side line.
+        with pytest.raises(DegenerateArrangementError):
+            square_arrangement_stats(squares([(0, 0), (0, 1)], [1.0, 1.0]))
+
+    def test_identical_squares_raise(self):
+        with pytest.raises(DegenerateArrangementError):
+            square_arrangement_stats(squares([(0, 0), (0, 0)], [1.0, 1.0]))
+
+
+class TestEulerConsistency:
+    def test_random_general_position(self, rng):
+        """v - e + f = 1 + c must hold with f = regions (includes exterior)."""
+        for _ in range(5):
+            centers = rng.random((12, 2)) * 4
+            radii = rng.random(12) * 0.8 + 0.1
+            s = square_arrangement_stats(squares(centers.tolist(), radii))
+            f = s.regions
+            assert s.vertices - s.edges + f == 1 + s.components

@@ -1,0 +1,72 @@
+"""The grid baseline (BA): equivalence with CREST and its cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import run_baseline
+from repro.core.sweep_linf import run_crest
+from repro.errors import AlgorithmUnsupportedError, InvalidInputError
+from repro.geometry.circle import NNCircleSet
+from repro.influence.measures import SizeMeasure
+
+from conftest import make_instance, naive_rnn_set
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("index", ["segment_tree", "rtree", "brute"])
+    def test_heat_matches_crest(self, index, rng):
+        _o, _f, circles = make_instance(4, 40, 8, "linf")
+        _s1, rs_ba = run_baseline(circles, SizeMeasure(), index=index)
+        _s2, rs_crest = run_crest(circles, SizeMeasure())
+        for _ in range(150):
+            x, y = rng.random(2) * 1.2 - 0.1
+            assert rs_ba.heat_at(x, y) == rs_crest.heat_at(x, y)
+
+    def test_rnn_sets_match_oracle(self, rng):
+        _o, _f, circles = make_instance(9, 35, 7, "linf")
+        _stats, rs = run_baseline(circles, SizeMeasure())
+        for _ in range(120):
+            x, y = rng.random(2) * 1.2 - 0.1
+            assert rs.rnn_at(x, y) == naive_rnn_set(circles, x, y)
+
+
+class TestCostAccounting:
+    def test_cell_count_is_m(self):
+        """BA labels every grid cell: m = (distinct xs - 1)(distinct ys - 1),
+        which the paper bounds by O(n^2) and is at least r."""
+        _o, _f, circles = make_instance(2, 30, 6, "linf")
+        stats, _ = run_baseline(circles, SizeMeasure(), collect_fragments=False)
+        xs = np.unique(np.concatenate([circles.x_lo, circles.x_hi]))
+        ys = np.unique(np.concatenate([circles.y_lo, circles.y_hi]))
+        assert stats.labels == (len(xs) - 1) * (len(ys) - 1)
+
+    def test_ba_labels_dominate_crest_labels(self):
+        _o, _f, circles = make_instance(6, 60, 8, "linf")
+        s_ba, _ = run_baseline(circles, SizeMeasure(), collect_fragments=False)
+        s_cr, _ = run_crest(circles, SizeMeasure(), collect_fragments=False)
+        assert s_ba.labels > s_cr.labels
+
+
+class TestEdgeCases:
+    def test_l2_rejected(self, rng):
+        circles = NNCircleSet(np.zeros(2), np.zeros(2), np.ones(2), "l2")
+        with pytest.raises(AlgorithmUnsupportedError):
+            run_baseline(circles, SizeMeasure())
+
+    def test_unknown_index_rejected(self):
+        _o, _f, circles = make_instance(0, 5, 2, "linf")
+        with pytest.raises(InvalidInputError):
+            run_baseline(circles, SizeMeasure(), index="quadtree")
+
+    def test_empty(self):
+        circles = NNCircleSet(np.array([]), np.array([]), np.array([]), "linf")
+        stats, rs = run_baseline(circles, SizeMeasure())
+        assert stats.labels == 0
+        assert len(rs.fragments) == 0
+
+    def test_single_circle(self):
+        circles = NNCircleSet(np.array([0.0]), np.array([0.0]),
+                              np.array([1.0]), "linf")
+        stats, rs = run_baseline(circles, SizeMeasure())
+        assert stats.labels == 1
+        assert rs.heat_at(0, 0) == 1.0

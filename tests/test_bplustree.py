@@ -1,0 +1,102 @@
+"""B+-tree specifics: split/merge rebalancing under churn at scale.
+
+The shared StatusStructure semantics are covered by
+test_status_structures.py (parametrized over all three backends); these
+tests force deep trees and heavy deletion to exercise borrow/merge paths.
+"""
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro.index.bplustree import BPlusTree
+
+
+def seq_keys(n):
+    return [(float(i), 0, i) for i in range(n)]
+
+
+class TestDeepTrees:
+    def test_sequential_insert_then_full_drain(self):
+        t = BPlusTree()
+        keys = seq_keys(3000)
+        for k in keys:
+            t.insert(k)
+        assert len(t) == 3000
+        assert list(t) == keys
+        for k in keys:
+            t.remove(k)
+        assert len(t) == 0
+        assert list(t) == []
+
+    def test_reverse_drain(self):
+        t = BPlusTree()
+        keys = seq_keys(2000)
+        for k in keys:
+            t.insert(k)
+        for k in reversed(keys):
+            t.remove(k)
+        assert len(t) == 0
+
+    def test_random_churn_matches_model(self):
+        rng = np.random.default_rng(0)
+        t = BPlusTree()
+        model = []
+        for step in range(6000):
+            v = float(rng.integers(0, 500))
+            key = (v, int(rng.integers(0, 2)), int(rng.integers(0, 50)))
+            if key in model:
+                if rng.random() < 0.7:
+                    t.remove(key)
+                    model.remove(key)
+            else:
+                t.insert(key)
+                bisect.insort(model, key)
+            if step % 997 == 0:
+                assert list(t) == model
+        assert list(t) == model
+        # Ordered navigation still intact after heavy churn.
+        if model:
+            mid = model[len(model) // 2]
+            assert t.succ_of_key(mid) == (
+                model[model.index(mid) + 1]
+                if model.index(mid) + 1 < len(model)
+                else None
+            )
+
+    def test_interleaved_neighbors_during_churn(self):
+        rng = np.random.default_rng(3)
+        t = BPlusTree()
+        model = []
+        for _ in range(1500):
+            v = float(rng.integers(0, 200))
+            key = (v, 0, int(rng.integers(0, 30)))
+            if key in model:
+                i = model.index(key)
+                pred, succ = t.remove_with_neighbors(key)
+                assert pred == (model[i - 1] if i > 0 else None)
+                assert succ == (model[i + 1] if i + 1 < len(model) else None)
+                model.remove(key)
+            else:
+                pred, succ = t.insert_with_neighbors(key)
+                bisect.insort(model, key)
+                i = model.index(key)
+                assert pred == (model[i - 1] if i > 0 else None)
+                assert succ == (model[i + 1] if i + 1 < len(model) else None)
+
+
+class TestSweepWithBPlusTree:
+    def test_crest_output_identical(self):
+        from repro.core.sweep_linf import run_crest
+        from repro.influence.measures import SizeMeasure
+
+        from conftest import make_instance
+
+        _o, _f, circles = make_instance(8, 70, 9, "linf")
+        s1, rs1 = run_crest(circles, SizeMeasure(), status_backend="sortedlist")
+        s2, rs2 = run_crest(circles, SizeMeasure(), status_backend="bplustree")
+        assert s1.labels == s2.labels
+        f1 = sorted((f.x_lo, f.x_hi, f.y_lo, f.y_hi, f.heat) for f in rs1.fragments)
+        f2 = sorted((f.x_lo, f.x_hi, f.y_lo, f.y_hi, f.heat) for f in rs2.fragments)
+        assert f1 == f2

@@ -1,0 +1,103 @@
+"""NNCircle/NNCircleSet: validation, containment per metric, degeneracy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInputError
+from repro.geometry.circle import NNCircleSet
+
+
+def make_set(metric="linf", radii=(1.0, 2.0), centers=((0, 0), (5, 5))):
+    cx = np.array([c[0] for c in centers], dtype=float)
+    cy = np.array([c[1] for c in centers], dtype=float)
+    return NNCircleSet(cx, cy, np.array(radii, dtype=float), metric)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidInputError):
+            NNCircleSet(np.zeros(3), np.zeros(2), np.zeros(3), "l2")
+
+    def test_negative_radius(self):
+        with pytest.raises(InvalidInputError):
+            NNCircleSet(np.zeros(1), np.zeros(1), np.array([-1.0]), "l2")
+
+    def test_nan_center(self):
+        with pytest.raises(InvalidInputError):
+            NNCircleSet(np.array([np.nan]), np.zeros(1), np.ones(1), "l2")
+
+    def test_client_ids_mismatch(self):
+        with pytest.raises(InvalidInputError):
+            NNCircleSet(np.zeros(2), np.zeros(2), np.ones(2), "l2",
+                        client_ids=np.array([1]))
+
+
+class TestDegenerate:
+    def test_zero_radius_dropped(self):
+        s = NNCircleSet(np.zeros(3), np.zeros(3), np.array([0.0, 1.0, 0.0]), "l2")
+        assert len(s) == 1
+        assert s.n_degenerate == 2
+
+    def test_zero_radius_kept_when_asked(self):
+        s = NNCircleSet(np.zeros(2), np.zeros(2), np.array([0.0, 1.0]), "l2",
+                        drop_degenerate=False)
+        assert len(s) == 2
+
+    def test_client_ids_follow_drop(self):
+        s = NNCircleSet(np.zeros(3), np.zeros(3), np.array([0.0, 1.0, 2.0]), "l2")
+        assert list(s.client_ids) == [1, 2]
+
+
+class TestContainment:
+    def test_square_contains(self):
+        s = make_set("linf", radii=(1.0,), centers=((0, 0),))
+        c = s[0]
+        assert c.contains(0.9, 0.9)       # corner area of the square
+        assert c.contains(1.0, 1.0)       # closed boundary
+        assert not c.contains(1.1, 0.0)
+
+    def test_disk_excludes_square_corner(self):
+        s = make_set("l2", radii=(1.0,), centers=((0, 0),))
+        c = s[0]
+        assert c.contains(0.9, 0.0)
+        assert not c.contains(0.9, 0.9)   # outside the disk, inside the square
+
+    def test_diamond_l1(self):
+        s = make_set("l1", radii=(1.0,), centers=((0, 0),))
+        c = s[0]
+        assert c.contains(0.5, 0.4)
+        assert not c.contains(0.7, 0.7)
+
+
+class TestSetQueries:
+    def test_sides(self):
+        s = make_set("linf", radii=(1.0, 2.0), centers=((0, 0), (5, 5)))
+        assert list(s.x_lo) == [-1.0, 3.0]
+        assert list(s.x_hi) == [1.0, 7.0]
+        assert list(s.y_lo) == [-1.0, 3.0]
+        assert list(s.y_hi) == [1.0, 7.0]
+
+    def test_bounds(self):
+        s = make_set("linf")
+        b = s.bounds()
+        assert (b.x_lo, b.x_hi) == (-1.0, 7.0)
+
+    def test_bounds_empty_raises(self):
+        s = NNCircleSet(np.zeros(1), np.zeros(1), np.zeros(1), "l2")
+        with pytest.raises(InvalidInputError):
+            s.bounds()
+
+    def test_enclosing_bruteforce(self):
+        s = make_set("linf", radii=(1.0, 2.0), centers=((0, 0), (1, 1)))
+        assert set(s.enclosing(0.5, 0.5)) == {0, 1}
+        assert set(s.enclosing(-0.5, -0.5)) == {0, 1}
+        assert set(s.enclosing(2.5, 2.5)) == {1}
+        assert s.enclosing(10, 10) == []
+        assert s.contains_any(0.0, 0.0)
+        assert not s.contains_any(10, 10)
+
+    def test_iteration(self):
+        s = make_set()
+        circles = list(s)
+        assert len(circles) == 2
+        assert circles[1].client_id == 1

@@ -1,0 +1,71 @@
+"""CLI smoke tests (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_heatmap_defaults(self):
+        args = build_parser().parse_args(["heatmap"])
+        assert args.dataset == "nyc"
+        assert args.metric == "l2"
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "16"])
+        assert args.number == "16"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "20"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "rnnhm" in out
+        assert "crest" in out
+
+    def test_heatmap_ascii(self, capsys):
+        code = main([
+            "heatmap", "--dataset", "uniform", "--clients", "80",
+            "--facilities", "20", "--metric", "linf",
+            "--resolution", "40", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "labels(k)=" in out
+        assert "top-5 heats:" in out
+
+    def test_heatmap_pgm_output(self, tmp_path, capsys):
+        out_file = tmp_path / "map.pgm"
+        code = main([
+            "heatmap", "--dataset", "zipfian", "--clients", "60",
+            "--facilities", "15", "--metric", "linf",
+            "--resolution", "32", "--out", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.exists()
+        from repro.render.image import read_pgm
+
+        img = read_pgm(out_file)
+        assert img.shape == (32, 32)
+
+    def test_verify_command(self, capsys):
+        code = main([
+            "verify", "--dataset", "uniform", "--clients", "60",
+            "--facilities", "15", "--metric", "linf", "--probes", "100",
+        ])
+        assert code == 0
+        assert "verification OK" in capsys.readouterr().out
+
+    def test_maxregion_command(self, capsys):
+        code = main([
+            "maxregion", "--dataset", "uniform", "--clients", "60",
+            "--facilities", "20", "--metric", "l2", "--algorithm", "crest",
+        ])
+        assert code == 0
+        assert "max influence" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""CompositeMeasure and batch heat queries."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import RNNHeatMap
+from repro.errors import InvalidInputError
+from repro.influence.measures import (
+    CompositeMeasure,
+    ConnectivityMeasure,
+    SizeMeasure,
+    WeightedMeasure,
+)
+
+
+class TestCompositeMeasure:
+    def test_weighted_sum(self):
+        m = CompositeMeasure([
+            (2.0, SizeMeasure()),
+            (0.5, ConnectivityMeasure([(0, 1)])),
+        ])
+        assert m(frozenset({0, 1})) == 2.0 * 2 + 0.5 * 1
+        assert m(frozenset()) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            CompositeMeasure([])
+        with pytest.raises(InvalidInputError):
+            CompositeMeasure([(-1.0, SizeMeasure())])
+
+    def test_upper_bound_admissible(self):
+        m = CompositeMeasure([
+            (1.0, SizeMeasure()),
+            (3.0, WeightedMeasure({0: 1.0, 1: 2.0, 2: 4.0})),
+        ])
+        included = frozenset({0})
+        undecided = frozenset({1, 2})
+        ub = m.upper_bound(included, undecided)
+        for k in range(3):
+            for extra in itertools.combinations(undecided, k):
+                assert m(included | frozenset(extra)) <= ub + 1e-12
+
+    def test_in_heat_map(self, rng):
+        O, F = rng.random((30, 2)), rng.random((6, 2))
+        m = CompositeMeasure([(1.0, SizeMeasure()), (1.0, SizeMeasure())])
+        result = RNNHeatMap(O, F, metric="linf", measure=m).build()
+        plain = RNNHeatMap(O, F, metric="linf").build()
+        for _ in range(60):
+            q = rng.random(2)
+            assert result.heat_at(*q) == 2 * plain.heat_at(*q)
+
+
+class TestBatchQueries:
+    def test_heats_at_matches_scalar(self, rng):
+        O, F = rng.random((30, 2)), rng.random((6, 2))
+        result = RNNHeatMap(O, F, metric="l2").build()
+        pts = rng.random((50, 2)) * 1.2 - 0.1
+        batch = result.region_set.heats_at(pts)
+        scalar = np.array([result.heat_at(x, y) for (x, y) in pts])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_shape_validation(self, rng):
+        O, F = rng.random((10, 2)), rng.random((3, 2))
+        result = RNNHeatMap(O, F, metric="l2").build()
+        with pytest.raises(InvalidInputError):
+            result.region_set.heats_at(np.zeros((3, 3)))

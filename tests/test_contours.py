@@ -1,0 +1,90 @@
+"""Marching-squares contour extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInputError
+from repro.geometry.rect import Rect
+from repro.render.contours import contour_lines
+
+
+def circle_field(n=64, cx=0.5, cy=0.5):
+    """A radial field: contours are circles centered at (cx, cy)."""
+    ys, xs = np.mgrid[0:n, 0:n] / (n - 1)
+    return 1.0 - np.sqrt((xs - cx) ** 2 + (ys - cy) ** 2)
+
+
+class TestBasics:
+    def test_too_small_grid(self):
+        with pytest.raises(InvalidInputError):
+            contour_lines(np.zeros((1, 5)), 0.5)
+
+    def test_flat_grid_no_contours(self):
+        assert contour_lines(np.ones((8, 8)), 0.5) == []
+        assert contour_lines(np.zeros((8, 8)), 0.5) == []
+
+    def test_step_produces_single_line(self):
+        grid = np.zeros((4, 8))
+        grid[2:, :] = 1.0
+        lines = contour_lines(grid, 0.5)
+        assert len(lines) == 1
+        ys = {round(y, 6) for line in lines for (_x, y) in line}
+        assert ys == {1.5}  # interpolated midway between rows 1 and 2
+
+    def test_points_lie_on_level_set(self):
+        grid = circle_field()
+        level = 0.7
+        for line in contour_lines(grid, level):
+            for (x, y) in line:
+                # Bilinear field along edges: interpolation is exact, so
+                # sampled field value at the point is close to the level.
+                r = 1.0 - np.hypot(x / 63 - 0.5, y / 63 - 0.5)
+                assert r == pytest.approx(level, abs=0.02)
+
+    def test_closed_loop_for_disk(self):
+        grid = circle_field()
+        lines = contour_lines(grid, 0.8)
+        assert len(lines) == 1
+        loop = lines[0]
+        assert loop[0] == loop[-1]  # closed
+        assert len(loop) > 8
+
+    def test_bounds_mapping(self):
+        grid = circle_field(n=32)
+        bounds = Rect(10.0, 20.0, -5.0, 5.0)
+        lines = contour_lines(grid, 0.8, bounds=bounds)
+        for line in lines:
+            for (x, y) in line:
+                assert 10.0 <= x <= 20.0
+                assert -5.0 <= y <= 5.0
+
+    def test_two_blobs_two_loops(self):
+        n = 60
+        ys, xs = np.mgrid[0:n, 0:n] / (n - 1)
+        blob1 = np.exp(-(((xs - 0.25) ** 2 + (ys - 0.5) ** 2) / 0.004))
+        blob2 = np.exp(-(((xs - 0.75) ** 2 + (ys - 0.5) ** 2) / 0.004))
+        lines = contour_lines(blob1 + blob2, 0.5)
+        closed = [ln for ln in lines if ln[0] == ln[-1]]
+        assert len(closed) == 2
+
+
+class TestOnHeatMaps:
+    def test_contours_of_heat_raster(self, rng):
+        from repro import RNNHeatMap
+
+        O, F = rng.random((40, 2)), rng.random((8, 2))
+        result = RNNHeatMap(O, F, metric="linf").build()
+        grid, bounds = result.rasterize(64, 64)
+        level = 0.5 * float(grid.max())
+        lines = contour_lines(grid, level, bounds=bounds)
+        assert lines  # a nontrivial heat map has a mid-level contour
+        # Contour points separate hotter from colder: sample both sides of
+        # a few segments.
+        (x0, y0), (x1, y1) = lines[0][0], lines[0][1]
+        mx, my = (x0 + x1) / 2, (y0 + y1) / 2
+        nx, ny = -(y1 - y0), (x1 - x0)
+        norm = max(np.hypot(nx, ny), 1e-12)
+        eps = 0.6 * bounds.width / 64
+        h1 = result.heat_at(mx + nx / norm * eps, my + ny / norm * eps)
+        h2 = result.heat_at(mx - nx / norm * eps, my - ny / norm * eps)
+        assert (h1 - level) * (h2 - level) <= 0  # opposite sides straddle

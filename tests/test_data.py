@@ -1,0 +1,132 @@
+"""Data generators: determinism, bounds, shape characteristics."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_FULL_SIZES,
+    LA_WINDOW,
+    NYC_WINDOW,
+    gaussian_cluster_points,
+    get_dataset,
+    la_like,
+    nyc_like,
+    sample_clients_facilities,
+    uniform_points,
+    zipfian_points,
+)
+from repro.data.city import _NYC_VOIDS  # noqa: import for the void test
+from repro.errors import InvalidInputError, UnknownDatasetError
+
+
+class TestSynthetic:
+    def test_uniform_bounds_and_size(self):
+        pts = uniform_points(500, seed=1, bounds=(2, 3, -1, 0))
+        assert pts.shape == (500, 2)
+        assert pts[:, 0].min() >= 2 and pts[:, 0].max() <= 3
+        assert pts[:, 1].min() >= -1 and pts[:, 1].max() <= 0
+
+    def test_uniform_deterministic(self):
+        np.testing.assert_array_equal(uniform_points(50, 7), uniform_points(50, 7))
+        assert not np.array_equal(uniform_points(50, 7), uniform_points(50, 8))
+
+    def test_zipfian_skew_increases_clumping(self):
+        """Higher skew concentrates mass at low ranks: the mean coordinate
+        should drop (rank 1 maps near 0)."""
+        mild = zipfian_points(4000, skew=0.2, seed=3)
+        heavy = zipfian_points(4000, skew=1.2, seed=3)
+        assert heavy[:, 0].mean() < mild[:, 0].mean()
+
+    def test_zipfian_validation(self):
+        with pytest.raises(InvalidInputError):
+            zipfian_points(10, skew=-1)
+        with pytest.raises(InvalidInputError):
+            zipfian_points(0)
+
+    def test_gaussian_clusters(self):
+        pts = gaussian_cluster_points(300, n_clusters=3, seed=0)
+        assert pts.shape == (300, 2)
+        with pytest.raises(InvalidInputError):
+            gaussian_cluster_points(10, n_clusters=0)
+
+
+class TestCityModels:
+    def test_nyc_window_and_size(self):
+        pts = nyc_like(3000, seed=0)
+        lon_lo, lon_hi, lat_lo, lat_hi = NYC_WINDOW
+        assert pts.shape == (3000, 2)
+        assert pts[:, 0].min() >= lon_lo and pts[:, 0].max() <= lon_hi
+        assert pts[:, 1].min() >= lat_lo and pts[:, 1].max() <= lat_hi
+
+    def test_la_window(self):
+        pts = la_like(2000, seed=0)
+        lon_lo, lon_hi, lat_lo, lat_hi = LA_WINDOW
+        assert pts[:, 0].min() >= lon_lo and pts[:, 0].max() <= lon_hi
+
+    def test_water_voids_are_empty(self):
+        """The geographic legibility claim: masked areas carry no points."""
+        pts = nyc_like(8000, seed=1)
+        vx, vy, rx, ry, tilt = _NYC_VOIDS[0]
+        dx = (pts[:, 0] - vx)
+        dy = (pts[:, 1] - vy)
+        c, s = np.cos(-tilt), np.sin(-tilt)
+        ux = dx * c - dy * s
+        uy = dx * s + dy * c
+        inside = (ux / rx) ** 2 + (uy / ry) ** 2 <= 1.0
+        assert inside.sum() == 0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(nyc_like(100, 5), nyc_like(100, 5))
+
+    def test_density_contrast(self):
+        """Manhattan-ish band should be denser than the window average."""
+        pts = nyc_like(20000, seed=2)
+        box = (
+            (pts[:, 0] > -74.02) & (pts[:, 0] < -73.93)
+            & (pts[:, 1] > 40.70) & (pts[:, 1] < 40.82)
+        )
+        frac_points = box.mean()
+        frac_area = (0.09 * 0.12) / (0.45 * 0.45)
+        assert frac_points > 2 * frac_area
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["nyc", "la", "uniform", "zipfian"])
+    def test_get_dataset(self, name):
+        pts = get_dataset(name, n=200, seed=0)
+        assert pts.shape == (200, 2)
+
+    def test_full_sizes_match_table2(self):
+        assert DATASET_FULL_SIZES["nyc"] == 128_547
+        assert DATASET_FULL_SIZES["la"] == 116_596
+
+    def test_unknown(self):
+        with pytest.raises(UnknownDatasetError):
+            get_dataset("chicago")
+
+
+class TestSampling:
+    def test_disjoint(self):
+        pool = uniform_points(300, 0)
+        O, F = sample_clients_facilities(pool, 100, 50, seed=1)
+        assert O.shape == (100, 2) and F.shape == (50, 2)
+        o_set = {tuple(p) for p in O}
+        f_set = {tuple(p) for p in F}
+        assert not (o_set & f_set)
+
+    def test_pool_too_small(self):
+        pool = uniform_points(10, 0)
+        with pytest.raises(InvalidInputError):
+            sample_clients_facilities(pool, 8, 5, seed=0)
+
+    def test_non_disjoint_allows_overlap(self):
+        pool = uniform_points(10, 0)
+        O, F = sample_clients_facilities(pool, 8, 5, seed=0, disjoint=False)
+        assert len(O) == 8 and len(F) == 5
+
+    def test_validation(self):
+        pool = uniform_points(10, 0)
+        with pytest.raises(InvalidInputError):
+            sample_clients_facilities(pool, 0, 5)
+        with pytest.raises(InvalidInputError):
+            sample_clients_facilities(np.zeros((5, 3)), 1, 1)

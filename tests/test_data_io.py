@@ -1,0 +1,76 @@
+"""CSV point IO."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_points_csv, save_points_csv
+from repro.errors import InvalidInputError
+
+
+class TestRoundTrip:
+    def test_with_header(self, tmp_path, rng):
+        pts = rng.random((20, 2))
+        p = save_points_csv(tmp_path / "pts.csv", pts)
+        back = load_points_csv(p, "x", "y")
+        np.testing.assert_allclose(back, pts)
+
+    def test_without_header(self, tmp_path, rng):
+        pts = rng.random((10, 2))
+        p = save_points_csv(tmp_path / "pts.csv", pts, header=None)
+        back = load_points_csv(p, 0, 1)
+        np.testing.assert_allclose(back, pts)
+
+    def test_headered_file_by_index_skips_header(self, tmp_path, rng):
+        pts = rng.random((10, 2))
+        p = save_points_csv(tmp_path / "pts.csv", pts)  # header on
+        back = load_points_csv(p, 0, 1)                 # read by index
+        np.testing.assert_allclose(back, pts)
+
+
+class TestColumnSelection:
+    def test_named_columns_reordered(self, tmp_path):
+        (tmp_path / "f.csv").write_text("lat,lon\n1.0,2.0\n3.0,4.0\n")
+        pts = load_points_csv(tmp_path / "f.csv", "lon", "lat")
+        np.testing.assert_array_equal(pts, [[2.0, 1.0], [4.0, 3.0]])
+
+    def test_missing_column(self, tmp_path):
+        (tmp_path / "f.csv").write_text("a,b\n1,2\n")
+        with pytest.raises(InvalidInputError):
+            load_points_csv(tmp_path / "f.csv", "a", "z")
+
+    def test_extra_columns_by_index(self, tmp_path):
+        (tmp_path / "f.csv").write_text("9,1.5,2.5,junk\n8,3.5,4.5,junk\n")
+        pts = load_points_csv(tmp_path / "f.csv", 1, 2)
+        np.testing.assert_array_equal(pts, [[1.5, 2.5], [3.5, 4.5]])
+
+
+class TestErrors:
+    def test_unparseable_raises(self, tmp_path):
+        (tmp_path / "f.csv").write_text("x,y\n1.0,abc\n")
+        with pytest.raises(InvalidInputError):
+            load_points_csv(tmp_path / "f.csv", "x", "y")
+
+    def test_skip_errors(self, tmp_path):
+        (tmp_path / "f.csv").write_text("x,y\n1.0,abc\n2.0,3.0\n")
+        pts = load_points_csv(tmp_path / "f.csv", "x", "y", skip_errors=True)
+        np.testing.assert_array_equal(pts, [[2.0, 3.0]])
+
+    def test_empty_file(self, tmp_path):
+        (tmp_path / "f.csv").write_text("x,y\n")
+        with pytest.raises(InvalidInputError):
+            load_points_csv(tmp_path / "f.csv", "x", "y")
+
+    def test_bad_save_shape(self, tmp_path):
+        with pytest.raises(InvalidInputError):
+            save_points_csv(tmp_path / "f.csv", np.zeros((3, 3)))
+
+    def test_feeds_heat_map(self, tmp_path, rng):
+        """End-to-end: CSV in, heat map out."""
+        from repro import RNNHeatMap
+
+        save_points_csv(tmp_path / "O.csv", rng.random((25, 2)))
+        save_points_csv(tmp_path / "F.csv", rng.random((6, 2)))
+        O = load_points_csv(tmp_path / "O.csv", "x", "y")
+        F = load_points_csv(tmp_path / "F.csv", "x", "y")
+        result = RNNHeatMap(O, F, metric="l2").build()
+        assert result.labels > 0

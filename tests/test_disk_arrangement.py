@@ -1,0 +1,92 @@
+"""Disk arrangement analytics (the L2 Euler counts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sweep_l2 import run_crest_l2
+from repro.geometry.circle import NNCircleSet
+from repro.geometry.disk_arrangement import (
+    DegenerateDiskArrangementError,
+    disk_arrangement_stats,
+)
+from repro.influence.measures import SizeMeasure
+
+
+def disks(centers, radii):
+    cx = np.array([c[0] for c in centers], dtype=float)
+    cy = np.array([c[1] for c in centers], dtype=float)
+    return NNCircleSet(cx, cy, np.asarray(radii, dtype=float), "l2")
+
+
+class TestKnownConfigurations:
+    def test_empty(self):
+        # No circles: the whole plane is the single (exterior) region.
+        assert disk_arrangement_stats(disks([], [])).regions == 1
+
+    def test_single(self):
+        s = disk_arrangement_stats(disks([(0, 0)], [1.0]))
+        assert s.regions == 2
+
+    def test_two_disjoint(self):
+        s = disk_arrangement_stats(disks([(0, 0), (5, 0)], [1.0, 1.0]))
+        assert s.regions == 3
+
+    def test_two_nested(self):
+        s = disk_arrangement_stats(disks([(0, 0), (0, 0.1)], [3.0, 1.0]))
+        assert s.components == 2
+        assert s.regions == 3
+
+    def test_two_crossing(self):
+        s = disk_arrangement_stats(disks([(0, 0), (1, 0)], [1.0, 1.0]))
+        assert (s.vertices, s.edges) == (2, 4)
+        assert s.regions == 4
+
+    def test_three_pairwise_crossing(self):
+        # Classic Venn: v = 6, e = 12, c = 1 -> r = 8.
+        s = disk_arrangement_stats(
+            disks([(0, 0), (1, 0), (0.5, 0.8)], [1.0, 1.0, 1.0])
+        )
+        assert s.regions == 8
+
+    def test_mixed_lone_circle(self):
+        s = disk_arrangement_stats(
+            disks([(0, 0), (1, 0), (10, 10)], [1.0, 1.0, 1.0])
+        )
+        assert s.regions == 5
+
+
+class TestDegeneracies:
+    def test_tangent_rejected(self):
+        with pytest.raises(DegenerateDiskArrangementError):
+            disk_arrangement_stats(disks([(0, 0), (2, 0)], [1.0, 1.0]))
+
+    def test_identical_rejected(self):
+        with pytest.raises(DegenerateDiskArrangementError):
+            disk_arrangement_stats(disks([(0, 0), (0, 0)], [1.0, 1.0]))
+
+
+class TestAgainstCrestL2:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_labelings_bounded_by_regions(self, seed):
+        """CREST-L2's labeling count is Theta(r), mirroring Lemma 3."""
+        rng = np.random.default_rng(seed)
+        circles = disks(
+            [(x, y) for x, y in rng.random((30, 2))],
+            rng.random(30) * 0.15 + 0.02,
+        )
+        try:
+            r = disk_arrangement_stats(circles).regions
+        except DegenerateDiskArrangementError:  # pragma: no cover - rare
+            pytest.skip("degenerate random configuration")
+        stats, _ = run_crest_l2(circles, SizeMeasure(), collect_fragments=False)
+        assert r - 1 <= stats.labels
+        assert stats.labels <= 30 * r  # generous constant for arc splits
+
+    def test_euler_consistency_random(self, rng):
+        for _ in range(5):
+            circles = disks(
+                [(x, y) for x, y in rng.random((15, 2)) * 3],
+                rng.random(15) * 0.5 + 0.05,
+            )
+            s = disk_arrangement_stats(circles)
+            assert s.vertices - s.edges + s.regions == 1 + s.components

@@ -1,0 +1,146 @@
+"""Dynamic heat maps: incremental assignment vs recompute-from-scratch."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicAssignment, DynamicHeatMap
+from repro.errors import InvalidInputError
+from repro.nn.nncircles import nn_distances
+from repro.nn.rnn import NaiveRNN
+
+
+def snapshot_positions(assignment: DynamicAssignment):
+    handles = sorted(assignment._clients)
+    clients = np.array([assignment._clients[h] for h in handles])
+    facilities = np.array(list(assignment._facilities.values()))
+    return handles, clients, facilities
+
+
+def check_against_scratch(assignment: DynamicAssignment):
+    """Every maintained radius equals a fresh brute-force NN distance."""
+    handles, clients, facilities = snapshot_positions(assignment)
+    fresh = nn_distances(clients, facilities, assignment.metric, backend="brute")
+    for h, d in zip(handles, fresh):
+        assert assignment.radius_of(h) == pytest.approx(d)
+
+
+class TestDynamicAssignment:
+    def test_initial_assignment(self, rng):
+        O, F = rng.random((40, 2)), rng.random((8, 2))
+        a = DynamicAssignment(O, F, "l2")
+        check_against_scratch(a)
+
+    def test_client_churn(self, rng):
+        O, F = rng.random((30, 2)), rng.random((6, 2))
+        a = DynamicAssignment(O, F, "l2")
+        new = a.add_client(0.5, 0.5)
+        a.move_client(new, 0.9, 0.1)
+        a.move_client(0, 0.2, 0.8)
+        a.remove_client(1)
+        check_against_scratch(a)
+        assert a.n_clients == 30  # +1 added, -1 removed
+
+    def test_facility_insert_reassigns_winners_only(self, rng):
+        O, F = rng.random((50, 2)), rng.random((5, 2))
+        a = DynamicAssignment(O, F, "l2")
+        queries_before = a.stat_nn_queries
+        a.add_facility(0.5, 0.5)
+        # No full re-queries happened: insertion is a vectorized pass.
+        assert a.stat_nn_queries == queries_before
+        check_against_scratch(a)
+
+    def test_facility_removal_requeries_orphans_only(self, rng):
+        O, F = rng.random((50, 2)), rng.random((5, 2))
+        a = DynamicAssignment(O, F, "l2")
+        victim = 0
+        orphans = [c for c in range(50) if a.facility_of(c) == victim]
+        queries_before = a.stat_nn_queries
+        a.remove_facility(victim)
+        assert a.stat_nn_queries - queries_before == len(orphans)
+        check_against_scratch(a)
+
+    def test_facility_move(self, rng):
+        O, F = rng.random((40, 2)), rng.random((6, 2))
+        a = DynamicAssignment(O, F, "linf")
+        a.move_facility(2, 0.05, 0.95)
+        a.move_facility(3, 0.5, 0.5)
+        check_against_scratch(a)
+
+    def test_move_single_facility(self, rng):
+        O = rng.random((10, 2))
+        a = DynamicAssignment(O, np.array([[0.5, 0.5]]), "l2")
+        a.move_facility(0, 0.1, 0.1)
+        check_against_scratch(a)
+
+    def test_guards(self, rng):
+        O, F = rng.random((5, 2)), rng.random((2, 2))
+        a = DynamicAssignment(O, F, "l2")
+        with pytest.raises(InvalidInputError):
+            a.remove_client(999)
+        with pytest.raises(InvalidInputError):
+            a.move_client(999, 0, 0)
+        with pytest.raises(InvalidInputError):
+            a.remove_facility(999)
+        a.remove_facility(0)
+        with pytest.raises(InvalidInputError):
+            a.remove_facility(1)  # never drop the last facility
+        with pytest.raises(InvalidInputError):
+            DynamicAssignment(np.zeros((0, 2)), F, "l2")
+
+    def test_circles_snapshot_handles(self, rng):
+        O, F = rng.random((20, 2)), rng.random((4, 2))
+        a = DynamicAssignment(O, F, "l2")
+        a.remove_client(5)
+        h = a.add_client(0.3, 0.3)
+        circles = a.circles()
+        ids = set(circles.client_ids.tolist())
+        assert 5 not in ids
+        assert h in ids
+
+
+class TestDynamicHeatMap:
+    @pytest.mark.parametrize("metric", ["l2", "linf", "l1"])
+    def test_matches_from_scratch_after_updates(self, metric, rng):
+        O, F = rng.random((30, 2)), rng.random((6, 2))
+        dyn = DynamicHeatMap(O, F, metric=metric)
+        dyn.move_client(0, 0.9, 0.9)
+        dyn.remove_client(1)
+        h = dyn.add_client(0.1, 0.2)
+        dyn.add_facility(0.6, 0.6)
+        assert dyn.dirty
+        # Reference: rebuild the same world from scratch.
+        O2 = [dyn.assignment._clients[k] for k in sorted(dyn.assignment._clients)]
+        F2 = list(dyn.assignment._facilities.values())
+        O2 = np.array(O2)
+        F2 = np.array(F2)
+        if metric == "l1":
+            # dyn stores rotated coordinates; map back for the oracle.
+            O2 = dyn.transform.inverse_array(O2)
+            F2 = dyn.transform.inverse_array(F2)
+        oracle = NaiveRNN(O2, F2, metric=metric)
+        for _ in range(60):
+            x, y = rng.random(2) * 1.2 - 0.1
+            got = dyn.heat_at(x, y)
+            assert got == len(oracle.query(x, y))
+        assert not dyn.dirty
+        assert h in dyn.assignment._clients
+
+    def test_lazy_rebuild_caching(self, rng):
+        O, F = rng.random((20, 2)), rng.random((4, 2))
+        dyn = DynamicHeatMap(O, F, metric="linf")
+        dyn.heat_at(0.5, 0.5)
+        dyn.heat_at(0.2, 0.2)
+        assert dyn.rebuilds == 1  # second query reused the cache
+        dyn.move_client(0, 0.4, 0.4)
+        dyn.heat_at(0.5, 0.5)
+        assert dyn.rebuilds == 2
+
+    def test_rnn_sets_track_updates(self, rng):
+        O = np.array([[0.4, 0.5], [0.6, 0.5]])
+        F = np.array([[0.0, 0.5]])
+        dyn = DynamicHeatMap(O, F, metric="l2")
+        # Client 1's NN distance is 0.6: a point midway attracts both.
+        assert dyn.rnn_at(0.5, 0.5) == frozenset({0, 1})
+        # A new facility right of client 1 shrinks its circle.
+        dyn.add_facility(0.65, 0.5)
+        assert dyn.rnn_at(0.5, 0.5) == frozenset({0})

@@ -1,0 +1,85 @@
+"""Unit tests for the sweep event builder and the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.elements import (
+    INSERT,
+    LOWER,
+    REMOVE,
+    UPPER,
+    build_events,
+    uid_of,
+    uid_of_key,
+)
+from repro.errors import BudgetExceededError
+from repro.experiments.harness import timed_run
+from repro.geometry.circle import NNCircleSet
+
+
+class TestElements:
+    def test_uid_scheme(self):
+        # The paper's 2i-1 / 2i record keys, realized 0-based.
+        assert uid_of(0, LOWER) == 0
+        assert uid_of(0, UPPER) == 1
+        assert uid_of(3, LOWER) == 6
+        assert uid_of_key((1.5, UPPER, 3)) == 7
+
+    def test_events_sorted_and_paired(self):
+        circles = NNCircleSet(
+            np.array([0.0, 5.0]), np.array([0.0, 0.0]),
+            np.array([1.0, 2.0]), "linf",
+        )
+        events = build_events(circles)
+        xs = [e[0] for e in events]
+        assert xs == sorted(xs)
+        assert len(events) == 4
+        inserts = [(x, i) for x, op, i in events if op == INSERT]
+        removes = [(x, i) for x, op, i in events if op == REMOVE]
+        assert inserts == [(-1.0, 0), (3.0, 1)]
+        assert removes == [(1.0, 0), (7.0, 1)]
+
+    def test_shared_event_coordinate(self):
+        # Right side of circle 0 coincides with left side of circle 1.
+        circles = NNCircleSet(
+            np.array([0.0, 2.0]), np.array([0.0, 0.0]),
+            np.array([1.0, 1.0]), "linf",
+        )
+        events = build_events(circles)
+        batch = [e for e in events if e[0] == 1.0]
+        assert {(op, i) for _x, op, i in batch} == {(REMOVE, 0), (INSERT, 1)}
+
+
+class TestTimedRun:
+    def test_measures_and_returns(self):
+        ms, value = timed_run(lambda: sum(range(10000)))
+        assert value == sum(range(10000))
+        assert ms >= 0.0
+
+    def test_budget_exceeded_maps_to_none(self):
+        def boom():
+            raise BudgetExceededError("too big")
+
+        ms, value = timed_run(boom)
+        assert ms is None and value is None
+
+    def test_other_errors_propagate(self):
+        with pytest.raises(ValueError):
+            timed_run(lambda: (_ for _ in ()).throw(ValueError("x")))
+
+
+class TestOnLabelCallback:
+    def test_sweep_invokes_callback_per_label(self, rng):
+        from repro.core.sweep_linf import run_crest
+        from repro.influence.measures import SizeMeasure
+        from repro.nn.nncircles import compute_nn_circles
+
+        O, F = rng.random((20, 2)), rng.random((5, 2))
+        circles = compute_nn_circles(O, F, "linf")
+        seen = []
+        stats, _ = run_crest(
+            circles, SizeMeasure(),
+            on_label=lambda fs, heat: seen.append((fs, heat)),
+        )
+        assert len(seen) == stats.labels
+        assert all(heat == len(fs) for fs, heat in seen)

@@ -1,0 +1,91 @@
+"""Point-enclosure indexes (S-tree substitute, R-tree) vs brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.enclosure import BruteForceEnclosure, SegmentTreeEnclosureIndex
+from repro.index.rtree import RTree
+
+bound = st.floats(-20, 20, allow_nan=False)
+
+
+@st.composite
+def rect_sets(draw):
+    n = draw(st.integers(1, 30))
+    x_lo, x_hi, y_lo, y_hi = [], [], [], []
+    for _ in range(n):
+        a, b = sorted((draw(bound), draw(bound)))
+        c, d = sorted((draw(bound), draw(bound)))
+        x_lo.append(a)
+        x_hi.append(b)
+        y_lo.append(c)
+        y_hi.append(d)
+    return map(np.array, (x_lo, x_hi, y_lo, y_hi))
+
+
+def brute(x_lo, x_hi, y_lo, y_hi, px, py):
+    return sorted(
+        i
+        for i in range(len(x_lo))
+        if x_lo[i] <= px <= x_hi[i] and y_lo[i] <= py <= y_hi[i]
+    )
+
+
+class TestSegmentTree:
+    @settings(max_examples=25)
+    @given(rects=rect_sets(), px=bound, py=bound)
+    def test_random(self, rects, px, py):
+        x_lo, x_hi, y_lo, y_hi = rects
+        idx = SegmentTreeEnclosureIndex(x_lo, x_hi, y_lo, y_hi)
+        assert sorted(idx.query(px, py)) == brute(x_lo, x_hi, y_lo, y_hi, px, py)
+
+    def test_query_at_shared_endpoint(self):
+        # Two rectangles meeting at x=1: a point exactly at the seam is
+        # inside both (closed semantics).
+        idx = SegmentTreeEnclosureIndex(
+            np.array([0.0, 1.0]), np.array([1.0, 2.0]),
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+        )
+        assert sorted(idx.query(1.0, 0.5)) == [0, 1]
+
+    def test_outside_span(self):
+        idx = SegmentTreeEnclosureIndex(
+            np.array([0.0]), np.array([1.0]), np.array([0.0]), np.array([1.0])
+        )
+        assert idx.query(-5.0, 0.5) == []
+        assert idx.query(5.0, 0.5) == []
+
+    def test_mismatched_lengths(self):
+        from repro.errors import InvalidInputError
+
+        with pytest.raises(InvalidInputError):
+            SegmentTreeEnclosureIndex(
+                np.zeros(2), np.ones(2), np.zeros(1), np.ones(1)
+            )
+
+
+class TestRTreePointQueries:
+    @settings(max_examples=25)
+    @given(rects=rect_sets(), px=bound, py=bound)
+    def test_random(self, rects, px, py):
+        x_lo, x_hi, y_lo, y_hi = rects
+        idx = RTree(x_lo, x_hi, y_lo, y_hi)
+        assert sorted(idx.query_point(px, py)) == brute(x_lo, x_hi, y_lo, y_hi, px, py)
+
+
+class TestConsistencyAcrossIndexes:
+    def test_three_indexes_agree(self, rng):
+        n = 150
+        cx, cy = rng.random(n) * 10, rng.random(n) * 10
+        r = rng.random(n)
+        args = (cx - r, cx + r, cy - r, cy + r)
+        seg = SegmentTreeEnclosureIndex(*args)
+        rt = RTree(*args)
+        bf = BruteForceEnclosure(*args)
+        for _ in range(50):
+            px, py = rng.random(2) * 12 - 1
+            expected = sorted(bf.query(px, py))
+            assert sorted(seg.query(px, py)) == expected
+            assert sorted(rt.query_point(px, py)) == expected

@@ -1,0 +1,59 @@
+"""The examples must actually run — each is executed as a subprocess.
+
+``city_exploration`` is excluded here (tens of seconds at its default
+scale; exercised by the figure harness and CLI instead).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "taxi_sharing.py",
+    "courier_capacity.py",
+    "dynamic_fleet.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_explains_the_fig2_lesson():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert "region labelings" in proc.stdout
+    assert "heat at" in proc.stdout
+
+
+def test_taxi_sharing_contrasts_superimposition():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "taxi_sharing.py")],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert "superimposition" in proc.stdout
+    assert "connectivity" in proc.stdout
+
+
+def test_dynamic_fleet_reports_incremental_work():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "dynamic_fleet.py")],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert "incremental NN maintenance" in proc.stdout
+    assert "tick 5" in proc.stdout

@@ -1,0 +1,112 @@
+"""Experiment harness: tiny end-to-end figure runs and table plumbing."""
+
+import pytest
+
+from repro.experiments import (
+    ResultTable,
+    RunRecord,
+    build_workload,
+    figure16,
+    figure17,
+    figure18,
+    figure19,
+    table2_city_heatmaps,
+)
+
+
+class TestWorkloads:
+    def test_ratio_respected(self):
+        wl = build_workload("uniform", 64, 8, metric="l1", seed=0)
+        assert len(wl.clients) == 64
+        assert len(wl.facilities) == 8
+        assert wl.ratio == 8.0
+
+    def test_l1_workload_is_rotated(self):
+        wl = build_workload("uniform", 32, 4, metric="l1", seed=0)
+        assert wl.circles.metric.name == "linf"
+        assert not wl.transform.is_identity
+
+    def test_capacity_measure_workload(self):
+        wl = build_workload("uniform", 32, 4, metric="l2", measure="capacity")
+        assert wl.measure(frozenset()) == 0.0
+
+    def test_validation(self):
+        from repro.errors import InvalidInputError
+
+        with pytest.raises(InvalidInputError):
+            build_workload("uniform", 0, 2)
+        with pytest.raises(InvalidInputError):
+            build_workload("uniform", 16, 2, measure="revenue")
+
+
+class TestFigureRuns:
+    """Miniature sweeps: the point is plumbing + the expected orderings."""
+
+    def test_figure16_tiny(self):
+        table = figure16(ratios=(2, 4), n_clients=48,
+                         datasets=("uniform",), seed=0)
+        assert len(table.records) == 6  # 2 ratios x 3 algorithms
+        by_algo = {
+            algo: [r.time_ms for r in table.records if r.algorithm == algo]
+            for algo in ("baseline", "crest-a", "crest")
+        }
+        # The paper's headline ordering at every ratio.
+        for i in range(2):
+            assert by_algo["crest"][i] <= by_algo["baseline"][i]
+
+    def test_figure17_tiny_with_cap(self):
+        table = figure17(sizes=(32, 64), ratio=8, datasets=("uniform",),
+                         baseline_cap=32, seed=0)
+        timeouts = [r for r in table.records
+                    if r.algorithm == "baseline" and r.time_ms is None]
+        assert len(timeouts) == 1  # size 64 exceeded the cap
+
+    def test_figure18_tiny(self):
+        table = figure18(ratios=(2,), n_clients=24, datasets=("uniform",),
+                         budget_s=30, seed=0)
+        algos = {r.algorithm for r in table.records}
+        assert algos == {"pruning", "crest-l2"}
+
+    def test_figure19_tiny(self):
+        table = figure19(sizes=(24,), ratio=4, datasets=("uniform",),
+                         budget_s=30, seed=0)
+        assert len(table.records) == 2
+
+    def test_city_heatmaps_tiny(self, tmp_path):
+        table = table2_city_heatmaps(n_clients=60, n_facilities=20,
+                                     resolution=24, out_dir=tmp_path)
+        assert len(table.records) == 2
+        assert (tmp_path / "nyc_heatmap.pgm").exists()
+        assert (tmp_path / "la_heatmap.pgm").exists()
+
+
+class TestResultTable:
+    def make_table(self):
+        t = ResultTable("demo")
+        t.add(RunRecord("figX", "uniform", "crest", 10, 5, 2.0, 1.5, labels=7))
+        t.add(RunRecord("figX", "uniform", "baseline", 10, 5, 2.0, None))
+        return t
+
+    def test_render_contains_timeout(self):
+        text = self.make_table().render()
+        assert "timeout" in text
+        assert "crest" in text
+
+    def test_csv_roundtrip(self, tmp_path):
+        t = self.make_table()
+        p = t.save_csv(tmp_path / "t.csv")
+        lines = p.read_text().strip().split("\n")
+        assert len(lines) == 3
+        assert lines[0].startswith("figure,")
+
+    def test_json_dump(self, tmp_path):
+        import json
+
+        t = self.make_table()
+        p = t.save_json(tmp_path / "t.json")
+        data = json.loads(p.read_text())
+        assert data[0]["algorithm"] == "crest"
+
+    def test_series_extraction(self):
+        t = self.make_table()
+        assert t.series("crest") == [(2.0, 1.5)]

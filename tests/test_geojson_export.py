@@ -1,0 +1,96 @@
+"""GeoJSON export of labeled regions."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import RNNHeatMap
+from repro.errors import InvalidInputError
+from repro.post.export import regionset_to_geojson, save_geojson
+
+
+@pytest.fixture
+def built(rng):
+    O, F = rng.random((25, 2)), rng.random((6, 2))
+    return RNNHeatMap(O, F, metric="linf").build()
+
+
+class TestStructure:
+    def test_feature_collection_shape(self, built):
+        gj = regionset_to_geojson(built.region_set)
+        assert gj["type"] == "FeatureCollection"
+        assert len(gj["features"]) == len(built.region_set.fragments)
+        feat = gj["features"][0]
+        assert feat["geometry"]["type"] == "Polygon"
+        assert "heat" in feat["properties"]
+        assert "rnn_size" in feat["properties"]
+
+    def test_rings_closed(self, built):
+        gj = regionset_to_geojson(built.region_set)
+        for feat in gj["features"][:40]:
+            ring = feat["geometry"]["coordinates"][0]
+            assert ring[0] == ring[-1]
+            assert len(ring) >= 5
+
+    def test_sorted_hottest_first(self, built):
+        gj = regionset_to_geojson(built.region_set)
+        heats = [f["properties"]["heat"] for f in gj["features"]]
+        assert heats == sorted(heats, reverse=True)
+
+    def test_min_heat_and_cap(self, built):
+        gj = regionset_to_geojson(built.region_set, min_heat=2.0,
+                                  max_features=5)
+        assert len(gj["features"]) <= 5
+        assert all(f["properties"]["heat"] >= 2.0 for f in gj["features"])
+
+    def test_arc_samples_validation(self, built):
+        with pytest.raises(InvalidInputError):
+            regionset_to_geojson(built.region_set, arc_samples=0)
+
+
+class TestGeometryFidelity:
+    def test_l2_rings_follow_arcs(self, rng):
+        O, F = rng.random((20, 2)), rng.random((5, 2))
+        result = RNNHeatMap(O, F, metric="l2").build()
+        gj = regionset_to_geojson(result.region_set, arc_samples=6)
+        frag = result.region_set.fragments[0]
+        ring = None
+        for feat in gj["features"]:
+            if feat["properties"]["heat"] == frag.heat:
+                ring = feat["geometry"]["coordinates"][0]
+                break
+        assert ring is not None
+        assert len(ring) == 2 * (6 + 1) + 1  # bottom + top samples + close
+
+    def test_l1_rings_in_original_frame(self, rng):
+        """Rotated-frame fragments must come back as original-space points
+        within the data's vicinity."""
+        O, F = rng.random((20, 2)), rng.random((5, 2))
+        result = RNNHeatMap(O, F, metric="l1").build()
+        gj = regionset_to_geojson(result.region_set)
+        for feat in gj["features"][:20]:
+            for (x, y) in feat["geometry"]["coordinates"][0]:
+                assert -1.0 < x < 2.0 and -1.0 < y < 2.0
+
+    def test_ring_interior_heat_matches(self, built):
+        """The polygon centroid carries the advertised heat."""
+        gj = regionset_to_geojson(built.region_set)
+        checked = 0
+        for feat in gj["features"]:
+            ring = feat["geometry"]["coordinates"][0][:-1]
+            cx = sum(p[0] for p in ring) / len(ring)
+            cy = sum(p[1] for p in ring) / len(ring)
+            got = built.heat_at(cx, cy)
+            if got == feat["properties"]["heat"]:
+                checked += 1
+        assert checked >= 0.9 * len(gj["features"])
+
+
+class TestSave:
+    def test_roundtrip_file(self, built, tmp_path):
+        p = save_geojson(built.region_set, tmp_path / "map.geojson",
+                         max_features=50)
+        data = json.loads(p.read_text())
+        assert data["type"] == "FeatureCollection"
+        assert len(data["features"]) <= 50

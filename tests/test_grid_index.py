@@ -1,0 +1,73 @@
+"""Uniform grid index: intersecting pairs and point queries vs brute force."""
+
+import numpy as np
+
+from repro.index.grid import UniformGridIndex
+
+
+def brute_pairs(x_lo, x_hi, y_lo, y_hi):
+    n = len(x_lo)
+    out = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not (
+                x_lo[j] > x_hi[i]
+                or x_hi[j] < x_lo[i]
+                or y_lo[j] > y_hi[i]
+                or y_hi[j] < y_lo[i]
+            ):
+                out.append((i, j))
+    return out
+
+
+class TestGridIndex:
+    def test_empty(self):
+        g = UniformGridIndex(np.array([]), np.array([]), np.array([]), np.array([]))
+        assert g.intersecting_pairs() == []
+        assert g.query_point(0, 0) == []
+
+    def test_pairs_match_brute(self, rng):
+        for _ in range(5):
+            n = 80
+            cx, cy = rng.random(n) * 10, rng.random(n) * 10
+            r = rng.random(n) * 0.6
+            g = UniformGridIndex(cx - r, cx + r, cy - r, cy + r)
+            assert g.intersecting_pairs() == brute_pairs(cx - r, cx + r, cy - r, cy + r)
+
+    def test_candidates_superset_of_overlaps(self, rng):
+        n = 60
+        cx, cy = rng.random(n) * 5, rng.random(n) * 5
+        r = rng.random(n) * 0.4
+        g = UniformGridIndex(cx - r, cx + r, cy - r, cy + r)
+        pairs = set(g.intersecting_pairs())
+        for i in range(n):
+            cands = g.candidates_for(i)
+            for (a, b) in pairs:
+                if a == i:
+                    assert b in cands
+                if b == i:
+                    assert a in cands
+
+    def test_query_point(self, rng):
+        n = 70
+        cx, cy = rng.random(n) * 8, rng.random(n) * 8
+        r = rng.random(n) * 0.5
+        g = UniformGridIndex(cx - r, cx + r, cy - r, cy + r)
+        for _ in range(40):
+            px, py = rng.random(2) * 8
+            expected = sorted(
+                int(i)
+                for i in range(n)
+                if cx[i] - r[i] <= px <= cx[i] + r[i]
+                and cy[i] - r[i] <= py <= cy[i] + r[i]
+            )
+            assert sorted(g.query_point(px, py)) == expected
+
+    def test_degenerate_zero_extent(self):
+        g = UniformGridIndex(
+            np.array([1.0, 1.0]), np.array([1.0, 1.0]),
+            np.array([2.0, 2.0]), np.array([2.0, 2.0]),
+        )
+        # Identical degenerate boxes still pair up and answer point queries.
+        assert g.intersecting_pairs() == [(0, 1)]
+        assert sorted(g.query_point(1.0, 2.0)) == [0, 1]

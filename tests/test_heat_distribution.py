@@ -1,0 +1,80 @@
+"""Influence-distribution analytics over the labeled plane."""
+
+import numpy as np
+import pytest
+
+from repro import RNNHeatMap
+from repro.core.regionset import RectFragment, RegionSet
+from repro.errors import InvalidInputError
+
+
+def frag(x0, x1, y0, y1, heat):
+    return RectFragment(x0, x1, y0, y1, heat, frozenset({0}))
+
+
+class TestAreaAbove:
+    def test_known_areas(self):
+        rs = RegionSet([
+            frag(0, 1, 0, 1, 1.0),   # area 1
+            frag(1, 3, 0, 1, 2.0),   # area 2
+            frag(3, 4, 0, 2, 5.0),   # area 2
+        ])
+        assert rs.area_above(0.0) == pytest.approx(5.0)
+        assert rs.area_above(2.0) == pytest.approx(4.0)
+        assert rs.area_above(5.0) == pytest.approx(2.0)
+        assert rs.area_above(6.0) == 0.0
+
+
+class TestHeatDistribution:
+    def test_bins_partition_total_area(self, rng):
+        O, F = rng.random((40, 2)), rng.random((8, 2))
+        rs = RNNHeatMap(O, F, metric="linf").build().region_set
+        edges, areas = rs.heat_distribution(bins=8)
+        assert len(edges) == 9
+        assert len(areas) == 8
+        assert areas.sum() == pytest.approx(rs.total_area())
+
+    def test_monotone_cumulative_matches_area_above(self, rng):
+        O, F = rng.random((30, 2)), rng.random((6, 2))
+        rs = RNNHeatMap(O, F, metric="linf").build().region_set
+        edges, areas = rs.heat_distribution(bins=6)
+        # Tail-sum of the histogram equals area_above at each bin edge.
+        for i in range(len(areas)):
+            tail = areas[i:].sum()
+            assert tail == pytest.approx(rs.area_above(edges[i]), rel=1e-9)
+
+    def test_empty_regionset(self):
+        edges, areas = RegionSet([]).heat_distribution(bins=4)
+        assert areas.sum() == 0.0
+        assert len(edges) == 5
+
+    def test_single_heat_level(self):
+        rs = RegionSet([frag(0, 1, 0, 1, 3.0)])
+        edges, areas = rs.heat_distribution(bins=4)
+        assert areas.sum() == pytest.approx(1.0)
+
+    def test_invalid_bins(self):
+        with pytest.raises(InvalidInputError):
+            RegionSet([]).heat_distribution(bins=0)
+
+
+class TestL2TieStorm:
+    def test_equal_radius_grid_disks(self, rng):
+        """A lattice of identical disks: every pairwise intersection is
+        mirrored and many events share x — the L2 tie gauntlet."""
+        from repro.core.sweep_l2 import run_crest_l2
+        from repro.geometry.circle import NNCircleSet
+        from repro.influence.measures import SizeMeasure
+
+        from conftest import naive_rnn_set
+
+        xs, ys = np.meshgrid(np.arange(4, dtype=float),
+                             np.arange(4, dtype=float))
+        circles = NNCircleSet(
+            xs.ravel(), ys.ravel(), np.full(16, 0.7), "l2"
+        )
+        _s, rs = run_crest_l2(circles, SizeMeasure())
+        for _ in range(250):
+            x = rng.uniform(-1, 4)
+            y = rng.uniform(-1, 4)
+            assert rs.rnn_at(x, y) == naive_rnn_set(circles, x, y)

@@ -1,0 +1,116 @@
+"""The RNNHeatMap facade: metric dispatch, L1 rotation, algorithm matrix."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AlgorithmUnsupportedError,
+    RNNHeatMap,
+    SizeMeasure,
+    UnknownAlgorithmError,
+    build_heat_map,
+)
+from repro.nn.rnn import NaiveRNN
+
+
+@pytest.fixture
+def small_instance(rng):
+    return rng.random((40, 2)), rng.random((8, 2))
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    def test_crest_runs_under_all_metrics(self, metric, small_instance):
+        O, F = small_instance
+        result = RNNHeatMap(O, F, metric=metric).build("crest")
+        assert result.labels > 0
+        assert result.stats.n_fragments > 0
+
+    @pytest.mark.parametrize("algorithm", ["crest-a", "baseline", "superimposition"])
+    def test_square_algorithms(self, algorithm, small_instance):
+        O, F = small_instance
+        result = RNNHeatMap(O, F, metric="linf").build(algorithm)
+        assert result.stats.algorithm == algorithm or result.stats.n_fragments >= 0
+
+    @pytest.mark.parametrize("algorithm", ["crest-a", "baseline"])
+    def test_square_algorithms_rejected_under_l2(self, algorithm, small_instance):
+        O, F = small_instance
+        hm = RNNHeatMap(O, F, metric="l2")
+        with pytest.raises(AlgorithmUnsupportedError):
+            hm.build(algorithm)
+
+    def test_unknown_algorithm(self, small_instance):
+        O, F = small_instance
+        with pytest.raises(UnknownAlgorithmError):
+            RNNHeatMap(O, F, metric="linf").build("magic")
+        with pytest.raises(UnknownAlgorithmError):
+            RNNHeatMap(O, F, metric="l2").build("magic")
+
+
+class TestCorrectnessAcrossMetrics:
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    def test_matches_naive_oracle(self, metric, small_instance, rng):
+        """End-to-end: facade heat equals the definitional RNN influence in
+        *original* coordinates for every metric."""
+        O, F = small_instance
+        result = RNNHeatMap(O, F, metric=metric).build("crest")
+        oracle = NaiveRNN(O, F, metric=metric)
+        for _ in range(120):
+            x, y = rng.random(2) * 1.2 - 0.1
+            assert result.rnn_at(x, y) == oracle.query(x, y)
+
+    def test_monochromatic(self, rng):
+        P = rng.random((50, 2))
+        result = RNNHeatMap(P, monochromatic=True, metric="linf").build()
+        oracle = NaiveRNN(P, monochromatic=True, metric="linf")
+        for _ in range(80):
+            x, y = rng.random(2)
+            assert result.rnn_at(x, y) == oracle.query(x, y)
+
+
+class TestMaxRegion:
+    def test_crest_vs_pruning_l2(self, rng):
+        # A sparser instance than the shared fixture: the pruning
+        # comparator's enumeration is exponential in overlap density.
+        O, F = rng.random((20, 2)), rng.random((10, 2))
+        hm = RNNHeatMap(O, F, metric="l2")
+        via_crest = hm.max_region("crest")
+        via_pruning = hm.max_region("pruning")
+        assert via_crest.max_heat == pytest.approx(via_pruning.max_heat)
+
+    def test_max_point_in_original_frame_for_l1(self, small_instance):
+        O, F = small_instance
+        hm = RNNHeatMap(O, F, metric="l1")
+        res = hm.max_region("crest")
+        built = hm.build("crest")
+        x, y = res.max_point
+        assert built.heat_at(x, y) == pytest.approx(res.max_heat)
+
+    def test_pruning_rejected_off_l2(self, small_instance):
+        O, F = small_instance
+        with pytest.raises(AlgorithmUnsupportedError):
+            RNNHeatMap(O, F, metric="linf").max_region("pruning")
+
+
+class TestConvenience:
+    def test_build_heat_map_oneshot(self, small_instance):
+        O, F = small_instance
+        result = build_heat_map(O, F, metric="linf", algorithm="crest")
+        assert result.labels > 0
+
+    def test_default_measure_is_size(self, small_instance):
+        O, F = small_instance
+        hm = RNNHeatMap(O, F, metric="linf")
+        assert isinstance(hm.measure, SizeMeasure)
+
+    def test_sweep_metric_name(self, small_instance):
+        O, F = small_instance
+        assert RNNHeatMap(O, F, metric="l1").sweep_metric_name == "linf"
+        assert RNNHeatMap(O, F, metric="l2").sweep_metric_name == "l2"
+
+    def test_rasterize_passthrough(self, small_instance):
+        O, F = small_instance
+        result = RNNHeatMap(O, F, metric="linf").build()
+        grid, bounds = result.rasterize(32, 32)
+        assert grid.shape == (32, 32)
+        assert grid.max() > 0

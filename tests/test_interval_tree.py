@@ -1,0 +1,60 @@
+"""Centered interval tree: stabbing queries against brute force."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInputError
+from repro.index.interval_tree import IntervalTree
+
+bound = st.floats(-100, 100, allow_nan=False)
+
+
+@st.composite
+def interval_sets(draw):
+    n = draw(st.integers(0, 40))
+    out = []
+    for i in range(n):
+        a, b = sorted((draw(bound), draw(bound)))
+        out.append((a, b, i))
+    return out
+
+
+class TestBasics:
+    def test_empty(self):
+        t = IntervalTree([])
+        assert t.stab(0.0) == []
+        assert len(t) == 0
+
+    def test_malformed_raises(self):
+        with pytest.raises(InvalidInputError):
+            IntervalTree([(2.0, 1.0, 0)])
+
+    def test_single(self):
+        t = IntervalTree([(0.0, 2.0, 7)])
+        assert t.stab(1.0) == [7]
+        assert t.stab(0.0) == [7]  # closed endpoints
+        assert t.stab(2.0) == [7]
+        assert t.stab(2.1) == []
+
+    def test_nested(self):
+        t = IntervalTree([(0, 10, 0), (2, 3, 1), (5, 6, 2)])
+        assert sorted(t.stab(2.5)) == [0, 1]
+        assert sorted(t.stab(5.5)) == [0, 2]
+        assert t.stab(4.0) == [0]
+
+
+@given(intervals=interval_sets(), x=bound)
+def test_against_brute_force(intervals, x):
+    tree = IntervalTree(intervals)
+    expected = sorted(i for (a, b, i) in intervals if a <= x <= b)
+    assert sorted(tree.stab(x)) == expected
+
+
+@given(intervals=interval_sets())
+def test_stab_at_endpoints(intervals):
+    tree = IntervalTree(intervals)
+    for (a, b, _i) in intervals[:10]:
+        for x in (a, b):
+            expected = sorted(i for (lo, hi, i) in intervals if lo <= x <= hi)
+            assert sorted(tree.stab(x)) == expected

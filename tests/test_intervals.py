@@ -1,0 +1,69 @@
+"""Changed-interval merging (Section V-C1)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import merge_intervals
+
+bound = st.floats(-100, 100, allow_nan=False)
+
+
+@st.composite
+def interval_lists(draw):
+    n = draw(st.integers(0, 12))
+    out = []
+    for _ in range(n):
+        a, b = sorted((draw(bound), draw(bound)))
+        out.append((a, b))
+    return out
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_single(self):
+        assert merge_intervals([(1, 2)]) == [(1, 2)]
+
+    def test_disjoint_kept_sorted(self):
+        assert merge_intervals([(3, 4), (0, 1)]) == [(0, 1), (3, 4)]
+
+    def test_overlap_merges(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_touching_merges(self):
+        """The paper merges when y_cj >= y_ci' — touching counts."""
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_containment(self):
+        assert merge_intervals([(0, 10), (2, 3), (4, 5)]) == [(0, 10)]
+
+    def test_paper_example_fig11(self):
+        """Crossing x4 of Fig. 11: [y1, y1] and [y4, y4] merge into [y1, y4]
+        when they overlap (values chosen to overlap here)."""
+        assert merge_intervals([(1.0, 4.0), (3.0, 6.0)]) == [(1.0, 6.0)]
+
+    @given(items=interval_lists())
+    def test_output_disjoint_and_sorted(self, items):
+        merged = merge_intervals(items)
+        for (a1, b1), (a2, b2) in zip(merged, merged[1:]):
+            assert a1 <= b1 and a2 <= b2
+            assert b1 < a2  # strictly separated after merging
+
+    @given(items=interval_lists())
+    def test_coverage_preserved(self, items):
+        """Every input endpoint is covered by exactly the merged span."""
+        merged = merge_intervals(items)
+
+        def covered(x):
+            return any(a <= x <= b for a, b in merged)
+
+        for (a, b) in items:
+            assert covered(a) and covered(b)
+            assert covered((a + b) / 2)
+
+    @given(items=interval_lists())
+    def test_total_length_never_shrinks(self, items):
+        merged_len = sum(b - a for a, b in merge_intervals(items))
+        max_single = max((b - a for a, b in items), default=0.0)
+        assert merged_len >= max_single - 1e-12

@@ -1,0 +1,150 @@
+"""Deeper structural invariants: merged-region connectivity/maximality,
+serialization as a property, and adversarial sweep configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialize import load_region_set, save_region_set
+from repro.core.sweep_linf import run_crest
+from repro.geometry.circle import NNCircleSet
+from repro.influence.measures import SizeMeasure
+from repro.post.regions import merge_regions
+
+from conftest import naive_rnn_set
+
+
+@st.composite
+def square_sets(draw):
+    n = draw(st.integers(1, 25))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    return NNCircleSet(
+        rng.random(n) * 4, rng.random(n) * 4,
+        rng.random(n) * 0.8 + 0.05, "linf",
+    )
+
+
+def _seam_adjacent(a, b) -> bool:
+    """Positive-length shared seam between two rect fragments."""
+    if a.x_hi == b.x_lo or b.x_hi == a.x_lo:
+        return min(a.y_hi, b.y_hi) - max(a.y_lo, b.y_lo) > 1e-12
+    if a.y_hi == b.y_lo or b.y_hi == a.y_lo:
+        return min(a.x_hi, b.x_hi) - max(a.x_lo, b.x_lo) > 1e-12
+    return False
+
+
+@settings(max_examples=15)
+@given(circles=square_sets())
+def test_merged_regions_are_connected(circles):
+    """Every merged region's fragments form one seam-connected component."""
+    _s, rs = run_crest(circles, SizeMeasure())
+    for region in merge_regions(rs):
+        frags = region.fragments
+        if len(frags) == 1:
+            continue
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            i = frontier.pop()
+            for j in range(len(frags)):
+                if j not in seen and _seam_adjacent(frags[i], frags[j]):
+                    seen.add(j)
+                    frontier.append(j)
+        assert seen == set(range(len(frags)))
+
+
+@settings(max_examples=15)
+@given(circles=square_sets())
+def test_merged_regions_are_maximal(circles):
+    """No two distinct merged regions with equal sets share a seam."""
+    _s, rs = run_crest(circles, SizeMeasure())
+    regions = merge_regions(rs)
+    for i in range(len(regions)):
+        for j in range(i + 1, len(regions)):
+            if regions[i].rnn != regions[j].rnn:
+                continue
+            for fa in regions[i].fragments:
+                for fb in regions[j].fragments:
+                    assert not _seam_adjacent(fa, fb)
+
+
+@settings(max_examples=10)
+@given(circles=square_sets())
+def test_serialize_roundtrip_property(circles, tmp_path_factory):
+    _s, rs = run_crest(circles, SizeMeasure())
+    path = tmp_path_factory.mktemp("ser") / "rs.npz"
+    back = load_region_set(save_region_set(rs, path))
+    assert len(back) == len(rs)
+    got = sorted((f.x_lo, f.x_hi, f.y_lo, f.y_hi, f.heat, tuple(sorted(f.rnn)))
+                 for f in back.fragments)
+    want = sorted((f.x_lo, f.x_hi, f.y_lo, f.y_hi, f.heat, tuple(sorted(f.rnn)))
+                  for f in rs.fragments)
+    assert got == want
+
+
+class TestAdversarialSweeps:
+    def test_identical_x_spans(self, rng):
+        """Many circles sharing exactly the same x-range: single giant
+        insert batch, single giant remove batch."""
+        n = 20
+        cy = rng.random(n) * 5
+        circles = NNCircleSet(
+            np.full(n, 2.0), cy, np.full(n, 1.0), "linf"
+        )
+        _s, rs = run_crest(circles, SizeMeasure())
+        for _ in range(150):
+            x = rng.uniform(0.5, 3.5)
+            y = rng.uniform(-1.5, 6.5)
+            assert rs.rnn_at(x, y) == naive_rnn_set(circles, x, y)
+
+    def test_one_circle_contains_all(self, rng):
+        n = 15
+        inner_x = rng.random(n) * 2 + 1
+        inner_y = rng.random(n) * 2 + 1
+        cx = np.concatenate([[2.0], inner_x])
+        cy = np.concatenate([[2.0], inner_y])
+        r = np.concatenate([[10.0], rng.random(n) * 0.3 + 0.05])
+        circles = NNCircleSet(cx, cy, r, "linf")
+        _s, rs = run_crest(circles, SizeMeasure())
+        for _ in range(150):
+            x = rng.uniform(-9, 13)
+            y = rng.uniform(-9, 13)
+            assert rs.rnn_at(x, y) == naive_rnn_set(circles, x, y)
+
+    def test_vertical_stack_with_gaps(self, rng):
+        n = 10
+        circles = NNCircleSet(
+            np.full(n, 0.0), np.arange(n) * 3.0, np.full(n, 1.0), "linf"
+        )
+        _s, rs = run_crest(circles, SizeMeasure())
+        # Gap fragments exist and carry empty sets.
+        assert any(not f.rnn for f in rs.fragments)
+        for _ in range(100):
+            x = rng.uniform(-1.5, 1.5)
+            y = rng.uniform(-2, 30)
+            assert rs.rnn_at(x, y) == naive_rnn_set(circles, x, y)
+
+    def test_concentric_rings(self, rng):
+        n = 8
+        circles = NNCircleSet(
+            np.zeros(n), np.zeros(n), np.arange(1, n + 1, dtype=float), "linf"
+        )
+        _s, rs = run_crest(circles, SizeMeasure())
+        # Heat decreases outward ring by ring.
+        for ring in range(n):
+            assert rs.heat_at(0.0, ring + 0.5) == n - ring
+
+    def test_pinwheel_overlaps(self, rng):
+        """Circles arranged around a center, all overlapping the middle."""
+        n = 12
+        angles = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        circles = NNCircleSet(
+            np.cos(angles), np.sin(angles), np.full(n, 1.2), "linf"
+        )
+        _s, rs = run_crest(circles, SizeMeasure())
+        assert rs.heat_at(0.0, 0.0) == n  # all overlap the origin
+        for _ in range(150):
+            x, y = rng.uniform(-2.5, 2.5, size=2)
+            assert rs.rnn_at(x, y) == naive_rnn_set(circles, x, y)

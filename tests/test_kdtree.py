@@ -1,0 +1,90 @@
+"""Our kd-tree vs brute force under all three metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import InvalidInputError
+from repro.geometry.metrics import METRICS
+from repro.index.kdtree import KDTree
+
+points_strategy = arrays(
+    float, st.tuples(st.integers(1, 60), st.just(2)),
+    elements=st.floats(-100, 100, allow_nan=False, width=32),
+)
+
+
+def brute_knn(points, q, k, metric, exclude=None):
+    d = metric.pairwise_to_point(points, np.asarray(q, dtype=float))
+    order = np.argsort(d, kind="stable")
+    out = []
+    for i in order:
+        if int(i) == exclude:
+            continue
+        out.append((float(d[i]), int(i)))
+        if len(out) == k:
+            break
+    return out
+
+
+class TestValidation:
+    def test_bad_shape(self):
+        with pytest.raises(InvalidInputError):
+            KDTree(np.zeros((3, 3)))
+
+    def test_empty(self):
+        with pytest.raises(InvalidInputError):
+            KDTree(np.zeros((0, 2)))
+
+    def test_nonfinite(self):
+        with pytest.raises(InvalidInputError):
+            KDTree(np.array([[np.inf, 0.0]]))
+
+    def test_bad_k(self):
+        tree = KDTree(np.zeros((1, 2)))
+        with pytest.raises(InvalidInputError):
+            tree.query(0, 0, k=0)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("metric", METRICS.values(), ids=lambda m: m.name)
+    @settings(max_examples=20)
+    @given(points=points_strategy, qx=st.floats(-120, 120, allow_nan=False),
+           qy=st.floats(-120, 120, allow_nan=False))
+    def test_nn_distance(self, metric, points, qx, qy):
+        tree = KDTree(points, metric)
+        expected = brute_knn(points, (qx, qy), 1, metric)[0][0]
+        assert tree.nn_distance(qx, qy) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @pytest.mark.parametrize("metric", METRICS.values(), ids=lambda m: m.name)
+    def test_knn_random(self, metric, rng):
+        points = rng.random((200, 2)) * 10
+        for _ in range(20):
+            q = rng.random(2) * 12 - 1
+            k = int(rng.integers(1, 8))
+            got = tree_query = KDTree(points, metric).query(q[0], q[1], k=k)
+            want = brute_knn(points, q, k, metric)
+            got_d = [d for d, _ in got]
+            want_d = [d for d, _ in want]
+            np.testing.assert_allclose(got_d, want_d, rtol=1e-9)
+
+    def test_exclude_self(self, rng):
+        points = rng.random((50, 2))
+        tree = KDTree(points, "l2")
+        for i in (0, 17, 49):
+            d, j = tree.query(points[i, 0], points[i, 1], k=1, exclude=i)[0]
+            assert j != i
+            assert d > 0
+
+    def test_exclude_all_single_point(self):
+        tree = KDTree(np.array([[0.0, 0.0]]), "l2")
+        with pytest.raises(InvalidInputError):
+            tree.nn_distance(0, 0, exclude=0)
+
+    def test_duplicate_points(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        tree = KDTree(pts, "l2")
+        d, i = tree.query(1.0, 1.0, k=1, exclude=0)[0]
+        assert d == 0.0 and i == 1

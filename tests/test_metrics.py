@@ -1,0 +1,90 @@
+"""Metrics: known values, axioms, vectorized consistency, registry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnknownMetricError
+from repro.geometry.metrics import L1, L2, LINF, METRICS, get_metric
+
+coord = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+
+
+class TestKnownValues:
+    def test_l1_distance(self):
+        assert L1.distance((0, 0), (3, 4)) == 7
+
+    def test_l2_distance(self):
+        assert L2.distance((0, 0), (3, 4)) == 5
+
+    def test_linf_distance(self):
+        assert LINF.distance((0, 0), (3, 4)) == 4
+
+    def test_shapes(self):
+        assert L1.circle_shape == "diamond"
+        assert L2.circle_shape == "disk"
+        assert LINF.circle_shape == "square"
+
+    def test_p_exponents(self):
+        assert L1.p == 1.0
+        assert L2.p == 2.0
+        assert LINF.p == math.inf
+
+
+class TestAxioms:
+    @pytest.mark.parametrize("metric", METRICS.values(), ids=lambda m: m.name)
+    @given(p=point, q=point)
+    def test_symmetry(self, metric, p, q):
+        assert metric.distance(p, q) == pytest.approx(metric.distance(q, p))
+
+    @pytest.mark.parametrize("metric", METRICS.values(), ids=lambda m: m.name)
+    @given(p=point)
+    def test_identity(self, metric, p):
+        assert metric.distance(p, p) == 0.0
+
+    @pytest.mark.parametrize("metric", METRICS.values(), ids=lambda m: m.name)
+    @given(p=point, q=point, r=point)
+    def test_triangle_inequality(self, metric, p, q, r):
+        lhs = metric.distance(p, r)
+        rhs = metric.distance(p, q) + metric.distance(q, r)
+        assert lhs <= rhs + 1e-6 * max(1.0, rhs)
+
+    @given(p=point, q=point)
+    def test_metric_ordering(self, p, q):
+        """d_inf <= d_2 <= d_1 pointwise in the plane."""
+        assert LINF.distance(p, q) <= L2.distance(p, q) + 1e-12
+        assert L2.distance(p, q) <= L1.distance(p, q) + 1e-12
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("metric", METRICS.values(), ids=lambda m: m.name)
+    def test_matches_scalar(self, metric, rng):
+        pts = rng.random((50, 2)) * 10 - 5
+        q = rng.random(2)
+        vec = metric.pairwise_to_point(pts, q)
+        scal = [metric.distance(tuple(p), tuple(q)) for p in pts]
+        np.testing.assert_allclose(vec, scal, rtol=1e-12)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("l1", L1), ("L1", L1), ("manhattan", L1),
+            ("l2", L2), ("euclidean", L2),
+            ("linf", LINF), ("chebyshev", LINF), ("L-inf", LINF),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert get_metric(name) is expected
+
+    def test_passthrough(self):
+        assert get_metric(L2) is L2
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownMetricError):
+            get_metric("l3")

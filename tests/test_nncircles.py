@@ -1,0 +1,83 @@
+"""NN-circle computation: backends agree; monochromatic semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInputError
+from repro.geometry.metrics import METRICS
+from repro.nn.nncircles import compute_nn_circles, nn_distances
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("metric", list(METRICS), ids=str)
+    def test_bichromatic(self, metric, rng):
+        O = rng.random((80, 2))
+        F = rng.random((15, 2))
+        brute = nn_distances(O, F, metric, backend="brute")
+        python = nn_distances(O, F, metric, backend="python")
+        scipy = nn_distances(O, F, metric, backend="scipy")
+        np.testing.assert_allclose(python, brute, rtol=1e-12)
+        np.testing.assert_allclose(scipy, brute, rtol=1e-12)
+
+    @pytest.mark.parametrize("metric", list(METRICS), ids=str)
+    def test_monochromatic(self, metric, rng):
+        P = rng.random((60, 2))
+        brute = nn_distances(P, None, metric, monochromatic=True, backend="brute")
+        python = nn_distances(P, None, metric, monochromatic=True, backend="python")
+        scipy = nn_distances(P, None, metric, monochromatic=True, backend="scipy")
+        np.testing.assert_allclose(python, brute, rtol=1e-12)
+        np.testing.assert_allclose(scipy, brute, rtol=1e-12)
+
+    def test_monochromatic_excludes_self(self, rng):
+        P = rng.random((30, 2))
+        d = nn_distances(P, None, "l2", monochromatic=True)
+        assert (d > 0).all()
+
+    def test_monochromatic_duplicates_give_zero(self):
+        P = np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]])
+        d = nn_distances(P, None, "l2", monochromatic=True, backend="scipy")
+        assert d[0] == 0.0 and d[1] == 0.0
+        d2 = nn_distances(P, None, "l2", monochromatic=True, backend="python")
+        np.testing.assert_allclose(d, d2)
+
+
+class TestComputeNNCircles:
+    def test_radii_match_distances(self, rng):
+        O = rng.random((40, 2))
+        F = rng.random((10, 2))
+        circles = compute_nn_circles(O, F, "linf")
+        d = nn_distances(O, F, "linf", backend="brute")
+        np.testing.assert_allclose(np.sort(circles.radius), np.sort(d[d > 0]))
+
+    def test_degenerate_dropped(self):
+        O = np.array([[0.5, 0.5], [0.2, 0.2]])
+        F = np.array([[0.5, 0.5]])  # first client sits on a facility
+        circles = compute_nn_circles(O, F, "l2")
+        assert len(circles) == 1
+        assert circles.client_ids[0] == 1
+
+    def test_keep_degenerate_when_asked(self):
+        O = np.array([[0.5, 0.5], [0.2, 0.2]])
+        F = np.array([[0.5, 0.5]])
+        circles = compute_nn_circles(O, F, "l2", drop_degenerate=False)
+        assert len(circles) == 2
+
+    def test_requires_facilities_for_bichromatic(self):
+        with pytest.raises(InvalidInputError):
+            compute_nn_circles(np.random.rand(5, 2), None, "l2")
+
+    def test_mono_needs_two_points(self):
+        with pytest.raises(InvalidInputError):
+            compute_nn_circles(np.array([[0.0, 0.0]]), None, "l2",
+                               monochromatic=True)
+
+    def test_bad_backend(self, rng):
+        with pytest.raises(InvalidInputError):
+            nn_distances(rng.random((4, 2)), rng.random((4, 2)), "l2",
+                         backend="gpu")
+
+    def test_input_validation(self):
+        with pytest.raises(InvalidInputError):
+            compute_nn_circles(np.zeros((0, 2)), np.ones((3, 2)), "l2")
+        with pytest.raises(InvalidInputError):
+            compute_nn_circles(np.full((3, 2), np.nan), np.ones((3, 2)), "l2")

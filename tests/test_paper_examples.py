@@ -1,0 +1,117 @@
+"""Scenario tests lifted from the paper's own figures.
+
+* Fig. 3 — the taxi-sharing example: under the connectivity measure there
+  is exactly one hottest region ({o1, o2, o4}, heat 3.0), while a count
+  superimposition shows two hottest regions and cannot tell them apart.
+* Fig. 13 — the element-distinctness reduction: the arrangement built from
+  values (a_i, a_i) has exactly n distinct RNN sets iff the values are
+  distinct (this is the paper's lower-bound argument).
+* Fig. 8 — the worst-case arrangement: r = n^2 - n + 2 regions, and
+  CREST's labeling count k stays within Lemma 3's bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.superimposition import run_superimposition
+from repro.core.sweep_linf import run_crest
+from repro.geometry.arrangement import square_arrangement_stats, worst_case_circles
+from repro.geometry.circle import NNCircleSet
+from repro.influence.measures import ConnectivityMeasure, SizeMeasure
+
+
+def fig3_circles() -> NNCircleSet:
+    """A concrete Fig. 3(a)-style arrangement: regions {o1,o2,o4} and
+    {o1,o3,o4} both exist, no deeper overlap exists."""
+    #            o1      o2      o3      o4        (ids 0..3)
+    cx = np.array([0.0, 3.0, -1.0, 1.0])
+    cy = np.array([0.0, 0.0, 3.0, 2.0])
+    r = np.array([2.0, 1.5, 1.5, 1.5])
+    return NNCircleSet(cx, cy, r, "linf")
+
+
+TRIANGLE_EDGES = [(0, 1), (1, 3), (0, 3)]  # o1-o2, o2-o4, o1-o4
+
+
+class TestFig3TaxiSharing:
+    def test_overlap_structure(self):
+        circles = fig3_circles()
+        assert set(circles.enclosing(1.75, 1.0)) == {0, 1, 3}
+        assert set(circles.enclosing(0.0, 1.75)) == {0, 2, 3}
+
+    def test_superimposition_has_two_hottest_regions(self):
+        circles = fig3_circles()
+        _stats, rs = run_superimposition(circles)
+        assert max(f.heat for f in rs.fragments) == 3.0
+        # Hottest cells appear both right of center (o1 o2 o4) and left
+        # (o1 o3 o4): the overlay cannot distinguish them (Fig. 3(b)).
+        hot_x = [f.representative_point()[0] for f in rs.fragments if f.heat == 3.0]
+        assert any(x > 1.0 for x in hot_x)
+        assert any(x < 1.0 for x in hot_x)
+
+    def test_connectivity_measure_singles_out_the_shared_ride(self):
+        circles = fig3_circles()
+        measure = ConnectivityMeasure(TRIANGLE_EDGES)
+        _stats, rs = run_crest(circles, measure)
+        assert max(f.heat for f in rs.fragments) == 3.0
+        hottest_sets = {f.rnn for f in rs.fragments if f.heat == 3.0}
+        assert hottest_sets == {frozenset({0, 1, 3})}  # one region only
+        # The decoy region {o1, o3, o4} scores only the single o1-o4 edge.
+        assert rs.heat_at(0.0, 1.75) == 1.0
+
+
+def distinctness_circles(values) -> NNCircleSet:
+    """Fig. 13: squares with diagonal corners (a_1, a_1) and (a_i, a_i)."""
+    a1 = values[0]
+    centers, radii = [], []
+    for ai in values[1:]:
+        centers.append(((a1 + ai) / 2.0, (a1 + ai) / 2.0))
+        radii.append(abs(ai - a1) / 2.0)
+    cx = np.array([c[0] for c in centers])
+    cy = np.array([c[1] for c in centers])
+    return NNCircleSet(cx, cy, np.array(radii), "linf", drop_degenerate=False)
+
+
+class TestFig13DistinctnessReduction:
+    def test_distinct_values_give_n_sets(self):
+        values = [0.0, 3.0, 1.0, 7.5, 5.25]  # n = 5, all distinct
+        circles = distinctness_circles(values)
+        _stats, rs = run_crest(circles, SizeMeasure())
+        assert len(rs.distinct_rnn_sets()) == len(values)
+
+    def test_duplicate_values_give_fewer_sets(self):
+        values = [0.0, 3.0, 3.0, 7.5, 5.25]  # a2 == a3
+        circles = distinctness_circles(values)
+        _stats, rs = run_crest(circles, SizeMeasure())
+        assert len(rs.distinct_rnn_sets()) < len(values)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_distinct(self, seed):
+        # Dyadic values keep (a1 + ai)/2 +- (ai - a1)/2 exact in floats, so
+        # the squares share the corner (a1, a1) *exactly* — with arbitrary
+        # reals a 1-ulp error creates genuine sliver regions (and CREST
+        # faithfully reports them, which is correct but not the reduction).
+        r = np.random.default_rng(seed)
+        values = list(np.cumsum(r.integers(1, 10, size=8)).astype(float))
+        circles = distinctness_circles(values)
+        _stats, rs = run_crest(circles, SizeMeasure())
+        assert len(rs.distinct_rnn_sets()) == len(values)
+
+
+class TestFig8WorstCase:
+    @pytest.mark.parametrize("n", [3, 5, 8, 12])
+    def test_labels_within_lemma3_bounds(self, n):
+        circles = worst_case_circles(n)
+        stats, _ = run_crest(circles, SizeMeasure(), collect_fragments=False)
+        r = square_arrangement_stats(circles).regions
+        assert r == n * n - n + 2
+        # Lemma 3: r <= k <= 14r (our k omits only the unbounded face).
+        assert r - 1 <= stats.labels <= 14 * r
+
+    def test_lambda_equals_n(self):
+        """In the Fig. 8 arrangement every square overlaps all others, so
+        the deepest region contains all n centers (lambda = n)."""
+        n = 7
+        circles = worst_case_circles(n)
+        stats, _ = run_crest(circles, SizeMeasure(), collect_fragments=False)
+        assert stats.max_rnn_size == n

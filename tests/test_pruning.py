@@ -1,0 +1,89 @@
+"""The pruning comparator [22]: agreement with CREST-L2 on the max region."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import run_pruning_max
+from repro.core.sweep_l2 import run_crest_l2
+from repro.errors import AlgorithmUnsupportedError, BudgetExceededError
+from repro.geometry.circle import NNCircleSet
+from repro.influence.measures import CapacityConstrainedMeasure, SizeMeasure
+
+from conftest import make_instance
+
+
+class TestAgreementWithCrest:
+    @pytest.mark.parametrize("seed", [0, 2, 4])
+    def test_size_measure(self, seed):
+        _o, _f, circles = make_instance(seed, 20, 8, "l2")
+        m = SizeMeasure()
+        stats, _ = run_crest_l2(circles, m, collect_fragments=False)
+        result = run_pruning_max(circles, m)
+        assert result.max_heat == pytest.approx(stats.max_heat)
+
+    def test_capacity_measure(self, rng):
+        O = rng.random((25, 2))
+        F = rng.random((8, 2))
+        from repro.nn.nncircles import compute_nn_circles
+
+        m = CapacityConstrainedMeasure(O, F, capacities=2, new_capacity=4,
+                                       metric="l2")
+        circles = compute_nn_circles(O, F, "l2")
+        stats, _ = run_crest_l2(circles, m, collect_fragments=False)
+        result = run_pruning_max(circles, m)
+        assert result.max_heat == pytest.approx(stats.max_heat)
+
+    def test_witness_point_realizes_max(self):
+        _o, _f, circles = make_instance(1, 18, 7, "l2")
+        m = SizeMeasure()
+        result = run_pruning_max(circles, m)
+        if result.max_point is not None:
+            x, y = result.max_point
+            assert m(frozenset(circles.enclosing(x, y))) == pytest.approx(
+                result.max_heat
+            )
+
+
+class TestGuards:
+    def test_time_budget(self):
+        _o, _f, circles = make_instance(12, 120, 3, "l2")
+        with pytest.raises(BudgetExceededError):
+            run_pruning_max(circles, SizeMeasure(), time_budget_s=1e-4)
+
+    def test_neighborhood_cap(self):
+        # Many concentric-ish disks all intersecting each other.
+        n = 40
+        circles = NNCircleSet(
+            np.linspace(0, 0.1, n), np.zeros(n), np.ones(n), "l2"
+        )
+        with pytest.raises(BudgetExceededError):
+            run_pruning_max(circles, SizeMeasure(), max_neighborhood=10)
+
+    def test_wrong_metric(self):
+        circles = NNCircleSet(np.zeros(1), np.zeros(1), np.ones(1), "linf")
+        with pytest.raises(AlgorithmUnsupportedError):
+            run_pruning_max(circles, SizeMeasure())
+
+    def test_empty(self):
+        circles = NNCircleSet(np.array([]), np.array([]), np.array([]), "l2")
+        result = run_pruning_max(circles, SizeMeasure())
+        assert result.max_heat == 0.0
+        assert result.max_rnn == frozenset()
+
+
+class TestWorkCounters:
+    def test_exponential_growth_with_density(self):
+        """Denser neighborhoods => more DFS leaves (the paper's Fig. 18
+        effect): raising |O|/|F| inflates the enumeration."""
+        _o, _f, sparse = make_instance(3, 24, 12, "l2")
+        _o, _f, dense = make_instance(3, 24, 8, "l2")
+        r_sparse = run_pruning_max(sparse, SizeMeasure(), leaf_budget=2_000_000)
+        r_dense = run_pruning_max(dense, SizeMeasure(), leaf_budget=2_000_000)
+        assert r_dense.leaves > r_sparse.leaves
+
+    def test_leaf_budget_guard(self):
+        from repro.errors import BudgetExceededError
+
+        _o, _f, circles = make_instance(3, 24, 8, "l2")
+        with pytest.raises(BudgetExceededError):
+            run_pruning_max(circles, SizeMeasure(), leaf_budget=100)

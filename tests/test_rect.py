@@ -1,0 +1,84 @@
+"""Rect value type: construction, containment, intersection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+
+coord = st.floats(-100, 100, allow_nan=False)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Rect(x1, x2, y1, y2)
+
+
+class TestConstruction:
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_from_center_radius(self):
+        r = Rect.from_center_radius(1.0, 2.0, 0.5)
+        assert (r.x_lo, r.x_hi, r.y_lo, r.y_hi) == (0.5, 1.5, 1.5, 2.5)
+
+    def test_properties(self):
+        r = Rect(0, 4, 1, 3)
+        assert r.width == 4 and r.height == 2
+        assert r.area == 8
+        assert r.center == (2.0, 2.0)
+        assert not r.is_degenerate
+
+    def test_degenerate(self):
+        assert Rect(0, 0, 1, 2).is_degenerate
+        assert Rect(0, 1, 2, 2).is_degenerate
+
+
+class TestContainment:
+    def test_open_excludes_boundary(self):
+        r = Rect(0, 1, 0, 1)
+        assert r.contains_open(0.5, 0.5)
+        assert not r.contains_open(0.0, 0.5)
+        assert not r.contains_open(0.5, 1.0)
+
+    def test_closed_includes_boundary(self):
+        r = Rect(0, 1, 0, 1)
+        assert r.contains_closed(0.0, 0.5)
+        assert r.contains_closed(1.0, 1.0)
+        assert not r.contains_closed(1.0001, 0.5)
+
+
+class TestIntersection:
+    @given(a=rects(), b=rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(a=rects(), b=rects())
+    def test_intersection_consistent(self, a, b):
+        inter = a.intersection(b)
+        if a.intersects(b):
+            assert inter is not None
+            assert inter.x_lo >= min(a.x_lo, b.x_lo)
+            assert inter.area <= min(a.area, b.area) + 1e-9
+        else:
+            assert inter is None
+
+    @given(a=rects())
+    def test_self_intersection(self, a):
+        assert a.intersection(a) == a
+
+    @given(a=rects(), b=rects())
+    def test_union_bounds_contains_both(self, a, b):
+        u = a.union_bounds(b)
+        for r in (a, b):
+            assert u.x_lo <= r.x_lo and u.x_hi >= r.x_hi
+            assert u.y_lo <= r.y_lo and u.y_hi >= r.y_hi
+
+    def test_expanded(self):
+        r = Rect(0, 1, 0, 1).expanded(0.5)
+        assert (r.x_lo, r.x_hi, r.y_lo, r.y_hi) == (-0.5, 1.5, -0.5, 1.5)

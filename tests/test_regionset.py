@@ -1,0 +1,139 @@
+"""RegionSet post-processing: top-k, threshold, zoom, point queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.regionset import RectFragment, RegionSet
+from repro.core.sweep_linf import run_crest
+from repro.errors import InvalidInputError
+from repro.geometry.transforms import ROTATE_L1_TO_LINF
+from repro.influence.measures import SizeMeasure
+from repro.post import threshold_regions, top_k_regions, zoom_window
+
+from conftest import make_instance
+
+
+def frag(x0, x1, y0, y1, heat, ids=()):
+    return RectFragment(x0, x1, y0, y1, heat, frozenset(ids))
+
+
+@pytest.fixture
+def simple_set():
+    return RegionSet(
+        [
+            frag(0, 1, 0, 1, 1.0, {0}),
+            frag(1, 2, 0, 1, 2.0, {0, 1}),
+            frag(2, 3, 0, 1, 3.0, {0, 1, 2}),
+            frag(0, 3, 1, 2, 3.0, {3, 4, 5}),
+        ]
+    )
+
+
+class TestQueries:
+    def test_heat_at(self, simple_set):
+        assert simple_set.heat_at(0.5, 0.5) == 1.0
+        assert simple_set.heat_at(2.5, 0.5) == 3.0
+        assert simple_set.heat_at(10, 10) == 0.0  # default outside
+
+    def test_rnn_at(self, simple_set):
+        assert simple_set.rnn_at(1.5, 0.5) == frozenset({0, 1})
+        assert simple_set.rnn_at(10, 10) == frozenset()
+
+    def test_boundary_points_resolve_to_a_neighbor(self, simple_set):
+        # A point exactly on a shared edge falls back to closed containment
+        # and reports one of the adjacent fragments (see fragment_at docs).
+        frag = simple_set.fragment_at(1.0, 0.5)
+        assert frag is not None
+        assert frag.heat in (1.0, 2.0)
+
+    def test_far_outside_is_unlabeled(self, simple_set):
+        assert simple_set.fragment_at(50.0, 50.0) is None
+
+    def test_max_fragment(self, simple_set):
+        assert simple_set.max_fragment().heat == 3.0
+
+    def test_empty_set(self):
+        rs = RegionSet([], default_heat=7.0)
+        assert rs.heat_at(0, 0) == 7.0
+        assert rs.max_fragment() is None
+        assert rs.bounds() is None
+        assert len(rs) == 0
+
+
+class TestTopKThreshold:
+    def test_top_k_heats(self, simple_set):
+        assert simple_set.top_k_heats(2) == [3.0, 2.0]
+        assert simple_set.top_k_heats(10) == [3.0, 2.0, 1.0]
+
+    def test_top_k_fragments(self, simple_set):
+        top = simple_set.top_k_fragments(1)
+        assert len(top) == 2  # two fragments tie at heat 3.0
+        assert all(f.heat == 3.0 for f in top)
+
+    def test_top_k_invalid(self, simple_set):
+        with pytest.raises(InvalidInputError):
+            simple_set.top_k_heats(0)
+
+    def test_threshold(self, simple_set):
+        kept = simple_set.threshold(2.0)
+        assert len(kept) == 3
+        assert kept.heat_at(0.5, 0.5) == 0.0  # dropped below threshold
+        assert kept.heat_at(1.5, 0.5) == 2.0
+
+    def test_post_wrappers(self, simple_set):
+        assert len(threshold_regions(simple_set, 3.0)) == 2
+        assert len(top_k_regions(simple_set, 2)) == 3
+        z = zoom_window(simple_set, 0.0, 1.5, 0.0, 0.9)
+        assert len(z) == 2
+
+    def test_top_k_regions_empty(self):
+        rs = RegionSet([])
+        assert len(top_k_regions(rs, 3)) == 0
+
+
+class TestZoom:
+    def test_zoom_filters(self, simple_set):
+        z = simple_set.zoom(2.1, 2.9, 0.1, 0.9)
+        assert len(z) == 1
+        assert z.fragments[0].heat == 3.0
+
+    def test_zoom_invalid_window(self, simple_set):
+        with pytest.raises(InvalidInputError):
+            simple_set.zoom(1.0, 1.0, 0.0, 1.0)
+
+    def test_zoom_in_rotated_frame(self):
+        """Zoom windows are given in original coordinates even when the
+        fragments live in the rotated (L1) frame."""
+        internal = ROTATE_L1_TO_LINF.forward(0.5, 0.5)
+        rs = RegionSet(
+            [frag(internal[0] - 0.1, internal[0] + 0.1,
+                  internal[1] - 0.1, internal[1] + 0.1, 5.0)],
+            transform=ROTATE_L1_TO_LINF,
+        )
+        assert len(rs.zoom(0.3, 0.7, 0.3, 0.7)) == 1
+        assert len(rs.zoom(5.0, 6.0, 5.0, 6.0)) == 0
+
+
+class TestDiagnostics:
+    def test_covered_area_matches_union(self):
+        _o, _f, circles = make_instance(5, 40, 8, "linf")
+        _stats, rs = run_crest(circles, SizeMeasure())
+        # Compare with a Monte-Carlo estimate of the union of squares; the
+        # covered area excludes labeled empty-set gaps (see covered_area).
+        rng = np.random.default_rng(0)
+        b = circles.bounds()
+        pts = rng.random((20000, 2))
+        pts[:, 0] = b.x_lo + pts[:, 0] * (b.x_hi - b.x_lo)
+        pts[:, 1] = b.y_lo + pts[:, 1] * (b.y_hi - b.y_lo)
+        inside = sum(1 for (x, y) in pts if circles.contains_any(x, y))
+        mc_area = inside / len(pts) * b.area
+        assert rs.covered_area() == pytest.approx(mc_area, rel=0.05)
+        assert rs.total_area() >= rs.covered_area()
+
+    def test_distinct_rnn_sets_includes_empty(self, simple_set):
+        assert frozenset() in simple_set.distinct_rnn_sets()
+
+    def test_repr(self, simple_set):
+        text = repr(simple_set)
+        assert "RegionSet" in text
+        assert "4 fragments" in text

@@ -1,0 +1,57 @@
+"""The EXPERIMENTS report generator (minimal-scale smoke)."""
+
+from pathlib import Path
+
+from repro.experiments import report as report_mod
+
+
+def test_generate_report_tiny(tmp_path, monkeypatch):
+    """Patch the sweeps down to seconds and check the report assembles."""
+    from repro.experiments import figures, profiling, shapes
+
+    monkeypatch.setattr(
+        report_mod, "check_all_claims",
+        lambda verbose=False: [shapes.ClaimResult("c1", "demo", True, "ok")],
+    )
+    monkeypatch.setattr(
+        report_mod, "figure16",
+        lambda **kw: figures.figure16(ratios=(2,), n_clients=32,
+                                      datasets=("uniform",)),
+    )
+    monkeypatch.setattr(
+        report_mod, "figure17",
+        lambda **kw: figures.figure17(sizes=(32,), ratio=4,
+                                      datasets=("uniform",), baseline_cap=32),
+    )
+    monkeypatch.setattr(
+        report_mod, "figure18",
+        lambda **kw: figures.figure18(ratios=(2,), n_clients=16,
+                                      datasets=("uniform",), budget_s=30),
+    )
+    monkeypatch.setattr(
+        report_mod, "figure19",
+        lambda **kw: figures.figure19(sizes=(16,), ratio=2,
+                                      datasets=("uniform",), budget_s=30),
+    )
+    monkeypatch.setattr(
+        report_mod, "table2_city_heatmaps",
+        lambda **kw: figures.table2_city_heatmaps(n_clients=40,
+                                                  n_facilities=15,
+                                                  resolution=16,
+                                                  out_dir=kw.get("out_dir")),
+    )
+    monkeypatch.setattr(
+        report_mod, "fit_scaling_exponent",
+        lambda **kw: (1.2, [(32, 1.0), (64, 2.5)]),
+    )
+
+    out = report_mod.generate_report(
+        tmp_path / "report.md", chart_dir=tmp_path, verbose=False
+    )
+    text = Path(out).read_text()
+    assert "# EXPERIMENTS (regenerated)" in text
+    assert "[PASS] c1" in text
+    assert "Figure 16" in text and "Figure 19" in text
+    assert "log-log slope" in text
+    assert (tmp_path / "figure16.svg").exists()
+    assert (tmp_path / "nyc_heatmap.pgm").exists()

@@ -1,0 +1,73 @@
+"""STR R-tree: rectangle queries, bulk-load shapes, edge cases."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.rtree import RTree
+
+bound = st.floats(-20, 20, allow_nan=False)
+
+
+class TestSmall:
+    def test_empty(self):
+        t = RTree(np.array([]), np.array([]), np.array([]), np.array([]))
+        assert t.query_point(0, 0) == []
+        assert t.query_rect(-1, 1, -1, 1) == []
+        assert len(t) == 0
+
+    def test_single(self):
+        t = RTree(np.array([0.0]), np.array([1.0]), np.array([0.0]), np.array([1.0]))
+        assert t.query_point(0.5, 0.5) == [0]
+        assert t.query_point(2.0, 0.5) == []
+
+    def test_custom_ids(self):
+        t = RTree(
+            np.array([0.0, 2.0]), np.array([1.0, 3.0]),
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+            ids=np.array([42, 99]),
+        )
+        assert t.query_point(0.5, 0.5) == [42]
+        assert t.query_point(2.5, 0.5) == [99]
+
+
+class TestLargeBulkLoad:
+    def test_deep_tree_correct(self, rng):
+        """Enough rectangles to force multiple R-tree levels."""
+        n = 3000
+        cx, cy = rng.random(n) * 100, rng.random(n) * 100
+        w, h = rng.random(n), rng.random(n)
+        t = RTree(cx - w, cx + w, cy - h, cy + h)
+        for _ in range(30):
+            px, py = rng.random(2) * 100
+            expected = sorted(
+                int(i)
+                for i in range(n)
+                if cx[i] - w[i] <= px <= cx[i] + w[i]
+                and cy[i] - h[i] <= py <= cy[i] + h[i]
+            )
+            assert sorted(t.query_point(px, py)) == expected
+
+
+class TestRectQueries:
+    @settings(max_examples=25)
+    @given(qx1=bound, qx2=bound, qy1=bound, qy2=bound)
+    def test_rect_query_matches_brute(self, qx1, qx2, qy1, qy2):
+        x_lo, x_hi = sorted((qx1, qx2))
+        y_lo, y_hi = sorted((qy1, qy2))
+        n = 60
+        r = np.random.default_rng(0)
+        cx, cy = r.random(n) * 40 - 20, r.random(n) * 40 - 20
+        w, h = r.random(n) * 2, r.random(n) * 2
+        t = RTree(cx - w, cx + w, cy - h, cy + h)
+        expected = sorted(
+            int(i)
+            for i in range(n)
+            if not (
+                cx[i] - w[i] > x_hi
+                or cx[i] + w[i] < x_lo
+                or cy[i] - h[i] > y_hi
+                or cy[i] + h[i] < y_lo
+            )
+        )
+        assert sorted(t.query_rect(x_lo, x_hi, y_lo, y_hi)) == expected

@@ -1,0 +1,27 @@
+"""The qualitative-claims harness (fast members only; the full battery is
+exercised by `rnnhm claims` / EXPERIMENTS.md)."""
+
+import pytest
+
+from repro.experiments.shapes import (
+    ClaimResult,
+    claim_crest_beats_crest_a,
+    claim_gap_widens_with_size,
+)
+
+
+class TestClaimChecks:
+    def test_crest_a_claim_small(self):
+        result = claim_crest_beats_crest_a(n=160, ratio=8)
+        assert isinstance(result, ClaimResult)
+        assert result.holds, result.detail
+
+    def test_gap_claim_small(self):
+        result = claim_gap_widens_with_size(sizes=(64, 512), ratio=8)
+        assert result.holds, result.detail
+
+    def test_row_format(self):
+        ok = ClaimResult("id1", "desc", True, "numbers")
+        bad = ClaimResult("id2", "desc", False, "numbers")
+        assert ok.row().startswith("[PASS]")
+        assert bad.row().startswith("[FAIL]")

@@ -1,0 +1,67 @@
+"""Superimposition overlay: right for counts, impossible for generic measures."""
+
+import numpy as np
+import pytest
+
+from repro.core.superimposition import run_superimposition
+from repro.core.sweep_linf import run_crest
+from repro.errors import AlgorithmUnsupportedError
+from repro.geometry.circle import NNCircleSet
+from repro.influence.measures import (
+    ConnectivityMeasure,
+    SizeMeasure,
+    WeightedMeasure,
+)
+
+from conftest import make_instance
+
+
+class TestCountsMatchCrest:
+    def test_size_measure_equivalence(self, rng):
+        _o, _f, circles = make_instance(8, 50, 9, "linf")
+        _s1, rs_super = run_superimposition(circles)
+        _s2, rs_crest = run_crest(circles, SizeMeasure())
+        for _ in range(200):
+            x, y = rng.random(2) * 1.2 - 0.1
+            assert rs_super.heat_at(x, y) == rs_crest.heat_at(x, y)
+
+    def test_weighted_overlay(self, rng):
+        _o, _f, circles = make_instance(3, 30, 6, "linf")
+        weights = {int(c): float(i % 3 + 1) for i, c in enumerate(circles.client_ids)}
+        m = WeightedMeasure(weights)
+        _s1, rs_super = run_superimposition(circles, m)
+        _s2, rs_crest = run_crest(circles, m)
+        for _ in range(150):
+            x, y = rng.random(2)
+            assert rs_super.heat_at(x, y) == pytest.approx(rs_crest.heat_at(x, y))
+
+    def test_no_influence_computations(self):
+        """The overlay never evaluates the measure — and that is exactly why
+        it cannot support generic measures."""
+        _o, _f, circles = make_instance(1, 20, 4, "linf")
+        stats, _ = run_superimposition(circles)
+        assert stats.labels == 0
+        assert stats.measure_calls == 0
+
+
+class TestLimitations:
+    def test_generic_measure_rejected(self):
+        """Fig. 3's point: a connectivity measure cannot be superimposed."""
+        _o, _f, circles = make_instance(0, 10, 3, "linf")
+        with pytest.raises(AlgorithmUnsupportedError):
+            run_superimposition(circles, ConnectivityMeasure([(0, 1)]))
+
+    def test_l2_rejected(self):
+        circles = NNCircleSet(np.zeros(1), np.zeros(1), np.ones(1), "l2")
+        with pytest.raises(AlgorithmUnsupportedError):
+            run_superimposition(circles)
+
+    def test_no_rnn_sets_in_output(self):
+        _o, _f, circles = make_instance(0, 15, 4, "linf")
+        _stats, rs = run_superimposition(circles)
+        assert all(f.rnn == frozenset() for f in rs.fragments)
+
+    def test_empty(self):
+        circles = NNCircleSet(np.array([]), np.array([]), np.array([]), "linf")
+        stats, rs = run_superimposition(circles)
+        assert len(rs.fragments) == 0

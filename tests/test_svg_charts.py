@@ -1,0 +1,97 @@
+"""The SVG chart renderer behind the regenerated paper figures."""
+
+import pytest
+
+from repro.errors import InvalidInputError
+from repro.experiments.harness import ResultTable, RunRecord
+from repro.render.svg_charts import LineChart, Series, chart_from_result_table
+
+
+def sample_chart():
+    chart = LineChart("demo", "ratio |O|/|F|", "CPU time (ms)")
+    chart.add(Series("baseline", [(2, 1000.0), (8, 9000.0), (32, None)]))
+    chart.add(Series("crest", [(2, 10.0), (8, 25.0), (32, 80.0)]))
+    return chart
+
+
+class TestRendering:
+    def test_valid_svg_skeleton(self):
+        svg = sample_chart().to_svg()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "polyline" in svg
+        assert "demo" in svg
+
+    def test_legend_and_labels(self):
+        svg = sample_chart().to_svg()
+        assert "baseline" in svg and "crest" in svg
+        assert "ratio |O|/|F|" in svg
+        assert "CPU time (ms)" in svg
+
+    def test_timeout_arrow_drawn(self):
+        svg = sample_chart().to_svg()
+        # The None point renders as an arrow polygon, not a data marker.
+        assert "polygon" in svg
+
+    def test_log_ticks_cover_decades(self):
+        svg = sample_chart().to_svg()
+        assert ">10<" in svg and ("1e4" in svg or ">10000<" in svg)
+
+    def test_empty_chart_rejected(self):
+        chart = LineChart("x", "x", "y")
+        with pytest.raises(InvalidInputError):
+            chart.to_svg()
+        chart.add(Series("only-timeouts", [(2, None)]))
+        with pytest.raises(InvalidInputError):
+            chart.to_svg()
+
+    def test_log_x_rejects_nonpositive(self):
+        chart = LineChart("x", "x", "y")
+        chart.add(Series("s", [(0.0, 5.0), (2.0, 6.0)]))
+        with pytest.raises(InvalidInputError):
+            chart.to_svg()
+
+    def test_linear_axes(self):
+        chart = LineChart("lin", "n", "t", x_log=False, y_log=False)
+        chart.add(Series("s", [(0.0, 5.0), (10.0, 6.0)]))
+        assert "<svg" in chart.to_svg()
+
+    def test_save(self, tmp_path):
+        p = sample_chart().save(tmp_path / "chart.svg")
+        assert p.read_text().startswith("<svg")
+
+
+class TestFromResultTable:
+    def make_table(self):
+        t = ResultTable("demo")
+        for ratio, (ba, cr) in [(2, (900.0, 9.0)), (8, (8000.0, 30.0)),
+                                (32, (None, 100.0))]:
+            t.add(RunRecord("fig16", "uniform", "baseline", 256,
+                            int(256 / ratio), ratio, ba))
+            t.add(RunRecord("fig16", "uniform", "crest", 256,
+                            int(256 / ratio), ratio, cr))
+        return t
+
+    def test_chart_built_per_algorithm(self):
+        chart = chart_from_result_table(self.make_table(), "Fig 16",
+                                        "ratio", x_from="ratio")
+        assert {s.label for s in chart.series} == {"baseline", "crest"}
+        crest = next(s for s in chart.series if s.label == "crest")
+        assert crest.points == [(2, 9.0), (8, 30.0), (32, 100.0)]
+        assert "<svg" in chart.to_svg()
+
+    def test_dataset_filter(self):
+        t = self.make_table()
+        t.add(RunRecord("fig16", "nyc", "crest", 256, 128, 2, 5.0))
+        chart = chart_from_result_table(t, "t", "x", dataset="nyc")
+        assert len(chart.series) == 1
+        assert chart.series[0].points == [(2, 5.0)]
+
+    def test_size_sweep_axis(self):
+        t = ResultTable("demo")
+        t.add(RunRecord("fig17", "uniform", "crest", 128, 8, 16, 5.0,
+                        note="size-sweep"))
+        t.add(RunRecord("fig17", "uniform", "crest", 512, 32, 16, 25.0,
+                        note="size-sweep"))
+        chart = chart_from_result_table(t, "Fig 17", "|O|", x_from="n_clients")
+        assert chart.series[0].points == [(128, 5.0), (512, 25.0)]

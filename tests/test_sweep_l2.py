@@ -1,0 +1,114 @@
+"""CREST-L2 (the circular-arc sweep): oracle equivalence and degeneracies."""
+
+import numpy as np
+import pytest
+
+from repro.core.sweep_l2 import run_crest_l2
+from repro.errors import AlgorithmUnsupportedError
+from repro.geometry.circle import NNCircleSet
+from repro.influence.measures import SizeMeasure
+
+from conftest import make_instance, naive_rnn_set
+
+
+def check_l2(circles, region_set, rng, n_points=200, pad=0.1):
+    for frag in region_set.fragments:
+        x, y = frag.representative_point()
+        assert frag.rnn == naive_rnn_set(circles, x, y)
+    b = circles.bounds()
+    for _ in range(n_points):
+        x = rng.uniform(b.x_lo - pad, b.x_hi + pad)
+        y = rng.uniform(b.y_lo - pad, b.y_hi + pad)
+        assert region_set.rnn_at(x, y) == naive_rnn_set(circles, x, y)
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sparse(self, seed, rng):
+        _o, _f, circles = make_instance(seed, 40, 10, "l2")
+        _stats, rs = run_crest_l2(circles, SizeMeasure())
+        check_l2(circles, rs, rng)
+
+    def test_dense_overlaps(self, rng):
+        """High |O|/|F| ratio: many mutually intersecting disks."""
+        _o, _f, circles = make_instance(20, 80, 3, "l2")
+        stats, rs = run_crest_l2(circles, SizeMeasure())
+        check_l2(circles, rs, rng, n_points=150)
+        assert stats.max_rnn_size >= 5  # genuinely dense
+
+    def test_max_tracking(self, rng):
+        _o, _f, circles = make_instance(7, 50, 8, "l2")
+        stats, rs = run_crest_l2(circles, SizeMeasure())
+        # The tracked max point realizes the tracked max heat.
+        assert stats.max_heat == max(f.heat for f in rs.fragments)
+        x, y = stats.max_heat_point
+        assert rs.heat_at(x, y) == stats.max_heat
+
+
+class TestHandConstructed:
+    def test_single_disk(self):
+        circles = NNCircleSet(np.array([0.0]), np.array([0.0]),
+                              np.array([1.0]), "l2")
+        stats, rs = run_crest_l2(circles, SizeMeasure())
+        assert rs.heat_at(0, 0) == 1.0
+        assert rs.heat_at(0.9, 0.9) == 0.0  # corner outside the disk
+        assert rs.heat_at(2, 0) == 0.0
+        # Area of fragments approximates the disk area.
+        assert rs.total_area() == pytest.approx(np.pi, rel=1e-2)
+
+    def test_two_disjoint_disks(self):
+        circles = NNCircleSet(np.array([0.0, 5.0]), np.array([0.0, 0.0]),
+                              np.array([1.0, 1.0]), "l2")
+        _stats, rs = run_crest_l2(circles, SizeMeasure())
+        assert rs.heat_at(0, 0) == 1.0
+        assert rs.heat_at(5, 0) == 1.0
+        assert rs.heat_at(2.5, 0) == 0.0
+
+    def test_two_overlapping_disks(self):
+        circles = NNCircleSet(np.array([0.0, 1.0]), np.array([0.0, 0.0]),
+                              np.array([1.0, 1.0]), "l2")
+        _stats, rs = run_crest_l2(circles, SizeMeasure())
+        assert rs.heat_at(0.5, 0.0) == 2.0
+        assert rs.heat_at(-0.5, 0.0) == 1.0
+        assert rs.heat_at(1.5, 0.0) == 1.0
+        assert rs.rnn_at(0.5, 0.0) == frozenset({0, 1})
+
+    def test_nested_disks(self):
+        circles = NNCircleSet(np.array([0.0, 0.0]), np.array([0.0, 0.0]),
+                              np.array([2.0, 0.5]), "l2")
+        _stats, rs = run_crest_l2(circles, SizeMeasure())
+        assert rs.heat_at(0, 0) == 2.0
+        assert rs.heat_at(1.0, 0) == 1.0
+        assert rs.heat_at(3.0, 0) == 0.0
+
+    def test_vertically_aligned_centers(self, rng):
+        """Centers sharing x: intersection points share x coordinates."""
+        circles = NNCircleSet(np.array([0.0, 0.0]), np.array([0.0, 1.0]),
+                              np.array([1.0, 1.0]), "l2")
+        _stats, rs = run_crest_l2(circles, SizeMeasure())
+        check_l2(circles, rs, rng, n_points=100, pad=0.3)
+
+    def test_duplicate_disks(self, rng):
+        circles = NNCircleSet(np.array([0.0, 0.0, 1.5]), np.array([0.0, 0.0, 0.0]),
+                              np.array([1.0, 1.0, 0.8]), "l2")
+        _stats, rs = run_crest_l2(circles, SizeMeasure())
+        assert rs.heat_at(0.0, 0.0) == 2.0
+        check_l2(circles, rs, rng, n_points=100, pad=0.3)
+
+    def test_externally_tangent_disks(self, rng):
+        circles = NNCircleSet(np.array([0.0, 2.0]), np.array([0.0, 0.0]),
+                              np.array([1.0, 1.0]), "l2")
+        _stats, rs = run_crest_l2(circles, SizeMeasure())
+        assert rs.heat_at(0.0, 0.0) == 1.0
+        assert rs.heat_at(2.0, 0.0) == 1.0
+
+    def test_empty(self):
+        circles = NNCircleSet(np.array([]), np.array([]), np.array([]), "l2")
+        stats, rs = run_crest_l2(circles, SizeMeasure())
+        assert stats.labels == 0
+        assert rs.heat_at(0, 0) == 0.0
+
+    def test_wrong_metric_rejected(self):
+        circles = NNCircleSet(np.zeros(1), np.zeros(1), np.ones(1), "linf")
+        with pytest.raises(AlgorithmUnsupportedError):
+            run_crest_l2(circles, SizeMeasure())

@@ -1,0 +1,80 @@
+"""Transforms: the pi/4 rotation underlying the L1 -> L-infinity reduction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.metrics import L1, L2, LINF
+from repro.geometry.transforms import (
+    IDENTITY,
+    L1_TO_LINF_SCALE,
+    ROTATE_L1_TO_LINF,
+    Rotation,
+)
+
+coord = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+
+
+class TestIdentity:
+    def test_forward_inverse(self):
+        assert IDENTITY.forward(1.5, -2.0) == (1.5, -2.0)
+        assert IDENTITY.inverse(1.5, -2.0) == (1.5, -2.0)
+        assert IDENTITY.is_identity
+
+    def test_arrays(self):
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(IDENTITY.forward_array(pts), pts)
+
+
+class TestRotation:
+    @given(p=point)
+    def test_roundtrip(self, p):
+        q = ROTATE_L1_TO_LINF.forward(*p)
+        back = ROTATE_L1_TO_LINF.inverse(*q)
+        assert back[0] == pytest.approx(p[0], abs=1e-9)
+        assert back[1] == pytest.approx(p[1], abs=1e-9)
+
+    @given(p=point, q=point)
+    def test_l1_becomes_linf(self, p, q):
+        """Section VII-B: d_inf(Rp, Rq) == d_1(p, q) / sqrt(2)."""
+        rp = ROTATE_L1_TO_LINF.forward(*p)
+        rq = ROTATE_L1_TO_LINF.forward(*q)
+        expected = L1.distance(p, q) * L1_TO_LINF_SCALE
+        assert LINF.distance(rp, rq) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @given(p=point, q=point)
+    def test_l2_isometry(self, p, q):
+        rp = ROTATE_L1_TO_LINF.forward(*p)
+        rq = ROTATE_L1_TO_LINF.forward(*q)
+        assert L2.distance(rp, rq) == pytest.approx(L2.distance(p, q), rel=1e-9, abs=1e-9)
+
+    def test_array_matches_scalar(self, rng):
+        pts = rng.random((40, 2)) * 10 - 5
+        fwd = ROTATE_L1_TO_LINF.forward_array(pts)
+        for row, (x, y) in zip(fwd, pts):
+            sx, sy = ROTATE_L1_TO_LINF.forward(x, y)
+            assert row[0] == pytest.approx(sx)
+            assert row[1] == pytest.approx(sy)
+
+    def test_inverse_array_roundtrip(self, rng):
+        pts = rng.random((40, 2))
+        back = ROTATE_L1_TO_LINF.inverse_array(ROTATE_L1_TO_LINF.forward_array(pts))
+        np.testing.assert_allclose(back, pts, atol=1e-12)
+
+    def test_nearest_neighbor_preserved(self, rng):
+        """Rotation preserves who the L1-NN is (the reduction's crux)."""
+        pts = rng.random((100, 2))
+        q = rng.random(2)
+        d1 = L1.pairwise_to_point(pts, q)
+        rp = ROTATE_L1_TO_LINF.forward_array(pts)
+        rq = np.array(ROTATE_L1_TO_LINF.forward(*q))
+        dinf = LINF.pairwise_to_point(rp, rq)
+        assert int(np.argmin(d1)) == int(np.argmin(dinf))
+
+    def test_is_identity_flag(self):
+        assert not ROTATE_L1_TO_LINF.is_identity
+        assert Rotation(theta=0.0).is_identity

@@ -1,0 +1,86 @@
+"""The self-verification utility and RegionSet persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.regionset import RectFragment, RegionSet
+from repro.core.serialize import load_region_set, save_region_set
+from repro.core.sweep_l2 import run_crest_l2
+from repro.core.sweep_linf import run_crest
+from repro.core.verify import verify_region_set
+from repro.influence.measures import SizeMeasure
+
+from conftest import make_instance
+
+
+class TestVerify:
+    @pytest.mark.parametrize("metric", ["linf", "l2"])
+    def test_correct_output_verifies(self, metric):
+        _o, _f, circles = make_instance(4, 40, 8, metric)
+        if metric == "linf":
+            _stats, rs = run_crest(circles, SizeMeasure())
+        else:
+            _stats, rs = run_crest_l2(circles, SizeMeasure())
+        report = verify_region_set(circles, rs, n_probes=200)
+        assert report.ok, report.summary()
+        assert report.fragments_checked > 0
+        assert "OK" in report.summary()
+
+    def test_detects_corruption(self):
+        _o, _f, circles = make_instance(4, 30, 6, "linf")
+        _stats, rs = run_crest(circles, SizeMeasure())
+        # Corrupt one fragment's RNN set.
+        f = rs.fragments[0]
+        rs.fragments[0] = RectFragment(
+            f.x_lo, f.x_hi, f.y_lo, f.y_hi, f.heat, frozenset({999})
+        )
+        report = verify_region_set(circles, rs, n_probes=0)
+        assert not report.ok
+        assert report.fragment_mismatches >= 1
+        assert report.examples
+
+    def test_fragment_sampling_cap(self):
+        _o, _f, circles = make_instance(4, 50, 6, "linf")
+        _stats, rs = run_crest(circles, SizeMeasure())
+        report = verify_region_set(circles, rs, n_probes=0, max_fragments=10)
+        assert report.fragments_checked == 10
+
+
+class TestSerialize:
+    @pytest.mark.parametrize("metric", ["linf", "l1", "l2"])
+    def test_roundtrip(self, metric, tmp_path, rng):
+        from repro import RNNHeatMap
+
+        O, F = rng.random((30, 2)), rng.random((6, 2))
+        result = RNNHeatMap(O, F, metric=metric).build("crest")
+        rs = result.region_set
+        path = save_region_set(rs, tmp_path / "map.npz")
+        back = load_region_set(path)
+        assert len(back) == len(rs)
+        assert back.default_heat == rs.default_heat
+        assert back.metric_name == rs.metric_name
+        assert back.transform.name == rs.transform.name
+        for _ in range(60):
+            x, y = rng.random(2) * 1.2 - 0.1
+            assert back.heat_at(x, y) == rs.heat_at(x, y)
+            assert back.rnn_at(x, y) == rs.rnn_at(x, y)
+
+    def test_empty_roundtrip(self, tmp_path):
+        rs = RegionSet([], default_heat=3.0)
+        path = save_region_set(rs, tmp_path / "empty.npz")
+        back = load_region_set(path)
+        assert len(back) == 0
+        assert back.default_heat == 3.0
+
+    def test_bad_version_rejected(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        from repro.errors import InvalidInputError
+
+        header = json.dumps({"version": 99}).encode()
+        np.savez(tmp_path / "bad.npz",
+                 header=np.frombuffer(header, dtype=np.uint8))
+        with pytest.raises(InvalidInputError):
+            load_region_set(tmp_path / "bad.npz")
