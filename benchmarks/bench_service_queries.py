@@ -1,0 +1,120 @@
+"""Benchmark: vectorized batch point queries vs the scalar query loop.
+
+The service layer's claim is that probing a *built* subdivision is where
+interactivity lives: ``RegionSet.heat_at_many`` answers a whole probe
+batch with vectorized passes over the flat fragment table, where the
+scalar loop pays per-point Python dispatch (and, for the legacy path, one
+R-tree descent per point).  This script measures both and reports the
+speedup; the acceptance bar is >= 10x on 100k probes.
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_service_queries.py
+    PYTHONPATH=src python benchmarks/bench_service_queries.py \\
+        --clients 200 --facilities 40 --points 5000      # CI smoke sizes
+
+Exit status is non-zero when --assert-speedup is given and not met.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import RNNHeatMap
+from repro.service import HeatMapService
+
+
+def _scalar_rtree_loop(region_set, pts: np.ndarray) -> np.ndarray:
+    """The pre-service scalar path: one R-tree descent per probe."""
+    default = region_set.default_heat
+    out = np.empty(len(pts))
+    for i, (x, y) in enumerate(pts):
+        frag = region_set.fragment_at(float(x), float(y))
+        out[i] = default if frag is None else frag.heat
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--clients", type=int, default=2000)
+    ap.add_argument("--facilities", type=int, default=400)
+    ap.add_argument("--metric", default="linf", choices=("l1", "l2", "linf"))
+    ap.add_argument("--algorithm", default="crest")
+    ap.add_argument("--points", type=int, default=100_000)
+    ap.add_argument("--scalar-sample", type=int, default=20_000,
+                    help="probes actually timed through the scalar loops "
+                         "(per-point cost is extrapolated to --points)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--assert-speedup", type=float, default=None,
+                    help="fail unless batch beats the scalar loop by this factor")
+    args = ap.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    clients = rng.random((args.clients, 2))
+    facilities = rng.random((args.facilities, 2))
+
+    t0 = time.perf_counter()
+    result = RNNHeatMap(clients, facilities, metric=args.metric).build(args.algorithm)
+    build_s = time.perf_counter() - t0
+    rs = result.region_set
+    print(f"built |O|={args.clients} |F|={args.facilities} metric={args.metric}: "
+          f"{len(rs)} fragments in {build_s:.2f}s")
+
+    pts = rng.random((args.points, 2)) * 1.2 - 0.1
+    sample = pts[: max(1, min(args.scalar_sample, args.points))]
+
+    # Batch path (timed cold: includes the one-off flat-table build).
+    t0 = time.perf_counter()
+    batch = rs.heat_at_many(pts)
+    batch_s = time.perf_counter() - t0
+
+    # Scalar public API loop (delegates per point).
+    t0 = time.perf_counter()
+    scalar_api = np.array([rs.heat_at(float(x), float(y)) for x, y in sample])
+    api_pp = (time.perf_counter() - t0) / len(sample)
+
+    # Legacy per-point R-tree descent.
+    t0 = time.perf_counter()
+    scalar_rtree = _scalar_rtree_loop(rs, sample)
+    rtree_pp = (time.perf_counter() - t0) / len(sample)
+
+    if not np.array_equal(batch[: len(sample)], scalar_api):
+        print("FAIL: batch and scalar heat_at disagree")
+        return 1
+    if not np.array_equal(batch[: len(sample)], scalar_rtree):
+        print("WARNING: batch and R-tree path disagree (boundary tie-break?)")
+
+    api_total = api_pp * args.points
+    rtree_total = rtree_pp * args.points
+    speedup_api = api_total / batch_s
+    speedup_rtree = rtree_total / batch_s
+    n = args.points
+    print(f"batch  heat_at_many({n:,}):      {batch_s*1e3:10.1f} ms "
+          f"({n/batch_s:,.0f} pts/s)")
+    print(f"scalar heat_at loop ({n:,}):     {api_total*1e3:10.1f} ms "
+          f"(timed on {len(sample):,})  -> {speedup_api:6.1f}x")
+    print(f"scalar R-tree descent ({n:,}):   {rtree_total*1e3:10.1f} ms "
+          f"(timed on {len(sample):,})  -> {speedup_rtree:6.1f}x")
+
+    # The served path: same probes through HeatMapService (counts caching).
+    service = HeatMapService()
+    handle = service.build(clients, facilities, metric=args.metric,
+                           algorithm=args.algorithm)
+    t0 = time.perf_counter()
+    service.heat_at_many(handle, pts)
+    served_s = time.perf_counter() - t0
+    print(f"service heat_at_many (warm table): {served_s*1e3:8.1f} ms")
+
+    if args.assert_speedup is not None and speedup_rtree < args.assert_speedup:
+        print(f"FAIL: speedup {speedup_rtree:.1f}x < required "
+              f"{args.assert_speedup:.1f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ Quickstart::
 """
 
 from .core.heatmap import ALGORITHMS, HeatMapResult, RNNHeatMap, build_heat_map
+from .core.registry import REGISTRY, AlgorithmRegistry, EngineSpec
 from .core.regionset import ArcFragment, RectFragment, RegionSet
 from .core.serialize import load_region_set, save_region_set
 from .core.sweep_linf import SweepStats
@@ -34,6 +35,7 @@ from .errors import (
     ReproError,
     UnknownAlgorithmError,
     UnknownDatasetError,
+    UnknownHandleError,
     UnknownMetricError,
 )
 from .influence.measures import (
@@ -44,11 +46,14 @@ from .influence.measures import (
     WeightedMeasure,
 )
 from .nn.rnn import NaiveRNN
+from .service import HeatMapService, ServiceStats
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "REGISTRY",
+    "AlgorithmRegistry",
     "AlgorithmUnsupportedError",
     "ArcFragment",
     "BudgetExceededError",
@@ -56,7 +61,9 @@ __all__ = [
     "ConnectivityMeasure",
     "DynamicAssignment",
     "DynamicHeatMap",
+    "EngineSpec",
     "HeatMapResult",
+    "HeatMapService",
     "InfluenceMeasure",
     "InvalidInputError",
     "NaiveRNN",
@@ -64,10 +71,12 @@ __all__ = [
     "RectFragment",
     "RegionSet",
     "ReproError",
+    "ServiceStats",
     "SizeMeasure",
     "SweepStats",
     "UnknownAlgorithmError",
     "UnknownDatasetError",
+    "UnknownHandleError",
     "UnknownMetricError",
     "VerificationReport",
     "WeightedMeasure",

@@ -2,10 +2,12 @@
 
     rnnhm heatmap --dataset nyc --clients 2000 --facilities 600 \\
         --metric l2 --out nyc.pgm
+    rnnhm query --dataset nyc --probes 100000 --tile-zoom 2
     rnnhm figure 16 --scale small
     rnnhm info
 
-Also runnable as ``python -m repro ...``.
+Also runnable as ``python -m repro ...``.  Algorithm choices everywhere are
+derived from the algorithm registry (``repro.core.registry.REGISTRY``).
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+
+from .core.registry import REGISTRY
 
 __all__ = ["main", "build_parser"]
 
@@ -31,8 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
     hm.add_argument("--clients", type=int, default=2000)
     hm.add_argument("--facilities", type=int, default=600)
     hm.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
-    hm.add_argument("--algorithm", default="crest",
-                    choices=("crest", "crest-a", "baseline", "superimposition"))
+    hm.add_argument("--algorithm", default="crest", choices=REGISTRY.names())
     hm.add_argument("--resolution", type=int, default=400)
     hm.add_argument("--out", type=Path, default=None,
                     help="output PGM path (default: ASCII to stdout)")
@@ -50,6 +53,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also render the figure as an SVG line chart")
     fig.add_argument("--out-dir", type=Path, default=None,
                      help="figure 1/15: directory for rendered PGMs")
+
+    qr = sub.add_parser(
+        "query", aliases=["serve-queries"],
+        help="serve batched point probes and tiles through HeatMapService",
+    )
+    qr.add_argument("--dataset", default="uniform",
+                    choices=("nyc", "la", "uniform", "zipfian"))
+    qr.add_argument("--clients", type=int, default=2000)
+    qr.add_argument("--facilities", type=int, default=600)
+    qr.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
+    qr.add_argument("--algorithm", default="crest", choices=REGISTRY.names())
+    qr.add_argument("--probes", type=int, default=100_000,
+                    help="random point probes to answer in one batch")
+    qr.add_argument("--top-k", type=int, default=5)
+    qr.add_argument("--tile-zoom", type=int, default=2,
+                    help="warm the full tile pyramid level (pass -1 to skip)")
+    qr.add_argument("--tile-size", type=int, default=128)
+    qr.add_argument("--seed", type=int, default=0)
 
     ver = sub.add_parser("verify", help="build a heat map and self-verify it "
                          "against the brute-force RNN definition")
@@ -112,6 +133,71 @@ def _cmd_heatmap(args) -> int:
         print(f"wrote {args.out}")
     else:
         print(ascii_heat_map(grid))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .service import HeatMapService
+
+    clients, facilities = _instance(args)
+    service = HeatMapService(tile_size=args.tile_size)
+
+    t0 = time.perf_counter()
+    handle = service.build(
+        clients, facilities, metric=args.metric, algorithm=args.algorithm
+    )
+    build_s = time.perf_counter() - t0
+    world = service.world(handle)
+    result = service.result(handle)
+    print(
+        f"built {args.dataset} |O|={args.clients} |F|={args.facilities} "
+        f"metric={args.metric} algorithm={args.algorithm} in {build_s:.2f}s "
+        f"({len(result.region_set)} fragments, handle {handle[:12]}...)"
+    )
+
+    rng = np.random.default_rng(args.seed + 2)
+    pts = np.column_stack([
+        rng.uniform(world.x_lo, world.x_hi, args.probes),
+        rng.uniform(world.y_lo, world.y_hi, args.probes),
+    ])
+    t0 = time.perf_counter()
+    heats = service.heat_at_many(handle, pts)
+    batch_s = time.perf_counter() - t0
+    rate = args.probes / batch_s if batch_s > 0 else float("inf")
+    probe_stats = (
+        f"; mean heat {heats.mean():.3f}, max {heats.max():g}"
+        if len(heats) else ""
+    )
+    print(
+        f"answered {args.probes:,} point probes in {batch_s*1e3:.1f} ms "
+        f"({rate:,.0f} probes/s)" + probe_stats
+    )
+    print(f"top-{args.top_k} heats: "
+          + ", ".join(f"{h:g}" for h in service.top_k_heats(handle, args.top_k)))
+
+    if args.tile_zoom > 8:
+        print(f"--tile-zoom {args.tile_zoom} would render "
+              f"{4 ** args.tile_zoom:,} tiles; capped at 8 for the CLI "
+              "(use HeatMapService.viewport for windowed deep zooms)")
+        return 1
+    if args.tile_zoom >= 0:
+        t0 = time.perf_counter()
+        tiles = service.viewport(handle, args.tile_zoom, world)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        service.viewport(handle, args.tile_zoom, world)  # warm pass
+        warm_s = time.perf_counter() - t0
+        print(
+            f"tile level {args.tile_zoom}: {len(tiles)} tiles of "
+            f"{args.tile_size}px — cold {cold_s*1e3:.1f} ms, "
+            f"warm {warm_s*1e3:.1f} ms (cache)"
+        )
+    print("service stats: " + ", ".join(
+        f"{k}={v}" for k, v in service.stats.as_dict().items()))
     return 0
 
 
@@ -230,6 +316,8 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "heatmap":
         return _cmd_heatmap(args)
+    if args.command in ("query", "serve-queries"):
+        return _cmd_query(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "verify":

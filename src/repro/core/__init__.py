@@ -1,8 +1,10 @@
 """Core algorithms: CREST (L-inf/L1 and L2), the grid baseline, the pruning
-comparator, superimposition, and the labeled-region output model."""
+comparator, superimposition, the algorithm registry they dispatch through,
+and the labeled-region output model."""
 
 from .baseline import run_baseline
 from .pruning import PruningResult, run_pruning_max
+from .registry import REGISTRY, AlgorithmRegistry, EngineSpec
 from .regionset import ArcFragment, RectFragment, RegionSet
 from .serialize import load_region_set, save_region_set
 from .superimposition import run_superimposition
@@ -11,7 +13,10 @@ from .sweep_linf import SweepStats, run_crest
 from .verify import VerificationReport, verify_region_set
 
 __all__ = [
+    "REGISTRY",
+    "AlgorithmRegistry",
     "ArcFragment",
+    "EngineSpec",
     "PruningResult",
     "RectFragment",
     "RegionSet",

@@ -17,22 +17,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import AlgorithmUnsupportedError, UnknownAlgorithmError
+from ..errors import AlgorithmUnsupportedError
 from ..geometry.circle import NNCircleSet
 from ..geometry.metrics import Metric, get_metric
 from ..geometry.transforms import IDENTITY, ROTATE_L1_TO_LINF, Transform
 from ..influence.measures import InfluenceMeasure, SizeMeasure
 from ..nn.nncircles import compute_nn_circles
-from .baseline import run_baseline
 from .pruning import PruningResult, run_pruning_max
+from .registry import REGISTRY
 from .regionset import RegionSet
-from .superimposition import run_superimposition
-from .sweep_l2 import run_crest_l2
-from .sweep_linf import SweepStats, run_crest
+from .sweep_linf import SweepStats
 
 __all__ = ["RNNHeatMap", "HeatMapResult", "build_heat_map", "ALGORITHMS"]
 
-ALGORITHMS = ("crest", "crest-a", "baseline", "superimposition")
+#: Advertised engine names — a snapshot of the registry's public engines
+#: taken at import time.  Engines registered later dispatch fine through
+#: ``build()``; use ``REGISTRY.names()`` for a live listing (the CLI does).
+ALGORITHMS = REGISTRY.names(public_only=True)
 
 
 @dataclass
@@ -47,6 +48,14 @@ class HeatMapResult:
 
     def rnn_at(self, x: float, y: float) -> frozenset:
         return self.region_set.rnn_at(x, y)
+
+    def heat_at_many(self, points) -> np.ndarray:
+        """Vectorized heat for an (n, 2) batch of original-space points."""
+        return self.region_set.heat_at_many(points)
+
+    def rnn_at_many(self, points) -> "list[frozenset]":
+        """RNN set per query point (empty outside all fragments)."""
+        return self.region_set.rnn_at_many(points)
 
     def rasterize(self, width: int, height: int, bounds=None):
         return self.region_set.rasterize(width, height, bounds)
@@ -131,63 +140,21 @@ class RNNHeatMap:
     ) -> HeatMapResult:
         """Solve the RC problem and return the labeled subdivision.
 
-        Algorithms: 'crest' (default), 'crest-a' (no changed intervals),
-        'baseline' (grid + enclosure queries; square metrics only),
-        'superimposition' (size measure only).
+        Algorithms are looked up in :data:`repro.core.registry.REGISTRY`;
+        registered by default: 'crest' (the paper's sweep), 'crest-a' (no
+        changed intervals), 'baseline' (grid + enclosure queries; square
+        metrics only), 'superimposition' (size measure only).
         """
-        algorithm = algorithm.lower()
-        if self.circles.metric.name == "l2":
-            if algorithm in ("crest", "crest-l2"):
-                stats, region_set = run_crest_l2(
-                    self.circles,
-                    self.measure,
-                    collect_fragments=collect_fragments,
-                    transform=self.transform,
-                    on_label=on_label,
-                )
-            elif algorithm in ALGORITHMS:
-                raise AlgorithmUnsupportedError(
-                    f"{algorithm!r} supports square NN-circles only; "
-                    "under L2 use 'crest' (the arc sweep) or 'pruning' via max_region()"
-                )
-            else:
-                raise UnknownAlgorithmError(f"unknown algorithm {algorithm!r}")
-        elif algorithm == "crest":
-            stats, region_set = run_crest(
-                self.circles,
-                self.measure,
-                use_changed_intervals=True,
-                status_backend=status_backend,
-                collect_fragments=collect_fragments,
-                transform=self.transform,
-                on_label=on_label,
-            )
-        elif algorithm == "crest-a":
-            stats, region_set = run_crest(
-                self.circles,
-                self.measure,
-                use_changed_intervals=False,
-                status_backend=status_backend,
-                collect_fragments=collect_fragments,
-                transform=self.transform,
-                on_label=on_label,
-            )
-        elif algorithm == "baseline":
-            stats, region_set = run_baseline(
-                self.circles,
-                self.measure,
-                index=baseline_index,
-                collect_fragments=collect_fragments,
-                transform=self.transform,
-                on_label=on_label,
-            )
-        elif algorithm == "superimposition":
-            stats, region_set = run_superimposition(
-                self.circles, self.measure, transform=self.transform
-            )
-        else:
-            raise UnknownAlgorithmError(f"unknown algorithm {algorithm!r}")
-
+        _spec, runner = REGISTRY.resolve(algorithm, self.circles.metric.name)
+        stats, region_set = runner(
+            self.circles,
+            self.measure,
+            transform=self.transform,
+            collect_fragments=collect_fragments,
+            on_label=on_label,
+            status_backend=status_backend,
+            baseline_index=baseline_index,
+        )
         if region_set is None:
             region_set = RegionSet([], self.transform, float(self.measure(frozenset())))
         return HeatMapResult(region_set, stats)

@@ -24,6 +24,163 @@ from ..index.rtree import RTree
 __all__ = ["RectFragment", "ArcFragment", "RegionSet"]
 
 
+def _arc_y_many(cx, cy, r, sign, px):
+    """Vectorized ``Arc.y_at``: boundary y at each ``px``.
+
+    Rectangle boundaries are encoded as degenerate arcs with ``r == 0`` and
+    ``cy`` set to the constant bound, making one formula serve both
+    fragment kinds.  The arithmetic mirrors ``Arc.y_at`` operation for
+    operation (clamp, ``r*r - dx*dx``, ``max(..., 0)``, ``sqrt``) so batch
+    and scalar answers are bit-identical.
+    """
+    dl = np.clip(px - cx, -r, r)
+    h = np.sqrt(np.maximum(r * r - dl * dl, 0.0))
+    return cy + sign * h
+
+
+class _FragmentTable:
+    """Flat NumPy view of a fragment list plus a uniform-grid index.
+
+    Per-fragment arrays hold the x-span, the lower/upper bounding curves
+    (as degenerate-or-real arcs), and the heat.  A uniform grid over the
+    fragments' bounding box stores, per cell, the fragments whose bbox
+    touches it (CSR layout: ``cell_starts``/``cell_counts`` into
+    ``entry_frag``), replacing the per-point R-tree descent with
+    vectorized candidate probing.
+    """
+
+    __slots__ = (
+        "x_lo", "x_hi", "heat",
+        "lo_cx", "lo_cy", "lo_r", "lo_sign",
+        "up_cx", "up_cy", "up_r", "up_sign",
+        "grid_n", "gx0", "gy0", "gsx", "gsy",
+        "cell_starts", "cell_counts", "entry_frag",
+    )
+
+    def __init__(self, fragments: list) -> None:
+        n = len(fragments)
+        self.x_lo = np.empty(n)
+        self.x_hi = np.empty(n)
+        self.heat = np.empty(n)
+        self.lo_cx = np.zeros(n)
+        self.lo_cy = np.empty(n)
+        self.lo_r = np.zeros(n)
+        self.lo_sign = np.empty(n)
+        self.up_cx = np.zeros(n)
+        self.up_cy = np.empty(n)
+        self.up_r = np.zeros(n)
+        self.up_sign = np.empty(n)
+        bb_ylo = np.empty(n)
+        bb_yhi = np.empty(n)
+        from ..geometry.arcs import LOWER_ARC
+
+        for i, f in enumerate(fragments):
+            self.x_lo[i] = f.x_lo
+            self.x_hi[i] = f.x_hi
+            self.heat[i] = f.heat
+            if isinstance(f, RectFragment):
+                self.lo_cy[i] = f.y_lo
+                self.lo_sign[i] = -1.0
+                self.up_cy[i] = f.y_hi
+                self.up_sign[i] = 1.0
+                bb_ylo[i] = f.y_lo
+                bb_yhi[i] = f.y_hi
+            else:
+                lo, up = f.lower, f.upper
+                self.lo_cx[i] = lo.cx
+                self.lo_cy[i] = lo.cy
+                self.lo_r[i] = lo.r
+                self.lo_sign[i] = -1.0 if lo.kind == LOWER_ARC else 1.0
+                self.up_cx[i] = up.cx
+                self.up_cy[i] = up.cy
+                self.up_r[i] = up.r
+                self.up_sign[i] = -1.0 if up.kind == LOWER_ARC else 1.0
+                box = f.bbox
+                bb_ylo[i] = box.y_lo
+                bb_yhi[i] = box.y_hi
+
+        # Uniform grid over the union bbox, ~one fragment per cell.
+        g = int(np.ceil(np.sqrt(n))) if n else 1
+        self.grid_n = max(1, min(g, 1024))
+        x0 = float(self.x_lo.min())
+        x1 = float(self.x_hi.max())
+        y0 = float(bb_ylo.min())
+        y1 = float(bb_yhi.max())
+        self.gx0 = x0
+        self.gy0 = y0
+        self.gsx = self.grid_n / (x1 - x0) if x1 > x0 else 0.0
+        self.gsy = self.grid_n / (y1 - y0) if y1 > y0 else 0.0
+
+        gn = self.grid_n
+        cx0 = np.clip(((self.x_lo - x0) * self.gsx).astype(np.int64), 0, gn - 1)
+        cx1 = np.clip(((self.x_hi - x0) * self.gsx).astype(np.int64), 0, gn - 1)
+        cy0 = np.clip(((bb_ylo - y0) * self.gsy).astype(np.int64), 0, gn - 1)
+        cy1 = np.clip(((bb_yhi - y0) * self.gsy).astype(np.int64), 0, gn - 1)
+        rx = cx1 - cx0 + 1
+        ry = cy1 - cy0 + 1
+        spans = rx * ry
+        total = int(spans.sum())
+        frag_rep = np.repeat(np.arange(n, dtype=np.int64), spans)
+        local = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(spans) - spans, spans
+        )
+        rx_rep = np.repeat(rx, spans)
+        cells = (
+            (np.repeat(cy0, spans) + local // rx_rep) * gn
+            + np.repeat(cx0, spans) + local % rx_rep
+        )
+        order = np.argsort(cells, kind="stable")
+        self.entry_frag = frag_rep[order]
+        self.cell_counts = np.bincount(cells, minlength=gn * gn)
+        self.cell_starts = np.concatenate(
+            ([0], np.cumsum(self.cell_counts)[:-1])
+        )
+
+    def contains(self, fi, px, py, *, closed: bool) -> np.ndarray:
+        """Vectorized fragment-containment test (open or closed)."""
+        y_lo = _arc_y_many(self.lo_cx[fi], self.lo_cy[fi], self.lo_r[fi],
+                           self.lo_sign[fi], px)
+        y_hi = _arc_y_many(self.up_cx[fi], self.up_cy[fi], self.up_r[fi],
+                           self.up_sign[fi], px)
+        if closed:
+            return (
+                (self.x_lo[fi] <= px) & (px <= self.x_hi[fi])
+                & (y_lo <= py) & (py <= y_hi)
+            )
+        return (
+            (self.x_lo[fi] < px) & (px < self.x_hi[fi])
+            & (y_lo < py) & (py < y_hi)
+        )
+
+    def locate(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """Fragment index containing each point, or -1.
+
+        Mirrors the scalar resolution order: strict (open) containment
+        first — unique, because fragments tile the plane — then a closed
+        fallback so boundary points resolve to one adjacent fragment.
+        """
+        n = len(px)
+        res = np.full(n, -1, dtype=np.int64)
+        gn = self.grid_n
+        with np.errstate(invalid="ignore"):
+            cx = np.clip(((px - self.gx0) * self.gsx).astype(np.int64), 0, gn - 1)
+            cy = np.clip(((py - self.gy0) * self.gsy).astype(np.int64), 0, gn - 1)
+        cell = cy * gn + cx
+        starts = self.cell_starts[cell]
+        counts = self.cell_counts[cell]
+        for closed in (False, True):
+            pend = np.nonzero((res == -1) & (counts > 0))[0]
+            j = 0
+            while pend.size:
+                fi = self.entry_frag[starts[pend] + j]
+                ok = self.contains(fi, px[pend], py[pend], closed=closed)
+                res[pend[ok]] = fi[ok]
+                j += 1
+                pend = pend[~ok]
+                pend = pend[counts[pend] > j]
+        return res
+
+
 @dataclass(frozen=True)
 class RectFragment:
     """An open axis-aligned rectangle of constant RNN set (internal frame)."""
@@ -122,6 +279,7 @@ class RegionSet:
         self.default_heat = float(default_heat)
         self.metric_name = metric_name
         self._rtree: "RTree | None" = None
+        self._flat: "_FragmentTable | None" = None
 
     def __len__(self) -> int:
         return len(self.fragments)
@@ -144,8 +302,18 @@ class RegionSet:
             )
         return self._rtree
 
+    def _table(self) -> "_FragmentTable | None":
+        """The flat fragment table backing batch queries (lazily built)."""
+        if self._flat is None and self.fragments:
+            self._flat = _FragmentTable(self.fragments)
+        return self._flat
+
     def fragment_at(self, x: float, y: float):
         """The fragment containing the point, or None (in original coords).
+
+        This is the R-tree reference path (one tree descent per call);
+        ``heat_at``/``rnn_at`` answer through the vectorized flat table
+        instead and only match it up to boundary tie-breaking.
 
         Points strictly inside a fragment resolve exactly.  A point on a
         boundary falls back to closed containment and returns one adjacent
@@ -170,24 +338,53 @@ class RegionSet:
         return None
 
     def heat_at(self, x: float, y: float) -> float:
-        """Heat of the point's region; default heat outside all circles."""
-        frag = self.fragment_at(x, y)
-        return self.default_heat if frag is None else frag.heat
+        """Heat of the point's region; default heat outside all circles.
+
+        Delegates to :meth:`heat_at_many` — scalar and batch answers are
+        the same code path and therefore bit-identical.
+        """
+        return float(self.heat_at_many(np.array([[x, y]], dtype=float))[0])
 
     def rnn_at(self, x: float, y: float) -> frozenset:
         """The RNN set of the point's region (empty outside all circles)."""
-        frag = self.fragment_at(x, y)
-        return frozenset() if frag is None else frag.rnn
+        return self.rnn_at_many(np.array([[x, y]], dtype=float))[0]
 
-    def heats_at(self, points: np.ndarray) -> np.ndarray:
-        """Heat for an (n, 2) batch of query points (original coords)."""
+    def _locate_many(self, points) -> np.ndarray:
+        """Fragment index per query point (original coords), -1 outside."""
         pts = np.asarray(points, dtype=float)
         if pts.ndim != 2 or pts.shape[1] != 2:
             raise InvalidInputError("points must have shape (n, 2)")
-        out = np.empty(len(pts))
-        for i, (x, y) in enumerate(pts):
-            out[i] = self.heat_at(float(x), float(y))
+        table = self._table()
+        if table is None:
+            return np.full(len(pts), -1, dtype=np.int64)
+        ipts = self.transform.forward_array(pts)
+        return table.locate(ipts[:, 0], ipts[:, 1])
+
+    def heat_at_many(self, points) -> np.ndarray:
+        """Heat for an (n, 2) batch of query points (original coords).
+
+        One vectorized pass over a flat fragment table instead of n R-tree
+        descents; the batch path is the primary implementation and
+        ``heat_at`` delegates to it.
+        """
+        idx = self._locate_many(points)
+        table = self._flat
+        if table is None:
+            return np.full(len(idx), self.default_heat)
+        out = np.where(idx >= 0, table.heat[np.maximum(idx, 0)], self.default_heat)
         return out
+
+    def rnn_at_many(self, points) -> "list[frozenset]":
+        """RNN set per query point (empty set outside all fragments)."""
+        empty = frozenset()
+        frags = self.fragments
+        return [
+            empty if i < 0 else frags[i].rnn for i in self._locate_many(points)
+        ]
+
+    def heats_at(self, points: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`heat_at_many` (kept for API compatibility)."""
+        return self.heat_at_many(points)
 
     def bounds(self) -> "Rect | None":
         """Bounding box of all fragments, in *internal* coordinates."""

@@ -1,0 +1,227 @@
+"""Pluggable algorithm registry for the RC-problem engines.
+
+Historically ``RNNHeatMap.build`` selected its engine through a hard-coded
+if/elif chain; every new engine meant editing the facade.  The registry
+replaces that chain with declarative registration: an :class:`EngineSpec`
+names the engine, lists the sweep metrics it runs under (one runner per
+metric, since e.g. 'crest' is a segment sweep under L-infinity but an arc
+sweep under L2), and carries capability metadata (supported measures,
+fragment support) that tooling and error messages derive from.
+
+Engines register against the module-level :data:`REGISTRY`; the CLI's
+``--algorithm`` choices are a live view of it, and the facade's
+``ALGORITHMS`` tuple is an import-time snapshot of the public names.
+Third-party engines can register at import time::
+
+    from repro.core.registry import REGISTRY, EngineSpec
+
+    REGISTRY.register(EngineSpec(
+        name="my-engine",
+        runners={"linf": my_runner},
+        description="...",
+    ))
+
+Runner contract: ``runner(circles, measure, *, transform, collect_fragments,
+on_label, **options) -> (SweepStats, RegionSet | None)`` — exactly the
+contract of ``run_crest`` and friends; adapters below absorb per-engine
+option names (``status_backend``, ``baseline_index``).
+
+Error semantics (kept bit-for-bit compatible with the old chain):
+
+* an unregistered name raises :class:`~repro.errors.UnknownAlgorithmError`;
+* a *public* engine asked to run under a metric it does not support raises
+  :class:`~repro.errors.AlgorithmUnsupportedError`;
+* a non-public engine (e.g. the explicit ``crest-l2`` alias) under the
+  wrong metric raises ``UnknownAlgorithmError``, matching the old chain
+  where such names simply fell off the end of the if/elif ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AlgorithmUnsupportedError, UnknownAlgorithmError
+from .baseline import run_baseline
+from .superimposition import run_superimposition
+from .sweep_l2 import run_crest_l2
+from .sweep_linf import run_crest
+
+__all__ = ["EngineSpec", "AlgorithmRegistry", "REGISTRY"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered RC-problem engine plus its capability metadata.
+
+    Attributes:
+        name: canonical lowercase engine name (the ``build()`` argument).
+        runners: sweep-metric name -> runner callable.  Metrics are the
+            *internal* ones an engine sees ('linf' or 'l2'; L1 inputs are
+            rotated to 'linf' before dispatch).
+        description: one-line human description (CLI/help output).
+        measures: 'any', or 'size-like' for engines restricted to
+            size/weight measures (the superimposition overlay).
+        supports_fragments: whether the engine can assemble a queryable
+            ``RegionSet`` (False would mean stats-only engines).
+        public: advertised in ``ALGORITHMS`` / CLI choices.  Non-public
+            names are reachable but raise ``UnknownAlgorithmError`` rather
+            than ``AlgorithmUnsupportedError`` under unsupported metrics.
+    """
+
+    name: str
+    runners: "dict[str, object]"
+    description: str = ""
+    measures: str = "any"
+    supports_fragments: bool = True
+    public: bool = True
+
+    @property
+    def metrics(self) -> "frozenset[str]":
+        """Sweep metrics this engine runs under."""
+        return frozenset(self.runners)
+
+    def supports_metric(self, metric_name: str) -> bool:
+        return metric_name in self.runners
+
+
+class AlgorithmRegistry:
+    """Name -> :class:`EngineSpec` mapping with capability-aware lookup."""
+
+    def __init__(self) -> None:
+        self._specs: "dict[str, EngineSpec]" = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, spec: EngineSpec) -> EngineSpec:
+        """Register (or replace) an engine under its canonical name."""
+        self._specs[spec.name.lower()] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        """Remove an engine (mainly for tests of pluggability)."""
+        self._specs.pop(name.lower(), None)
+
+    # -- queries --------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._specs
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def names(self, *, public_only: bool = True) -> "tuple[str, ...]":
+        """Engine names in registration order (public ones by default)."""
+        return tuple(
+            s.name for s in self._specs.values() if s.public or not public_only
+        )
+
+    def get(self, name: str) -> EngineSpec:
+        """The spec for ``name``, or ``UnknownAlgorithmError``."""
+        try:
+            return self._specs[name.lower()]
+        except KeyError:
+            raise UnknownAlgorithmError(f"unknown algorithm {name!r}") from None
+
+    def resolve(self, name: str, metric_name: str) -> "tuple[EngineSpec, object]":
+        """The (spec, runner) pair for ``name`` under a sweep metric.
+
+        Raises:
+            UnknownAlgorithmError: name is unregistered, or registered
+                non-public and unsupported under ``metric_name``.
+            AlgorithmUnsupportedError: a public engine that cannot run
+                under ``metric_name``.
+        """
+        spec = self.get(name)
+        runner = spec.runners.get(metric_name)
+        if runner is not None:
+            return spec, runner
+        if not spec.public:
+            raise UnknownAlgorithmError(f"unknown algorithm {name!r}")
+        if metric_name == "l2":
+            raise AlgorithmUnsupportedError(
+                f"{spec.name!r} supports square NN-circles only; "
+                "under L2 use 'crest' (the arc sweep) or 'pruning' via max_region()"
+            )
+        raise AlgorithmUnsupportedError(
+            f"{spec.name!r} runs under {'/'.join(sorted(spec.metrics))} "
+            f"NN-circles, not {metric_name!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Runner adapters: absorb per-engine option names so every runner shares
+# one calling convention.  Unknown options are ignored by design — the
+# facade passes its full option set to whichever engine was selected.
+# ----------------------------------------------------------------------
+def _crest_linf(circles, measure, *, transform, collect_fragments, on_label,
+                status_backend="sortedlist", **_ignored):
+    """CREST segment sweep (with changed-interval batching)."""
+    return run_crest(
+        circles, measure, use_changed_intervals=True,
+        status_backend=status_backend, collect_fragments=collect_fragments,
+        transform=transform, on_label=on_label,
+    )
+
+
+def _crest_a_linf(circles, measure, *, transform, collect_fragments, on_label,
+                  status_backend="sortedlist", **_ignored):
+    """CREST-A ablation (no changed-interval batching)."""
+    return run_crest(
+        circles, measure, use_changed_intervals=False,
+        status_backend=status_backend, collect_fragments=collect_fragments,
+        transform=transform, on_label=on_label,
+    )
+
+
+def _crest_l2(circles, measure, *, transform, collect_fragments, on_label,
+              **_ignored):
+    """CREST-L2 arc sweep over disk NN-circles."""
+    return run_crest_l2(
+        circles, measure, collect_fragments=collect_fragments,
+        transform=transform, on_label=on_label,
+    )
+
+
+def _baseline_linf(circles, measure, *, transform, collect_fragments, on_label,
+                   baseline_index="segment_tree", **_ignored):
+    """Grid baseline with enclosure-query index."""
+    return run_baseline(
+        circles, measure, index=baseline_index,
+        collect_fragments=collect_fragments, transform=transform,
+        on_label=on_label,
+    )
+
+
+def _superimposition_linf(circles, measure, *, transform, **_ignored):
+    """Circle-overlay counts (size/weight measures only)."""
+    return run_superimposition(circles, measure, transform=transform)
+
+
+#: The process-wide registry the facade and CLI dispatch through.
+REGISTRY = AlgorithmRegistry()
+
+REGISTRY.register(EngineSpec(
+    name="crest",
+    runners={"linf": _crest_linf, "l2": _crest_l2},
+    description="the paper's sweep: changed-interval batching (Theorem 2)",
+))
+REGISTRY.register(EngineSpec(
+    name="crest-a",
+    runners={"linf": _crest_a_linf},
+    description="CREST without changed-interval batching (ablation)",
+))
+REGISTRY.register(EngineSpec(
+    name="baseline",
+    runners={"linf": _baseline_linf},
+    description="extended-side grid with enclosure queries (BA)",
+))
+REGISTRY.register(EngineSpec(
+    name="superimposition",
+    runners={"linf": _superimposition_linf},
+    description="circle-overlay counts; size/weight measures only (Fig. 3)",
+    measures="size-like",
+))
+REGISTRY.register(EngineSpec(
+    name="crest-l2",
+    runners={"l2": _crest_l2},
+    description="explicit alias for the L2 arc sweep",
+    public=False,
+))

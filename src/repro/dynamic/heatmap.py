@@ -54,35 +54,43 @@ class DynamicHeatMap:
         self.assignment = DynamicAssignment(clients, facilities, internal_metric)
         self._cached: "HeatMapResult | None" = None
         self.rebuilds = 0
+        #: Monotone update counter.  Downstream caches (``HeatMapService``)
+        #: compare it against the version they last served from, so one
+        #: map's updates invalidate only that map's cache entries.
+        self.version = 0
 
     def _point(self, x: float, y: float) -> "tuple[float, float]":
         return self.transform.forward(x, y)
+
+    def _invalidate(self) -> None:
+        self._cached = None
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Updates (each invalidates the cache)
     # ------------------------------------------------------------------
     def add_client(self, x: float, y: float) -> int:
-        self._cached = None
+        self._invalidate()
         return self.assignment.add_client(*self._point(x, y))
 
     def remove_client(self, handle: int) -> None:
-        self._cached = None
+        self._invalidate()
         self.assignment.remove_client(handle)
 
     def move_client(self, handle: int, x: float, y: float) -> None:
-        self._cached = None
+        self._invalidate()
         self.assignment.move_client(handle, *self._point(x, y))
 
     def add_facility(self, x: float, y: float) -> int:
-        self._cached = None
+        self._invalidate()
         return self.assignment.add_facility(*self._point(x, y))
 
     def remove_facility(self, handle: int) -> None:
-        self._cached = None
+        self._invalidate()
         self.assignment.remove_facility(handle)
 
     def move_facility(self, handle: int, x: float, y: float) -> None:
-        self._cached = None
+        self._invalidate()
         self.assignment.move_facility(handle, *self._point(x, y))
 
     # ------------------------------------------------------------------
@@ -115,3 +123,11 @@ class DynamicHeatMap:
 
     def rnn_at(self, x: float, y: float) -> frozenset:
         return self.result().rnn_at(x, y)
+
+    def heat_at_many(self, points) -> np.ndarray:
+        """Vectorized heat for an (n, 2) batch against the current map."""
+        return self.result().heat_at_many(points)
+
+    def rnn_at_many(self, points) -> "list[frozenset]":
+        """RNN set per query point against the current map."""
+        return self.result().rnn_at_many(points)

@@ -29,6 +29,14 @@ class AlgorithmUnsupportedError(ReproError):
     """
 
 
+class UnknownHandleError(ReproError):
+    """Raised when a service handle refers to no (or an evicted) build.
+
+    ``HeatMapService`` keys built heat maps by input fingerprint and keeps
+    a bounded LRU of them; clients holding a stale handle must rebuild.
+    """
+
+
 class BudgetExceededError(ReproError):
     """Raised when an algorithm exceeds a caller-imposed time/work budget.
 

@@ -1,0 +1,35 @@
+"""Batch-query serving layer over built heat maps.
+
+The paper frames heat maps as an *interactive* exploration tool: build the
+labeled subdivision once, then answer many cheap probes (pan, zoom, point
+queries, top-k) against it.  This package is that serving architecture:
+
+* :class:`~repro.service.service.HeatMapService` — owns built
+  ``HeatMapResult`` objects keyed by an input *fingerprint* (bounded LRU,
+  so identical build requests are free), serves vectorized point/RNN
+  batches, top-k, threshold views, and raster *tiles* with a tile-level
+  cache that survives pans and zooms.
+* :mod:`~repro.service.fingerprint` — content-addressed build keys.
+* :mod:`~repro.service.tiles` — the quadtree tile scheme over a result's
+  original-space bounds.
+* :mod:`~repro.service.cache` — the small LRU primitive both caches use.
+
+Dynamic worlds plug in through
+:meth:`~repro.service.service.HeatMapService.attach_dynamic`: updates to a
+``DynamicHeatMap`` bump its version counter, and the service invalidates
+only that handle's cached result and tiles.
+"""
+
+from .cache import LRUCache
+from .fingerprint import fingerprint_build
+from .service import HeatMapService, ServiceStats
+from .tiles import tile_bounds, world_bounds
+
+__all__ = [
+    "HeatMapService",
+    "LRUCache",
+    "ServiceStats",
+    "fingerprint_build",
+    "tile_bounds",
+    "world_bounds",
+]

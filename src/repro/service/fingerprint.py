@@ -1,0 +1,61 @@
+"""Content-addressed keys for heat-map builds.
+
+A build is fully determined by its inputs (client/facility coordinates),
+the metric, the algorithm, the influence measure, the chromaticity flag and
+the RkNN order — so the service keys its result cache by a SHA-256 digest
+of exactly those.  Re-requesting an identical build is then a cache hit
+regardless of which caller asks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+import numpy as np
+
+__all__ = ["fingerprint_build", "measure_token"]
+
+
+def measure_token(measure) -> str:
+    """A stable token describing an influence measure.
+
+    ``None`` (the default size measure) and any picklable measure hash by
+    *value*, so two equal configurations share cache entries.  Unpicklable
+    measures fall back to identity hashing — correct, merely cache-shy.
+    """
+    if measure is None:
+        return "size:default"
+    try:
+        payload = pickle.dumps(measure, protocol=4)
+    except Exception:
+        return f"{type(measure).__qualname__}:id:{id(measure)}"
+    return f"{type(measure).__qualname__}:{hashlib.sha256(payload).hexdigest()}"
+
+
+def fingerprint_build(
+    clients: np.ndarray,
+    facilities: "np.ndarray | None",
+    *,
+    metric: str,
+    algorithm: str,
+    measure=None,
+    monochromatic: bool = False,
+    k: int = 1,
+) -> str:
+    """SHA-256 fingerprint of one build request (hex digest)."""
+    h = hashlib.sha256()
+    c = np.ascontiguousarray(np.asarray(clients, dtype=float))
+    h.update(str(c.shape).encode())
+    h.update(c.tobytes())
+    if facilities is not None and not monochromatic:
+        f = np.ascontiguousarray(np.asarray(facilities, dtype=float))
+        h.update(str(f.shape).encode())
+        h.update(f.tobytes())
+    else:
+        h.update(b"mono" if monochromatic else b"nofac")
+    h.update(
+        f"|{str(metric).lower()}|{algorithm.lower()}|{monochromatic}|{int(k)}|".encode()
+    )
+    h.update(measure_token(measure).encode())
+    return h.hexdigest()

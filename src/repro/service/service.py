@@ -1,0 +1,256 @@
+"""The heat-map serving facade: LRU-cached builds, batch queries, tiles.
+
+``HeatMapService`` is the piece that turns the one-shot pipeline
+(``RNNHeatMap(...).build(...)``) into an interactive backend: builds are
+content-addressed and cached, point probes are answered in vectorized
+batches against the flat fragment table, and raster tiles are cached at
+tile granularity so pans and zooms only render what they have never seen.
+
+Static and dynamic heat maps share one interface: ``build`` registers an
+immutable result under its input fingerprint, ``attach_dynamic`` registers
+a ``DynamicHeatMap`` whose version counter the service watches — an update
+to one dynamic map invalidates only that handle's result and tiles,
+leaving every other tenant's cache warm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.heatmap import HeatMapResult, RNNHeatMap
+from ..core.regionset import RegionSet
+from ..errors import UnknownHandleError
+from ..geometry.rect import Rect
+from .cache import LRUCache
+from .fingerprint import fingerprint_build
+from .tiles import tile_bounds, tiles_in_window, world_bounds
+
+__all__ = ["HeatMapService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Monotone counters describing one service's lifetime workload."""
+
+    builds: int = 0
+    build_cache_hits: int = 0
+    batch_queries: int = 0
+    points_queried: int = 0
+    tile_renders: int = 0
+    tile_cache_hits: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict:
+        """The counters as a plain dict (for reports and CLI output)."""
+        return dict(vars(self))
+
+
+@dataclass
+class _Entry:
+    """One registered heat map: a static result or a dynamic source."""
+
+    result: HeatMapResult
+    world: Rect
+    dynamic: object = None  # DynamicHeatMap, when attached
+    version: int = -1
+    extras: dict = field(default_factory=dict)
+
+
+class HeatMapService:
+    """Serve many heat maps to many probes from bounded caches.
+
+    Args:
+        max_results: LRU capacity for built heat maps.
+        max_tiles: LRU capacity for rendered raster tiles.
+        tile_size: default tile edge length in pixels.
+
+    Handles returned by :meth:`build` are input fingerprints — requesting
+    the same build twice returns the same handle without re-sweeping.
+    Evicted or never-built handles raise
+    :class:`~repro.errors.UnknownHandleError` on use.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_results: int = 8,
+        max_tiles: int = 512,
+        tile_size: int = 256,
+    ) -> None:
+        self._results = LRUCache(max_results)
+        self._tiles = LRUCache(max_tiles)
+        self.tile_size = int(tile_size)
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        clients: np.ndarray,
+        facilities: "np.ndarray | None" = None,
+        *,
+        metric: str = "l2",
+        algorithm: str = "crest",
+        measure=None,
+        monochromatic: bool = False,
+        k: int = 1,
+    ) -> str:
+        """Build (or recall) a heat map; returns its fingerprint handle."""
+        handle = fingerprint_build(
+            clients, facilities, metric=metric, algorithm=algorithm,
+            measure=measure, monochromatic=monochromatic, k=k,
+        )
+        if self._results.get(handle) is not None:
+            self.stats.build_cache_hits += 1
+            return handle
+        hm = RNNHeatMap(
+            clients, facilities, metric=metric, measure=measure,
+            monochromatic=monochromatic, k=k,
+        )
+        result = hm.build(algorithm)
+        self.stats.builds += 1
+        self._admit(handle, _Entry(result, world_bounds(result.region_set)))
+        return handle
+
+    def attach_dynamic(self, dynamic, name: "str | None" = None) -> str:
+        """Register a ``DynamicHeatMap``; returns its serving handle.
+
+        The service tracks the map's ``version`` counter: any update made
+        through the dynamic map invalidates this handle's cached tiles
+        (and only this handle's) before the next query is answered.
+        """
+        handle = name if name is not None else f"dynamic:{id(dynamic):x}"
+        result = dynamic.result()
+        entry = _Entry(
+            result, world_bounds(result.region_set),
+            dynamic=dynamic, version=dynamic.version,
+        )
+        self._admit(handle, entry)
+        return handle
+
+    def _admit(self, handle: str, entry: _Entry) -> None:
+        if handle in self._results:
+            # Overwriting a handle (e.g. re-attaching a dynamic map under
+            # the same name): its old tiles describe the previous world.
+            self._drop_tiles(handle)
+        for evicted_handle, _ in self._results.put(handle, entry):
+            self._drop_tiles(evicted_handle)
+
+    # ------------------------------------------------------------------
+    # Lookup / invalidation
+    # ------------------------------------------------------------------
+    def _entry(self, handle: str) -> _Entry:
+        entry = self._results.get(handle)
+        if entry is None:
+            raise UnknownHandleError(
+                f"no heat map under handle {handle!r} (never built, or evicted)"
+            )
+        if entry.dynamic is not None and entry.dynamic.version != entry.version:
+            # The world moved: refresh this tenant only.
+            self._drop_tiles(handle)
+            entry.result = entry.dynamic.result()
+            entry.world = world_bounds(entry.result.region_set)
+            entry.version = entry.dynamic.version
+            self.stats.invalidations += 1
+        return entry
+
+    def _drop_tiles(self, handle: str) -> None:
+        self._tiles.purge(lambda key: key[0] == handle)
+
+    def invalidate(self, handle: str) -> None:
+        """Forget one handle's result and tiles (no-op when unknown)."""
+        self._results.pop(handle)
+        self._drop_tiles(handle)
+
+    def handles(self) -> "list[str]":
+        """Currently resident handles, least- to most-recently used."""
+        return self._results.keys()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def result(self, handle: str) -> HeatMapResult:
+        """The built (refreshed, for dynamic handles) heat-map result."""
+        return self._entry(handle).result
+
+    def world(self, handle: str) -> Rect:
+        """Original-space bounds — the level-0 tile extent."""
+        return self._entry(handle).world
+
+    def heat_at_many(self, handle: str, points) -> np.ndarray:
+        """Vectorized heat for an (n, 2) batch of original-space points."""
+        entry = self._entry(handle)
+        pts = np.asarray(points, dtype=float)
+        out = entry.result.region_set.heat_at_many(pts)
+        self.stats.batch_queries += 1
+        self.stats.points_queried += len(out)
+        return out
+
+    def rnn_at_many(self, handle: str, points) -> "list[frozenset]":
+        """RNN set per query point (empty outside all fragments)."""
+        entry = self._entry(handle)
+        out = entry.result.region_set.rnn_at_many(points)
+        self.stats.batch_queries += 1
+        self.stats.points_queried += len(out)
+        return out
+
+    def top_k_heats(self, handle: str, k: int) -> "list[float]":
+        """The k largest distinct heat values of the subdivision."""
+        return self._entry(handle).result.region_set.top_k_heats(k)
+
+    def threshold(self, handle: str, min_heat: float) -> RegionSet:
+        """A view keeping only fragments with heat >= ``min_heat``."""
+        return self._entry(handle).result.region_set.threshold(min_heat)
+
+    # ------------------------------------------------------------------
+    # Tiles
+    # ------------------------------------------------------------------
+    def tile(
+        self,
+        handle: str,
+        z: int,
+        tx: int,
+        ty: int,
+        *,
+        tile_size: "int | None" = None,
+    ) -> "tuple[np.ndarray, Rect]":
+        """Raster tile ``(z, tx, ty)`` as a (size, size) heat grid.
+
+        Tiles are cached per (handle, address, size); repeated pans and
+        zooms over the same area render nothing.  Row 0 is the bottom row,
+        as in ``RegionSet.rasterize``.
+        """
+        size = self.tile_size if tile_size is None else int(tile_size)
+        entry = self._entry(handle)  # refreshes dynamic handles first
+        key = (handle, z, tx, ty, size)
+        cached = self._tiles.get(key)
+        if cached is not None:
+            self.stats.tile_cache_hits += 1
+            return cached
+        bounds = tile_bounds(entry.world, z, tx, ty)
+        grid, bounds = entry.result.rasterize(size, size, bounds)
+        self.stats.tile_renders += 1
+        self._tiles.put(key, (grid, bounds))
+        return grid, bounds
+
+    def viewport(
+        self,
+        handle: str,
+        z: int,
+        window: Rect,
+        *,
+        tile_size: "int | None" = None,
+    ) -> "list[tuple[int, int]]":
+        """Warm the tile cache for a view window; returns the tile list.
+
+        The pan/zoom entry point: clients ask for the tiles covering their
+        viewport and the service renders only the cold ones.
+        """
+        entry = self._entry(handle)
+        addresses = tiles_in_window(entry.world, z, window)
+        for tx, ty in addresses:
+            self.tile(handle, z, tx, ty, tile_size=tile_size)
+        return addresses

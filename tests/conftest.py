@@ -1,4 +1,4 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite (helpers live in ``helpers.py``)."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
 
-from repro.nn.nncircles import compute_nn_circles
+from helpers import make_instance, naive_rnn_set  # noqa: F401 (re-export)
 
 # Keep hypothesis fast and deterministic-ish for a large suite.
 settings.register_profile(
@@ -21,17 +21,3 @@ settings.load_profile("fast")
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
-
-
-def make_instance(seed: int, n_clients: int, n_facilities: int, metric: str):
-    """A random bichromatic instance: (clients, facilities, circles)."""
-    r = np.random.default_rng(seed)
-    clients = r.random((n_clients, 2))
-    facilities = r.random((n_facilities, 2))
-    circles = compute_nn_circles(clients, facilities, metric)
-    return clients, facilities, circles
-
-
-def naive_rnn_set(circles, x: float, y: float) -> frozenset:
-    """Brute-force RNN set of a point (the oracle)."""
-    return frozenset(circles.enclosing(x, y))

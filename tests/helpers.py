@@ -1,0 +1,27 @@
+"""Importable test helpers shared across the suite.
+
+Kept outside ``conftest.py`` so test modules can ``from helpers import ...``
+without depending on pytest's rootdir-sensitive ``conftest`` module name
+(which used to collide with ``benchmarks/conftest.py`` and break
+collection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.nncircles import compute_nn_circles
+
+
+def make_instance(seed: int, n_clients: int, n_facilities: int, metric: str):
+    """A random bichromatic instance: (clients, facilities, circles)."""
+    r = np.random.default_rng(seed)
+    clients = r.random((n_clients, 2))
+    facilities = r.random((n_facilities, 2))
+    circles = compute_nn_circles(clients, facilities, metric)
+    return clients, facilities, circles
+
+
+def naive_rnn_set(circles, x: float, y: float) -> frozenset:
+    """Brute-force RNN set of a point (the oracle)."""
+    return frozenset(circles.enclosing(x, y))

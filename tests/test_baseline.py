@@ -9,7 +9,7 @@ from repro.errors import AlgorithmUnsupportedError, InvalidInputError
 from repro.geometry.circle import NNCircleSet
 from repro.influence.measures import SizeMeasure
 
-from conftest import make_instance, naive_rnn_set
+from helpers import make_instance, naive_rnn_set
 
 
 class TestEquivalence:

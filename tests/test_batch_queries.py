@@ -1,0 +1,141 @@
+"""Vectorized batch queries: heat_at_many / rnn_at_many vs scalar paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import RNNHeatMap
+from repro.core.regionset import RegionSet
+from repro.errors import InvalidInputError
+from repro.nn.rnn import NaiveRNN
+
+
+def _reference_heats(region_set, pts):
+    """The legacy scalar path: one R-tree descent per probe."""
+    out = np.empty(len(pts))
+    for i, (x, y) in enumerate(pts):
+        frag = region_set.fragment_at(float(x), float(y))
+        out[i] = region_set.default_heat if frag is None else frag.heat
+    return out
+
+
+@pytest.fixture(params=["l1", "l2", "linf"])
+def built(request, rng):
+    O, F = rng.random((50, 2)), rng.random((10, 2))
+    result = RNNHeatMap(O, F, metric=request.param).build("crest")
+    return request.param, O, F, result
+
+
+class TestAgainstScalar:
+    def test_bit_identical_to_scalar_api(self, built, rng):
+        _, _, _, result = built
+        pts = rng.random((400, 2)) * 1.4 - 0.2  # includes points outside
+        batch = result.region_set.heat_at_many(pts)
+        scalar = np.array([result.heat_at(x, y) for x, y in pts])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_matches_rtree_reference(self, built, rng):
+        """Batch location agrees with the per-point R-tree descent."""
+        _, _, _, result = built
+        pts = rng.random((400, 2)) * 1.4 - 0.2
+        np.testing.assert_array_equal(
+            result.region_set.heat_at_many(pts),
+            _reference_heats(result.region_set, pts),
+        )
+
+    def test_rnn_at_many_matches_scalar(self, built, rng):
+        _, _, _, result = built
+        pts = rng.random((200, 2)) * 1.4 - 0.2
+        batch = result.region_set.rnn_at_many(pts)
+        assert batch == [result.rnn_at(x, y) for x, y in pts]
+
+    def test_matches_naive_oracle(self, built, rng):
+        """End-to-end: batch RNN sets equal the definitional oracle."""
+        metric, O, F, result = built
+        oracle = NaiveRNN(O, F, metric=metric)
+        pts = rng.random((150, 2)) * 1.2 - 0.1
+        batch = result.rnn_at_many(pts)
+        assert batch == [oracle.query(x, y) for x, y in pts]
+
+
+class TestL1RotatedFrame:
+    """L1 results answer in original coordinates through the pi/4 rotation."""
+
+    def test_batch_applies_rotation(self, rng):
+        O, F = rng.random((40, 2)), rng.random((8, 2))
+        result = RNNHeatMap(O, F, metric="l1").build("crest")
+        assert not result.region_set.transform.is_identity
+        pts = rng.random((300, 2)) * 1.4 - 0.2
+        np.testing.assert_array_equal(
+            result.region_set.heat_at_many(pts),
+            _reference_heats(result.region_set, pts),
+        )
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_property_scalar_batch_agree(self, seed):
+        r = np.random.default_rng(seed)
+        O, F = r.random((20, 2)), r.random((5, 2))
+        metric = ("l1", "l2", "linf")[seed % 3]
+        result = RNNHeatMap(O, F, metric=metric).build("crest")
+        pts = r.random((60, 2)) * 2.0 - 0.5
+        batch = result.heat_at_many(pts)
+        scalar = np.array([result.heat_at(x, y) for x, y in pts])
+        np.testing.assert_array_equal(batch, scalar)
+        np.testing.assert_array_equal(
+            batch, _reference_heats(result.region_set, pts)
+        )
+
+
+class TestEdgeCases:
+    def test_points_outside_all_fragments(self, built, rng):
+        _, _, _, result = built
+        far = rng.random((50, 2)) * 4.0 + 10.0  # way outside the unit square
+        np.testing.assert_array_equal(
+            result.region_set.heat_at_many(far),
+            np.full(50, result.region_set.default_heat),
+        )
+        assert result.region_set.rnn_at_many(far) == [frozenset()] * 50
+
+    def test_empty_region_set(self):
+        rs = RegionSet([], default_heat=2.5)
+        pts = np.zeros((7, 2))
+        np.testing.assert_array_equal(rs.heat_at_many(pts), np.full(7, 2.5))
+        assert rs.rnn_at_many(pts) == [frozenset()] * 7
+        assert rs.heat_at(0.0, 0.0) == 2.5
+
+    def test_shape_validation(self, built):
+        _, _, _, result = built
+        with pytest.raises(InvalidInputError):
+            result.region_set.heat_at_many(np.zeros((3, 3)))
+        with pytest.raises(InvalidInputError):
+            result.region_set.rnn_at_many(np.zeros(4))
+
+    def test_accepts_sequences(self, built):
+        _, _, _, result = built
+        out = result.region_set.heat_at_many([(0.5, 0.5), (0.25, 0.75)])
+        assert out.shape == (2,)
+
+    def test_nan_points_fall_outside(self, built):
+        _, _, _, result = built
+        pts = np.array([[np.nan, 0.5], [0.5, np.nan]])
+        np.testing.assert_array_equal(
+            result.region_set.heat_at_many(pts),
+            np.full(2, result.region_set.default_heat),
+        )
+
+    def test_heats_at_alias(self, built, rng):
+        _, _, _, result = built
+        pts = rng.random((20, 2))
+        np.testing.assert_array_equal(
+            result.region_set.heats_at(pts),
+            result.region_set.heat_at_many(pts),
+        )
+
+    def test_views_answer_batches(self, built, rng):
+        """threshold()/zoom() views keep working batch queries."""
+        _, _, _, result = built
+        view = result.region_set.threshold(1.0)
+        pts = rng.random((50, 2))
+        heats = view.heat_at_many(pts)
+        assert np.all((heats >= 1.0) | (heats == view.default_heat))

@@ -91,7 +91,7 @@ class TestSweepWithBPlusTree:
         from repro.core.sweep_linf import run_crest
         from repro.influence.measures import SizeMeasure
 
-        from conftest import make_instance
+        from helpers import make_instance
 
         _o, _f, circles = make_instance(8, 70, 9, "linf")
         s1, rs1 = run_crest(circles, SizeMeasure(), status_backend="sortedlist")

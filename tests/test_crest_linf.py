@@ -8,7 +8,7 @@ from repro.core.sweep_linf import run_crest
 from repro.geometry.circle import NNCircleSet
 from repro.influence.measures import SizeMeasure
 
-from conftest import make_instance, naive_rnn_set
+from helpers import make_instance, naive_rnn_set
 
 
 def check_against_oracle(circles, region_set, rng, n_points=200, pad=0.1):

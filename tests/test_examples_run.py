@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "taxi_sharing.py",
     "courier_capacity.py",
     "dynamic_fleet.py",
+    "batch_serving.py",
 ]
 
 

@@ -66,7 +66,7 @@ class TestL2TieStorm:
         from repro.geometry.circle import NNCircleSet
         from repro.influence.measures import SizeMeasure
 
-        from conftest import naive_rnn_set
+        from helpers import naive_rnn_set
 
         xs, ys = np.meshgrid(np.arange(4, dtype=float),
                              np.arange(4, dtype=float))

@@ -12,7 +12,7 @@ from repro.geometry.circle import NNCircleSet
 from repro.influence.measures import SizeMeasure
 from repro.post.regions import merge_regions
 
-from conftest import naive_rnn_set
+from helpers import naive_rnn_set
 
 
 @st.composite

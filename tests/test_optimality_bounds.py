@@ -18,7 +18,7 @@ from repro.geometry.arrangement import (
 from repro.influence.measures import SizeMeasure
 from repro.nn.nncircles import compute_nn_circles
 
-from conftest import make_instance
+from helpers import make_instance
 
 
 def random_squares(seed: int, n: int, radius_scale: float = 0.1):

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.influence",
     "repro.data",
     "repro.dynamic",
+    "repro.service",
     "repro.render",
     "repro.post",
     "repro.experiments",

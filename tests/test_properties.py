@@ -17,7 +17,7 @@ from repro.core.sweep_linf import run_crest
 from repro.influence.measures import SizeMeasure
 from repro.nn.nncircles import compute_nn_circles
 
-from conftest import naive_rnn_set
+from helpers import naive_rnn_set
 
 
 @st.composite

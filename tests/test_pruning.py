@@ -9,7 +9,7 @@ from repro.errors import AlgorithmUnsupportedError, BudgetExceededError
 from repro.geometry.circle import NNCircleSet
 from repro.influence.measures import CapacityConstrainedMeasure, SizeMeasure
 
-from conftest import make_instance
+from helpers import make_instance
 
 
 class TestAgreementWithCrest:

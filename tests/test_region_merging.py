@@ -11,7 +11,7 @@ from repro.geometry.circle import NNCircleSet
 from repro.influence.measures import SizeMeasure
 from repro.post.regions import merge_regions
 
-from conftest import make_instance, naive_rnn_set
+from helpers import make_instance, naive_rnn_set
 
 
 def squares(centers, radii):

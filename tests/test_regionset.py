@@ -10,7 +10,7 @@ from repro.geometry.transforms import ROTATE_L1_TO_LINF
 from repro.influence.measures import SizeMeasure
 from repro.post import threshold_regions, top_k_regions, zoom_window
 
-from conftest import make_instance
+from helpers import make_instance
 
 
 def frag(x0, x1, y0, y1, heat, ids=()):

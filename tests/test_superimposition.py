@@ -13,7 +13,7 @@ from repro.influence.measures import (
     WeightedMeasure,
 )
 
-from conftest import make_instance
+from helpers import make_instance
 
 
 class TestCountsMatchCrest:

@@ -10,7 +10,7 @@ from repro.core.sweep_linf import run_crest
 from repro.core.verify import verify_region_set
 from repro.influence.measures import SizeMeasure
 
-from conftest import make_instance
+from helpers import make_instance
 
 
 class TestVerify:
