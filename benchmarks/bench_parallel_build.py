@@ -1,0 +1,94 @@
+"""Benchmark: slab-partitioned multi-process builds vs the serial sweep.
+
+City-scale builds are sweep-bound single-core Python; the ``repro.parallel``
+pipeline partitions the event queue into x-slabs and sweeps them in worker
+processes.  This script times the serial engine and the pipeline at a list
+of worker counts, checks that every parallel build answers a probe batch
+identically to the serial one, and reports the speedup per worker count.
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_build.py
+    PYTHONPATH=src python benchmarks/bench_parallel_build.py \\
+        --clients 300 --facilities 60 --workers 1,2 --probes 2000   # CI smoke
+
+Expect speedup only on multi-core machines: on one core the pipeline pays
+for overlap margins and process startup without parallel recovery.  Exit
+status is non-zero when --check finds any divergence from the serial build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import RNNHeatMap
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--clients", type=int, default=4000)
+    ap.add_argument("--facilities", type=int, default=800)
+    ap.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
+    ap.add_argument("--workers", default="1,2,4,8",
+                    help="comma-separated worker counts to time")
+    ap.add_argument("--probes", type=int, default=20_000,
+                    help="random probes used by the equivalence check")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--check", action="store_true", default=True,
+                    help="verify parallel answers match the serial build "
+                         "(default: on)")
+    ap.add_argument("--no-check", dest="check", action="store_false")
+    args = ap.parse_args(argv)
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+
+    rng = np.random.default_rng(args.seed)
+    clients = rng.random((args.clients, 2))
+    facilities = rng.random((args.facilities, 2))
+
+    # NN-circle computation happens once in the constructor; the timings
+    # below isolate the sweep, mirroring the paper's benchmark setup.
+    hm = RNNHeatMap(clients, facilities, metric=args.metric)
+    print(f"|O|={args.clients} |F|={args.facilities} metric={args.metric} "
+          f"({len(hm.circles)} NN-circles)")
+
+    t0 = time.perf_counter()
+    serial = hm.build("crest")
+    serial_s = time.perf_counter() - t0
+    print(f"serial crest:               {serial_s:8.2f}s  "
+          f"({len(serial.region_set)} fragments, {serial.stats.labels} labels)")
+
+    probes = rng.random((args.probes, 2)) * 1.2 - 0.1
+    serial_heats = serial.heat_at_many(probes)
+    serial_topk = serial.region_set.top_k_heats(10)
+
+    failures = 0
+    for w in worker_counts:
+        t0 = time.perf_counter()
+        par = hm.build("crest", workers=w) if w != 1 else hm.build(
+            f"{hm.sweep_metric_name}-parallel", workers=1
+        )
+        par_s = time.perf_counter() - t0
+        verdict = ""
+        if args.check:
+            ok = (
+                np.array_equal(par.heat_at_many(probes), serial_heats)
+                and par.region_set.top_k_heats(10) == serial_topk
+            )
+            verdict = "  answers==serial" if ok else "  MISMATCH vs serial"
+            failures += 0 if ok else 1
+        print(f"parallel workers={w:<2} "
+              f"(slabs={par.stats.n_slabs}): {par_s:8.2f}s  "
+              f"speedup {serial_s / par_s:5.2f}x{verdict}")
+
+    if failures:
+        print(f"FAIL: {failures} worker count(s) diverged from serial")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

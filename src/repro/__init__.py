@@ -46,7 +46,8 @@ from .influence.measures import (
     WeightedMeasure,
 )
 from .nn.rnn import NaiveRNN
-from .service import HeatMapService, ServiceStats
+from .parallel import build_parallel
+from .service import HeatMapService, ResultStore, ServiceStats
 
 __version__ = "1.0.0"
 
@@ -71,6 +72,7 @@ __all__ = [
     "RectFragment",
     "RegionSet",
     "ReproError",
+    "ResultStore",
     "ServiceStats",
     "SizeMeasure",
     "SweepStats",
@@ -81,6 +83,7 @@ __all__ = [
     "VerificationReport",
     "WeightedMeasure",
     "build_heat_map",
+    "build_parallel",
     "load_region_set",
     "save_region_set",
     "verify_region_set",

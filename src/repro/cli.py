@@ -42,6 +42,10 @@ def build_parser() -> argparse.ArgumentParser:
     hm.add_argument("--seed", type=int, default=0)
     hm.add_argument("--top-k", type=int, default=5,
                     help="report the top-k heat values")
+    hm.add_argument("--workers", type=int, default=None,
+                    help="build through the slab-partitioned multi-process "
+                         "pipeline with this many workers (default: serial; "
+                         "0 or a negative value means one per CPU)")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure's series")
     fig.add_argument("number", choices=("16", "17", "18", "19", "1", "15"))
@@ -71,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="warm the full tile pyramid level (pass -1 to skip)")
     qr.add_argument("--tile-size", type=int, default=128)
     qr.add_argument("--seed", type=int, default=0)
+    qr.add_argument("--workers", type=int, default=None,
+                    help="run the cold build through the multi-process "
+                         "pipeline (default: serial; 0/negative: one per CPU)")
+    qr.add_argument("--store-dir", type=Path, default=None,
+                    help="persistent result store directory: evicted builds "
+                         "demote to disk and identical re-builds promote "
+                         "back instead of re-sweeping")
 
     ver = sub.add_parser("verify", help="build a heat map and self-verify it "
                          "against the brute-force RNN definition")
@@ -101,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cli_workers(workers: "int | None") -> "int | None":
+    """CLI convention: absent means serial, 0/negative means one per CPU."""
+    if workers is None or workers > 0:
+        return workers
+    import os
+
+    return os.cpu_count() or 1
+
+
 def _cmd_heatmap(args) -> int:
     from .core.heatmap import RNNHeatMap
     from .data.datasets import get_dataset
@@ -116,11 +136,16 @@ def _cmd_heatmap(args) -> int:
         pool, args.clients, args.facilities, seed=args.seed + 1
     )
     hm = RNNHeatMap(clients, facilities, metric=args.metric)
-    result = hm.build(args.algorithm)
+    result = hm.build(args.algorithm, workers=_cli_workers(args.workers))
     grid, bounds = result.rasterize(args.resolution, args.resolution)
+    workers_note = (
+        f" workers={result.stats.n_workers} slabs={result.stats.n_slabs}"
+        if result.stats.n_slabs > 1 or result.stats.n_workers > 1 else ""
+    )
     print(
         f"dataset={args.dataset} |O|={args.clients} |F|={args.facilities} "
-        f"metric={args.metric} algorithm={args.algorithm}"
+        f"metric={args.metric} algorithm={result.stats.algorithm}"
+        + workers_note
     )
     print(
         f"labels(k)={result.stats.labels} fragments={result.stats.n_fragments} "
@@ -144,18 +169,24 @@ def _cmd_query(args) -> int:
     from .service import HeatMapService
 
     clients, facilities = _instance(args)
-    service = HeatMapService(tile_size=args.tile_size)
+    service = HeatMapService(tile_size=args.tile_size, store_dir=args.store_dir)
 
     t0 = time.perf_counter()
     handle = service.build(
-        clients, facilities, metric=args.metric, algorithm=args.algorithm
+        clients, facilities, metric=args.metric, algorithm=args.algorithm,
+        workers=_cli_workers(args.workers),
     )
     build_s = time.perf_counter() - t0
     world = service.world(handle)
     result = service.result(handle)
+    workers_note = (
+        f" workers={result.stats.n_workers} slabs={result.stats.n_slabs}"
+        if result.stats.n_slabs > 1 or result.stats.n_workers > 1 else ""
+    )
     print(
         f"built {args.dataset} |O|={args.clients} |F|={args.facilities} "
-        f"metric={args.metric} algorithm={args.algorithm} in {build_s:.2f}s "
+        f"metric={args.metric} algorithm={result.stats.algorithm}"
+        f"{workers_note} in {build_s:.2f}s "
         f"({len(result.region_set)} fragments, handle {handle[:12]}...)"
     )
 
@@ -197,7 +228,7 @@ def _cmd_query(args) -> int:
             f"warm {warm_s*1e3:.1f} ms (cache)"
         )
     print("service stats: " + ", ".join(
-        f"{k}={v}" for k, v in service.stats.as_dict().items()))
+        f"{k}={v}" for k, v in service.stats_snapshot().items()))
     return 0
 
 

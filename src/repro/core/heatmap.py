@@ -136,6 +136,7 @@ class RNNHeatMap:
         collect_fragments: bool = True,
         status_backend: str = "sortedlist",
         baseline_index: str = "segment_tree",
+        workers: "int | None" = None,
         on_label=None,
     ) -> HeatMapResult:
         """Solve the RC problem and return the labeled subdivision.
@@ -143,8 +144,16 @@ class RNNHeatMap:
         Algorithms are looked up in :data:`repro.core.registry.REGISTRY`;
         registered by default: 'crest' (the paper's sweep), 'crest-a' (no
         changed intervals), 'baseline' (grid + enclosure queries; square
-        metrics only), 'superimposition' (size measure only).
+        metrics only), 'superimposition' (size measure only), and the
+        'linf-parallel'/'l2-parallel' slab-partitioned pipelines.
+
+        ``workers`` requests a multi-process build: passing a value other
+        than 1 with the default 'crest' engine routes through the parallel
+        pipeline for the active sweep metric (``None`` means one worker per
+        CPU there); serial engines ignore the option.
         """
+        if workers is not None and int(workers) != 1 and algorithm.lower() == "crest":
+            algorithm = f"{self.circles.metric.name}-parallel"
         _spec, runner = REGISTRY.resolve(algorithm, self.circles.metric.name)
         stats, region_set = runner(
             self.circles,
@@ -154,6 +163,7 @@ class RNNHeatMap:
             on_label=on_label,
             status_backend=status_backend,
             baseline_index=baseline_index,
+            workers=workers,
         )
         if region_set is None:
             region_set = RegionSet([], self.transform, float(self.measure(frozenset())))

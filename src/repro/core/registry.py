@@ -66,6 +66,9 @@ class EngineSpec:
         public: advertised in ``ALGORITHMS`` / CLI choices.  Non-public
             names are reachable but raise ``UnknownAlgorithmError`` rather
             than ``AlgorithmUnsupportedError`` under unsupported metrics.
+        parallel: the engine honors the ``workers=`` build option and runs
+            its sweep across worker processes (repro.parallel pipeline);
+            serial engines ignore ``workers`` entirely.
     """
 
     name: str
@@ -74,6 +77,7 @@ class EngineSpec:
     measures: str = "any"
     supports_fragments: bool = True
     public: bool = True
+    parallel: bool = False
 
     @property
     def metrics(self) -> "frozenset[str]":
@@ -195,6 +199,22 @@ def _superimposition_linf(circles, measure, *, transform, **_ignored):
     return run_superimposition(circles, measure, transform=transform)
 
 
+def _parallel_sweep(circles, measure, *, transform, collect_fragments, on_label,
+                    status_backend="sortedlist", workers=None, **_ignored):
+    """Slab-partitioned multi-process CREST (repro.parallel pipeline).
+
+    Imported lazily so importing the registry never pays the
+    ``concurrent.futures`` machinery for serial-only workloads.
+    """
+    from ..parallel.pipeline import build_parallel
+
+    return build_parallel(
+        circles, measure, transform=transform,
+        collect_fragments=collect_fragments, on_label=on_label,
+        status_backend=status_backend, workers=workers,
+    )
+
+
 #: The process-wide registry the facade and CLI dispatch through.
 REGISTRY = AlgorithmRegistry()
 
@@ -224,4 +244,16 @@ REGISTRY.register(EngineSpec(
     runners={"l2": _crest_l2},
     description="explicit alias for the L2 arc sweep",
     public=False,
+))
+REGISTRY.register(EngineSpec(
+    name="linf-parallel",
+    runners={"linf": _parallel_sweep},
+    description="CREST swept in x-slabs across worker processes (workers=)",
+    parallel=True,
+))
+REGISTRY.register(EngineSpec(
+    name="l2-parallel",
+    runners={"l2": _parallel_sweep},
+    description="CREST-L2 swept in x-slabs across worker processes (workers=)",
+    parallel=True,
 ))

@@ -62,6 +62,10 @@ class SweepStats:
     max_heat_point: "tuple[float, float] | None" = None
     n_fragments: int = 0
     algorithm: str = "crest"
+    # Parallel-pipeline provenance (repro.parallel): serial sweeps keep the
+    # defaults; slab-partitioned builds record the plan actually executed.
+    n_slabs: int = 1
+    n_workers: int = 1
 
 
 class _FragmentAssembler:

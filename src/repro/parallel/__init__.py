@@ -1,0 +1,29 @@
+"""repro.parallel — slab-partitioned multi-process build pipeline.
+
+The CREST sweeps are single-core Python; this package partitions a build
+along x into *slabs*, sweeps each slab in a separate process, and stitches
+the per-slab fragments back into one :class:`~repro.core.regionset.RegionSet`
+whose query answers match the serial engine.  See :mod:`.pipeline` for the
+correctness argument and :mod:`.slabs` for the partitioning scheme.
+
+Entry points:
+
+* ``build_parallel`` — the pipeline itself (same contract as ``run_crest``).
+* The ``linf-parallel`` / ``l2-parallel`` engines registered in
+  :data:`repro.core.registry.REGISTRY`, reachable from ``RNNHeatMap.build``,
+  ``HeatMapService.build`` and the CLI via ``workers=`` / ``--workers``.
+"""
+
+from .pipeline import build_parallel, resolve_workers
+from .slabs import Slab, plan_slabs
+from .worker import SlabTask, clip_fragments, sweep_slab
+
+__all__ = [
+    "Slab",
+    "SlabTask",
+    "build_parallel",
+    "clip_fragments",
+    "plan_slabs",
+    "resolve_workers",
+    "sweep_slab",
+]

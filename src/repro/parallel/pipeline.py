@@ -1,0 +1,215 @@
+"""The slab-partitioned build pipeline: partition, sweep, stitch.
+
+``build_parallel`` has the same contract as ``run_crest`` /
+``run_crest_l2``: ``(circles, measure, ...) -> (SweepStats, RegionSet)``.
+It cuts the event queue into x-slabs (:mod:`.slabs`), sweeps each slab with
+the unmodified serial engine in a ``ProcessPoolExecutor`` worker
+(:mod:`.worker`), and stitches the clipped per-slab fragments into one
+``RegionSet``.
+
+Correctness: slab boundaries never coincide with event abscissae, so a
+boundary only ever splits a region of constant RNN set; the stitch re-merges
+the two halves when their geometry, heat and RNN set agree, and query
+answers (``heat_at``/``heat_at_many``/``rnn_at_many``/``top_k_heats``) are
+identical to the serial build for any deterministic measure.  (Heats are
+bit-identical because each region's measure is evaluated on the *same*
+frozenset in whichever process labels it; measures that are sensitive to
+set iteration order — e.g. float summation in ``WeightedMeasure`` — are
+deterministic per set contents only up to that order.)
+
+Deterministic fallbacks run the identical slab tasks in-process, in slab
+order, and are taken for ``workers=1``, single-slab plans, unpicklable
+measures, ``on_label`` callbacks (callables do not cross processes), and
+any process-pool failure — the pipeline never errors where the serial
+engine would have succeeded.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+
+from ..core.regionset import RegionSet
+from ..core.sweep_linf import SweepStats
+from ..geometry.transforms import IDENTITY, Transform
+from .slabs import plan_slabs
+from .worker import SlabResult, make_task, sweep_slab
+
+__all__ = ["build_parallel", "resolve_workers", "stitch_fragments"]
+
+#: Below this many circles per slab, extra slabs cost more in overlap and
+#: process startup than they recover in parallelism.
+MIN_CIRCLES_PER_SLAB = 8
+
+
+def resolve_workers(workers: "int | None") -> int:
+    """Normalize a worker-count request: ``None`` means one per CPU."""
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    return max(1, int(workers))
+
+
+def stitch_fragments(per_slab: "list[list]") -> list:
+    """Concatenate per-slab fragment lists, re-merging seam-split pieces.
+
+    A region split by a slab boundary appears as two clipped fragments that
+    meet exactly at the boundary with identical bounding geometry, heat and
+    RNN set; merging them back yields maximal x-runs again.  Fragments are
+    frozen dataclasses, so a merge rebuilds the left piece with the right
+    piece's ``x_hi``.
+    """
+    from dataclasses import replace
+
+    merged: list = []
+    # Key of a fragment's cross-section: everything but the x-span.
+    def section(f):
+        d = vars(f).copy()
+        d.pop("x_lo")
+        d.pop("x_hi")
+        return (type(f).__name__, tuple(sorted(d.items(), key=lambda kv: kv[0])))
+
+    right_edge: dict = {}  # (x_hi, section) -> index into merged
+    for fragments in per_slab:
+        next_edge: dict = {}
+        for f in fragments:
+            sec = section(f)
+            i = right_edge.get((f.x_lo, sec))
+            if i is not None:
+                f = replace(merged[i], x_hi=f.x_hi)
+                merged[i] = f
+            else:
+                merged.append(f)
+                i = len(merged) - 1
+            next_edge[(f.x_hi, sec)] = i
+        right_edge = next_edge
+    return merged
+
+
+def _aggregate_stats(
+    results: "list[SlabResult]",
+    *,
+    n_circles: int,
+    algorithm: str,
+    n_workers: int,
+) -> SweepStats:
+    """Combine per-slab counters; maxima come from the owned fragments."""
+    agg = SweepStats(n_circles=n_circles, algorithm=algorithm)
+    agg.n_slabs = len(results)
+    agg.n_workers = n_workers
+    for r in results:
+        s = r.stats
+        agg.n_events += s.n_events
+        agg.n_event_batches += s.n_event_batches
+        agg.labels += s.labels
+        agg.measure_calls += s.measure_calls
+        agg.changed_intervals += s.changed_intervals
+        agg.merged_intervals += s.merged_intervals
+        if r.max_rnn_size > agg.max_rnn_size:
+            agg.max_rnn_size = r.max_rnn_size
+        if r.max_heat > agg.max_heat:
+            agg.max_heat = r.max_heat
+            agg.max_heat_rnn = r.max_heat_rnn
+            agg.max_heat_point = r.max_heat_point
+    return agg
+
+
+def _picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj, protocol=4)
+        return True
+    except Exception:
+        return False
+
+
+def build_parallel(
+    circles,
+    measure,
+    *,
+    transform: Transform = IDENTITY,
+    collect_fragments: bool = True,
+    workers: "int | None" = None,
+    status_backend: str = "sortedlist",
+    on_label=None,
+) -> "tuple[SweepStats, RegionSet | None]":
+    """Build a heat map by sweeping x-slabs in parallel worker processes.
+
+    Args:
+        circles: NN-circles (squares or disks; the engine is chosen by the
+            circle shape, mirroring the serial 'crest' dispatch).
+        measure: influence measure; must be picklable for multi-process
+            execution, otherwise the in-process fallback runs.
+        transform: recorded on the stitched RegionSet (pi/4 rotation for L1).
+        collect_fragments: when False only stats are returned (fragments are
+            still assembled per slab — the owned maxima derive from them —
+            but no RegionSet is stitched).
+        workers: process count; ``None`` means one per CPU, ``1`` forces the
+            deterministic in-process path (a single unclipped slab,
+            identical to the serial sweep output).
+        status_backend: line-status structure for the L-infinity engine.
+        on_label: per-labeling callback; forces in-process execution and may
+            fire more than once per region (margin overlap re-labels).
+
+    Returns:
+        (stats, region_set) — ``region_set`` is None when not collecting.
+        ``stats`` sums the per-slab work counters (overlap margins are swept
+        once per adjacent slab, so e.g. ``labels`` can exceed the serial
+        count) and records ``n_slabs`` / ``n_workers``.
+    """
+    n_workers = resolve_workers(workers)
+    sweep = "l2" if circles.metric.circle_shape == "disk" else "linf"
+    algorithm = f"{sweep}-parallel"  # matches the registry engine names
+
+    default_heat = float(measure(frozenset()))
+    if len(circles) == 0:
+        stats = SweepStats(n_circles=0, algorithm=algorithm)
+        stats.n_workers = n_workers
+        region_set = (
+            RegionSet([], transform, default_heat, circles.metric.name)
+            if collect_fragments else None
+        )
+        return stats, region_set
+
+    n_slabs = min(n_workers, max(1, len(circles) // MIN_CIRCLES_PER_SLAB))
+    slabs = plan_slabs(circles, n_slabs)
+    tasks = [
+        make_task(
+            circles, s.members, measure,
+            sweep=sweep, own_lo=s.own_lo, own_hi=s.own_hi,
+            status_backend=status_backend,
+        )
+        for s in slabs
+    ]
+
+    use_pool = (
+        n_workers > 1
+        and len(tasks) > 1
+        and on_label is None
+        and _picklable(tasks[0].measure)
+    )
+    results: "list[SlabResult] | None" = None
+    if use_pool:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=min(n_workers, len(tasks))) as ex:
+                results = list(ex.map(sweep_slab, tasks))
+        except Exception:
+            results = None  # pool unavailable/broken: fall through in-process
+    if results is None:
+        results = [sweep_slab(t, on_label=on_label) for t in tasks]
+
+    stats = _aggregate_stats(
+        results,
+        n_circles=len(circles),
+        algorithm=algorithm,
+        n_workers=n_workers,
+    )
+    region_set = None
+    if collect_fragments:
+        fragments = stitch_fragments([r.fragments for r in results])
+        stats.n_fragments = len(fragments)
+        region_set = RegionSet(
+            fragments, transform, default_heat, circles.metric.name
+        )
+    return stats, region_set

@@ -1,0 +1,153 @@
+"""The per-slab unit of work, picklable and importable by worker processes.
+
+``sweep_slab`` is a pure function of its :class:`SlabTask`: it rebuilds the
+slab's circle subset, runs the *serial* sweep engine over it, and clips the
+resulting fragments to the slab's ownership interval.  Running the unmodified
+serial engine per slab is what makes the pipeline's answers match the serial
+build — the only parallel-specific code is partitioning and clipping, both
+of which operate on regions of constant RNN set.
+
+Clipped fragments are correct even though the slab sweep saw only a subset
+of the circles: any fragment intersecting the open ownership interval has a
+constant RNN set across its x-run, so every circle in that set contains a
+point inside the interval and is therefore a member of the slab (see
+:mod:`.slabs`).  Fragments fully outside the interval — labeled from the
+subset's possibly-incomplete arrangement in the margins — are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.regionset import RectFragment
+from ..core.sweep_l2 import run_crest_l2
+from ..core.sweep_linf import SweepStats, run_crest
+from ..geometry.circle import NNCircleSet
+
+__all__ = ["SlabTask", "SlabResult", "clip_fragments", "sweep_slab"]
+
+
+@dataclass(frozen=True)
+class SlabTask:
+    """Everything one slab sweep needs, in picklable form.
+
+    The metric travels by name and the circle subset as plain arrays so the
+    payload crosses process boundaries cheaply; the measure must itself be
+    picklable for multi-process execution (the pipeline probes this and
+    falls back to in-process execution when it is not).
+    """
+
+    sweep: str  # 'linf' or 'l2' — which serial engine to run
+    metric_name: str
+    cx: np.ndarray
+    cy: np.ndarray
+    radius: np.ndarray
+    client_ids: np.ndarray
+    measure: object
+    own_lo: float
+    own_hi: float
+    status_backend: str = "sortedlist"
+
+
+@dataclass
+class SlabResult:
+    """One slab's output: clipped fragments plus the slab's work counters.
+
+    ``max_heat``/``max_heat_rnn``/``max_heat_point``/``max_rnn_size`` are
+    recomputed from the *clipped* fragments rather than taken from the raw
+    sweep stats: the raw maxima may come from a margin region the subset
+    arrangement labels differently than the full one.
+    """
+
+    stats: SweepStats
+    fragments: list
+    max_heat: float
+    max_heat_rnn: frozenset
+    max_heat_point: "tuple[float, float] | None"
+    max_rnn_size: int
+
+
+def clip_fragments(fragments: list, lo: float, hi: float) -> list:
+    """Restrict fragments to x in ``[lo, hi]``, dropping empty remainders.
+
+    Rect and arc fragments both carry their bounding curves independently of
+    the x-span, so clipping is a pure x-interval intersection; a clipped
+    piece keeps the heat and RNN set of its source region.
+    """
+    out = []
+    for f in fragments:
+        a = f.x_lo if f.x_lo > lo else lo
+        b = f.x_hi if f.x_hi < hi else hi
+        if b <= a:
+            continue
+        if a == f.x_lo and b == f.x_hi:
+            out.append(f)
+        else:
+            out.append(replace(f, x_lo=a, x_hi=b))
+    return out
+
+
+def _owned_max(fragments: list):
+    """(max_heat, rnn, point, max_rnn_size) over a slab's clipped fragments."""
+    best = None
+    max_rnn = 0
+    for f in fragments:
+        if len(f.rnn) > max_rnn:
+            max_rnn = len(f.rnn)
+        if best is None or f.heat > best.heat:
+            best = f
+    if best is None:
+        return -np.inf, frozenset(), None, max_rnn
+    return best.heat, best.rnn, best.representative_point(), max_rnn
+
+
+def sweep_slab(task: SlabTask, on_label=None) -> SlabResult:
+    """Run the serial sweep over one slab's circle subset and clip.
+
+    ``on_label`` is only usable in-process (callables do not travel with the
+    task); when set, it fires once per slab labeling operation, which may
+    revisit regions that extend into neighboring slabs' margins.
+    """
+    circles = NNCircleSet(
+        task.cx, task.cy, task.radius, task.metric_name,
+        client_ids=task.client_ids, drop_degenerate=False,
+    )
+    if task.sweep == "l2":
+        stats, region_set = run_crest_l2(
+            circles, task.measure, collect_fragments=True, on_label=on_label,
+        )
+    else:
+        stats, region_set = run_crest(
+            circles, task.measure, status_backend=task.status_backend,
+            collect_fragments=True, on_label=on_label,
+        )
+    fragments = clip_fragments(region_set.fragments, task.own_lo, task.own_hi)
+    max_heat, max_rnn, max_point, max_rnn_size = _owned_max(fragments)
+    return SlabResult(stats, fragments, max_heat, max_rnn, max_point, max_rnn_size)
+
+
+def make_task(
+    circles: NNCircleSet,
+    members: np.ndarray,
+    measure,
+    *,
+    sweep: str,
+    own_lo: float,
+    own_hi: float,
+    status_backend: str = "sortedlist",
+) -> SlabTask:
+    """A :class:`SlabTask` for one slab of a parent circle set."""
+    return SlabTask(
+        sweep=sweep,
+        metric_name=circles.metric.name,
+        cx=np.ascontiguousarray(circles.cx[members]),
+        cy=np.ascontiguousarray(circles.cy[members]),
+        radius=np.ascontiguousarray(circles.radius[members]),
+        client_ids=np.ascontiguousarray(circles.client_ids[members]),
+        measure=measure,
+        own_lo=own_lo,
+        own_hi=own_hi,
+        status_backend=status_backend,
+    )

@@ -10,6 +10,10 @@ queries, top-k) against it.  This package is that serving architecture:
   batches, top-k, threshold views, and raster *tiles* with a tile-level
   cache that survives pans and zooms.
 * :mod:`~repro.service.fingerprint` — content-addressed build keys.
+* :mod:`~repro.service.store` — the persistent result store: with a
+  ``store_dir`` configured, LRU eviction demotes results to disk and a
+  re-build with the same fingerprint promotes them back instead of
+  re-sweeping.
 * :mod:`~repro.service.tiles` — the quadtree tile scheme over a result's
   original-space bounds.
 * :mod:`~repro.service.cache` — the small LRU primitive both caches use.
@@ -23,11 +27,13 @@ only that handle's cached result and tiles.
 from .cache import LRUCache
 from .fingerprint import fingerprint_build
 from .service import HeatMapService, ServiceStats
+from .store import ResultStore
 from .tiles import tile_bounds, world_bounds
 
 __all__ = [
     "HeatMapService",
     "LRUCache",
+    "ResultStore",
     "ServiceStats",
     "fingerprint_build",
     "tile_bounds",

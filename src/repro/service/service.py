@@ -21,18 +21,52 @@ import numpy as np
 
 from ..core.heatmap import HeatMapResult, RNNHeatMap
 from ..core.regionset import RegionSet
+from ..core.registry import REGISTRY
 from ..errors import UnknownHandleError
 from ..geometry.rect import Rect
 from .cache import LRUCache
 from .fingerprint import fingerprint_build
+from .store import ResultStore
 from .tiles import tile_bounds, tiles_in_window, world_bounds
 
 __all__ = ["HeatMapService", "ServiceStats"]
 
+#: Engines producing the same subdivision as the serial 'crest' sweep share
+#: cache keys (and disk-store entries) with it — the fingerprint carries
+#: only worker-invariant configuration, and the explicit 'crest-l2' alias
+#: dispatches to the very runner 'crest' uses under L2.
+_CANONICAL_ALGORITHM = {
+    "linf-parallel": "crest",
+    "l2-parallel": "crest",
+    "crest-l2": "crest",
+}
+
+
+def _canonical_algorithm(algorithm: str, metric: str) -> str:
+    """The cache-key algorithm name for a build request.
+
+    Canonicalize only when the named engine actually runs under the
+    request's sweep metric — an off-metric request (e.g. 'crest-l2' under
+    L-infinity) keeps its own key so the build path raises the same
+    capability error it always has, instead of silently serving a cached
+    'crest' result.
+    """
+    alg = algorithm.lower()
+    target = _CANONICAL_ALGORITHM.get(alg)
+    if target is None:
+        return alg
+    internal = "linf" if str(metric).lower() == "l1" else str(metric).lower()
+    return target if REGISTRY.get(alg).supports_metric(internal) else alg
+
 
 @dataclass
 class ServiceStats:
-    """Monotone counters describing one service's lifetime workload."""
+    """Monotone counters describing one service's lifetime workload.
+
+    ``demotions``/``promotions`` count movements between the in-memory LRU
+    and the persistent result store: an eviction that spilled to disk, and
+    a build request answered by reloading a spilled result.
+    """
 
     builds: int = 0
     build_cache_hits: int = 0
@@ -41,6 +75,8 @@ class ServiceStats:
     tile_renders: int = 0
     tile_cache_hits: int = 0
     invalidations: int = 0
+    demotions: int = 0
+    promotions: int = 0
 
     def as_dict(self) -> dict:
         """The counters as a plain dict (for reports and CLI output)."""
@@ -65,10 +101,18 @@ class HeatMapService:
         max_results: LRU capacity for built heat maps.
         max_tiles: LRU capacity for rendered raster tiles.
         tile_size: default tile edge length in pixels.
+        store_dir: directory for the persistent result store; when given,
+            LRU eviction *demotes* static results to disk and a re-build
+            with the same fingerprint *promotes* them back instead of
+            re-sweeping.  Dynamic handles are never spilled (their source
+            regenerates them).
+        workers: default worker count for cold builds (see
+            :class:`~repro.core.heatmap.RNNHeatMap.build`); per-call
+            ``workers=`` overrides it.
 
     Handles returned by :meth:`build` are input fingerprints — requesting
     the same build twice returns the same handle without re-sweeping.
-    Evicted or never-built handles raise
+    Evicted (and not demoted) or never-built handles raise
     :class:`~repro.errors.UnknownHandleError` on use.
     """
 
@@ -78,10 +122,14 @@ class HeatMapService:
         max_results: int = 8,
         max_tiles: int = 512,
         tile_size: int = 256,
+        store_dir=None,
+        workers: "int | None" = None,
     ) -> None:
         self._results = LRUCache(max_results)
         self._tiles = LRUCache(max_tiles)
         self.tile_size = int(tile_size)
+        self.store = ResultStore(store_dir) if store_dir is not None else None
+        self.default_workers = workers
         self.stats = ServiceStats()
 
     # ------------------------------------------------------------------
@@ -97,20 +145,40 @@ class HeatMapService:
         measure=None,
         monochromatic: bool = False,
         k: int = 1,
+        workers: "int | None" = None,
     ) -> str:
-        """Build (or recall) a heat map; returns its fingerprint handle."""
+        """Build (or recall) a heat map; returns its fingerprint handle.
+
+        ``workers`` (default: the service-level setting) runs a cold build
+        through the slab-partitioned multi-process pipeline.  The
+        fingerprint covers worker-invariant configuration only — serial and
+        parallel builds of the same inputs share one cache entry, and a
+        parallel engine name ('linf-parallel'/'l2-parallel') keys the same
+        entry as 'crest'.
+        """
+        if workers is None:
+            workers = self.default_workers
+        canonical = _canonical_algorithm(algorithm, metric)
         handle = fingerprint_build(
-            clients, facilities, metric=metric, algorithm=algorithm,
+            clients, facilities, metric=metric, algorithm=canonical,
             measure=measure, monochromatic=monochromatic, k=k,
         )
         if self._results.get(handle) is not None:
             self.stats.build_cache_hits += 1
             return handle
+        if self.store is not None:
+            promoted = self.store.load(handle)
+            if promoted is not None:
+                self.stats.promotions += 1
+                self._admit(
+                    handle, _Entry(promoted, world_bounds(promoted.region_set))
+                )
+                return handle
         hm = RNNHeatMap(
             clients, facilities, metric=metric, measure=measure,
             monochromatic=monochromatic, k=k,
         )
-        result = hm.build(algorithm)
+        result = hm.build(algorithm, workers=workers)
         self.stats.builds += 1
         self._admit(handle, _Entry(result, world_bounds(result.region_set)))
         return handle
@@ -136,7 +204,12 @@ class HeatMapService:
             # Overwriting a handle (e.g. re-attaching a dynamic map under
             # the same name): its old tiles describe the previous world.
             self._drop_tiles(handle)
-        for evicted_handle, _ in self._results.put(handle, entry):
+        for evicted_handle, evicted in self._results.put(handle, entry):
+            if self.store is not None and evicted.dynamic is None:
+                # Eviction becomes demotion: the fingerprint-keyed result
+                # spills to disk and a later build promotes it back.
+                self.store.save(evicted_handle, evicted.result)
+                self.stats.demotions += 1
             self._drop_tiles(evicted_handle)
 
     # ------------------------------------------------------------------
@@ -161,13 +234,35 @@ class HeatMapService:
         self._tiles.purge(lambda key: key[0] == handle)
 
     def invalidate(self, handle: str) -> None:
-        """Forget one handle's result and tiles (no-op when unknown)."""
+        """Forget one handle's result, tiles and any disk-stored copy
+        (no-op when unknown)."""
         self._results.pop(handle)
         self._drop_tiles(handle)
+        if self.store is not None:
+            self.store.delete(handle)
 
     def handles(self) -> "list[str]":
         """Currently resident handles, least- to most-recently used."""
         return self._results.keys()
+
+    def stats_snapshot(self) -> dict:
+        """All observability counters in one flat dict.
+
+        Extends :meth:`ServiceStats.as_dict` with the two LRU caches'
+        hit/miss/eviction counters and the persistent store's population —
+        the numbers an operator needs to size ``max_results``/``max_tiles``.
+        """
+        d = self.stats.as_dict()
+        d.update(
+            result_lru_hits=self._results.hits,
+            result_lru_misses=self._results.misses,
+            result_lru_evictions=self._results.evictions,
+            tile_lru_hits=self._tiles.hits,
+            tile_lru_misses=self._tiles.misses,
+            tile_lru_evictions=self._tiles.evictions,
+            stored_results=len(self.store.handles()) if self.store else 0,
+        )
+        return d
 
     # ------------------------------------------------------------------
     # Queries

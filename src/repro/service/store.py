@@ -1,0 +1,123 @@
+"""Disk spill for built heat maps: LRU eviction becomes demotion.
+
+``HeatMapService`` keeps a small LRU of built results in memory; with a
+:class:`ResultStore` attached, an evicted result is written to disk (via
+``core.serialize``) keyed by its build fingerprint instead of being thrown
+away, and a later ``build`` with the same fingerprint reloads it instead of
+re-sweeping.  Fingerprints are content-addressed, so a stored result can
+never be stale — deleting entries is purely a space decision.
+
+Layout: one ``<fingerprint>.npz`` per RegionSet plus a ``.stats.json``
+sidecar carrying the sweep counters, so a promoted result is a full
+``HeatMapResult`` (json round-trips ``Infinity`` for the empty-map
+``max_heat``, and the RNN frozenset travels as a sorted list).
+
+The store is a cache, never the source of truth: writes go through a
+temp-file-and-rename so a crash mid-demotion cannot leave a half-written
+entry under a live fingerprint, and an unreadable entry loads as ``None``
+(the service re-sweeps, and the next demotion overwrites the bad file).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..core.heatmap import HeatMapResult
+from ..core.serialize import load_region_set, save_region_set
+from ..core.sweep_linf import SweepStats
+
+__all__ = ["ResultStore"]
+
+
+def _stats_to_json(stats: SweepStats) -> dict:
+    d = dict(vars(stats))
+    d["max_heat_rnn"] = sorted(stats.max_heat_rnn)
+    if stats.max_heat_point is not None:
+        d["max_heat_point"] = list(stats.max_heat_point)
+    return d
+
+
+def _stats_from_json(d: dict) -> SweepStats:
+    d = dict(d)
+    d["max_heat_rnn"] = frozenset(d.get("max_heat_rnn", ()))
+    point = d.get("max_heat_point")
+    if point is not None:
+        d["max_heat_point"] = (float(point[0]), float(point[1]))
+    known = {f for f in SweepStats.__dataclass_fields__}
+    return SweepStats(**{k: v for k, v in d.items() if k in known})
+
+
+#: Prefix of in-flight temp files, excluded from ``handles()``.
+_TMP_PREFIX = ".tmp-"
+
+
+class ResultStore:
+    """A directory of fingerprint-keyed heat-map results."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _region_path(self, handle: str) -> Path:
+        return self.root / f"{handle}.npz"
+
+    def _stats_path(self, handle: str) -> Path:
+        return self.root / f"{handle}.stats.json"
+
+    def __contains__(self, handle: str) -> bool:
+        return self._region_path(handle).exists()
+
+    def handles(self) -> "list[str]":
+        """Fingerprints currently stored, in no particular order."""
+        return [
+            p.stem for p in self.root.glob("*.npz")
+            if not p.name.startswith(_TMP_PREFIX)
+        ]
+
+    def save(self, handle: str, result: HeatMapResult) -> Path:
+        """Persist one result under its fingerprint; returns the .npz path.
+
+        Both files are written to temp names and renamed into place, stats
+        sidecar first — whatever prefix of the two renames survives a crash
+        is loadable (a lone sidecar loads as absent; a lone .npz falls back
+        to placeholder stats).
+        """
+        final = self._region_path(handle)
+        tmp_stats = self.root / f"{_TMP_PREFIX}{handle}.stats.json"
+        tmp_stats.write_text(json.dumps(_stats_to_json(result.stats)))
+        os.replace(tmp_stats, self._stats_path(handle))
+        # The .npz suffix keeps np.savez from appending its own.
+        tmp = self.root / f"{_TMP_PREFIX}{handle}.npz"
+        save_region_set(result.region_set, tmp)
+        os.replace(tmp, final)
+        return final
+
+    def load(self, handle: str) -> "HeatMapResult | None":
+        """The stored result, or None when absent *or unreadable*.
+
+        A corrupt entry (torn write from a crash, concurrent writer, disk
+        trouble) must degrade to a cache miss — the caller re-sweeps — not
+        poison every future build of this fingerprint.
+        """
+        path = self._region_path(handle)
+        if not path.exists():
+            return None
+        try:
+            region_set = load_region_set(path)
+        except Exception:
+            return None  # treat as a miss; the next demotion overwrites it
+        stats_path = self._stats_path(handle)
+        try:
+            stats = _stats_from_json(json.loads(stats_path.read_text()))
+        except Exception:  # sidecar lost/corrupt: still serve the queries
+            stats = SweepStats(
+                n_fragments=len(region_set), algorithm="restored"
+            )
+        return HeatMapResult(region_set, stats)
+
+    def delete(self, handle: str) -> None:
+        """Forget one stored result (no-op when absent)."""
+        self._region_path(handle).unlink(missing_ok=True)
+        self._stats_path(handle).unlink(missing_ok=True)

@@ -1,0 +1,331 @@
+"""repro.parallel: slab planning, clipping, stitching, and the
+parallel-vs-serial equivalence gate."""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS, RNNHeatMap
+from repro.core.registry import REGISTRY
+from repro.core.regionset import ArcFragment, RectFragment
+from repro.errors import AlgorithmUnsupportedError
+from repro.geometry.arcs import LOWER_ARC, UPPER_ARC, Arc
+from repro.influence.measures import InfluenceMeasure, SizeMeasure
+from repro.parallel import (
+    build_parallel,
+    clip_fragments,
+    plan_slabs,
+    resolve_workers,
+)
+from repro.parallel.pipeline import stitch_fragments
+from repro.service import HeatMapService
+
+from helpers import make_instance
+
+
+class TestSlabPlanning:
+    def test_single_slab_for_one_worker(self):
+        _o, _f, circles = make_instance(1, 40, 8, "linf")
+        (slab,) = plan_slabs(circles, 1)
+        assert slab.own_lo == -math.inf and slab.own_hi == math.inf
+        assert slab.n_members == len(circles)
+
+    def test_empty_circles(self):
+        from repro.geometry.circle import NNCircleSet
+
+        empty = NNCircleSet(np.array([]), np.array([]), np.array([]), "linf")
+        (slab,) = plan_slabs(empty, 4)
+        assert slab.n_members == 0
+
+    @pytest.mark.parametrize("metric", ["linf", "l2"])
+    def test_membership_is_exactly_the_intersecting_circles(self, metric):
+        _o, _f, circles = make_instance(2, 120, 20, metric)
+        slabs = plan_slabs(circles, 4)
+        assert len(slabs) == 4
+        bounds = [s.own_lo for s in slabs] + [math.inf]
+        assert bounds == sorted(bounds)
+        x_lo, x_hi = circles.x_lo, circles.x_hi
+        for s in slabs:
+            expected = np.nonzero((x_hi > s.own_lo) & (x_lo < s.own_hi))[0]
+            np.testing.assert_array_equal(s.members, expected)
+
+    def test_ownership_intervals_tile_the_line(self):
+        _o, _f, circles = make_instance(3, 80, 10, "linf")
+        slabs = plan_slabs(circles, 3)
+        assert slabs[0].own_lo == -math.inf
+        assert slabs[-1].own_hi == math.inf
+        for left, right in zip(slabs, slabs[1:]):
+            assert left.own_hi == right.own_lo
+
+    def test_boundaries_avoid_event_abscissae(self):
+        _o, _f, circles = make_instance(4, 100, 15, "linf")
+        events = set(circles.x_lo.tolist()) | set(circles.x_hi.tolist())
+        for s in plan_slabs(circles, 5)[1:]:
+            assert s.own_lo not in events
+
+    def test_coincident_extremes_yield_fewer_slabs(self):
+        """Identical circles admit exactly one cut (between the two distinct
+        extreme abscissae), not the four requested."""
+        from repro.geometry.circle import NNCircleSet
+
+        circles = NNCircleSet(
+            np.zeros(20), np.arange(20.0), np.ones(20), "linf"
+        )
+        slabs = plan_slabs(circles, 4)
+        assert len(slabs) == 2
+        assert slabs[1].own_lo == 0.0  # midpoint of -1 / +1
+        for s in slabs:
+            assert s.n_members == 20  # every circle spans the cut
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers(0) == 1
+        assert resolve_workers(None) >= 1
+
+
+class TestClipAndStitch:
+    def test_rect_clip(self):
+        f = RectFragment(0.0, 10.0, 0.0, 1.0, 2.0, frozenset({1}))
+        (c,) = clip_fragments([f], 3.0, 7.0)
+        assert (c.x_lo, c.x_hi) == (3.0, 7.0)
+        assert (c.y_lo, c.y_hi, c.heat, c.rnn) == (0.0, 1.0, 2.0, frozenset({1}))
+
+    def test_arc_clip_keeps_arcs(self):
+        lo = Arc(0, LOWER_ARC, 5.0, 0.0, 5.0)
+        hi = Arc(0, UPPER_ARC, 5.0, 0.0, 5.0)
+        f = ArcFragment(0.0, 10.0, lo, hi, 1.0, frozenset({0}))
+        (c,) = clip_fragments([f], 4.0, math.inf)
+        assert c.x_lo == 4.0 and c.x_hi == 10.0
+        assert c.lower is lo and c.upper is hi
+
+    def test_outside_fragments_dropped_untouched_kept(self):
+        inside = RectFragment(1.0, 2.0, 0.0, 1.0, 1.0, frozenset())
+        outside = RectFragment(5.0, 6.0, 0.0, 1.0, 1.0, frozenset())
+        out = clip_fragments([inside, outside], 0.0, 3.0)
+        assert out == [inside]  # untouched fragments are not copied
+
+    def test_stitch_remerges_seam_split_fragment(self):
+        rnn = frozenset({3, 4})
+        left = RectFragment(0.0, 1.5, 0.0, 1.0, 2.0, rnn)
+        right = RectFragment(1.5, 3.0, 0.0, 1.0, 2.0, rnn)
+        merged = stitch_fragments([[left], [right]])
+        assert merged == [RectFragment(0.0, 3.0, 0.0, 1.0, 2.0, rnn)]
+
+    def test_stitch_respects_differing_sections(self):
+        a = RectFragment(0.0, 1.5, 0.0, 1.0, 2.0, frozenset({1}))
+        b = RectFragment(1.5, 3.0, 0.0, 1.0, 3.0, frozenset({1, 2}))
+        assert stitch_fragments([[a], [b]]) == [a, b]
+
+    def test_stitch_spans_three_slabs(self):
+        rnn = frozenset({7})
+        pieces = [
+            [RectFragment(0.0, 1.0, 0.0, 1.0, 1.0, rnn)],
+            [RectFragment(1.0, 2.0, 0.0, 1.0, 1.0, rnn)],
+            [RectFragment(2.0, 3.0, 0.0, 1.0, 1.0, rnn)],
+        ]
+        assert stitch_fragments(pieces) == [
+            RectFragment(0.0, 3.0, 0.0, 1.0, 1.0, rnn)
+        ]
+
+
+def _assert_equivalent(serial, par, probes):
+    """The equivalence gate: scalar/batch answers and top-k identical."""
+    np.testing.assert_array_equal(
+        par.heat_at_many(probes), serial.heat_at_many(probes)
+    )
+    assert par.rnn_at_many(probes) == serial.rnn_at_many(probes)
+    assert (par.region_set.top_k_heats(10)
+            == serial.region_set.top_k_heats(10))
+    # Max heat must agree; the arg-max region may differ under ties, but
+    # the reported RNN set must actually achieve the maximum.
+    assert par.stats.max_heat == serial.stats.max_heat
+    assert float(len(par.stats.max_heat_rnn)) == par.stats.max_heat
+
+
+class TestEquivalenceSmall:
+    @pytest.mark.parametrize("metric", ["linf", "l2", "l1"])
+    def test_workers3_matches_serial(self, metric, rng):
+        O, F = rng.random((300, 2)), rng.random((60, 2))
+        hm = RNNHeatMap(O, F, metric=metric)
+        serial = hm.build("crest")
+        par = hm.build("crest", workers=3)
+        assert par.stats.n_slabs > 1
+        probes = rng.random((3000, 2)) * 1.2 - 0.1
+        _assert_equivalent(serial, par, probes)
+
+    @pytest.mark.parametrize("metric", ["linf", "l2"])
+    def test_workers1_is_fragment_identical_to_serial(self, metric, rng):
+        O, F = rng.random((120, 2)), rng.random((25, 2))
+        hm = RNNHeatMap(O, F, metric=metric)
+        serial = hm.build("crest")
+        one = hm.build(f"{metric}-parallel", workers=1)
+        assert one.region_set.fragments == serial.region_set.fragments
+        assert one.stats.n_slabs == 1
+
+    def test_stats_only_build(self, rng):
+        """collect_fragments=False still aggregates the owned maxima."""
+        O, F = rng.random((200, 2)), rng.random((40, 2))
+        hm = RNNHeatMap(O, F, metric="linf")
+        serial = hm.build("crest", collect_fragments=False)
+        par = hm.build("crest", collect_fragments=False, workers=3)
+        assert par.region_set.fragments == []  # facade substitutes empty set
+        assert par.stats.max_heat == serial.stats.max_heat
+        assert float(len(par.stats.max_heat_rnn)) == par.stats.max_heat
+
+    def test_max_region_through_parallel_engine(self, rng):
+        O, F = rng.random((150, 2)), rng.random((30, 2))
+        hm = RNNHeatMap(O, F, metric="l2")
+        serial = hm.max_region("crest")
+        par = hm.max_region("crest", workers=3)
+        assert par.max_heat == serial.max_heat
+        assert len(par.max_rnn) == len(serial.max_rnn)  # SizeMeasure ties
+        # The parallel representative point achieves the maximum heat too.
+        assert hm.build("crest").heat_at(*par.max_point) == serial.max_heat
+
+
+@pytest.mark.slow
+class TestEquivalenceGate:
+    """The ISSUE 2 acceptance gate: >= 1k clients, workers=4, seeded
+    workloads under both metrics; answers must be identical to serial."""
+
+    @pytest.mark.parametrize("metric", ["linf", "l2"])
+    def test_city_scale_workers4(self, metric):
+        r = np.random.default_rng(97)
+        O, F = r.random((1200, 2)), r.random((240, 2))
+        hm = RNNHeatMap(O, F, metric=metric)
+        serial = hm.build("crest")
+        par = hm.build("crest", workers=4)
+        assert par.stats.n_slabs == 4
+        assert par.stats.n_workers == 4
+        probes = r.random((10_000, 2)) * 1.2 - 0.1
+        _assert_equivalent(serial, par, probes)
+
+
+class _UnpicklableMeasure(InfluenceMeasure):
+    """A measure that cannot cross process boundaries (lambda attribute)."""
+
+    name = "unpicklable"
+
+    def __init__(self):
+        self._f = lambda s: float(len(s))
+
+    def __call__(self, rnn_set: frozenset) -> float:
+        return self._f(rnn_set)
+
+
+class TestFallbacks:
+    def test_unpicklable_measure_runs_in_process(self, rng):
+        measure = _UnpicklableMeasure()
+        with pytest.raises(Exception):
+            pickle.dumps(measure)
+        O, F = rng.random((200, 2)), rng.random((40, 2))
+        serial = RNNHeatMap(O, F, metric="linf", measure=SizeMeasure()).build("crest")
+        hm = RNNHeatMap(O, F, metric="linf", measure=measure)
+        par = hm.build("crest", workers=3)
+        assert par.stats.n_slabs > 1  # partitioned, just not multi-process
+        probes = rng.random((2000, 2))
+        _assert_equivalent(serial, par, probes)
+
+    def test_on_label_forces_in_process_and_fires(self, rng):
+        O, F = rng.random((100, 2)), rng.random((20, 2))
+        hm = RNNHeatMap(O, F, metric="linf")
+        seen = []
+        par = hm.build("crest", workers=2,
+                       on_label=lambda fs, heat: seen.append(heat))
+        assert len(seen) >= par.stats.labels > 0
+
+    def test_empty_input(self):
+        from repro.geometry.circle import NNCircleSet
+        from repro.influence.measures import SizeMeasure
+
+        empty = NNCircleSet(np.array([]), np.array([]), np.array([]), "l2")
+        stats, rs = build_parallel(empty, SizeMeasure(), workers=4)
+        assert stats.labels == 0
+        assert len(rs) == 0
+
+
+class TestRegistryAndFacade:
+    def test_parallel_engines_registered_public(self):
+        for name in ("linf-parallel", "l2-parallel"):
+            spec = REGISTRY.get(name)
+            assert spec.public and spec.parallel
+            assert name in ALGORITHMS
+        assert not REGISTRY.get("crest").parallel
+
+    def test_wrong_metric_raises(self, rng):
+        O, F = rng.random((30, 2)), rng.random((6, 2))
+        with pytest.raises(AlgorithmUnsupportedError):
+            RNNHeatMap(O, F, metric="l2").build("linf-parallel")
+        with pytest.raises(AlgorithmUnsupportedError):
+            RNNHeatMap(O, F, metric="linf").build("l2-parallel")
+
+    def test_crest_routes_to_parallel_on_workers(self, rng):
+        O, F = rng.random((150, 2)), rng.random((30, 2))
+        result = RNNHeatMap(O, F, metric="linf").build("crest", workers=2)
+        assert result.stats.algorithm == "linf-parallel"
+        assert result.stats.n_workers == 2
+
+    def test_serial_engines_ignore_workers(self, rng):
+        O, F = rng.random((60, 2)), rng.random((12, 2))
+        result = RNNHeatMap(O, F, metric="linf").build("baseline", workers=4)
+        assert result.stats.algorithm == "baseline"
+
+
+class TestServiceWorkers:
+    def test_parallel_and_serial_builds_share_cache_keys(self, rng):
+        O, F = rng.random((150, 2)), rng.random((30, 2))
+        service = HeatMapService()
+        h_par = service.build(O, F, metric="linf", workers=3)
+        assert service.stats.builds == 1
+        h_serial = service.build(O, F, metric="linf")
+        h_named = service.build(O, F, metric="linf", algorithm="linf-parallel")
+        assert h_par == h_serial == h_named
+        assert service.stats.builds == 1
+        assert service.stats.build_cache_hits == 2
+
+    def test_service_level_default_workers(self, rng):
+        O, F = rng.random((150, 2)), rng.random((30, 2))
+        service = HeatMapService(workers=2)
+        h = service.build(O, F, metric="linf")
+        assert service.result(h).stats.n_workers == 2
+
+    def test_parallel_service_answers_match_serial_service(self, rng):
+        O, F = rng.random((200, 2)), rng.random((40, 2))
+        pts = rng.random((1000, 2))
+        serial = HeatMapService()
+        par = HeatMapService(workers=3)
+        hs = serial.build(O, F, metric="l2")
+        hp = par.build(O, F, metric="l2")
+        assert hs == hp
+        np.testing.assert_array_equal(
+            par.heat_at_many(hp, pts), serial.heat_at_many(hs, pts)
+        )
+
+
+class TestCLIWorkers:
+    def test_parser_accepts_workers(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["heatmap", "--workers", "2"])
+        assert args.workers == 2
+        args = build_parser().parse_args(
+            ["serve-queries", "--workers", "0", "--store-dir", "/tmp/x"]
+        )
+        assert args.workers == 0
+
+    def test_query_command_with_workers(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main([
+            "query", "--dataset", "uniform", "--clients", "120",
+            "--facilities", "25", "--metric", "linf", "--probes", "500",
+            "--tile-zoom", "-1", "--workers", "2",
+            "--store-dir", str(tmp_path / "store"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        assert "demotions=" in out and "stored_results=" in out

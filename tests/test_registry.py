@@ -19,7 +19,8 @@ def instance(rng):
 class TestRegistryContents:
     def test_algorithms_derive_from_registry(self):
         assert ALGORITHMS == REGISTRY.names(public_only=True)
-        assert ALGORITHMS == ("crest", "crest-a", "baseline", "superimposition")
+        assert ALGORITHMS == ("crest", "crest-a", "baseline", "superimposition",
+                              "linf-parallel", "l2-parallel")
 
     def test_crest_l2_registered_non_public(self):
         spec = REGISTRY.get("crest-l2")
@@ -31,6 +32,9 @@ class TestRegistryContents:
         assert REGISTRY.get("baseline").metrics == {"linf"}
         assert REGISTRY.get("superimposition").measures == "size-like"
         assert REGISTRY.get("crest").measures == "any"
+        assert REGISTRY.get("linf-parallel").parallel
+        assert REGISTRY.get("l2-parallel").parallel
+        assert not REGISTRY.get("crest").parallel
 
     def test_lookup_is_case_insensitive(self):
         assert REGISTRY.get("CREST") is REGISTRY.get("crest")

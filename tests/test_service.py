@@ -199,6 +199,133 @@ class TestDynamic:
         assert dyn.dirty
 
 
+class TestPersistentStore:
+    """Eviction demotes to disk; identical re-builds promote back."""
+
+    def test_eviction_demotes_and_rebuild_promotes(self, instance, tmp_path, rng):
+        O, F = instance
+        service = HeatMapService(max_results=2, store_dir=tmp_path / "store")
+        h = service.build(O, F, metric="linf")
+        pts = rng.random((100, 2))
+        original = service.heat_at_many(h, pts)
+        for n in (20, 30):  # capacity 2: these evict h
+            service.build(O[:n], F, metric="linf")
+        assert service.stats.demotions == 1
+        assert h in service.store
+        with pytest.raises(UnknownHandleError):
+            service.result(h)  # demoted, not resident
+
+        rebuilt = service.build(O, F, metric="linf")
+        assert rebuilt == h
+        assert service.stats.promotions == 1
+        assert service.stats.builds == 3  # the promotion did not re-sweep
+        np.testing.assert_array_equal(service.heat_at_many(h, pts), original)
+
+    def test_promoted_result_keeps_sweep_stats(self, instance, tmp_path):
+        O, F = instance
+        service = HeatMapService(max_results=1, store_dir=tmp_path)
+        h = service.build(O, F, metric="l2")
+        labels = service.result(h).stats.labels
+        service.build(O[:20], F, metric="l2")  # evict + demote
+        service.build(O, F, metric="l2")  # promote
+        restored = service.result(h).stats
+        assert restored.labels == labels > 0
+        assert restored.algorithm == "crest-l2"
+
+    def test_without_store_eviction_still_forgets(self, instance):
+        O, F = instance
+        service = HeatMapService(max_results=1)
+        h = service.build(O, F, metric="linf")
+        service.build(O[:20], F, metric="linf")
+        assert service.stats.demotions == 0
+        with pytest.raises(UnknownHandleError):
+            service.result(h)
+
+    def test_dynamic_handles_are_not_spilled(self, instance, tmp_path):
+        O, F = instance
+        service = HeatMapService(max_results=1, store_dir=tmp_path)
+        service.attach_dynamic(DynamicHeatMap(O, F, metric="linf"), name="dyn")
+        service.build(O, F, metric="linf")  # evicts the dynamic entry
+        assert service.stats.demotions == 0
+        assert "dyn" not in service.store
+
+    def test_invalidate_deletes_stored_copy(self, instance, tmp_path):
+        O, F = instance
+        service = HeatMapService(max_results=1, store_dir=tmp_path)
+        h = service.build(O, F, metric="linf")
+        service.build(O[:20], F, metric="linf")  # demote h
+        assert h in service.store
+        service.invalidate(h)
+        assert h not in service.store
+        service.build(O, F, metric="linf")
+        assert service.stats.promotions == 0  # really forgotten: re-swept
+
+    def test_store_survives_service_restart(self, instance, tmp_path):
+        O, F = instance
+        first = HeatMapService(max_results=1, store_dir=tmp_path)
+        h = first.build(O, F, metric="linf")
+        first.build(O[:20], F, metric="linf")  # demote h
+
+        second = HeatMapService(max_results=4, store_dir=tmp_path)
+        assert second.build(O, F, metric="linf") == h
+        assert second.stats.promotions == 1
+        assert second.stats.builds == 0
+
+    def test_crest_l2_alias_shares_cache_key_with_crest(self, instance):
+        O, F = instance
+        service = HeatMapService()
+        h = service.build(O, F, metric="l2")
+        assert service.build(O, F, metric="l2", algorithm="crest-l2") == h
+        assert service.stats.builds == 1
+        assert service.stats.build_cache_hits == 1
+
+    def test_off_metric_alias_still_raises(self, instance):
+        """'crest-l2' under L-infinity must not be silently served from a
+        cached 'crest' entry — the historical capability error stands."""
+        from repro.errors import UnknownAlgorithmError
+
+        O, F = instance
+        service = HeatMapService()
+        service.build(O, F, metric="linf")
+        with pytest.raises(UnknownAlgorithmError):
+            service.build(O, F, metric="linf", algorithm="crest-l2")
+
+    def test_corrupt_store_entry_degrades_to_resweep(self, instance, tmp_path):
+        """A torn/corrupt spill file is a cache miss, not a poison pill."""
+        O, F = instance
+        service = HeatMapService(max_results=1, store_dir=tmp_path)
+        h = service.build(O, F, metric="linf")
+        service.build(O[:20], F, metric="linf")  # demote h
+        (tmp_path / f"{h}.npz").write_bytes(b"not an npz")
+        rebuilt = service.build(O, F, metric="linf")
+        assert rebuilt == h
+        assert service.stats.promotions == 0
+        assert service.stats.builds == 3  # re-swept
+        assert service.result(h).stats.labels > 0
+
+    def test_lost_stats_sidecar_still_promotes(self, instance, tmp_path):
+        O, F = instance
+        service = HeatMapService(max_results=1, store_dir=tmp_path)
+        h = service.build(O, F, metric="linf")
+        service.build(O[:20], F, metric="linf")  # demote h
+        (tmp_path / f"{h}.stats.json").unlink()
+        assert service.build(O, F, metric="linf") == h
+        assert service.stats.promotions == 1
+        assert service.result(h).stats.algorithm == "restored"
+
+    def test_stats_snapshot_flattens_everything(self, instance, tmp_path):
+        O, F = instance
+        service = HeatMapService(max_results=1, store_dir=tmp_path)
+        service.build(O, F, metric="linf")
+        service.build(O[:20], F, metric="linf")
+        snap = service.stats_snapshot()
+        assert snap["demotions"] == 1
+        assert snap["stored_results"] == 1
+        for key in ("result_lru_hits", "result_lru_misses",
+                    "result_lru_evictions", "tile_lru_hits"):
+            assert key in snap
+
+
 class TestLRUCache:
     def test_eviction_order(self):
         c = LRUCache(2)

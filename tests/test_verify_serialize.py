@@ -65,6 +65,20 @@ class TestSerialize:
             assert back.heat_at(x, y) == rs.heat_at(x, y)
             assert back.rnn_at(x, y) == rs.rnn_at(x, y)
 
+    @pytest.mark.parametrize("metric", ["linf", "l2"])
+    def test_roundtrip_batch_queries(self, metric, tmp_path, rng):
+        """A loaded RegionSet answers vectorized batches identically —
+        this exercises the lazy ``_FragmentTable`` rebuild on loaded sets."""
+        from repro import RNNHeatMap
+
+        O, F = rng.random((80, 2)), rng.random((16, 2))
+        rs = RNNHeatMap(O, F, metric=metric).build("crest").region_set
+        back = load_region_set(save_region_set(rs, tmp_path / "map.npz"))
+        pts = rng.random((2000, 2)) * 1.2 - 0.1
+        np.testing.assert_array_equal(back.heat_at_many(pts), rs.heat_at_many(pts))
+        assert back.rnn_at_many(pts) == rs.rnn_at_many(pts)
+        assert back.top_k_heats(5) == rs.top_k_heats(5)
+
     def test_empty_roundtrip(self, tmp_path):
         rs = RegionSet([], default_heat=3.0)
         path = save_region_set(rs, tmp_path / "empty.npz")
