@@ -1,57 +1,144 @@
-"""Dynamic-workload benchmarks: the paper's 'clients move around' scenario.
+"""Benchmark: incremental dirty-band re-sweeps vs full rebuilds.
 
-Compares incremental NN-circle maintenance + lazy re-sweep against naive
-from-scratch recomputation (NN circles + sweep) per tick.
+The paper's 'clients move around' scenario: a ``DynamicHeatMap`` absorbs a
+stream of single-client moves.  A full rebuild re-sweeps the whole plane
+per tick; the incremental engine re-sweeps only the dirty x-band around the
+moved client's old+new NN-circles and splices the fresh fragments into the
+retained subdivision.  This script times both policies on identical update
+streams, verifies their answers stay identical, and reports the speedup.
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic.py
+    PYTHONPATH=src python benchmarks/bench_dynamic.py \\
+        --clients 300 --facilities 60 --moves 3 --probes 1000   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_dynamic.py --json BENCH_dynamic.json
+
+``--json`` writes a machine-readable record (per-move timings, dirty
+fractions, speedups) so the perf trajectory is tracked across PRs.  Exit
+status is non-zero when any incremental answer diverges from the full
+rebuild.
 """
 
-import numpy as np
-import pytest
+from __future__ import annotations
 
-from repro.core.heatmap import RNNHeatMap
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
 from repro.dynamic import DynamicHeatMap
 
-N_CLIENTS = 400
-N_FACILITIES = 40
-MOVES_PER_TICK = 10
-TICKS = 5
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--clients", type=int, default=5000)
+    ap.add_argument("--facilities", type=int, default=500)
+    ap.add_argument("--metric", default="linf", choices=("l1", "l2", "linf"))
+    ap.add_argument("--moves", type=int, default=5,
+                    help="single-client moves to replay per policy")
+    ap.add_argument("--step", type=float, default=0.02,
+                    help="move distance (fraction of the unit square)")
+    ap.add_argument("--probes", type=int, default=5000,
+                    help="random probes for the equivalence check")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--json", type=str, default=None, metavar="PATH",
+                    help="write a machine-readable result record here")
+    args = ap.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    clients = rng.random((args.clients, 2))
+    facilities = rng.random((args.facilities, 2))
+    probes = rng.random((args.probes, 2)) * 1.2 - 0.1
+
+    # Two maps fed the identical update stream, differing only in policy.
+    inc = DynamicHeatMap(clients, facilities, metric=args.metric,
+                         rebuild="incremental")
+    full = DynamicHeatMap(clients, facilities, metric=args.metric,
+                          rebuild="full")
+    t0 = time.perf_counter()
+    inc.result()
+    initial_s = time.perf_counter() - t0
+    full.result()
+    print(f"|O|={args.clients} |F|={args.facilities} metric={args.metric} "
+          f"initial build {initial_s:.2f}s")
+
+    moves = []
+    failures = 0
+    for i in range(args.moves):
+        handle = int(rng.integers(0, args.clients))
+        delta = rng.uniform(-args.step, args.step, size=2)
+        x, y = np.asarray(clients[handle]) + delta
+        clients[handle] = (x, y)
+
+        inc.move_client(handle, float(x), float(y))
+        t0 = time.perf_counter()
+        r_inc = inc.result()
+        inc_s = time.perf_counter() - t0
+
+        full.move_client(handle, float(x), float(y))
+        t0 = time.perf_counter()
+        r_full = full.result()
+        full_s = time.perf_counter() - t0
+
+        ok = (
+            np.array_equal(r_inc.heat_at_many(probes),
+                           r_full.heat_at_many(probes))
+            and r_inc.rnn_at_many(probes) == r_full.rnn_at_many(probes)
+            and r_inc.region_set.top_k_heats(10)
+            == r_full.region_set.top_k_heats(10)
+        )
+        failures += 0 if ok else 1
+        speedup = full_s / inc_s if inc_s > 0 else float("inf")
+        moves.append({
+            "move": i,
+            "incremental_s": inc_s,
+            "full_s": full_s,
+            "speedup": speedup,
+            "dirty_fraction": r_inc.stats.dirty_fraction,
+            "events_swept": r_inc.stats.n_events,
+            "answers_equal": bool(ok),
+        })
+        verdict = "answers==full" if ok else "MISMATCH vs full"
+        print(f"move {i}: incremental {inc_s*1e3:8.1f} ms  "
+              f"full {full_s*1e3:8.1f} ms  speedup {speedup:6.1f}x  "
+              f"dirty {r_inc.stats.dirty_fraction:.4f}  {verdict}")
+
+    mean_speedup = (
+        float(np.mean([m["speedup"] for m in moves])) if moves else 0.0
+    )
+    print(f"mean speedup over {args.moves} single-client moves: "
+          f"{mean_speedup:.1f}x")
+
+    if args.json:
+        record = {
+            "benchmark": "bench_dynamic",
+            "params": {
+                "clients": args.clients,
+                "facilities": args.facilities,
+                "metric": args.metric,
+                "moves": args.moves,
+                "step": args.step,
+                "probes": args.probes,
+                "seed": args.seed,
+            },
+            "initial_build_s": initial_s,
+            "moves": moves,
+            "mean_speedup": mean_speedup,
+            "failures": failures,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if failures:
+        print(f"FAIL: {failures} move(s) diverged from the full rebuild")
+        return 1
+    return 0
 
 
-def _world(seed=0):
-    rng = np.random.default_rng(seed)
-    return rng.random((N_CLIENTS, 2)), rng.random((N_FACILITIES, 2)), rng
-
-
-def test_dynamic_incremental(benchmark):
-    clients, facilities, rng = _world()
-    benchmark.group = "dynamic ticks"
-
-    def run():
-        world = DynamicHeatMap(clients, facilities, metric="linf")
-        total = 0.0
-        for _tick in range(TICKS):
-            for h in rng.choice(N_CLIENTS, size=MOVES_PER_TICK, replace=False):
-                world.move_client(int(h), *rng.random(2))
-            total += world.result().stats.max_heat
-        return total
-
-    benchmark.pedantic(run, rounds=1, iterations=1)
-
-
-def test_dynamic_from_scratch(benchmark):
-    clients, facilities, rng = _world()
-    benchmark.group = "dynamic ticks"
-
-    def run():
-        pts = clients.copy()
-        total = 0.0
-        for _tick in range(TICKS):
-            for h in rng.choice(N_CLIENTS, size=MOVES_PER_TICK, replace=False):
-                pts[int(h)] = rng.random(2)
-            result = RNNHeatMap(pts, facilities, metric="linf",
-                                nn_backend="python").build(
-                "crest", collect_fragments=True
-            )
-            total += result.stats.max_heat
-        return total
-
-    benchmark.pedantic(run, rounds=1, iterations=1)
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ status is non-zero when --check finds any divergence from the serial build.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -42,6 +43,8 @@ def main(argv=None) -> int:
                     help="verify parallel answers match the serial build "
                          "(default: on)")
     ap.add_argument("--no-check", dest="check", action="store_false")
+    ap.add_argument("--json", type=str, default=None, metavar="PATH",
+                    help="write a machine-readable result record here")
     args = ap.parse_args(argv)
     worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
 
@@ -66,6 +69,7 @@ def main(argv=None) -> int:
     serial_topk = serial.region_set.top_k_heats(10)
 
     failures = 0
+    runs = []
     for w in worker_counts:
         t0 = time.perf_counter()
         par = hm.build("crest", workers=w) if w != 1 else hm.build(
@@ -73,6 +77,7 @@ def main(argv=None) -> int:
         )
         par_s = time.perf_counter() - t0
         verdict = ""
+        ok = None  # null in the JSON record when the check did not run
         if args.check:
             ok = (
                 np.array_equal(par.heat_at_many(probes), serial_heats)
@@ -80,9 +85,35 @@ def main(argv=None) -> int:
             )
             verdict = "  answers==serial" if ok else "  MISMATCH vs serial"
             failures += 0 if ok else 1
+        runs.append({
+            "workers": w,
+            "slabs": par.stats.n_slabs,
+            "parallel_s": par_s,
+            "speedup": serial_s / par_s if par_s > 0 else float("inf"),
+            "answers_equal": None if ok is None else bool(ok),
+        })
         print(f"parallel workers={w:<2} "
               f"(slabs={par.stats.n_slabs}): {par_s:8.2f}s  "
               f"speedup {serial_s / par_s:5.2f}x{verdict}")
+
+    if args.json:
+        record = {
+            "benchmark": "bench_parallel_build",
+            "params": {
+                "clients": args.clients,
+                "facilities": args.facilities,
+                "metric": args.metric,
+                "probes": args.probes,
+                "seed": args.seed,
+            },
+            "serial_s": serial_s,
+            "runs": runs,
+            "failures": failures,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
 
     if failures:
         print(f"FAIL: {failures} worker count(s) diverged from serial")

@@ -3,6 +3,7 @@
     rnnhm heatmap --dataset nyc --clients 2000 --facilities 600 \\
         --metric l2 --out nyc.pgm
     rnnhm query --dataset nyc --probes 100000 --tile-zoom 2
+    rnnhm update --clients 2000 --updates 50 --rebuild auto
     rnnhm figure 16 --scale small
     rnnhm info
 
@@ -82,6 +83,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="persistent result store directory: evicted builds "
                          "demote to disk and identical re-builds promote "
                          "back instead of re-sweeping")
+
+    up = sub.add_parser(
+        "update",
+        help="replay a random update workload against a DynamicHeatMap, "
+             "exercising incremental dirty-band re-sweeps",
+    )
+    up.add_argument("--dataset", default="uniform",
+                    choices=("nyc", "la", "uniform", "zipfian"))
+    up.add_argument("--clients", type=int, default=2000)
+    up.add_argument("--facilities", type=int, default=400)
+    up.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
+    up.add_argument("--updates", type=int, default=20,
+                    help="number of updates to replay (client moves/adds/"
+                         "removes and facility moves)")
+    up.add_argument("--rebuild", default="auto",
+                    choices=("auto", "incremental", "full"),
+                    help="rebuild policy for DynamicHeatMap.result()")
+    up.add_argument("--check-every", type=int, default=0,
+                    help="every N updates, verify answers against a "
+                         "from-scratch sweep (0: never)")
+    up.add_argument("--seed", type=int, default=0)
 
     ver = sub.add_parser("verify", help="build a heat map and self-verify it "
                          "against the brute-force RNN definition")
@@ -232,6 +254,74 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_update(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .dynamic import DynamicHeatMap
+
+    clients, facilities = _instance(args)
+    dyn = DynamicHeatMap(
+        clients, facilities, metric=args.metric, rebuild=args.rebuild
+    )
+    t0 = time.perf_counter()
+    dyn.result()
+    build_s = time.perf_counter() - t0
+    print(
+        f"initial build: {args.dataset} |O|={args.clients} "
+        f"|F|={args.facilities} metric={args.metric} in {build_s:.2f}s"
+    )
+
+    rng = np.random.default_rng(args.seed + 3)
+    probes = np.column_stack([rng.random(500), rng.random(500)])
+    total_s = 0.0
+    dirty_sum = 0.0
+    mismatches = 0
+    for step in range(1, args.updates + 1):
+        op = int(rng.integers(0, 4))
+        handles = dyn.assignment.client_handles()
+        if op == 0 or len(handles) <= 2:
+            dyn.move_client(int(rng.choice(handles)), *rng.random(2))
+        elif op == 1:
+            dyn.add_client(*rng.random(2))
+        elif op == 2:
+            dyn.remove_client(int(rng.choice(handles)))
+        else:
+            fh = dyn.assignment.facility_handles()
+            dyn.move_facility(int(rng.choice(fh)), *rng.random(2))
+        version_before = dyn.version
+        t0 = time.perf_counter()
+        result = dyn.result()
+        dt = time.perf_counter() - t0
+        total_s += dt
+        if dyn.version != version_before:  # an actual rebuild, not a no-op
+            dirty_sum += result.stats.dirty_fraction
+        if args.check_every and step % args.check_every == 0:
+            ref = dyn.from_scratch()
+            if not np.array_equal(
+                result.heat_at_many(probes), ref.heat_at_many(probes)
+            ) or result.rnn_at_many(probes) != ref.rnn_at_many(probes):
+                mismatches += 1
+                print(f"  update {step}: MISMATCH vs from-scratch sweep")
+    n = max(1, args.updates)
+    rebuilt = dyn.incremental_rebuilds + dyn.full_rebuilds - 1
+    print(
+        f"replayed {args.updates} updates in {total_s:.2f}s "
+        f"({total_s / n * 1e3:.1f} ms/update, initial build {build_s:.2f}s)"
+    )
+    print(
+        f"rebuilds: {dyn.incremental_rebuilds} incremental, "
+        f"{dyn.full_rebuilds - 1} full, {args.updates - rebuilt} no-op; "
+        f"mean dirty fraction {dirty_sum / max(1, rebuilt):.3f}"
+    )
+    if args.check_every:
+        verdict = "all checks passed" if not mismatches else (
+            f"{mismatches} CHECK FAILURES")
+        print(f"equivalence checks every {args.check_every} updates: {verdict}")
+    return 1 if mismatches else 0
+
+
 def _cmd_figure(args) -> int:
     from .experiments import figures
 
@@ -349,6 +439,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_heatmap(args)
     if args.command in ("query", "serve-queries"):
         return _cmd_query(args)
+    if args.command == "update":
+        return _cmd_update(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "verify":

@@ -66,6 +66,13 @@ class SweepStats:
     # defaults; slab-partitioned builds record the plan actually executed.
     n_slabs: int = 1
     n_workers: int = 1
+    # Incremental-rebuild provenance (repro.dynamic.incremental): full
+    # builds keep the defaults; a dirty-band re-sweep records the fraction
+    # of the event queue that fell inside the re-swept bands (``n_events``
+    # then counts only the events the partial sweep actually processed)
+    # and how many disjoint bands were swept.
+    dirty_fraction: float = 1.0
+    n_dirty_bands: int = 0
 
 
 class _FragmentAssembler:

@@ -1,6 +1,20 @@
-"""Dynamic heat maps: incremental NN-circle maintenance + lazy rebuilds."""
+"""Dynamic heat maps: incremental NN-circle maintenance + localized rebuilds.
+
+``DynamicAssignment`` keeps nearest-facility assignments current under
+client/facility churn; ``DynamicHeatMap`` layers lazy heat-map rebuilding
+on top, re-sweeping only the dirty x-bands an update batch actually
+touched and splicing the fresh fragments into the retained subdivision
+(:mod:`.incremental`).
+"""
 
 from .assignment import DynamicAssignment
 from .heatmap import DynamicHeatMap
+from .incremental import ResweepPlan, plan_resweep, resweep_spliced
 
-__all__ = ["DynamicAssignment", "DynamicHeatMap"]
+__all__ = [
+    "DynamicAssignment",
+    "DynamicHeatMap",
+    "ResweepPlan",
+    "plan_resweep",
+    "resweep_spliced",
+]

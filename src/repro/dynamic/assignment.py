@@ -24,6 +24,7 @@ import numpy as np
 from ..errors import InvalidInputError
 from ..geometry.circle import NNCircleSet
 from ..geometry.metrics import Metric, get_metric
+from ..nn.nncircles import nn_assign
 
 __all__ = ["DynamicAssignment"]
 
@@ -61,6 +62,13 @@ class DynamicAssignment:
         self._assignment: "dict[int, tuple[int, float]]" = {}
         self.stat_nn_queries = 0
         self.stat_reassignments = 0
+        #: Client handles whose NN-circle (center or radius) may have
+        #: changed since the last ``drain_touched()`` — the change feed the
+        #: incremental heat-map rebuild localizes its re-sweep from.  An
+        #: over-approximation is safe (consumers diff against a snapshot);
+        #: a miss would be a correctness bug, so every mutation records
+        #: every client it may touch.
+        self._touched: "set[int]" = set()
         for c in self._clients:
             self._assign(c)
 
@@ -81,6 +89,23 @@ class DynamicAssignment:
         self._assignment[client] = (handles[best], float(d[best]))
         self.stat_nn_queries += 1
 
+    def _assign_many(self, clients: "list[int]") -> None:
+        """Batch NN re-query — one vectorized pass for all given clients.
+
+        Assigns exactly what per-client :meth:`_assign` calls would (same
+        distance arithmetic, same lowest-index tie-break via ``np.argmin``),
+        in one ``nn_assign`` call instead of a Python loop; facility
+        removals and moves re-query all their orphans through here.
+        """
+        if not clients:
+            return
+        handles, pts = self._facility_arrays()
+        q = np.array([self._clients[c] for c in clients], dtype=float)
+        best, dist = nn_assign(q, pts, self.metric, backend="brute")
+        for c, b, d in zip(clients, best, dist):
+            self._assignment[c] = (handles[int(b)], float(d))
+        self.stat_nn_queries += len(clients)
+
     # ------------------------------------------------------------------
     # Client updates
     # ------------------------------------------------------------------
@@ -90,6 +115,7 @@ class DynamicAssignment:
         self._next_client += 1
         self._clients[handle] = (float(x), float(y))
         self._assign(handle)
+        self._touched.add(handle)
         return handle
 
     def remove_client(self, handle: int) -> None:
@@ -97,6 +123,7 @@ class DynamicAssignment:
             raise InvalidInputError(f"unknown client handle {handle}")
         del self._clients[handle]
         del self._assignment[handle]
+        self._touched.add(handle)
 
     def move_client(self, handle: int, x: float, y: float) -> None:
         """Relocate a client (the taxi-sharing 'clients move around' case)."""
@@ -104,6 +131,7 @@ class DynamicAssignment:
             raise InvalidInputError(f"unknown client handle {handle}")
         self._clients[handle] = (float(x), float(y))
         self._assign(handle)
+        self._touched.add(handle)
 
     # ------------------------------------------------------------------
     # Facility updates
@@ -121,19 +149,20 @@ class DynamicAssignment:
             if dn < self._assignment[c][1]:
                 self._assignment[c] = (handle, float(dn))
                 self.stat_reassignments += 1
+                self._touched.add(c)
         return handle
 
     def remove_facility(self, handle: int) -> None:
-        """Delete a facility; its orphaned clients re-query."""
+        """Delete a facility; its orphaned clients re-query (one batch)."""
         if handle not in self._facilities:
             raise InvalidInputError(f"unknown facility handle {handle}")
         if len(self._facilities) == 1:
             raise InvalidInputError("cannot remove the last facility")
         del self._facilities[handle]
         orphans = [c for c, (f, _d) in self._assignment.items() if f == handle]
-        for c in orphans:
-            self._assign(c)
-            self.stat_reassignments += 1
+        self._assign_many(orphans)
+        self.stat_reassignments += len(orphans)
+        self._touched.update(orphans)
 
     def move_facility(self, handle: int, x: float, y: float) -> None:
         """Relocate a facility (remove + add, preserving the handle)."""
@@ -142,15 +171,15 @@ class DynamicAssignment:
         if len(self._facilities) == 1:
             # Single facility: every client keeps it; refresh distances.
             self._facilities[handle] = (float(x), float(y))
-            for c in self._clients:
-                self._assign(c)
+            self._assign_many(list(self._clients))
+            self._touched.update(self._clients)
             return
         old = self._facilities[handle]
         # Orphan its clients against the remaining set, then re-add.
         del self._facilities[handle]
         orphans = [c for c, (f, _d) in self._assignment.items() if f == handle]
-        for c in orphans:
-            self._assign(c)
+        self._assign_many(orphans)
+        self._touched.update(orphans)
         self._facilities[handle] = (float(x), float(y))
         new_pt = np.array([x, y], dtype=float)
         client_handles = list(self._clients)
@@ -160,6 +189,7 @@ class DynamicAssignment:
             if dn < self._assignment[c][1]:
                 self._assignment[c] = (handle, float(dn))
                 self.stat_reassignments += 1
+                self._touched.add(c)
         del old
 
     # ------------------------------------------------------------------
@@ -173,6 +203,14 @@ class DynamicAssignment:
     def n_facilities(self) -> int:
         return len(self._facilities)
 
+    def client_handles(self) -> "list[int]":
+        """Live client handles, ascending."""
+        return sorted(self._clients)
+
+    def facility_handles(self) -> "list[int]":
+        """Live facility handles, ascending."""
+        return sorted(self._facilities)
+
     def client_position(self, handle: int) -> "tuple[float, float]":
         return self._clients[handle]
 
@@ -183,6 +221,24 @@ class DynamicAssignment:
     def radius_of(self, handle: int) -> float:
         """The client's current NN distance (its NN-circle radius)."""
         return self._assignment[handle][1]
+
+    def drain_touched(self) -> "set[int]":
+        """Client handles possibly changed since the last drain (and reset).
+
+        The handles may include clients whose circle ended up unchanged
+        (e.g. a move that was undone) and clients that no longer exist
+        (removed); consumers resolve both against their own snapshot.
+        """
+        touched, self._touched = self._touched, set()
+        return touched
+
+    def circle_of(self, handle: int) -> "tuple[float, float, float] | None":
+        """The client's current NN-circle as ``(cx, cy, radius)``, or
+        ``None`` for a handle that is not (or no longer) a client."""
+        pos = self._clients.get(handle)
+        if pos is None:
+            return None
+        return (pos[0], pos[1], self._assignment[handle][1])
 
     def circles(self, drop_degenerate: bool = True) -> NNCircleSet:
         """A snapshot NNCircleSet (client_ids are the stable handles)."""

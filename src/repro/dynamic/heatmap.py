@@ -1,10 +1,25 @@
 """A heat map that follows a changing world.
 
 Wraps ``DynamicAssignment`` (incremental NN-circle maintenance) with lazy
-heat-map rebuilding: updates invalidate the cached result; ``result()``
-re-sweeps only when dirty.  The sweep itself is the cheap part (Theorem 2:
-O(n log n + r*lambda)); what this class avoids is restarting the NN phase
-from scratch after every tick of a moving-client workload.
+heat-map rebuilding.  Updates only mark the map stale; ``result()`` decides
+how much work the accumulated update batch actually requires:
+
+* **no-op** — every touched circle is unchanged against the last build's
+  snapshot (e.g. a move that was undone): the cached result is returned
+  untouched and the version counter does *not* advance, so downstream tile
+  caches stay warm;
+* **incremental** — the changed circles' old+new x-extents form dirty
+  intervals; only the covering bands are re-swept and spliced into the
+  retained subdivision (:mod:`.incremental`), giving answers identical to
+  a from-scratch build at a fraction of the cost;
+* **full** — the classic whole-plane sweep, taken when there is no cache
+  yet, when the dirty fraction makes splicing pointless, or on request.
+
+The ``rebuild`` knob ("auto" | "incremental" | "full") selects the policy;
+"auto" compares the planned dirty fraction against
+``incremental_threshold``.  Either way the result is the same map — the
+equivalence gate in ``tests/test_incremental.py`` holds heat/RNN/top-k
+answers bit-identical to a from-scratch build after every update.
 """
 
 from __future__ import annotations
@@ -14,20 +29,42 @@ import numpy as np
 from ..core.heatmap import HeatMapResult
 from ..core.sweep_l2 import run_crest_l2
 from ..core.sweep_linf import run_crest
-from ..errors import AlgorithmUnsupportedError
+from ..errors import AlgorithmUnsupportedError, InvalidInputError
 from ..geometry.metrics import get_metric
+from ..geometry.rect import Rect
 from ..geometry.transforms import IDENTITY, ROTATE_L1_TO_LINF
 from ..influence.measures import InfluenceMeasure, SizeMeasure
 from .assignment import DynamicAssignment
+from .incremental import plan_resweep, resweep_spliced
 
 __all__ = ["DynamicHeatMap"]
+
+_REBUILD_MODES = ("auto", "incremental", "full")
+
+#: Dirty-region entries older than this are forgotten; a service that last
+#: synced before the trimmed horizon falls back to full invalidation.
+_DIRTY_LOG_LIMIT = 64
+
+#: Above this many changed circles per batch the per-circle dirty rects
+#: collapse into their bounding rectangle (coarser but still partial).
+_MAX_DIRTY_RECTS = 16
 
 
 class DynamicHeatMap:
     """An updatable RNN heat map over moving clients and facilities.
 
-    All update methods take/return stable integer handles and invalidate
-    the cached result; ``result()`` rebuilds on demand.
+    All update methods take/return stable integer handles and mark the map
+    stale; ``result()`` rebuilds on demand — incrementally when the update
+    batch only dirtied a small part of the plane.
+
+    Args:
+        rebuild: "auto" (default) picks incremental re-sweeps while the
+            dirty fraction stays under ``incremental_threshold``;
+            "incremental" forces splicing whenever a retained remainder
+            exists (degrading to full only when the dirty bands swallow
+            the whole event queue); "full" always re-sweeps everything.
+        incremental_threshold: dirty-event fraction above which "auto"
+            prefers a full rebuild.
 
     Note: positions given to updates are in *original* coordinates; the L1
     rotation is applied internally exactly as in ``RNNHeatMap``.
@@ -40,9 +77,17 @@ class DynamicHeatMap:
         *,
         metric: str = "l2",
         measure: "InfluenceMeasure | None" = None,
+        rebuild: str = "auto",
+        incremental_threshold: float = 0.5,
     ) -> None:
         self.metric = get_metric(metric)
         self.measure = measure if measure is not None else SizeMeasure()
+        if rebuild not in _REBUILD_MODES:
+            raise InvalidInputError(
+                f"rebuild must be one of {_REBUILD_MODES}, got {rebuild!r}"
+            )
+        self.rebuild = rebuild
+        self.incremental_threshold = float(incremental_threshold)
         if self.metric.name == "l1":
             self.transform = ROTATE_L1_TO_LINF
             clients = self.transform.forward_array(np.asarray(clients, dtype=float))
@@ -53,21 +98,30 @@ class DynamicHeatMap:
             internal_metric = self.metric
         self.assignment = DynamicAssignment(clients, facilities, internal_metric)
         self._cached: "HeatMapResult | None" = None
+        self._stale = False
+        #: handle -> (cx, cy, radius) in internal coordinates, as of the
+        #: last build; diffing against it turns "touched" into "changed".
+        self._snapshot: "dict[int, tuple[float, float, float]] | None" = None
+        self._pending: "set[int]" = set()
         self.rebuilds = 0
-        #: Monotone update counter.  Downstream caches (``HeatMapService``)
-        #: compare it against the version they last served from, so one
-        #: map's updates invalidate only that map's cache entries.
+        self.full_rebuilds = 0
+        self.incremental_rebuilds = 0
+        #: Build counter.  It advances only when ``result()`` produced a
+        #: map that may differ from the previous one — updates alone no
+        #: longer bump it, so no-op update/undo sequences leave downstream
+        #: caches (``HeatMapService`` tiles) untouched.
         self.version = 0
+        # (version, dirty rects in original coords | None for "everything")
+        self._dirty_log: "list[tuple[int, list[Rect] | None]]" = []
 
     def _point(self, x: float, y: float) -> "tuple[float, float]":
         return self.transform.forward(x, y)
 
     def _invalidate(self) -> None:
-        self._cached = None
-        self.version += 1
+        self._stale = True
 
     # ------------------------------------------------------------------
-    # Updates (each invalidates the cache)
+    # Updates (each marks the map stale; rebuilds are deferred)
     # ------------------------------------------------------------------
     def add_client(self, x: float, y: float) -> int:
         self._invalidate()
@@ -98,25 +152,174 @@ class DynamicHeatMap:
     # ------------------------------------------------------------------
     @property
     def dirty(self) -> bool:
-        return self._cached is None
+        return self._stale or self._cached is None
 
-    def result(self) -> HeatMapResult:
-        """The current heat map, rebuilding only if updates occurred."""
-        if self._cached is None:
-            circles = self.assignment.circles()
-            if circles.metric.name == "l2":
-                stats, region_set = run_crest_l2(
-                    circles, self.measure, transform=self.transform
-                )
-            elif circles.metric.name == "linf":
-                stats, region_set = run_crest(
-                    circles, self.measure, transform=self.transform
-                )
-            else:  # pragma: no cover - construction prevents this
-                raise AlgorithmUnsupportedError(circles.metric.name)
-            self._cached = HeatMapResult(region_set, stats)
-            self.rebuilds += 1
+    def _changes(self) -> "list[tuple[int, tuple | None, tuple | None]]":
+        """Resolve touched handles into real circle changes vs the snapshot."""
+        self._pending |= self.assignment.drain_touched()
+        if self._snapshot is None:
+            return []
+        changes = []
+        for h in sorted(self._pending):
+            old = self._snapshot.get(h)
+            new = self.assignment.circle_of(h)
+            if old != new:
+                changes.append((h, old, new))
+        return changes
+
+    def _to_original_rect(self, rect: Rect) -> Rect:
+        """Map an internal-frame rect to original coordinates (bbox)."""
+        if self.transform.is_identity:
+            return rect
+        corners = [
+            self.transform.inverse(x, y)
+            for x in (rect.x_lo, rect.x_hi)
+            for y in (rect.y_lo, rect.y_hi)
+        ]
+        return Rect(
+            min(c[0] for c in corners), max(c[0] for c in corners),
+            min(c[1] for c in corners), max(c[1] for c in corners),
+        )
+
+    def _finish_rebuild(
+        self,
+        result: HeatMapResult,
+        changes: "list | None",
+        dirty_rects: "list[Rect] | None",
+    ) -> HeatMapResult:
+        """Install a freshly built result and advance the version/log."""
+        self._cached = result
+        self.rebuilds += 1
+        self.version += 1
+        self._dirty_log.append((self.version, dirty_rects))
+        if len(self._dirty_log) > _DIRTY_LOG_LIMIT:
+            del self._dirty_log[:-_DIRTY_LOG_LIMIT]
+        if self._snapshot is None or changes is None:
+            self._snapshot = {
+                h: self.assignment.circle_of(h)
+                for h in self.assignment.client_handles()
+            }
+        else:
+            for h, _old, new in changes:
+                if new is None:
+                    self._snapshot.pop(h, None)
+                else:
+                    self._snapshot[h] = new
+        self._pending.clear()
+        self._stale = False
+        return result
+
+    def _keep_cached(self) -> HeatMapResult:
+        """A stale flag that resolved to zero real change: keep everything."""
+        self._pending.clear()
+        self._stale = False
         return self._cached
+
+    def from_scratch(self) -> HeatMapResult:
+        """A reference full sweep of the current circles.
+
+        Pure computation: the cache, version counter and rebuild counters
+        are untouched — this is the oracle the incremental splice must
+        match, usable for equivalence checks at any time.
+        """
+        circles = self.assignment.circles()
+        if circles.metric.name == "l2":
+            stats, region_set = run_crest_l2(
+                circles, self.measure, transform=self.transform
+            )
+        elif circles.metric.name == "linf":
+            stats, region_set = run_crest(
+                circles, self.measure, transform=self.transform
+            )
+        else:  # pragma: no cover - construction prevents this
+            raise AlgorithmUnsupportedError(circles.metric.name)
+        return HeatMapResult(region_set, stats)
+
+    def _full_build(self) -> HeatMapResult:
+        self.full_rebuilds += 1
+        return self.from_scratch()
+
+    def result(self, rebuild: "str | None" = None) -> HeatMapResult:
+        """The current heat map, rebuilding only if updates occurred.
+
+        Args:
+            rebuild: per-call override of the instance policy ("auto" |
+                "incremental" | "full"); only consulted when a rebuild is
+                actually needed.
+        """
+        if self._cached is not None and not self._stale:
+            return self._cached
+        mode = self.rebuild if rebuild is None else rebuild
+        if mode not in _REBUILD_MODES:
+            raise InvalidInputError(
+                f"rebuild must be one of {_REBUILD_MODES}, got {rebuild!r}"
+            )
+        changes = self._changes()
+        if self._cached is not None and self._snapshot is not None:
+            if not changes:
+                return self._keep_cached()
+            intervals: "list[tuple[float, float]]" = []
+            rects: "list[Rect]" = []
+            for _h, old, new in changes:
+                for cx, cy, r in filter(None, (old, new)):
+                    if r > 0.0:
+                        intervals.append((cx - r, cx + r))
+                        rects.append(Rect.from_center_radius(cx, cy, r))
+            if not intervals:
+                # Only degenerate (zero-radius) circles changed: they are
+                # dropped from every sweep, so the subdivision is intact.
+                return self._keep_cached()
+            if len(rects) > _MAX_DIRTY_RECTS:
+                box = rects[0]
+                for r in rects[1:]:
+                    box = box.union_bounds(r)
+                rects = [box]
+            dirty_rects = [self._to_original_rect(r) for r in rects]
+            if mode != "full":
+                circles = self.assignment.circles()
+                plan = plan_resweep(circles, intervals)
+                if plan is not None and not plan.bands:  # pragma: no cover
+                    return self._keep_cached()
+                take = plan is not None and (
+                    mode == "incremental"
+                    or plan.dirty_fraction <= self.incremental_threshold
+                )
+                if take:
+                    stats, region_set = resweep_spliced(
+                        self._cached.region_set, circles, self.measure, plan
+                    )
+                    self.incremental_rebuilds += 1
+                    return self._finish_rebuild(
+                        HeatMapResult(region_set, stats), changes, dirty_rects
+                    )
+            return self._finish_rebuild(self._full_build(), changes, dirty_rects)
+        # First build (or a snapshot-less rebuild): everything is dirty.
+        return self._finish_rebuild(self._full_build(), None, None)
+
+    # ------------------------------------------------------------------
+    # Dirty-region reporting (for partial cache invalidation)
+    # ------------------------------------------------------------------
+    def dirty_rects_since(self, version: int) -> "list[Rect] | None":
+        """Original-space rectangles that may have changed since ``version``.
+
+        Returns ``[]`` when the caller is already current, a list of rects
+        covering every change between ``version`` and ``self.version``, or
+        ``None`` when the span cannot be bounded (never built at
+        ``version``, a full-unknown rebuild in between, or the log was
+        trimmed) — callers must then invalidate everything.
+        """
+        if version >= self.version:
+            return []
+        out: "list[Rect]" = []
+        expected = self.version
+        for v, rects in reversed(self._dirty_log):
+            if v != expected or rects is None:
+                return None
+            out.extend(rects)
+            expected -= 1
+            if expected == version:
+                return out
+        return None
 
     def heat_at(self, x: float, y: float) -> float:
         return self.result().heat_at(x, y)

@@ -1,0 +1,204 @@
+"""Incremental dirty-band re-sweeps for dynamic heat maps.
+
+A batch of updates (clients/facilities added, removed, moved) changes the
+NN-circle arrangement only inside the union of the *old and new* circles of
+the affected clients: a point outside every such circle keeps its RNN set
+— and therefore its heat — exactly.  So instead of re-sweeping the whole
+plane, this module:
+
+1. turns the changed circles into **dirty x-intervals** (old extent ∪ new
+   extent per change, merged);
+2. widens each interval to a **re-sweep band** whose boundaries coincide
+   with no event abscissa of the current circle set (the same nudging
+   discipline as :mod:`repro.parallel.slabs` — a cut then always splits a
+   region of constant RNN set, never lands on a region edge);
+3. sweeps each band with the unmodified serial engine over exactly the
+   circles intersecting it (reusing the slab worker of
+   :mod:`repro.parallel.worker`) and clips to the band;
+4. **splices** the fresh fragments into the retained remainder of the
+   previous subdivision with the shared clip/stitch primitives
+   (:mod:`repro.core.stitching`).
+
+Correctness mirrors the parallel pipeline's argument: outside the bands the
+active circle set — hence the line status, the labeled pairs, and every
+fragment — is identical between the old and new arrangements, so retaining
+the old fragments there is exact; inside a band the serial engine sees
+every circle that reaches into it, so its clipped fragments are exact.
+Query answers (heat / RNN / top-k) after a splice are identical to a
+from-scratch build of the current circles; only the fragment partition may
+differ by healable seams.
+
+``plan_resweep`` returns ``None`` when a band would cover the entire event
+queue — the caller must degrade to a full rebuild rather than splice a
+degenerate remainder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.intervals import merge_intervals
+from ..core.regionset import RegionSet
+from ..core.stitching import fragment_maxima, splice_pieces
+from ..core.sweep_linf import SweepStats
+from ..geometry.circle import NNCircleSet
+from ..parallel.worker import make_task, sweep_slab
+
+__all__ = ["ResweepPlan", "plan_resweep", "resweep_spliced"]
+
+
+@dataclass(frozen=True)
+class ResweepPlan:
+    """Where to re-sweep: disjoint ascending x-bands plus cost estimates.
+
+    Attributes:
+        bands: nudged ``[lo, hi]`` re-sweep intervals, pairwise disjoint and
+            ascending; empty for a no-op update batch.
+        dirty_fraction: fraction of the current event abscissae falling
+            inside the bands — the rebuild-mode heuristic's input and the
+            value recorded on the resulting ``SweepStats``.
+        n_events_total: size of the current event queue (2 per circle).
+    """
+
+    bands: "list[tuple[float, float]]"
+    dirty_fraction: float
+    n_events_total: int
+
+
+def _nudge_down(events: np.ndarray, x: float) -> float:
+    """The greatest boundary <= ``x`` coinciding with no event abscissa.
+
+    Walks left over distinct event abscissae taking midpoints until one
+    strictly separates its neighbors (floating-point-adjacent events can
+    collapse a midpoint onto an endpoint); returns ``-inf`` when every
+    candidate to the left is exhausted.
+    """
+    i = int(np.searchsorted(events, x, side="left"))
+    if i == len(events) or events[i] != x:
+        return x  # x itself is not an event: cut exactly there
+    while i > 0:
+        e = float(events[i - 1])
+        b = (e + x) / 2.0
+        if e < b < x:
+            return b
+        x = e
+        i -= 1
+    return -math.inf
+
+
+def _nudge_up(events: np.ndarray, x: float) -> float:
+    """Mirror of :func:`_nudge_down`: least non-event boundary >= ``x``."""
+    i = int(np.searchsorted(events, x, side="right"))
+    if i == 0 or events[i - 1] != x:
+        return x
+    while i < len(events):
+        e = float(events[i])
+        b = (x + e) / 2.0
+        if x < b < e:
+            return b
+        x = e
+        i += 1
+    return math.inf
+
+
+def plan_resweep(
+    circles: NNCircleSet,
+    dirty_intervals: "list[tuple[float, float]]",
+) -> "ResweepPlan | None":
+    """Turn dirty x-intervals into re-sweep bands over ``circles``.
+
+    Args:
+        circles: the *current* circle set (post-update).
+        dirty_intervals: ``[lo, hi]`` x-intervals outside which the
+            arrangement provably did not change — typically the old and new
+            x-extents of every changed circle.
+
+    Returns:
+        A :class:`ResweepPlan`, or ``None`` when the caller should run a
+        full rebuild instead: the circle set is empty, or a band swallows
+        the whole event queue (splicing would retain nothing).
+    """
+    merged = merge_intervals([iv for iv in dirty_intervals if iv[0] <= iv[1]])
+    if not merged:
+        return ResweepPlan([], 0.0, 2 * len(circles))
+    if len(circles) == 0:
+        return None
+    events = np.unique(np.concatenate([circles.x_lo, circles.x_hi]))
+    bands = merge_intervals(
+        [(_nudge_down(events, lo), _nudge_up(events, hi)) for lo, hi in merged]
+    )
+    if len(bands) == 1 and bands[0][0] <= events[0] and bands[0][1] >= events[-1]:
+        return None
+    # Dirty fraction over the full event queue (2 per circle), counting
+    # coincident extremes once per circle side — the work a band sweep
+    # processes, not the distinct abscissae it spans.
+    x_lo, x_hi = circles.x_lo, circles.x_hi
+    total = 2 * len(circles)
+    n_dirty = 0
+    for lo, hi in bands:
+        n_dirty += int(((x_lo >= lo) & (x_lo <= hi)).sum())
+        n_dirty += int(((x_hi >= lo) & (x_hi <= hi)).sum())
+    return ResweepPlan(bands, min(1.0, n_dirty / total), total)
+
+
+def resweep_spliced(
+    prev: RegionSet,
+    circles: NNCircleSet,
+    measure,
+    plan: ResweepPlan,
+    *,
+    status_backend: str = "sortedlist",
+) -> "tuple[SweepStats, RegionSet]":
+    """Re-sweep the plan's bands and splice into the previous subdivision.
+
+    Args:
+        prev: the retained subdivision (must describe the pre-update world
+            *outside* the plan's bands — i.e. the previous build's output).
+        circles: the current (post-update) circle set; ``client_ids`` must
+            be drawn from the same handle space as ``prev``'s RNN sets.
+        measure: the influence measure both builds share.
+        plan: output of :func:`plan_resweep` (not ``None``).
+
+    Returns:
+        ``(stats, region_set)`` with the same contract as the serial
+        engines; ``stats`` counts only the work the partial sweep actually
+        did and records ``dirty_fraction`` / ``n_dirty_bands``.
+    """
+    sweep = "l2" if circles.metric.circle_shape == "disk" else "linf"
+    base = "crest-l2" if sweep == "l2" else "crest"
+    stats = SweepStats(n_circles=len(circles), algorithm=f"{base}-incremental")
+    stats.dirty_fraction = plan.dirty_fraction
+    stats.n_dirty_bands = len(plan.bands)
+    default_heat = float(measure(frozenset()))
+
+    x_lo, x_hi = circles.x_lo, circles.x_hi
+    fresh_per_band: "list[list]" = []
+    for lo, hi in plan.bands:
+        members = np.nonzero((x_hi > lo) & (x_lo < hi))[0].astype(np.int64)
+        task = make_task(
+            circles, members, measure,
+            sweep=sweep, own_lo=lo, own_hi=hi, status_backend=status_backend,
+        )
+        r = sweep_slab(task)
+        fresh_per_band.append(r.fragments)
+        s = r.stats
+        stats.n_events += s.n_events
+        stats.n_event_batches += s.n_event_batches
+        stats.labels += s.labels
+        stats.measure_calls += s.measure_calls
+        stats.changed_intervals += s.changed_intervals
+        stats.merged_intervals += s.merged_intervals
+
+    fragments = splice_pieces(prev.fragments, plan.bands, fresh_per_band)
+    stats.n_fragments = len(fragments)
+    # The previous maxima may have lived inside a band that just changed,
+    # so the spliced subdivision's maxima are recomputed from scratch.
+    (stats.max_heat, stats.max_heat_rnn,
+     stats.max_heat_point, stats.max_rnn_size) = fragment_maxima(fragments)
+    region_set = RegionSet(
+        fragments, prev.transform, default_heat, circles.metric.name
+    )
+    return stats, region_set

@@ -20,7 +20,7 @@ from ..geometry.circle import NNCircleSet
 from ..geometry.metrics import Metric, get_metric
 from ..index.kdtree import KDTree
 
-__all__ = ["compute_nn_circles", "nn_distances"]
+__all__ = ["compute_nn_circles", "nn_assign", "nn_distances"]
 
 _AUTO_SCIPY_THRESHOLD = 2048
 
@@ -127,6 +127,49 @@ def _scipy_nn(clients, facilities, metric: Metric, monochromatic: bool, k: int) 
     d, _ = tree.query(clients, k=k, p=metric.p)
     d = np.atleast_2d(d) if k > 1 else np.asarray(d, dtype=float).reshape(-1, 1)
     return np.asarray(d[:, k - 1], dtype=float)
+
+
+def nn_assign(
+    clients: np.ndarray,
+    facilities: np.ndarray,
+    metric: "Metric | str" = "l2",
+    backend: str = "auto",
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Nearest facility *index* and distance for each client, vectorized.
+
+    The incremental maintenance substrate (``repro.dynamic``) re-queries
+    only the clients an update actually touched; this is the batch form of
+    that query, one vectorized distance pass per facility column instead of
+    a Python-level loop per client.  Ties resolve to the lowest facility
+    index, matching ``np.argmin`` over a per-client distance vector — so a
+    batch re-query assigns exactly what one-at-a-time queries would.
+
+    Args:
+        backend: 'auto'/'brute' — one distance column per facility (exact,
+            bit-identical to the scalar path); 'scipy' — a cKDTree query,
+            faster for very large facility sets but only guaranteed equal
+            up to floating-point association.
+
+    Returns:
+        (indices, distances): int64 and float64 arrays of shape (n,);
+        ``indices`` refer to rows of ``facilities``.
+    """
+    clients = _validate_points(clients, "clients")
+    facilities = _validate_points(facilities, "facilities")
+    metric = get_metric(metric)
+    if backend == "scipy":
+        from scipy.spatial import cKDTree
+
+        d, i = cKDTree(facilities).query(clients, k=1, p=metric.p)
+        return np.asarray(i, dtype=np.int64), np.asarray(d, dtype=float)
+    if backend not in ("auto", "brute"):
+        raise InvalidInputError(f"unknown backend {backend!r}")
+    dists = np.column_stack([
+        metric.pairwise_to_point(clients, facilities[j])
+        for j in range(len(facilities))
+    ])
+    best = np.argmin(dists, axis=1)
+    return best.astype(np.int64), dists[np.arange(len(clients)), best]
 
 
 def compute_nn_circles(

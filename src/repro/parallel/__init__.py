@@ -12,18 +12,30 @@ Entry points:
 * The ``linf-parallel`` / ``l2-parallel`` engines registered in
   :data:`repro.core.registry.REGISTRY`, reachable from ``RNNHeatMap.build``,
   ``HeatMapService.build`` and the CLI via ``workers=`` / ``--workers``.
+* ``close_pool`` — explicit shutdown of the worker pool that is otherwise
+  kept alive and reused across builds (see :mod:`.pool`).
+
+The clip/stitch primitives themselves live in
+:mod:`repro.core.stitching` and are shared with the incremental dirty-band
+splicer (:mod:`repro.dynamic.incremental`); they remain importable from
+here for compatibility.
 """
 
+from ..core.stitching import clip_fragments, stitch_fragments
 from .pipeline import build_parallel, resolve_workers
+from .pool import close_pool, pool_stats
 from .slabs import Slab, plan_slabs
-from .worker import SlabTask, clip_fragments, sweep_slab
+from .worker import SlabTask, sweep_slab
 
 __all__ = [
     "Slab",
     "SlabTask",
     "build_parallel",
     "clip_fragments",
+    "close_pool",
     "plan_slabs",
+    "pool_stats",
     "resolve_workers",
+    "stitch_fragments",
     "sweep_slab",
 ]

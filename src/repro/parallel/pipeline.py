@@ -26,13 +26,14 @@ engine would have succeeded.
 
 from __future__ import annotations
 
-import math
 import os
 import pickle
 
 from ..core.regionset import RegionSet
+from ..core.stitching import stitch_fragments
 from ..core.sweep_linf import SweepStats
 from ..geometry.transforms import IDENTITY, Transform
+from .pool import discard_pool, lease_pool
 from .slabs import plan_slabs
 from .worker import SlabResult, make_task, sweep_slab
 
@@ -48,42 +49,6 @@ def resolve_workers(workers: "int | None") -> int:
     if workers is None:
         return max(1, os.cpu_count() or 1)
     return max(1, int(workers))
-
-
-def stitch_fragments(per_slab: "list[list]") -> list:
-    """Concatenate per-slab fragment lists, re-merging seam-split pieces.
-
-    A region split by a slab boundary appears as two clipped fragments that
-    meet exactly at the boundary with identical bounding geometry, heat and
-    RNN set; merging them back yields maximal x-runs again.  Fragments are
-    frozen dataclasses, so a merge rebuilds the left piece with the right
-    piece's ``x_hi``.
-    """
-    from dataclasses import replace
-
-    merged: list = []
-    # Key of a fragment's cross-section: everything but the x-span.
-    def section(f):
-        d = vars(f).copy()
-        d.pop("x_lo")
-        d.pop("x_hi")
-        return (type(f).__name__, tuple(sorted(d.items(), key=lambda kv: kv[0])))
-
-    right_edge: dict = {}  # (x_hi, section) -> index into merged
-    for fragments in per_slab:
-        next_edge: dict = {}
-        for f in fragments:
-            sec = section(f)
-            i = right_edge.get((f.x_lo, sec))
-            if i is not None:
-                f = replace(merged[i], x_hi=f.x_hi)
-                merged[i] = f
-            else:
-                merged.append(f)
-                i = len(merged) - 1
-            next_edge[(f.x_hi, sec)] = i
-        right_edge = next_edge
-    return merged
 
 
 def _aggregate_stats(
@@ -189,13 +154,34 @@ def build_parallel(
     )
     results: "list[SlabResult] | None" = None
     if use_pool:
+        # Worker processes are reused across builds: the shared pool is
+        # created on first use and leased to every build requesting the
+        # same worker count; a different count gets a private pool for
+        # just this build (resizing under other callers is unsafe).
+        shared = None
         try:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(max_workers=min(n_workers, len(tasks))) as ex:
-                results = list(ex.map(sweep_slab, tasks))
+            shared = lease_pool(n_workers)
         except Exception:
-            results = None  # pool unavailable/broken: fall through in-process
+            shared = None
+        if shared is not None:
+            try:
+                results = list(shared.map(sweep_slab, tasks))
+            except Exception:
+                # The *shared* executor failed: its state is suspect, so
+                # drop it for everyone and fall through in-process.  A
+                # private pool's failure below never touches it.
+                discard_pool()
+                results = None
+        else:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(
+                    max_workers=min(n_workers, len(tasks))
+                ) as ex:
+                    results = list(ex.map(sweep_slab, tasks))
+            except Exception:
+                results = None  # private pool broken: fall through
     if results is None:
         results = [sweep_slab(t, on_label=on_label) for t in tasks]
 

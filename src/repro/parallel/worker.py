@@ -17,11 +17,11 @@ subset's possibly-incomplete arrangement in the margins — are dropped.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.regionset import RectFragment
+from ..core.stitching import clip_fragments, fragment_maxima
 from ..core.sweep_l2 import run_crest_l2
 from ..core.sweep_linf import SweepStats, run_crest
 from ..geometry.circle import NNCircleSet
@@ -69,40 +69,6 @@ class SlabResult:
     max_rnn_size: int
 
 
-def clip_fragments(fragments: list, lo: float, hi: float) -> list:
-    """Restrict fragments to x in ``[lo, hi]``, dropping empty remainders.
-
-    Rect and arc fragments both carry their bounding curves independently of
-    the x-span, so clipping is a pure x-interval intersection; a clipped
-    piece keeps the heat and RNN set of its source region.
-    """
-    out = []
-    for f in fragments:
-        a = f.x_lo if f.x_lo > lo else lo
-        b = f.x_hi if f.x_hi < hi else hi
-        if b <= a:
-            continue
-        if a == f.x_lo and b == f.x_hi:
-            out.append(f)
-        else:
-            out.append(replace(f, x_lo=a, x_hi=b))
-    return out
-
-
-def _owned_max(fragments: list):
-    """(max_heat, rnn, point, max_rnn_size) over a slab's clipped fragments."""
-    best = None
-    max_rnn = 0
-    for f in fragments:
-        if len(f.rnn) > max_rnn:
-            max_rnn = len(f.rnn)
-        if best is None or f.heat > best.heat:
-            best = f
-    if best is None:
-        return -np.inf, frozenset(), None, max_rnn
-    return best.heat, best.rnn, best.representative_point(), max_rnn
-
-
 def sweep_slab(task: SlabTask, on_label=None) -> SlabResult:
     """Run the serial sweep over one slab's circle subset and clip.
 
@@ -124,7 +90,7 @@ def sweep_slab(task: SlabTask, on_label=None) -> SlabResult:
             collect_fragments=True, on_label=on_label,
         )
     fragments = clip_fragments(region_set.fragments, task.own_lo, task.own_hi)
-    max_heat, max_rnn, max_point, max_rnn_size = _owned_max(fragments)
+    max_heat, max_rnn, max_point, max_rnn_size = fragment_maxima(fragments)
     return SlabResult(stats, fragments, max_heat, max_rnn, max_point, max_rnn_size)
 
 

@@ -10,7 +10,10 @@ Static and dynamic heat maps share one interface: ``build`` registers an
 immutable result under its input fingerprint, ``attach_dynamic`` registers
 a ``DynamicHeatMap`` whose version counter the service watches — an update
 to one dynamic map invalidates only that handle's result and tiles,
-leaving every other tenant's cache warm.
+leaving every other tenant's cache warm.  Invalidation within a handle is
+*partial* when the source can bound its changes (``dirty_rects_since``):
+only tiles intersecting the update's dirty region are dropped, so a
+localized move re-renders a handful of tiles instead of the whole pyramid.
 """
 
 from __future__ import annotations
@@ -75,6 +78,11 @@ class ServiceStats:
     tile_renders: int = 0
     tile_cache_hits: int = 0
     invalidations: int = 0
+    #: Dynamic refreshes that dropped only the tiles intersecting the
+    #: update's dirty region (a subset of ``invalidations``), and how many
+    #: tiles those partial drops discarded in total.
+    partial_invalidations: int = 0
+    tiles_dropped_partial: int = 0
     demotions: int = 0
     promotions: int = 0
 
@@ -186,9 +194,12 @@ class HeatMapService:
     def attach_dynamic(self, dynamic, name: "str | None" = None) -> str:
         """Register a ``DynamicHeatMap``; returns its serving handle.
 
-        The service tracks the map's ``version`` counter: any update made
-        through the dynamic map invalidates this handle's cached tiles
-        (and only this handle's) before the next query is answered.
+        The service tracks the map's ``version`` counter and ``dirty``
+        flag: updates made through the dynamic map invalidate this handle's
+        cached tiles (and only this handle's) before the next query is
+        answered — and only the tiles intersecting the update's dirty
+        region when the map can bound it (no-op update batches invalidate
+        nothing at all).
         """
         handle = name if name is not None else f"dynamic:{id(dynamic):x}"
         result = dynamic.result()
@@ -221,13 +232,41 @@ class HeatMapService:
             raise UnknownHandleError(
                 f"no heat map under handle {handle!r} (never built, or evicted)"
             )
-        if entry.dynamic is not None and entry.dynamic.version != entry.version:
-            # The world moved: refresh this tenant only.
-            self._drop_tiles(handle)
-            entry.result = entry.dynamic.result()
-            entry.world = world_bounds(entry.result.region_set)
-            entry.version = entry.dynamic.version
-            self.stats.invalidations += 1
+        dyn = entry.dynamic
+        if dyn is not None and (
+            getattr(dyn, "dirty", False) or dyn.version != entry.version
+        ):
+            # The world may have moved: ask the source to rebuild (itself a
+            # localized re-sweep for small updates).  A no-op update batch
+            # leaves the version untouched and every cache entry warm.
+            result = dyn.result()
+            if dyn.version != entry.version:
+                new_world = world_bounds(result.region_set)
+                rects = None
+                if hasattr(dyn, "dirty_rects_since"):
+                    rects = dyn.dirty_rects_since(entry.version)
+                if rects is not None and new_world == entry.world:
+                    # Partial invalidation: only tiles intersecting the
+                    # update's dirty region are stale; the rest still
+                    # rasterize to identical pixels and stay cached.
+                    dropped = self._tiles.purge(
+                        lambda key: key[0] == handle and any(
+                            tile_bounds(
+                                entry.world, key[1], key[2], key[3]
+                            ).intersects(r)
+                            for r in rects
+                        )
+                    )
+                    self.stats.partial_invalidations += 1
+                    self.stats.tiles_dropped_partial += dropped
+                else:
+                    # Unknown dirty region, or the world rectangle itself
+                    # changed (tile addresses re-map): drop everything.
+                    self._drop_tiles(handle)
+                entry.result = result
+                entry.world = new_world
+                entry.version = dyn.version
+                self.stats.invalidations += 1
         return entry
 
     def _drop_tiles(self, handle: str) -> None:

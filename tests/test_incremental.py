@@ -1,0 +1,354 @@
+"""Incremental dirty-band re-sweeps: the equivalence gate, splice edge
+cases, deferred version bumps, partial tile invalidation, pool reuse."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.heatmap import RNNHeatMap
+from repro.dynamic import DynamicHeatMap, plan_resweep, resweep_spliced
+from repro.errors import InvalidInputError
+from repro.influence.measures import SizeMeasure
+from repro.service import HeatMapService
+
+
+def scratch_region_set(dyn: DynamicHeatMap):
+    """A from-scratch sweep of the dynamic map's current circles."""
+    return dyn.from_scratch().region_set
+
+
+def assert_equivalent(result, reference, probes):
+    """Heat / RNN / top-k answers bit-identical to the reference build."""
+    np.testing.assert_array_equal(
+        result.heat_at_many(probes), reference.heat_at_many(probes)
+    )
+    assert result.rnn_at_many(probes) == reference.rnn_at_many(probes)
+    assert (result.region_set.top_k_heats(10)
+            == reference.top_k_heats(10))
+
+
+def random_update(dyn: DynamicHeatMap, rng) -> None:
+    """One random add/remove/move of a client or facility."""
+    op = int(rng.integers(0, 5))
+    handles = dyn.assignment.client_handles()
+    if op == 0 or len(handles) <= 5:
+        dyn.move_client(int(rng.choice(handles)), *rng.random(2))
+    elif op == 1:
+        dyn.add_client(*rng.random(2))
+    elif op == 2:
+        dyn.remove_client(int(rng.choice(handles)))
+    elif op == 3:
+        fh = dyn.assignment.facility_handles()
+        dyn.move_facility(int(rng.choice(fh)), *rng.random(2))
+    else:
+        dyn.move_client(int(rng.choice(handles)),
+                        *(rng.random(2) * 0.05 + 0.4))  # clustered hot spot
+
+
+class TestEquivalenceGate:
+    """The ISSUE 3 acceptance gate: after *every* update in a >= 50-update
+    random workload, the incremental result answers exactly like a
+    from-scratch build — under L2 and under L1 (which sweeps L-inf
+    internally through the pi/4 rotation)."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("metric", ["l2", "l1"])
+    def test_fifty_update_workload(self, metric):
+        rng = np.random.default_rng(42)
+        O, F = rng.random((120, 2)), rng.random((25, 2))
+        dyn = DynamicHeatMap(O, F, metric=metric, rebuild="auto")
+        dyn.result()
+        probes = rng.random((1500, 2)) * 1.2 - 0.1
+        for _step in range(50):
+            random_update(dyn, rng)
+            result = dyn.result()
+            assert_equivalent(result, scratch_region_set(dyn), probes)
+        # The workload must actually exercise the incremental path.
+        assert dyn.incremental_rebuilds >= 20
+        assert dyn.rebuilds == dyn.incremental_rebuilds + dyn.full_rebuilds
+
+    def test_forced_incremental_matches_scratch(self, rng):
+        O, F = rng.random((80, 2)), rng.random((15, 2))
+        dyn = DynamicHeatMap(O, F, metric="linf", rebuild="incremental")
+        dyn.result()
+        probes = rng.random((1000, 2)) * 1.2 - 0.1
+        for _ in range(10):
+            random_update(dyn, rng)
+            result = dyn.result()
+            assert_equivalent(result, scratch_region_set(dyn), probes)
+        assert dyn.incremental_rebuilds >= 1
+
+    def test_stats_record_dirty_fraction(self, rng):
+        O, F = rng.random((150, 2)), rng.random((30, 2))
+        dyn = DynamicHeatMap(O, F, metric="linf")
+        first = dyn.result()
+        assert first.stats.dirty_fraction == 1.0  # full builds: everything
+        dyn.move_client(0, *(np.asarray(dyn.assignment._clients[0]) + 0.01))
+        res = dyn.result()
+        assert res.stats.algorithm == "crest-incremental"
+        assert 0.0 < res.stats.dirty_fraction < 1.0
+        assert res.stats.n_dirty_bands >= 1
+        assert 0 < res.stats.n_events < first.stats.n_events
+
+
+class TestSpliceEdgeCases:
+    def _line_world(self):
+        """Three unit NN-circles whose extents touch at event abscissae."""
+        clients = np.array([[0.0, 0.0], [2.0, 0.0], [4.0, 0.0]])
+        facilities = np.array([[1.0, 0.0], [3.0, 0.0]])
+        return clients, facilities
+
+    def test_update_on_event_abscissa(self, rng):
+        """The moved circle's extent lands exactly on neighbors' events."""
+        clients, facilities = self._line_world()
+        dyn = DynamicHeatMap(clients, facilities, metric="linf",
+                             rebuild="incremental")
+        dyn.result()
+        # New position keeps the L-inf radius at exactly 1: the dirty
+        # interval is [1, 3], both endpoints event abscissae of the
+        # unchanged neighbors.
+        dyn.move_client(1, 2.0, 0.5)
+        result = dyn.result()
+        probes = np.column_stack([
+            rng.uniform(-1.5, 5.5, 800), rng.uniform(-1.5, 2.0, 800)
+        ])
+        assert_equivalent(result, scratch_region_set(dyn), probes)
+        assert result.stats.algorithm == "crest-incremental"
+
+    def test_whole_plane_dirty_degrades_to_full(self, rng):
+        """A dirty band swallowing every event must rebuild, not splice."""
+        clients, facilities = self._line_world()
+        dyn = DynamicHeatMap(clients, facilities, metric="linf",
+                             rebuild="incremental")
+        dyn.result()
+        full_before = dyn.full_rebuilds
+        # Far away in y: the new NN-circle's radius (~100) makes its
+        # x-extent span every event abscissa, its own included.
+        dyn.move_client(1, 2.0, 100.0)
+        result = dyn.result()
+        assert dyn.full_rebuilds == full_before + 1
+        assert not result.stats.algorithm.endswith("incremental")
+        assert result.stats.dirty_fraction == 1.0
+        probes = np.column_stack([
+            rng.uniform(-100, 104, 500), rng.uniform(-3, 202, 500)
+        ])
+        assert_equivalent(result, scratch_region_set(dyn), probes)
+
+    def test_noop_update_keeps_cache_and_version(self, rng):
+        O, F = rng.random((40, 2)), rng.random((8, 2))
+        dyn = DynamicHeatMap(O, F, metric="l2")
+        r0 = dyn.result()
+        v0 = dyn.version
+        x, y = dyn.assignment._clients[3]
+        dyn.move_client(3, x, y)  # move to the identical position
+        assert dyn.dirty
+        assert dyn.result() is r0
+        assert dyn.version == v0 and not dyn.dirty
+        # Undo sequence: away and back without an intervening query.
+        dyn.move_client(3, 0.95, 0.95)
+        dyn.move_client(3, x, y)
+        assert dyn.result() is r0
+        assert dyn.version == v0
+        assert dyn.rebuilds == 1  # only the initial build ever swept
+
+    @pytest.mark.parametrize("metric", ["linf", "l2"])
+    def test_monochromatic_splice_identity(self, metric, rng):
+        """Splicing a re-swept middle band of an *unchanged* monochromatic
+        map back into itself must not change any answer."""
+        pts = rng.random((60, 2))
+        hm = RNNHeatMap(pts, metric=metric, monochromatic=True)
+        reference = hm.build("crest")
+        circles = hm.circles
+        mid = float(np.median(circles.cx))
+        plan = plan_resweep(circles, [(mid - 0.15, mid + 0.15)])
+        assert plan is not None and plan.bands
+        stats, spliced = resweep_spliced(
+            reference.region_set, circles, SizeMeasure(), plan
+        )
+        probes = rng.random((2000, 2)) * 1.2 - 0.1
+        np.testing.assert_array_equal(
+            spliced.heat_at_many(probes),
+            reference.region_set.heat_at_many(probes),
+        )
+        assert spliced.rnn_at_many(probes) == reference.region_set.rnn_at_many(probes)
+        assert spliced.top_k_heats(10) == reference.region_set.top_k_heats(10)
+        assert stats.n_dirty_bands == 1
+        assert 0.0 < stats.dirty_fraction < 1.0
+
+    def test_empty_dirty_plan_is_noop(self):
+        from repro.geometry.circle import NNCircleSet
+
+        circles = NNCircleSet(
+            np.array([0.0, 3.0]), np.zeros(2), np.ones(2), "linf"
+        )
+        plan = plan_resweep(circles, [])
+        assert plan is not None
+        assert plan.bands == [] and plan.dirty_fraction == 0.0
+
+    def test_rebuild_knob_validation(self, rng):
+        O, F = rng.random((10, 2)), rng.random((3, 2))
+        with pytest.raises(InvalidInputError):
+            DynamicHeatMap(O, F, rebuild="sometimes")
+        dyn = DynamicHeatMap(O, F)
+        dyn.result()
+        dyn.move_client(0, 0.5, 0.5)
+        with pytest.raises(InvalidInputError):
+            dyn.result(rebuild="sometimes")
+
+    def test_forced_full_still_tracks_dirty_rects(self, rng):
+        O, F = rng.random((30, 2)), rng.random((6, 2))
+        dyn = DynamicHeatMap(O, F, metric="linf", rebuild="full")
+        dyn.result()
+        v0 = dyn.version
+        dyn.move_client(0, 0.5, 0.5)
+        result = dyn.result()
+        assert not result.stats.algorithm.endswith("incremental")
+        rects = dyn.dirty_rects_since(v0)
+        assert rects  # full *policy*, but the dirty region is still known
+        probes = rng.random((500, 2))
+        assert_equivalent(result, scratch_region_set(dyn), probes)
+
+
+class TestDeferredVersion:
+    def test_updates_do_not_bump_version(self, rng):
+        O, F = rng.random((25, 2)), rng.random((5, 2))
+        dyn = DynamicHeatMap(O, F, metric="linf")
+        dyn.result()
+        v0 = dyn.version
+        dyn.move_client(0, 0.7, 0.7)
+        dyn.add_client(0.2, 0.2)
+        assert dyn.version == v0  # deferred until the next result()
+        assert dyn.dirty
+        dyn.result()
+        assert dyn.version == v0 + 1  # one bump for the whole batch
+        assert not dyn.dirty
+
+    def test_dirty_rects_since(self, rng):
+        O, F = rng.random((25, 2)), rng.random((5, 2))
+        dyn = DynamicHeatMap(O, F, metric="linf")
+        dyn.result()
+        v0 = dyn.version
+        assert dyn.dirty_rects_since(v0) == []
+        assert dyn.dirty_rects_since(v0 - 1) is None  # first build: unknown
+        old = np.asarray(dyn.assignment._clients[0])
+        dyn.move_client(0, *(old + 0.02))
+        dyn.result()
+        rects = dyn.dirty_rects_since(v0)
+        assert rects and all(r.width < 2.0 for r in rects)
+        # The moved client's old and new positions fall in the dirty region.
+        assert any(r.contains_closed(*old) for r in rects)
+        assert any(r.contains_closed(*(old + 0.02)) for r in rects)
+
+
+def _grid_world():
+    """A deterministic world whose bbox extremes survive interior moves."""
+    gx, gy = np.meshgrid(np.linspace(0.1, 0.9, 6), np.linspace(0.1, 0.9, 6))
+    clients = np.column_stack([gx.ravel(), gy.ravel()])
+    fx, fy = np.meshgrid(np.linspace(0.15, 0.85, 5), np.linspace(0.15, 0.85, 5))
+    facilities = np.column_stack([fx.ravel(), fy.ravel()])
+    return clients, facilities
+
+
+class TestPartialInvalidation:
+    def test_localized_update_drops_only_intersecting_tiles(self):
+        clients, facilities = _grid_world()
+        dyn = DynamicHeatMap(clients, facilities, metric="linf")
+        service = HeatMapService(max_tiles=128, tile_size=16)
+        h = service.attach_dynamic(dyn, name="fleet")
+        world = service.world(h)
+        service.viewport(h, 2, world)  # warm all 16 level-2 tiles
+        renders = service.stats.tile_renders
+        assert renders == 16
+        corner_before, _ = service.tile(h, 2, 0, 0)
+        hits_before = service.stats.tile_cache_hits
+
+        # Nudge the center client: the dirty region stays far from the
+        # world's corners, and the world rectangle itself is unchanged.
+        center = 14  # row 2, col 2 of the 6x6 grid: (0.42, 0.42)-ish
+        x, y = dyn.assignment._clients[center]
+        dyn.move_client(center, x + 0.01, y + 0.01)
+
+        # The corner tile survives the partial invalidation: same object.
+        corner_after, _ = service.tile(h, 2, 0, 0)
+        assert corner_after is corner_before
+        assert service.stats.tile_cache_hits == hits_before + 1
+        assert service.stats.partial_invalidations == 1
+        assert 1 <= service.stats.tiles_dropped_partial < 16
+        dropped = service.stats.tiles_dropped_partial
+
+        # Re-warming the viewport re-renders exactly the dropped tiles.
+        service.viewport(h, 2, world)
+        assert service.stats.tile_renders == renders + dropped
+
+    def test_noop_update_drops_nothing(self):
+        clients, facilities = _grid_world()
+        dyn = DynamicHeatMap(clients, facilities, metric="linf")
+        service = HeatMapService(tile_size=16)
+        h = service.attach_dynamic(dyn, name="fleet")
+        tile_before, _ = service.tile(h, 1, 0, 0)
+        x, y = dyn.assignment._clients[0]
+        dyn.move_client(0, 0.5, 0.5)
+        dyn.move_client(0, x, y)  # undo before any query
+        tile_after, _ = service.tile(h, 1, 0, 0)
+        assert tile_after is tile_before
+        assert service.stats.invalidations == 0
+        assert service.stats.partial_invalidations == 0
+
+    def test_unknown_span_falls_back_to_full_drop(self):
+        """A service that last synced before the dirty log's horizon (or a
+        source without dirty reporting) must drop all the handle's tiles."""
+        clients, facilities = _grid_world()
+        dyn = DynamicHeatMap(clients, facilities, metric="linf")
+        service = HeatMapService(tile_size=16)
+        h = service.attach_dynamic(dyn, name="fleet")
+        service.tile(h, 0, 0, 0)
+        # Push the change past the log horizon by many tiny rebuilds.
+        for _ in range(70):
+            x, y = dyn.assignment._clients[14]
+            dyn.move_client(14, x + 1e-4, y)
+            dyn.result()
+        assert dyn.dirty_rects_since(1) is None
+        renders = service.stats.tile_renders
+        service.tile(h, 0, 0, 0)
+        assert service.stats.tile_renders == renders + 1  # re-rendered
+        assert service.stats.partial_invalidations == 0
+
+
+class TestSharedPool:
+    def test_pool_reused_across_builds(self, rng):
+        from repro.parallel import close_pool, pool_stats
+
+        O, F = rng.random((300, 2)), rng.random((60, 2))
+        hm = RNNHeatMap(O, F, metric="linf")
+        close_pool()
+        base = pool_stats()["created"]
+        first = hm.build("crest", workers=2)
+        assert first.stats.n_slabs == 2
+        assert pool_stats() == {"alive": True, "workers": 2, "created": base + 1}
+        hm.build("crest", workers=2)  # second build leases the same pool
+        assert pool_stats()["created"] == base + 1
+        # A different worker count must not resize the live pool: the
+        # build succeeds on a private per-build pool instead.
+        other = hm.build("crest", workers=3)
+        assert other.stats.n_workers == 3
+        assert pool_stats() == {"alive": True, "workers": 2, "created": base + 1}
+        close_pool()
+        assert pool_stats()["alive"] is False
+
+    def test_answers_identical_through_shared_pool(self, rng):
+        from repro.parallel import close_pool
+
+        O, F = rng.random((250, 2)), rng.random((50, 2))
+        hm = RNNHeatMap(O, F, metric="l2")
+        serial = hm.build("crest")
+        close_pool()
+        try:
+            probes = rng.random((2000, 2)) * 1.2 - 0.1
+            for _ in range(2):  # cold lease, then reuse
+                par = hm.build("crest", workers=2)
+                np.testing.assert_array_equal(
+                    par.heat_at_many(probes), serial.heat_at_many(probes)
+                )
+        finally:
+            close_pool()

@@ -191,12 +191,19 @@ class TestDynamic:
         assert new_bounds.x_lo >= 4.0  # the new world, not the old one
 
     def test_version_counter(self, instance):
+        """Updates mark the map dirty but defer the version bump to the
+        next ``result()`` — so update/undo sequences that change nothing
+        leave downstream tile caches warm."""
         O, F = instance
         dyn = DynamicHeatMap(O, F, metric="linf")
+        dyn.result()
         v0 = dyn.version
         dyn.move_client(0, 0.3, 0.3)
-        assert dyn.version == v0 + 1
+        assert dyn.version == v0  # deferred: no query happened yet
         assert dyn.dirty
+        dyn.result()
+        assert dyn.version == v0 + 1
+        assert not dyn.dirty
 
 
 class TestPersistentStore:
