@@ -1,0 +1,284 @@
+"""Benchmark: the asyncio serving front end and request coalescing.
+
+Simulates many concurrent viewers of one hot heat map against
+``AsyncHeatMapService`` and reports what the async layer buys:
+
+* **coalescing** — K viewers all ask for the same cold build and the same
+  cold tile level at once; single-flight means 1 sweep and one render per
+  distinct tile, everyone else attaches to the in-flight future
+  (``coalesced_builds``/``coalesced_tiles``, and the coalescing hit rate
+  = coalesced / requests);
+* **latency** — per-request latency percentiles (p50/p90/p99) for tile
+  fetches and probe batches under mixed concurrent traffic, the wall time
+  of replaying the identical request stream serially through the
+  synchronous service, and the headline fairness property: warm-probe
+  latency while a cold build of *another* instance sweeps (a 1-thread
+  synchronous server would stall that probe for the whole sweep);
+* **correctness** — async answers are byte-identical to the synchronous
+  service's, and one fingerprint never sweeps twice (exit status is
+  non-zero otherwise).
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_async_serving.py
+    PYTHONPATH=src python benchmarks/bench_async_serving.py \\
+        --smoke --json BENCH_async.json                         # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import HeatMapService
+from repro.service import AsyncHeatMapService
+from repro.service.latency import (
+    format_percentiles as _fmt,
+    latency_percentiles as _pcts,
+)
+from repro.service.tiles import tiles_in_window
+
+
+async def _serve_async(args, clients, facilities) -> dict:
+    """The concurrent-viewer workload; returns the measured record."""
+    svc = AsyncHeatMapService(
+        max_workers=args.executor_workers, tile_size=args.tile_size,
+        max_tiles=4096,
+    )
+    lat: "dict[str, list[float]]" = {"tile": [], "probe": []}
+
+    async def timed(kind, coro):
+        t0 = time.perf_counter()
+        out = await coro
+        lat[kind].append(time.perf_counter() - t0)
+        return out
+
+    try:
+        # Phase 1 — K viewers request the same cold build concurrently.
+        t0 = time.perf_counter()
+        handles = await asyncio.gather(*(
+            svc.build(clients, facilities, metric=args.metric)
+            for _ in range(args.viewers)
+        ))
+        build_s = time.perf_counter() - t0
+        builds_phase1 = svc.stats.builds
+        handle = handles[0]
+        world = await svc.world(handle)
+        addresses = tiles_in_window(world, args.tile_zoom, world)
+
+        # Phase 2 — every viewer pans the whole (cold) tile level and then
+        # fires a probe batch, all concurrently.
+        per_viewer = max(1, args.probes // args.viewers)
+
+        async def viewer(i: int) -> None:
+            vr = np.random.default_rng(args.seed + 100 + i)
+            order = list(addresses)
+            vr.shuffle(order)
+            for tx, ty in order:
+                await timed("tile", svc.tile(
+                    handle, args.tile_zoom, tx, ty, tile_size=args.tile_size
+                ))
+            pts = np.column_stack([
+                vr.uniform(world.x_lo, world.x_hi, per_viewer),
+                vr.uniform(world.y_lo, world.y_hi, per_viewer),
+            ])
+            await timed("probe", svc.heat_at_many(handle, pts))
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*(viewer(i) for i in range(args.viewers)))
+        serve_s = time.perf_counter() - t0
+
+        # Phase 3 — byte-identical answers vs the synchronous service.
+        check_rng = np.random.default_rng(args.seed + 7)
+        check_pts = np.column_stack([
+            check_rng.uniform(world.x_lo, world.x_hi, 2000),
+            check_rng.uniform(world.y_lo, world.y_hi, 2000),
+        ])
+        async_heats = await svc.heat_at_many(handle, check_pts)
+        sync_heats = svc.service.heat_at_many(handle, check_pts)
+        answers_equal = bool(np.array_equal(async_heats, sync_heats))
+
+        # Phase 4 — the headline async property: a slow cold build (of a
+        # *second* instance) never blocks warm probes of the hot handle.
+        # A single-threaded synchronous server would make a probe that
+        # arrives just after the build wait the entire sweep out.
+        cold_clients = np.random.default_rng(args.seed + 9).random(
+            (args.clients, 2)
+        )
+        small_pts = check_pts[:500]
+        during: "list[float]" = []
+        t0 = time.perf_counter()
+        cold = asyncio.ensure_future(
+            svc.build(cold_clients, facilities, metric=args.metric)
+        )
+        while not cold.done():
+            t1 = time.perf_counter()
+            await svc.heat_at_many(handle, small_pts)
+            during.append(time.perf_counter() - t1)
+            await asyncio.sleep(0)
+        await cold
+        cold_build_s = time.perf_counter() - t0
+    finally:
+        await svc.aclose()
+
+    stats = svc.stats
+    tile_requests = len(lat["tile"])
+    return {
+        "viewers": args.viewers,
+        "tile_level": args.tile_zoom,
+        "distinct_tiles": len(addresses),
+        "tile_requests": tile_requests,
+        "build_s": build_s,
+        "serve_s": serve_s,
+        "builds": builds_phase1,
+        "total_builds": stats.builds,
+        "coalesced_builds": stats.coalesced_builds,
+        "tile_renders": stats.tile_renders,
+        "tile_cache_hits": stats.tile_cache_hits,
+        "coalesced_tiles": stats.coalesced_tiles,
+        "coalescing_hit_rate": (
+            stats.coalesced_tiles / tile_requests if tile_requests else 0.0
+        ),
+        "inflight_peak": stats.inflight_peak,
+        "latency_tile": _pcts(lat["tile"]),
+        "latency_probe": _pcts(lat["probe"]),
+        "cold_build_s": cold_build_s,
+        "latency_probe_during_cold_build": _pcts(during),
+        "answers_equal_sync": answers_equal,
+    }
+
+
+def _serve_serial(args, clients, facilities) -> dict:
+    """The identical request stream, replayed one at a time (baseline)."""
+    svc = HeatMapService(tile_size=args.tile_size, max_tiles=4096)
+    t0 = time.perf_counter()
+    handle = svc.build(clients, facilities, metric=args.metric)
+    build_s = time.perf_counter() - t0
+    world = svc.world(handle)
+    addresses = tiles_in_window(world, args.tile_zoom, world)
+    per_viewer = max(1, args.probes // args.viewers)
+    t0 = time.perf_counter()
+    for i in range(args.viewers):
+        vr = np.random.default_rng(args.seed + 100 + i)
+        order = list(addresses)
+        vr.shuffle(order)
+        for tx, ty in order:
+            svc.tile(handle, args.tile_zoom, tx, ty, tile_size=args.tile_size)
+        pts = np.column_stack([
+            vr.uniform(world.x_lo, world.x_hi, per_viewer),
+            vr.uniform(world.y_lo, world.y_hi, per_viewer),
+        ])
+        svc.heat_at_many(handle, pts)
+    serve_s = time.perf_counter() - t0
+    return {"build_s": build_s, "serve_s": serve_s,
+            "tile_renders": svc.stats.tile_renders}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--clients", type=int, default=2000)
+    ap.add_argument("--facilities", type=int, default=400)
+    ap.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
+    ap.add_argument("--viewers", type=int, default=32,
+                    help="concurrent simulated viewers")
+    ap.add_argument("--probes", type=int, default=50_000,
+                    help="point probes, split across the viewers")
+    ap.add_argument("--tile-zoom", type=int, default=3)
+    ap.add_argument("--tile-size", type=int, default=64)
+    ap.add_argument("--executor-workers", type=int, default=8,
+                    help="bound of the serving thread pool")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI-sized preset (overrides the size knobs)")
+    ap.add_argument("--json", type=str, default=None, metavar="PATH",
+                    help="write a machine-readable result record here")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.clients, args.facilities = 250, 50
+        args.viewers, args.probes = 8, 4000
+        args.tile_zoom, args.tile_size = 2, 32
+        args.executor_workers = 4
+
+    rng = np.random.default_rng(args.seed)
+    clients = rng.random((args.clients, 2))
+    facilities = rng.random((args.facilities, 2))
+    print(f"|O|={args.clients} |F|={args.facilities} metric={args.metric} "
+          f"viewers={args.viewers} tile level {args.tile_zoom} "
+          f"({4 ** args.tile_zoom} tiles) probes={args.probes}")
+
+    record = asyncio.run(_serve_async(args, clients, facilities))
+    serial = _serve_serial(args, clients, facilities)
+
+    print(f"async: {record['builds']} sweep for {args.viewers} concurrent "
+          f"build requests (coalesced {record['coalesced_builds']}) "
+          f"in {record['build_s']:.2f}s")
+    print(f"async serve: {record['tile_requests']} tile requests -> "
+          f"{record['tile_renders']} renders "
+          f"({record['coalesced_tiles']} coalesced, "
+          f"{record['tile_cache_hits']} cache hits; hit rate "
+          f"{record['coalescing_hit_rate']:.2f}, inflight peak "
+          f"{record['inflight_peak']}) in {record['serve_s']:.2f}s")
+    print(f"serial replay baseline: same stream one-at-a-time in "
+          f"{serial['serve_s']:.2f}s (same-process, GIL-bound — the async "
+          "layer buys fairness and dedup, not single-process throughput)")
+    print("  " + _fmt("tile ", record["latency_tile"]))
+    print("  " + _fmt("probe", record["latency_probe"]))
+    p_during = record["latency_probe_during_cold_build"]
+    if p_during.get("n"):
+        print(
+            f"warm probes during a {record['cold_build_s']:.2f}s cold build "
+            f"of another instance: p50="
+            f"{p_during['p50_ms']:.1f}ms p99={p_during['p99_ms']:.1f}ms "
+            f"({p_during['n']} batches; a 1-thread sync server would stall "
+            f"the first one for the full {record['cold_build_s']:.2f}s)"
+        )
+    print("answers byte-identical to sync service: "
+          f"{record['answers_equal_sync']}")
+
+    # Self-checks: exactly one sweep per fingerprint, one render per
+    # distinct tile address, identical answers.
+    failures = []
+    if record["builds"] != 1:
+        failures.append(f"{record['builds']} sweeps for one fingerprint")
+    if record["tile_renders"] > record["distinct_tiles"]:
+        failures.append(
+            f"{record['tile_renders']} renders for "
+            f"{record['distinct_tiles']} distinct tiles")
+    if not record["answers_equal_sync"]:
+        failures.append("async answers diverged from sync service")
+
+    if args.json:
+        out = {
+            "benchmark": "bench_async_serving",
+            "params": {
+                "clients": args.clients, "facilities": args.facilities,
+                "metric": args.metric, "viewers": args.viewers,
+                "probes": args.probes, "tile_zoom": args.tile_zoom,
+                "tile_size": args.tile_size,
+                "executor_workers": args.executor_workers,
+                "seed": args.seed, "smoke": args.smoke,
+            },
+            "async": record,
+            "serial_baseline": serial,
+            "speedup_vs_serial": serial["serve_s"] / record["serve_s"]
+            if record["serve_s"] > 0 else float("inf"),
+            "failures": failures,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(out, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,7 +47,12 @@ from .influence.measures import (
 )
 from .nn.rnn import NaiveRNN
 from .parallel import build_parallel
-from .service import HeatMapService, ResultStore, ServiceStats
+from .service import (
+    AsyncHeatMapService,
+    HeatMapService,
+    ResultStore,
+    ServiceStats,
+)
 
 __version__ = "1.0.0"
 
@@ -64,6 +69,7 @@ __all__ = [
     "DynamicHeatMap",
     "EngineSpec",
     "HeatMapResult",
+    "AsyncHeatMapService",
     "HeatMapService",
     "InfluenceMeasure",
     "InvalidInputError",

@@ -83,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="persistent result store directory: evicted builds "
                          "demote to disk and identical re-builds promote "
                          "back instead of re-sweeping")
+    qr.add_argument("--async", dest="use_async", action="store_true",
+                    help="serve through the asyncio front end "
+                         "(AsyncHeatMapService): concurrent simulated "
+                         "viewers, request coalescing, latency percentiles")
+    qr.add_argument("--concurrency", type=int, default=16,
+                    help="--async: number of concurrent simulated viewers "
+                         "(each replays builds, tile pans and probe batches)")
 
     up = sub.add_parser(
         "update",
@@ -190,6 +197,9 @@ def _cmd_query(args) -> int:
 
     from .service import HeatMapService
 
+    if args.use_async:
+        return _cmd_query_async(args)
+
     clients, facilities = _instance(args)
     service = HeatMapService(tile_size=args.tile_size, store_dir=args.store_dir)
 
@@ -252,6 +262,105 @@ def _cmd_query(args) -> int:
     print("service stats: " + ", ".join(
         f"{k}={v}" for k, v in service.stats_snapshot().items()))
     return 0
+
+
+def _cmd_query_async(args) -> int:
+    """serve-queries --async: concurrent viewers against the asyncio front
+    end, with request coalescing and per-request latency percentiles."""
+    import asyncio
+    import time
+
+    import numpy as np
+
+    from .service import AsyncHeatMapService
+    from .service.latency import format_percentiles, latency_percentiles
+    from .service.tiles import tiles_in_window
+
+    clients, facilities = _instance(args)
+    n_viewers = max(1, args.concurrency)
+    if args.tile_zoom > 8:
+        print(f"--tile-zoom {args.tile_zoom} would render "
+              f"{4 ** args.tile_zoom:,} tiles; capped at 8 for the CLI")
+        return 1
+
+    async def serve() -> int:
+        svc = AsyncHeatMapService(
+            max_workers=min(32, n_viewers + 4), tile_size=args.tile_size,
+            store_dir=args.store_dir,
+        )
+        latencies: "dict[str, list[float]]" = {
+            "build": [], "tile": [], "probe": []}
+
+        async def timed(kind, coro):
+            t0 = time.perf_counter()
+            out = await coro
+            latencies[kind].append(time.perf_counter() - t0)
+            return out
+
+        try:
+            t_all = time.perf_counter()
+            # Every viewer asks for the same build at once: single-flight
+            # coalescing sweeps exactly once.
+            handles = await asyncio.gather(*(
+                timed("build", svc.build(
+                    clients, facilities, metric=args.metric,
+                    algorithm=args.algorithm,
+                    workers=_cli_workers(args.workers),
+                ))
+                for _ in range(n_viewers)
+            ))
+            handle = handles[0]
+            world = await svc.world(handle)
+            per_viewer = max(1, args.probes // n_viewers)
+
+            async def viewer(i: int) -> None:
+                vr = np.random.default_rng(args.seed + 10 + i)
+                if args.tile_zoom >= 0:
+                    addresses = tiles_in_window(world, args.tile_zoom, world)
+                    vr.shuffle(addresses)
+                    for tx, ty in addresses:
+                        await timed("tile", svc.tile(
+                            handle, args.tile_zoom, tx, ty,
+                            tile_size=args.tile_size,
+                        ))
+                pts = np.column_stack([
+                    vr.uniform(world.x_lo, world.x_hi, per_viewer),
+                    vr.uniform(world.y_lo, world.y_hi, per_viewer),
+                ])
+                await timed("probe", svc.heat_at_many(handle, pts))
+
+            await asyncio.gather(*(viewer(i) for i in range(n_viewers)))
+            wall = time.perf_counter() - t_all
+        finally:
+            await svc.aclose()
+
+        stats = svc.stats
+        tile_requests = stats.tile_renders + stats.tile_cache_hits \
+            + stats.coalesced_tiles
+        print(
+            f"async serve: {n_viewers} viewers, {len(latencies['tile'])} tile "
+            f"requests + {n_viewers} probe batches of {per_viewer} in "
+            f"{wall:.2f}s (executor bound {min(32, n_viewers + 4)})"
+        )
+        print(
+            f"coalescing: builds swept {stats.builds} "
+            f"(coalesced {stats.coalesced_builds}/{n_viewers - 1}); tiles "
+            f"rendered {stats.tile_renders}/{tile_requests} requests "
+            f"(coalesced {stats.coalesced_tiles}, cache hits "
+            f"{stats.tile_cache_hits}, inflight peak {stats.inflight_peak})"
+        )
+        for kind in ("build", "tile", "probe"):
+            print("  " + format_percentiles(
+                kind, latency_percentiles(latencies[kind])))
+        print("service stats: " + ", ".join(
+            f"{k}={v}" for k, v in svc.stats_snapshot().items()))
+        # Self-check: a single fingerprint must never sweep twice.
+        if stats.builds + stats.promotions > 1:
+            print("FAIL: duplicate build for one fingerprint")
+            return 1
+        return 0
+
+    return asyncio.run(serve())
 
 
 def _cmd_update(args) -> int:

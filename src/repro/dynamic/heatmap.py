@@ -24,6 +24,8 @@ answers bit-identical to a from-scratch build after every update.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..core.heatmap import HeatMapResult
@@ -113,6 +115,11 @@ class DynamicHeatMap:
         self.version = 0
         # (version, dirty rects in original coords | None for "everything")
         self._dirty_log: "list[tuple[int, list[Rect] | None]]" = []
+        #: Serializes updates against rebuilds: ``HeatMapService``
+        #: refreshes dynamic handles from executor threads, so an
+        #: update arriving mid-rebuild must wait for a consistent
+        #: snapshot (re-entrant: result() may call from_scratch()).
+        self._lock = threading.RLock()
 
     def _point(self, x: float, y: float) -> "tuple[float, float]":
         return self.transform.forward(x, y)
@@ -124,28 +131,34 @@ class DynamicHeatMap:
     # Updates (each marks the map stale; rebuilds are deferred)
     # ------------------------------------------------------------------
     def add_client(self, x: float, y: float) -> int:
-        self._invalidate()
-        return self.assignment.add_client(*self._point(x, y))
+        with self._lock:
+            self._invalidate()
+            return self.assignment.add_client(*self._point(x, y))
 
     def remove_client(self, handle: int) -> None:
-        self._invalidate()
-        self.assignment.remove_client(handle)
+        with self._lock:
+            self._invalidate()
+            self.assignment.remove_client(handle)
 
     def move_client(self, handle: int, x: float, y: float) -> None:
-        self._invalidate()
-        self.assignment.move_client(handle, *self._point(x, y))
+        with self._lock:
+            self._invalidate()
+            self.assignment.move_client(handle, *self._point(x, y))
 
     def add_facility(self, x: float, y: float) -> int:
-        self._invalidate()
-        return self.assignment.add_facility(*self._point(x, y))
+        with self._lock:
+            self._invalidate()
+            return self.assignment.add_facility(*self._point(x, y))
 
     def remove_facility(self, handle: int) -> None:
-        self._invalidate()
-        self.assignment.remove_facility(handle)
+        with self._lock:
+            self._invalidate()
+            self.assignment.remove_facility(handle)
 
     def move_facility(self, handle: int, x: float, y: float) -> None:
-        self._invalidate()
-        self.assignment.move_facility(handle, *self._point(x, y))
+        with self._lock:
+            self._invalidate()
+            self.assignment.move_facility(handle, *self._point(x, y))
 
     # ------------------------------------------------------------------
     # Results
@@ -222,7 +235,8 @@ class DynamicHeatMap:
         are untouched — this is the oracle the incremental splice must
         match, usable for equivalence checks at any time.
         """
-        circles = self.assignment.circles()
+        with self._lock:
+            circles = self.assignment.circles()
         if circles.metric.name == "l2":
             stats, region_set = run_crest_l2(
                 circles, self.measure, transform=self.transform
@@ -247,6 +261,10 @@ class DynamicHeatMap:
                 "incremental" | "full"); only consulted when a rebuild is
                 actually needed.
         """
+        with self._lock:
+            return self._result_locked(rebuild)
+
+    def _result_locked(self, rebuild: "str | None") -> HeatMapResult:
         if self._cached is not None and not self._stale:
             return self._cached
         mode = self.rebuild if rebuild is None else rebuild
@@ -308,6 +326,10 @@ class DynamicHeatMap:
         ``version``, a full-unknown rebuild in between, or the log was
         trimmed) — callers must then invalidate everything.
         """
+        with self._lock:
+            return self._dirty_rects_since_locked(version)
+
+    def _dirty_rects_since_locked(self, version: int) -> "list[Rect] | None":
         if version >= self.version:
             return []
         out: "list[Rect]" = []

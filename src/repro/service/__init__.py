@@ -8,7 +8,14 @@ queries, top-k) against it.  This package is that serving architecture:
   ``HeatMapResult`` objects keyed by an input *fingerprint* (bounded LRU,
   so identical build requests are free), serves vectorized point/RNN
   batches, top-k, threshold views, and raster *tiles* with a tile-level
-  cache that survives pans and zooms.
+  cache that survives pans and zooms.  Thread-safe: per-key single-flight
+  scopes make a cold fingerprint/tile cost exactly one sweep/render under
+  concurrent traffic.
+* :class:`~repro.service.async_service.AsyncHeatMapService` — the asyncio
+  front end: blocking work runs on a bounded executor, and concurrent
+  requests for the same tile or build fingerprint *coalesce* onto one
+  in-flight computation (single-flight futures, stale-on-invalidation
+  retry, ``coalesced_*``/``inflight_peak`` counters).
 * :mod:`~repro.service.fingerprint` — content-addressed build keys.
 * :mod:`~repro.service.store` — the persistent result store: with a
   ``store_dir`` configured, LRU eviction demotes results to disk and a
@@ -24,14 +31,18 @@ Dynamic worlds plug in through
 only that handle's cached result and tiles.
 """
 
+from .async_service import AsyncHeatMapService
 from .cache import LRUCache
 from .fingerprint import fingerprint_build
+from .flight import KeyedMutex
 from .service import HeatMapService, ServiceStats
 from .store import ResultStore
 from .tiles import tile_bounds, world_bounds
 
 __all__ = [
+    "AsyncHeatMapService",
     "HeatMapService",
+    "KeyedMutex",
     "LRUCache",
     "ResultStore",
     "ServiceStats",

@@ -1,0 +1,57 @@
+"""Per-key mutual exclusion: the sync layer's single-flight primitive.
+
+``HeatMapService`` wraps each cold build (keyed by fingerprint) and each
+cold tile render (keyed by tile address) in a :class:`KeyedMutex` scope.
+Concurrent threads asking for the *same* key serialize — the second thread
+blocks until the first finishes, re-checks the cache, and hits — while
+requests for different keys proceed in parallel.  That is what makes "K
+concurrent cold requests execute exactly one sweep/render" hold even for
+callers that bypass the asyncio front end and hammer the service from raw
+threads.
+
+Locks are created on demand and dropped as soon as the last holder or
+waiter releases, so the map never outgrows the number of keys currently in
+flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Hashable
+
+__all__ = ["KeyedMutex"]
+
+
+class KeyedMutex:
+    """A family of mutexes addressed by hashable key, created on demand."""
+
+    def __init__(self) -> None:
+        self._meta = threading.Lock()
+        #: key -> [lock, holders+waiters]; entries die at refcount zero.
+        self._locks: "dict[Hashable, list]" = {}
+
+    def __len__(self) -> int:
+        """Number of keys currently locked or waited on."""
+        with self._meta:
+            return len(self._locks)
+
+    @contextmanager
+    def holding(self, key: Hashable):
+        """Context manager: exclusive ownership of ``key``'s mutex."""
+        with self._meta:
+            pair = self._locks.get(key)
+            if pair is None:
+                pair = self._locks[key] = [threading.Lock(), 0]
+            pair[1] += 1
+        pair[0].acquire()
+        try:
+            yield
+        finally:
+            pair[0].release()
+            with self._meta:
+                pair[1] -= 1
+                # The pair can only be recreated after it is popped, and it
+                # is only popped here at refcount zero — so identity holds.
+                if pair[1] == 0 and self._locks.get(key) is pair:
+                    del self._locks[key]

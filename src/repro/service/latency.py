@@ -1,0 +1,42 @@
+"""Latency-percentile reporting shared by the CLI and the benchmarks.
+
+One implementation of the p50/p90/p99/max summary so ``serve-queries
+--async`` and ``benchmarks/bench_async_serving.py`` can never drift apart
+in how they describe the same serving workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["latency_percentiles", "format_percentiles"]
+
+
+def latency_percentiles(samples: "list[float]") -> dict:
+    """Summarize request latencies (seconds) as milliseconds percentiles.
+
+    Returns ``{"n": 0}`` for an empty sample list, otherwise ``n`` plus
+    ``p50_ms``/``p90_ms``/``p99_ms``/``max_ms`` — the record embedded in
+    ``BENCH_async.json`` and printed by the CLI.
+    """
+    ms = np.asarray(samples, dtype=float) * 1e3
+    if not len(ms):
+        return {"n": 0}
+    return {
+        "n": int(len(ms)),
+        "p50_ms": float(np.percentile(ms, 50)),
+        "p90_ms": float(np.percentile(ms, 90)),
+        "p99_ms": float(np.percentile(ms, 99)),
+        "max_ms": float(ms.max()),
+    }
+
+
+def format_percentiles(label: str, pcts: dict) -> str:
+    """One human-readable line for a :func:`latency_percentiles` record."""
+    if not pcts.get("n"):
+        return f"{label}: (none)"
+    return (
+        f"{label}: n={pcts['n']} p50={pcts['p50_ms']:.1f}ms "
+        f"p90={pcts['p90_ms']:.1f}ms p99={pcts['p99_ms']:.1f}ms "
+        f"max={pcts['max_ms']:.1f}ms"
+    )

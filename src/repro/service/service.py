@@ -14,11 +14,28 @@ leaving every other tenant's cache warm.  Invalidation within a handle is
 *partial* when the source can bound its changes (``dirty_rects_since``):
 only tiles intersecting the update's dirty region are dropped, so a
 localized move re-renders a handful of tiles instead of the whole pyramid.
+
+The service is thread-safe, so the asyncio front end
+(:class:`~repro.service.async_service.AsyncHeatMapService`) can fan
+requests across executor threads:
+
+* both LRU caches take their own internal lock per operation;
+* a small service lock guards compound admit/evict/generation sequences —
+  never a sweep or a rasterize, so a slow cold build cannot block warm
+  probes of other handles;
+* cold builds and cold tile renders run under a per-key
+  :class:`~repro.service.flight.KeyedMutex` scope: concurrent threads
+  asking for the same fingerprint or tile serialize and the laggards hit
+  the cache, so one cold key costs exactly one sweep/render;
+* every handle carries a monotone *generation*, bumped whenever its tiles
+  are dropped; a render that raced an invalidation sees the bump and
+  declines to cache its (now possibly stale) grid.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -29,6 +46,7 @@ from ..errors import UnknownHandleError
 from ..geometry.rect import Rect
 from .cache import LRUCache
 from .fingerprint import fingerprint_build
+from .flight import KeyedMutex
 from .store import ResultStore
 from .tiles import tile_bounds, tiles_in_window, world_bounds
 
@@ -69,6 +87,16 @@ class ServiceStats:
     ``demotions``/``promotions`` count movements between the in-memory LRU
     and the persistent result store: an eviction that spilled to disk, and
     a build request answered by reloading a spilled result.
+
+    ``coalesced_builds``/``coalesced_tiles`` count requests that attached
+    to an already in-flight identical build/render instead of starting
+    their own (the async front end's single-flight maps);
+    ``inflight_peak`` is the high-water mark of simultaneously in-flight
+    distinct keys.
+
+    Counters are updated through :meth:`inc` under an internal lock, so
+    concurrent serving threads never lose increments and a stress run's
+    numbers add up exactly.
     """
 
     builds: int = 0
@@ -85,10 +113,27 @@ class ServiceStats:
     tiles_dropped_partial: int = 0
     demotions: int = 0
     promotions: int = 0
+    coalesced_builds: int = 0
+    coalesced_tiles: int = 0
+    inflight_peak: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Atomically add ``n`` to the counter ``name``."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def record_inflight(self, value: int) -> None:
+        """Raise ``inflight_peak`` to ``value`` if it is a new high."""
+        with self._lock:
+            if value > self.inflight_peak:
+                self.inflight_peak = value
 
     def as_dict(self) -> dict:
         """The counters as a plain dict (for reports and CLI output)."""
-        return dict(vars(self))
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 @dataclass
@@ -100,6 +145,9 @@ class _Entry:
     dynamic: object = None  # DynamicHeatMap, when attached
     version: int = -1
     extras: dict = field(default_factory=dict)
+    #: Serializes dynamic refreshes of this one handle, so concurrent
+    #: probes trigger at most one rebuild per update batch.
+    lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
 
 class HeatMapService:
@@ -122,6 +170,12 @@ class HeatMapService:
     the same build twice returns the same handle without re-sweeping.
     Evicted (and not demoted) or never-built handles raise
     :class:`~repro.errors.UnknownHandleError` on use.
+
+    All public methods may be called from any thread.  The observability
+    hooks ``on_build(handle)`` / ``on_tile_render(key)`` — ``None`` by
+    default — fire on the worker thread just *before* each actual (cache
+    missing, non-coalesced) sweep / tile rasterization; tests use them to
+    count and to gate renders deterministically.
     """
 
     def __init__(
@@ -139,6 +193,17 @@ class HeatMapService:
         self.store = ResultStore(store_dir) if store_dir is not None else None
         self.default_workers = workers
         self.stats = ServiceStats()
+        #: Guards compound registry mutations (admit/evict/generation) —
+        #: held only for dict/LRU bookkeeping, never across a sweep.
+        self._lock = threading.RLock()
+        #: Single-flight scopes for cold builds and cold tile renders.
+        self._flights = KeyedMutex()
+        #: handle -> tile generation; bumped on every tile drop.  Monotone
+        #: and never deleted, so a render that started before an
+        #: invalidation can always detect it raced one.
+        self._gens: "dict[str, int]" = {}
+        self.on_build = None
+        self.on_tile_render = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -154,6 +219,7 @@ class HeatMapService:
         monochromatic: bool = False,
         k: int = 1,
         workers: "int | None" = None,
+        fingerprint: "str | None" = None,
     ) -> str:
         """Build (or recall) a heat map; returns its fingerprint handle.
 
@@ -163,32 +229,48 @@ class HeatMapService:
         parallel builds of the same inputs share one cache entry, and a
         parallel engine name ('linf-parallel'/'l2-parallel') keys the same
         entry as 'crest'.
+
+        ``fingerprint`` skips re-hashing the coordinate arrays when the
+        caller already computed this request's key (it must come from
+        :func:`fingerprint_build` over these very arguments with the
+        canonicalized algorithm name — the async front end does this to
+        key its coalescing map).
+
+        Concurrent calls with the same fingerprint single-flight: one
+        thread sweeps while the rest wait and then take the cache hit, so
+        a cold fingerprint is swept exactly once no matter how many
+        threads ask for it.
         """
         if workers is None:
             workers = self.default_workers
-        canonical = _canonical_algorithm(algorithm, metric)
-        handle = fingerprint_build(
-            clients, facilities, metric=metric, algorithm=canonical,
-            measure=measure, monochromatic=monochromatic, k=k,
-        )
-        if self._results.get(handle) is not None:
-            self.stats.build_cache_hits += 1
-            return handle
-        if self.store is not None:
-            promoted = self.store.load(handle)
-            if promoted is not None:
-                self.stats.promotions += 1
-                self._admit(
-                    handle, _Entry(promoted, world_bounds(promoted.region_set))
-                )
+        handle = fingerprint
+        if handle is None:
+            canonical = _canonical_algorithm(algorithm, metric)
+            handle = fingerprint_build(
+                clients, facilities, metric=metric, algorithm=canonical,
+                measure=measure, monochromatic=monochromatic, k=k,
+            )
+        with self._flights.holding(("build", handle)):
+            if self._results.get(handle) is not None:
+                self.stats.inc("build_cache_hits")
                 return handle
-        hm = RNNHeatMap(
-            clients, facilities, metric=metric, measure=measure,
-            monochromatic=monochromatic, k=k,
-        )
-        result = hm.build(algorithm, workers=workers)
-        self.stats.builds += 1
-        self._admit(handle, _Entry(result, world_bounds(result.region_set)))
+            if self.store is not None:
+                promoted = self.store.load(handle)
+                if promoted is not None:
+                    self.stats.inc("promotions")
+                    self._admit(
+                        handle, _Entry(promoted, world_bounds(promoted.region_set))
+                    )
+                    return handle
+            if self.on_build is not None:
+                self.on_build(handle)
+            hm = RNNHeatMap(
+                clients, facilities, metric=metric, measure=measure,
+                monochromatic=monochromatic, k=k,
+            )
+            result = hm.build(algorithm, workers=workers)
+            self.stats.inc("builds")
+            self._admit(handle, _Entry(result, world_bounds(result.region_set)))
         return handle
 
     def attach_dynamic(self, dynamic, name: "str | None" = None) -> str:
@@ -211,16 +293,19 @@ class HeatMapService:
         return handle
 
     def _admit(self, handle: str, entry: _Entry) -> None:
-        if handle in self._results:
-            # Overwriting a handle (e.g. re-attaching a dynamic map under
-            # the same name): its old tiles describe the previous world.
-            self._drop_tiles(handle)
-        for evicted_handle, evicted in self._results.put(handle, entry):
+        with self._lock:
+            if handle in self._results:
+                # Overwriting a handle (e.g. re-attaching a dynamic map
+                # under the same name): its old tiles describe the previous
+                # world.
+                self._drop_tiles(handle)
+            evicted_pairs = self._results.put(handle, entry)
+        for evicted_handle, evicted in evicted_pairs:
             if self.store is not None and evicted.dynamic is None:
                 # Eviction becomes demotion: the fingerprint-keyed result
                 # spills to disk and a later build promotes it back.
                 self.store.save(evicted_handle, evicted.result)
-                self.stats.demotions += 1
+                self.stats.inc("demotions")
             self._drop_tiles(evicted_handle)
 
     # ------------------------------------------------------------------
@@ -233,22 +318,34 @@ class HeatMapService:
                 f"no heat map under handle {handle!r} (never built, or evicted)"
             )
         dyn = entry.dynamic
-        if dyn is not None and (
-            getattr(dyn, "dirty", False) or dyn.version != entry.version
-        ):
+        if dyn is None:
+            return entry
+        with entry.lock:
+            if not (getattr(dyn, "dirty", False) or dyn.version != entry.version):
+                return entry
             # The world may have moved: ask the source to rebuild (itself a
             # localized re-sweep for small updates).  A no-op update batch
             # leaves the version untouched and every cache entry warm.
+            # entry.lock serializes this per handle: concurrent probes on a
+            # dirty map trigger exactly one rebuild.
             result = dyn.result()
             if dyn.version != entry.version:
+                old_world = entry.world
                 new_world = world_bounds(result.region_set)
                 rects = None
                 if hasattr(dyn, "dirty_rects_since"):
                     rects = dyn.dirty_rects_since(entry.version)
-                if rects is not None and new_world == entry.world:
+                # Install the fresh result *before* bumping the generation:
+                # a renderer that sees the new generation is then
+                # guaranteed to also read the new result.
+                entry.result = result
+                entry.world = new_world
+                entry.version = dyn.version
+                if rects is not None and new_world == old_world:
                     # Partial invalidation: only tiles intersecting the
                     # update's dirty region are stale; the rest still
                     # rasterize to identical pixels and stay cached.
+                    self._bump_generation(handle)
                     dropped = self._tiles.purge(
                         lambda key: key[0] == handle and any(
                             tile_bounds(
@@ -257,26 +354,41 @@ class HeatMapService:
                             for r in rects
                         )
                     )
-                    self.stats.partial_invalidations += 1
-                    self.stats.tiles_dropped_partial += dropped
+                    self.stats.inc("partial_invalidations")
+                    self.stats.inc("tiles_dropped_partial", dropped)
                 else:
                     # Unknown dirty region, or the world rectangle itself
                     # changed (tile addresses re-map): drop everything.
                     self._drop_tiles(handle)
-                entry.result = result
-                entry.world = new_world
-                entry.version = dyn.version
-                self.stats.invalidations += 1
+                self.stats.inc("invalidations")
         return entry
 
+    def generation(self, handle: str) -> int:
+        """This handle's tile generation (bumped on every tile drop).
+
+        A caller that captures the generation, computes something from the
+        handle's result, and finds the generation unchanged afterwards
+        knows no invalidation raced the computation.
+        """
+        with self._lock:
+            return self._gens.get(handle, 0)
+
+    def _bump_generation(self, handle: str) -> None:
+        with self._lock:
+            self._gens[handle] = self._gens.get(handle, 0) + 1
+
     def _drop_tiles(self, handle: str) -> None:
+        # Generation first: an in-flight render that started before the
+        # bump will refuse to cache into the freshly purged space.
+        self._bump_generation(handle)
         self._tiles.purge(lambda key: key[0] == handle)
 
     def invalidate(self, handle: str) -> None:
         """Forget one handle's result, tiles and any disk-stored copy
         (no-op when unknown)."""
-        self._results.pop(handle)
-        self._drop_tiles(handle)
+        with self._lock:
+            self._results.pop(handle)
+            self._drop_tiles(handle)
         if self.store is not None:
             self.store.delete(handle)
 
@@ -319,16 +431,16 @@ class HeatMapService:
         entry = self._entry(handle)
         pts = np.asarray(points, dtype=float)
         out = entry.result.region_set.heat_at_many(pts)
-        self.stats.batch_queries += 1
-        self.stats.points_queried += len(out)
+        self.stats.inc("batch_queries")
+        self.stats.inc("points_queried", len(out))
         return out
 
     def rnn_at_many(self, handle: str, points) -> "list[frozenset]":
         """RNN set per query point (empty outside all fragments)."""
         entry = self._entry(handle)
         out = entry.result.region_set.rnn_at_many(points)
-        self.stats.batch_queries += 1
-        self.stats.points_queried += len(out)
+        self.stats.inc("batch_queries")
+        self.stats.inc("points_queried", len(out))
         return out
 
     def top_k_heats(self, handle: str, k: int) -> "list[float]":
@@ -356,19 +468,37 @@ class HeatMapService:
         Tiles are cached per (handle, address, size); repeated pans and
         zooms over the same area render nothing.  Row 0 is the bottom row,
         as in ``RegionSet.rasterize``.
+
+        Concurrent cold requests for the same tile single-flight: one
+        thread renders while the rest wait for the cache fill.  A render
+        that raced an invalidation of this handle returns its (then
+        current) grid to the caller but does not cache it, so the tile
+        cache never serves a pre-invalidation raster.
         """
         size = self.tile_size if tile_size is None else int(tile_size)
-        entry = self._entry(handle)  # refreshes dynamic handles first
         key = (handle, z, tx, ty, size)
-        cached = self._tiles.get(key)
-        if cached is not None:
-            self.stats.tile_cache_hits += 1
-            return cached
-        bounds = tile_bounds(entry.world, z, tx, ty)
-        grid, bounds = entry.result.rasterize(size, size, bounds)
-        self.stats.tile_renders += 1
-        self._tiles.put(key, (grid, bounds))
-        return grid, bounds
+        with self._flights.holding(("tile", key)):
+            self._entry(handle)  # settle any pending dynamic refresh first
+            cached = self._tiles.get(key)
+            if cached is not None:
+                self.stats.inc("tile_cache_hits")
+                return cached
+            # Capture the generation *before* fetching the entry we render
+            # from: if the generation is still unchanged at admission time,
+            # no invalidation/re-attach landed anywhere in between, so the
+            # rendered grid provably describes the current world.  (The
+            # settle call above keeps an ordinary post-refresh render
+            # cacheable — the refresh's own bump happened before capture.)
+            generation = self.generation(handle)
+            entry = self._entry(handle)
+            if self.on_tile_render is not None:
+                self.on_tile_render(key)
+            bounds = tile_bounds(entry.world, z, tx, ty)
+            grid, bounds = entry.result.rasterize(size, size, bounds)
+            self.stats.inc("tile_renders")
+            if self.generation(handle) == generation:
+                self._tiles.put(key, (grid, bounds))
+            return grid, bounds
 
     def viewport(
         self,

@@ -20,6 +20,7 @@ entry under a live fingerprint, and an unreadable entry loads as ``None``
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 from pathlib import Path
@@ -27,6 +28,7 @@ from pathlib import Path
 from ..core.heatmap import HeatMapResult
 from ..core.serialize import load_region_set, save_region_set
 from ..core.sweep_linf import SweepStats
+from .flight import KeyedMutex
 
 __all__ = ["ResultStore"]
 
@@ -54,11 +56,29 @@ _TMP_PREFIX = ".tmp-"
 
 
 class ResultStore:
-    """A directory of fingerprint-keyed heat-map results."""
+    """A directory of fingerprint-keyed heat-map results.
+
+    Safe for concurrent use: a per-fingerprint mutex serializes this
+    process's save/load/delete of one entry (a concurrent evict+rebuild of
+    one fingerprint cannot interleave the two renames of a save with a
+    delete or another save) while promotions/demotions of *different*
+    fingerprints proceed in parallel, and temp files carry a per-writer
+    unique suffix so even two *processes* demoting the same fingerprint
+    never rename each other's half-written files into place.
+    """
+
+    #: Process-wide source of unique temp-file suffixes.
+    _seq = itertools.count()
 
     def __init__(self, root: "str | Path") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._locks = KeyedMutex()
+
+    def _tmp_path(self, handle: str, suffix: str) -> Path:
+        return self.root / (
+            f"{_TMP_PREFIX}{handle}.{os.getpid()}.{next(self._seq)}{suffix}"
+        )
 
     def _region_path(self, handle: str) -> Path:
         return self.root / f"{handle}.npz"
@@ -82,16 +102,23 @@ class ResultStore:
         Both files are written to temp names and renamed into place, stats
         sidecar first — whatever prefix of the two renames survives a crash
         is loadable (a lone sidecar loads as absent; a lone .npz falls back
-        to placeholder stats).
+        to placeholder stats).  Temp names are unique per writer, so
+        concurrent saves of one fingerprint cannot steal (and rename away)
+        each other's in-flight files.
         """
         final = self._region_path(handle)
-        tmp_stats = self.root / f"{_TMP_PREFIX}{handle}.stats.json"
-        tmp_stats.write_text(json.dumps(_stats_to_json(result.stats)))
-        os.replace(tmp_stats, self._stats_path(handle))
-        # The .npz suffix keeps np.savez from appending its own.
-        tmp = self.root / f"{_TMP_PREFIX}{handle}.npz"
-        save_region_set(result.region_set, tmp)
-        os.replace(tmp, final)
+        tmp_stats = self._tmp_path(handle, ".stats.json")
+        tmp = self._tmp_path(handle, ".npz")
+        try:
+            tmp_stats.write_text(json.dumps(_stats_to_json(result.stats)))
+            # The .npz suffix keeps np.savez from appending its own.
+            save_region_set(result.region_set, tmp)
+            with self._locks.holding(handle):
+                os.replace(tmp_stats, self._stats_path(handle))
+                os.replace(tmp, final)
+        finally:
+            tmp_stats.unlink(missing_ok=True)
+            tmp.unlink(missing_ok=True)
         return final
 
     def load(self, handle: str) -> "HeatMapResult | None":
@@ -102,22 +129,24 @@ class ResultStore:
         poison every future build of this fingerprint.
         """
         path = self._region_path(handle)
-        if not path.exists():
-            return None
-        try:
-            region_set = load_region_set(path)
-        except Exception:
-            return None  # treat as a miss; the next demotion overwrites it
-        stats_path = self._stats_path(handle)
-        try:
-            stats = _stats_from_json(json.loads(stats_path.read_text()))
-        except Exception:  # sidecar lost/corrupt: still serve the queries
-            stats = SweepStats(
-                n_fragments=len(region_set), algorithm="restored"
-            )
+        with self._locks.holding(handle):
+            if not path.exists():
+                return None
+            try:
+                region_set = load_region_set(path)
+            except Exception:
+                return None  # treat as a miss; the next demotion overwrites it
+            stats_path = self._stats_path(handle)
+            try:
+                stats = _stats_from_json(json.loads(stats_path.read_text()))
+            except Exception:  # sidecar lost/corrupt: still serve the queries
+                stats = SweepStats(
+                    n_fragments=len(region_set), algorithm="restored"
+                )
         return HeatMapResult(region_set, stats)
 
     def delete(self, handle: str) -> None:
         """Forget one stored result (no-op when absent)."""
-        self._region_path(handle).unlink(missing_ok=True)
-        self._stats_path(handle).unlink(missing_ok=True)
+        with self._locks.holding(handle):
+            self._region_path(handle).unlink(missing_ok=True)
+            self._stats_path(handle).unlink(missing_ok=True)

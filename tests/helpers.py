@@ -25,3 +25,30 @@ def make_instance(seed: int, n_clients: int, n_facilities: int, metric: str):
 def naive_rnn_set(circles, x: float, y: float) -> frozenset:
     """Brute-force RNN set of a point (the oracle)."""
     return frozenset(circles.enclosing(x, y))
+
+
+def assert_same_answers(reference, candidates, probes, *, top_k: int = 10):
+    """Assert every candidate answers exactly like ``reference``.
+
+    The reusable differential oracle: ``reference`` and each ``(name,
+    result)`` candidate expose ``heat_at_many`` / ``rnn_at_many`` /
+    ``region_set.top_k_heats`` (a ``HeatMapResult`` does), and every
+    answer — heat batch, RNN set batch, top-k list — must be *identical*,
+    not merely close.  Serial, slab-parallel and incremental-splice builds
+    of the same instance all promise bit-equal subdivisions; this is the
+    single gate they share.
+    """
+    ref_heats = reference.heat_at_many(probes)
+    ref_rnns = reference.rnn_at_many(probes)
+    ref_topk = reference.region_set.top_k_heats(top_k)
+    for name, candidate in candidates:
+        np.testing.assert_array_equal(
+            candidate.heat_at_many(probes), ref_heats,
+            err_msg=f"{name}: heat_at_many diverged",
+        )
+        assert candidate.rnn_at_many(probes) == ref_rnns, (
+            f"{name}: rnn_at_many diverged"
+        )
+        assert candidate.region_set.top_k_heats(top_k) == ref_topk, (
+            f"{name}: top_k_heats diverged"
+        )

@@ -1,0 +1,266 @@
+"""AsyncHeatMapService: single-flight coalescing, staleness, equivalence.
+
+The acceptance gate for the async front end: K concurrent cold requests
+for one tile (and one build fingerprint) execute exactly one render/sweep
+— proven by both the coalescing counters and a counting render/build hook
+— and an invalidation during flight never serves a stale result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro import DynamicHeatMap, HeatMapService, UnknownHandleError
+from repro.service import AsyncHeatMapService
+
+
+class Hook:
+    """A counting render/build hook that can gate its first invocation.
+
+    Installed as ``HeatMapService.on_build`` / ``on_tile_render``; fires on
+    the executor thread just before the actual sweep/rasterize, so a test
+    can hold a computation in flight (``started`` set, blocked on
+    ``release``) while it invalidates from the event loop.
+    """
+
+    def __init__(self, gate_first: bool = False) -> None:
+        self.calls: "list[object]" = []
+        self.gate_first = gate_first
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self._lock = threading.Lock()
+
+    def __call__(self, key) -> None:
+        with self._lock:
+            first = not self.calls
+            self.calls.append(key)
+        if self.gate_first and first:
+            self.started.set()
+            assert self.release.wait(20.0), "test never released the hook"
+
+
+async def _wait_event(event: threading.Event, timeout: float = 20.0) -> None:
+    ok = await asyncio.get_running_loop().run_in_executor(
+        None, event.wait, timeout
+    )
+    assert ok, "in-flight computation never started"
+
+
+@pytest.fixture
+def instance(rng):
+    return rng.random((60, 2)), rng.random((12, 2))
+
+
+def test_k_concurrent_cold_tiles_render_once(instance):
+    O, F = instance
+
+    async def scenario():
+        async with AsyncHeatMapService(
+            max_workers=4, max_results=4, max_tiles=64, tile_size=16
+        ) as svc:
+            hook = Hook()
+            svc.service.on_tile_render = hook
+            handle = await svc.build(O, F, metric="linf")
+            results = await asyncio.gather(*(
+                svc.tile(handle, 1, 0, 1) for _ in range(8)
+            ))
+            return svc, hook, results
+
+    svc, hook, results = asyncio.run(scenario())
+    assert len(hook.calls) == 1  # the counting hook saw exactly one render
+    assert svc.stats.tile_renders == 1
+    assert svc.stats.coalesced_tiles == 7
+    assert svc.stats.inflight_peak >= 1
+    grid0, bounds0 = results[0]
+    for grid, bounds in results[1:]:
+        assert grid is grid0  # everyone got the leader's very grid
+        assert bounds == bounds0
+
+
+def test_k_concurrent_same_fingerprint_builds_sweep_once(instance):
+    O, F = instance
+
+    async def scenario():
+        async with AsyncHeatMapService(max_workers=4, max_results=4) as svc:
+            hook = Hook()
+            svc.service.on_build = hook
+            handles = await asyncio.gather(*(
+                svc.build(O, F, metric="l2") for _ in range(6)
+            ))
+            return svc, hook, handles
+
+    svc, hook, handles = asyncio.run(scenario())
+    assert len(hook.calls) == 1  # one sweep for six concurrent requests
+    assert svc.stats.builds == 1
+    assert svc.stats.coalesced_builds == 5
+    assert len(set(handles)) == 1
+
+
+def test_invalidation_during_flight_never_serves_stale(rng):
+    """Re-attaching a handle mid-render: every waiter gets the *new* map."""
+    O1, F1 = rng.random((25, 2)), rng.random((6, 2))
+    O2, F2 = rng.random((25, 2)) + 5.0, rng.random((6, 2)) + 5.0
+    dyn2 = DynamicHeatMap(O2, F2, metric="linf")
+    dyn2.result()  # pre-build so the re-attach below is quick
+
+    async def scenario():
+        async with AsyncHeatMapService(
+            max_workers=4, max_results=4, max_tiles=64, tile_size=16
+        ) as svc:
+            svc.attach_dynamic(DynamicHeatMap(O1, F1, metric="linf"), name="x")
+            hook = Hook(gate_first=True)
+            svc.service.on_tile_render = hook
+            tasks = [
+                asyncio.create_task(svc.tile("x", 0, 0, 0)) for _ in range(4)
+            ]
+            await _wait_event(hook.started)  # old-world render is in flight
+            svc.attach_dynamic(dyn2, name="x")  # invalidates "x" mid-flight
+            hook.release.set()
+            results = await asyncio.gather(*tasks)
+            return svc, hook, results
+
+    svc, hook, results = asyncio.run(scenario())
+    # The raced render was thrown away and redone against the new world:
+    # nobody observed a tile of the old map.
+    assert len(hook.calls) == 2
+    for _grid, bounds in results:
+        assert bounds.x_lo >= 4.0, "a waiter was served the stale world"
+    # The cache holds only new-world tiles.
+    grid, bounds = svc.service.tile("x", 0, 0, 0)
+    assert bounds.x_lo >= 4.0
+    assert svc.stats.tile_cache_hits >= 1
+
+
+def test_invalidated_handle_mid_flight_raises_not_stale(instance):
+    O, F = instance
+
+    async def scenario():
+        async with AsyncHeatMapService(
+            max_workers=4, max_results=4, max_tiles=64, tile_size=16
+        ) as svc:
+            handle = await svc.build(O, F, metric="linf")
+            hook = Hook(gate_first=True)
+            svc.service.on_tile_render = hook
+            tasks = [
+                asyncio.create_task(svc.tile(handle, 0, 0, 0))
+                for _ in range(3)
+            ]
+            await _wait_event(hook.started)
+            svc.invalidate(handle)  # the handle is gone, mid-render
+            hook.release.set()
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            return svc, handle, outcomes
+
+    svc, handle, outcomes = asyncio.run(scenario())
+    # Nobody got the pre-invalidation grid; everybody saw the handle die.
+    assert all(isinstance(o, UnknownHandleError) for o in outcomes)
+    assert all(key[0] != handle for key in svc.service._tiles.keys())
+
+
+def test_slow_cold_build_does_not_block_warm_probes(instance, rng):
+    O, F = instance
+    O2 = rng.random((40, 2))
+    pts = rng.random((200, 2))
+
+    async def scenario():
+        async with AsyncHeatMapService(max_workers=4, max_results=4) as svc:
+            warm = await svc.build(O, F, metric="linf")
+            hook = Hook(gate_first=True)
+            svc.service.on_build = hook
+            cold = asyncio.create_task(svc.build(O2, F, metric="linf"))
+            await _wait_event(hook.started)  # the cold sweep is now stuck
+            # Warm probes and warm tiles answer while the build hangs.
+            heats = await asyncio.wait_for(
+                svc.heat_at_many(warm, pts), timeout=10.0
+            )
+            topk = await asyncio.wait_for(
+                svc.top_k_heats(warm, 3), timeout=10.0
+            )
+            assert not cold.done()
+            hook.release.set()
+            handle2 = await cold
+            return svc, warm, handle2, heats, topk
+
+    svc, warm, handle2, heats, topk = asyncio.run(scenario())
+    assert handle2 != warm
+    np.testing.assert_array_equal(
+        heats, svc.service.heat_at_many(warm, pts)
+    )
+    assert topk == sorted(topk, reverse=True)
+
+
+def test_async_answers_byte_identical_to_sync(instance, rng):
+    O, F = instance
+    probes = rng.random((500, 2)) * 1.2 - 0.1
+
+    async def scenario():
+        async with AsyncHeatMapService(
+            max_workers=4, max_results=4, max_tiles=64, tile_size=16
+        ) as svc:
+            handle = await svc.build(O, F, metric="l2")
+            heats, rnns, topk, (grid, bounds) = await asyncio.gather(
+                svc.heat_at_many(handle, probes),
+                svc.rnn_at_many(handle, probes),
+                svc.top_k_heats(handle, 5),
+                svc.tile(handle, 1, 1, 0),
+            )
+            world = await svc.world(handle)
+            return handle, heats, rnns, topk, grid, bounds, world
+
+    handle, heats, rnns, topk, grid, bounds, world = asyncio.run(scenario())
+
+    sync = HeatMapService(max_results=4, max_tiles=64, tile_size=16)
+    sync_handle = sync.build(O, F, metric="l2")
+    assert sync_handle == handle  # same fingerprint, either path
+    np.testing.assert_array_equal(heats, sync.heat_at_many(handle, probes))
+    assert rnns == sync.rnn_at_many(handle, probes)
+    assert topk == sync.top_k_heats(handle, 5)
+    sgrid, sbounds = sync.tile(handle, 1, 1, 0)
+    np.testing.assert_array_equal(grid, sgrid)
+    assert bounds == sbounds
+    assert world == sync.world(handle)
+
+
+def test_viewport_coalesces_across_concurrent_viewers(instance):
+    O, F = instance
+
+    async def scenario():
+        async with AsyncHeatMapService(
+            max_workers=4, max_results=4, max_tiles=64, tile_size=16
+        ) as svc:
+            handle = await svc.build(O, F, metric="linf")
+            world = await svc.world(handle)
+            lists = await asyncio.gather(*(
+                svc.viewport(handle, 1, world) for _ in range(5)
+            ))
+            return svc, lists
+
+    svc, lists = asyncio.run(scenario())
+    assert all(sorted(lst) == sorted(lists[0]) for lst in lists)
+    assert len(lists[0]) == 4
+    # 5 viewers x 4 tiles = 20 requests; only the 4 distinct tiles rendered.
+    assert svc.stats.tile_renders == 4
+    assert svc.stats.coalesced_tiles + svc.stats.tile_cache_hits == 16
+    assert svc.stats.inflight_peak >= 2
+
+
+def test_owned_vs_borrowed_service_and_kwargs_guard(instance):
+    O, F = instance
+    sync = HeatMapService(max_results=2, tile_size=8)
+    with pytest.raises(TypeError):
+        AsyncHeatMapService(sync, max_results=4)
+
+    async def scenario():
+        async with AsyncHeatMapService(sync, max_workers=2) as svc:
+            assert svc.service is sync
+            handle = await svc.build(O, F, metric="linf")
+            assert handle in sync.handles()
+            return handle
+
+    handle = asyncio.run(scenario())
+    assert sync.stats.builds == 1
+    assert handle in sync.handles()

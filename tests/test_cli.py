@@ -69,3 +69,15 @@ class TestCommands:
         ])
         assert code == 0
         assert "max influence" in capsys.readouterr().out
+
+    def test_serve_queries_async(self, capsys):
+        """serve-queries --async: coalesced build, percentile report."""
+        code = main([
+            "serve-queries", "--dataset", "uniform", "--clients", "80",
+            "--facilities", "16", "--probes", "800", "--tile-zoom", "1",
+            "--tile-size", "16", "--async", "--concurrency", "6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "coalescing: builds swept 1 (coalesced 5/5)" in out
+        assert "p50=" in out and "inflight peak" in out

@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "courier_capacity.py",
     "dynamic_fleet.py",
     "batch_serving.py",
+    "async_serving.py",
 ]
 
 
