@@ -91,6 +91,32 @@ def build_parser() -> argparse.ArgumentParser:
                     help="--async: number of concurrent simulated viewers "
                          "(each replays builds, tile pans and probe batches)")
 
+    sh = sub.add_parser(
+        "serve-http",
+        help="serve heat maps over HTTP: slippy-map raster tiles, JSON "
+             "batch queries, fingerprint-addressed builds and dynamic "
+             "updates (stdlib asyncio, no framework)",
+    )
+    sh.add_argument("--host", default="127.0.0.1")
+    sh.add_argument("--port", type=int, default=8080,
+                    help="TCP port to bind (0 picks a free port)")
+    sh.add_argument("--workers", type=int, default=8,
+                    help="executor threads serving blocking work "
+                         "(sweeps, renders, probe batches)")
+    sh.add_argument("--build-workers", type=int, default=None,
+                    help="default process workers for cold builds "
+                         "(default: serial; 0/negative: one per CPU)")
+    sh.add_argument("--tile-size", type=int, default=256)
+    sh.add_argument("--max-tiles", type=int, default=2048,
+                    help="tile LRU capacity")
+    sh.add_argument("--max-results", type=int, default=8,
+                    help="built heat-map LRU capacity")
+    sh.add_argument("--store-dir", type=Path, default=None,
+                    help="persistent result store directory (evicted builds "
+                         "demote to disk, identical re-builds promote back)")
+    sh.add_argument("--cmap", default="heat", choices=("heat", "gray_dark"),
+                    help="default tile colormap (?cmap= overrides per tile)")
+
     up = sub.add_parser(
         "update",
         help="replay a random update workload against a DynamicHeatMap, "
@@ -273,7 +299,7 @@ def _cmd_query_async(args) -> int:
     import numpy as np
 
     from .service import AsyncHeatMapService
-    from .service.latency import format_percentiles, latency_percentiles
+    from .service.latency import LatencyRecorder
     from .service.tiles import tiles_in_window
 
     clients, facilities = _instance(args)
@@ -288,14 +314,8 @@ def _cmd_query_async(args) -> int:
             max_workers=min(32, n_viewers + 4), tile_size=args.tile_size,
             store_dir=args.store_dir,
         )
-        latencies: "dict[str, list[float]]" = {
-            "build": [], "tile": [], "probe": []}
-
-        async def timed(kind, coro):
-            t0 = time.perf_counter()
-            out = await coro
-            latencies[kind].append(time.perf_counter() - t0)
-            return out
+        recorder = LatencyRecorder()
+        timed = recorder.timed
 
         try:
             t_all = time.perf_counter()
@@ -338,7 +358,7 @@ def _cmd_query_async(args) -> int:
         tile_requests = stats.tile_renders + stats.tile_cache_hits \
             + stats.coalesced_tiles
         print(
-            f"async serve: {n_viewers} viewers, {len(latencies['tile'])} tile "
+            f"async serve: {n_viewers} viewers, {recorder.count('tile')} tile "
             f"requests + {n_viewers} probe batches of {per_viewer} in "
             f"{wall:.2f}s (executor bound {min(32, n_viewers + 4)})"
         )
@@ -349,9 +369,8 @@ def _cmd_query_async(args) -> int:
             f"(coalesced {stats.coalesced_tiles}, cache hits "
             f"{stats.tile_cache_hits}, inflight peak {stats.inflight_peak})"
         )
-        for kind in ("build", "tile", "probe"):
-            print("  " + format_percentiles(
-                kind, latency_percentiles(latencies[kind])))
+        for line in recorder.report():
+            print(line)
         print("service stats: " + ", ".join(
             f"{k}={v}" for k, v in svc.stats_snapshot().items()))
         # Self-check: a single fingerprint must never sweep twice.
@@ -361,6 +380,34 @@ def _cmd_query_async(args) -> int:
         return 0
 
     return asyncio.run(serve())
+
+
+def _cmd_serve_http(args) -> int:
+    """serve-http: the HTTP tile/query edge over the asyncio core."""
+    import asyncio
+
+    from .server import serve
+
+    def announce(port: int) -> None:
+        print(f"serving heat maps on http://{args.host}:{port} "
+              f"(GET /healthz, /stats, /openapi.yaml)", flush=True)
+
+    try:
+        asyncio.run(serve(
+            host=args.host,
+            port=args.port,
+            on_bound=announce,
+            max_workers=max(1, args.workers),
+            build_workers=_cli_workers(args.build_workers),
+            tile_size=args.tile_size,
+            max_tiles=args.max_tiles,
+            max_results=args.max_results,
+            store_dir=args.store_dir,
+            default_cmap=args.cmap,
+        ))
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
 
 
 def _cmd_update(args) -> int:
@@ -548,6 +595,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_heatmap(args)
     if args.command in ("query", "serve-queries"):
         return _cmd_query(args)
+    if args.command == "serve-http":
+        return _cmd_serve_http(args)
     if args.command == "update":
         return _cmd_update(args)
     if args.command == "figure":

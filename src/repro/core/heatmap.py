@@ -44,9 +44,11 @@ class HeatMapResult:
     stats: SweepStats
 
     def heat_at(self, x: float, y: float) -> float:
+        """Heat (influence) at one original-space point."""
         return self.region_set.heat_at(x, y)
 
     def rnn_at(self, x: float, y: float) -> frozenset:
+        """The RNN set a facility at (x, y) would capture (client ids)."""
         return self.region_set.rnn_at(x, y)
 
     def heat_at_many(self, points) -> np.ndarray:
@@ -58,6 +60,8 @@ class HeatMapResult:
         return self.region_set.rnn_at_many(points)
 
     def rasterize(self, width: int, height: int, bounds=None):
+        """A (height, width) heat grid over ``bounds`` (default: the full
+        extent); returns ``(grid, bounds)`` with raster row 0 = bottom."""
         return self.region_set.rasterize(width, height, bounds)
 
     @property

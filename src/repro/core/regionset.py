@@ -194,19 +194,24 @@ class RectFragment:
 
     @property
     def bbox(self) -> Rect:
+        """The fragment's bounding rectangle (equals the fragment itself)."""
         return Rect(self.x_lo, self.x_hi, self.y_lo, self.y_hi)
 
     @property
     def area(self) -> float:
+        """Exact rectangle area (internal frame)."""
         return (self.x_hi - self.x_lo) * (self.y_hi - self.y_lo)
 
     def contains(self, x: float, y: float) -> bool:
+        """Strict interior membership (boundaries excluded)."""
         return self.x_lo < x < self.x_hi and self.y_lo < y < self.y_hi
 
     def contains_closed(self, x: float, y: float) -> bool:
+        """Closed membership (boundaries included) — the probe fallback."""
         return self.x_lo <= x <= self.x_hi and self.y_lo <= y <= self.y_hi
 
     def representative_point(self) -> "tuple[float, float]":
+        """An interior point (the center), for re-labeling and verification."""
         return ((self.x_lo + self.x_hi) / 2.0, (self.y_lo + self.y_hi) / 2.0)
 
 
@@ -223,6 +228,7 @@ class ArcFragment:
 
     @property
     def bbox(self) -> Rect:
+        """Bounding rectangle of the slab between the two arcs."""
         xs = (self.x_lo, self.x_hi, min(max(self.lower.cx, self.x_lo), self.x_hi))
         y_lo = min(self.lower.y_at(x) for x in xs)
         xs_u = (self.x_lo, self.x_hi, min(max(self.upper.cx, self.x_lo), self.x_hi))
@@ -242,16 +248,19 @@ class ArcFragment:
         return total
 
     def contains(self, x: float, y: float) -> bool:
+        """Strict interior membership (slab and arc boundaries excluded)."""
         if not (self.x_lo < x < self.x_hi):
             return False
         return self.lower.y_at(x) < y < self.upper.y_at(x)
 
     def contains_closed(self, x: float, y: float) -> bool:
+        """Closed membership (boundaries included) — the probe fallback."""
         if not (self.x_lo <= x <= self.x_hi):
             return False
         return self.lower.y_at(x) <= y <= self.upper.y_at(x)
 
     def representative_point(self) -> "tuple[float, float]":
+        """An interior point at the slab's x-midpoint, between the arcs."""
         x = (self.x_lo + self.x_hi) / 2.0
         return (x, (self.lower.y_at(x) + self.upper.y_at(x)) / 2.0)
 

@@ -85,6 +85,7 @@ class EngineSpec:
         return frozenset(self.runners)
 
     def supports_metric(self, metric_name: str) -> bool:
+        """Whether a runner is registered for sweep metric ``metric_name``."""
         return metric_name in self.runners
 
 

@@ -119,6 +119,7 @@ class DynamicAssignment:
         return handle
 
     def remove_client(self, handle: int) -> None:
+        """Delete a client and its NN assignment."""
         if handle not in self._clients:
             raise InvalidInputError(f"unknown client handle {handle}")
         del self._clients[handle]
@@ -197,10 +198,12 @@ class DynamicAssignment:
     # ------------------------------------------------------------------
     @property
     def n_clients(self) -> int:
+        """Number of live clients."""
         return len(self._clients)
 
     @property
     def n_facilities(self) -> int:
+        """Number of live facilities."""
         return len(self._facilities)
 
     def client_handles(self) -> "list[int]":
@@ -212,6 +215,7 @@ class DynamicAssignment:
         return sorted(self._facilities)
 
     def client_position(self, handle: int) -> "tuple[float, float]":
+        """The client's current (internal-frame) coordinates."""
         return self._clients[handle]
 
     def facility_of(self, handle: int) -> int:

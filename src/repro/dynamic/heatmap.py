@@ -124,6 +124,17 @@ class DynamicHeatMap:
     def _point(self, x: float, y: float) -> "tuple[float, float]":
         return self.transform.forward(x, y)
 
+    def batch(self):
+        """The update lock, for atomic multi-operation batches.
+
+        ``with dyn.batch(): ...`` holds the re-entrant update lock across
+        several update calls, so no rebuild or concurrent update
+        interleaves mid-batch — the HTTP edge uses this to validate a
+        whole ``/update`` request against a stable handle set before
+        applying any of it.
+        """
+        return self._lock
+
     def _invalidate(self) -> None:
         self._stale = True
 
@@ -131,31 +142,37 @@ class DynamicHeatMap:
     # Updates (each marks the map stale; rebuilds are deferred)
     # ------------------------------------------------------------------
     def add_client(self, x: float, y: float) -> int:
+        """Insert a client at original-space (x, y); returns its handle."""
         with self._lock:
             self._invalidate()
             return self.assignment.add_client(*self._point(x, y))
 
     def remove_client(self, handle: int) -> None:
+        """Delete a client; raises ``InvalidInputError`` for unknown handles."""
         with self._lock:
             self._invalidate()
             self.assignment.remove_client(handle)
 
     def move_client(self, handle: int, x: float, y: float) -> None:
+        """Relocate a client to original-space (x, y)."""
         with self._lock:
             self._invalidate()
             self.assignment.move_client(handle, *self._point(x, y))
 
     def add_facility(self, x: float, y: float) -> int:
+        """Insert a facility at original-space (x, y); returns its handle."""
         with self._lock:
             self._invalidate()
             return self.assignment.add_facility(*self._point(x, y))
 
     def remove_facility(self, handle: int) -> None:
+        """Delete a facility (the last one cannot be removed)."""
         with self._lock:
             self._invalidate()
             self.assignment.remove_facility(handle)
 
     def move_facility(self, handle: int, x: float, y: float) -> None:
+        """Relocate a facility to original-space (x, y)."""
         with self._lock:
             self._invalidate()
             self.assignment.move_facility(handle, *self._point(x, y))
@@ -165,6 +182,7 @@ class DynamicHeatMap:
     # ------------------------------------------------------------------
     @property
     def dirty(self) -> bool:
+        """Whether the next ``result()`` call may have to rebuild."""
         return self._stale or self._cached is None
 
     def _changes(self) -> "list[tuple[int, tuple | None, tuple | None]]":
@@ -344,9 +362,11 @@ class DynamicHeatMap:
         return None
 
     def heat_at(self, x: float, y: float) -> float:
+        """Heat at one point against the current (lazily rebuilt) map."""
         return self.result().heat_at(x, y)
 
     def rnn_at(self, x: float, y: float) -> frozenset:
+        """RNN set at one point against the current (lazily rebuilt) map."""
         return self.result().rnn_at(x, y)
 
     def heat_at_many(self, points) -> np.ndarray:

@@ -1,0 +1,134 @@
+"""Dependency-free PNG encoding/decoding (stdlib ``zlib`` + ``struct``).
+
+The HTTP tile endpoint serves rendered heat-map tiles as PNG — the wire
+format every slippy-map client already speaks — and this repository takes
+no imaging dependency, so the codec is written against the PNG spec
+directly: 8-bit grayscale (color type 0) or RGB (color type 2), one
+``IDAT`` stream of filter-0 scanlines.  The decoder exists for round-trip
+tests and accepts exactly what the encoder produces (any filter type other
+than ``None`` per scanline is rejected rather than mis-decoded).
+
+Encoding is deterministic for a given array and compression level, which
+is what makes golden wire-format tests possible: the same heat grid always
+yields the same tile bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from ..errors import InvalidInputError
+
+__all__ = ["encode_png", "decode_png"]
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    """One PNG chunk: length, tag, payload, CRC-32 over tag+payload."""
+    return (
+        struct.pack(">I", len(payload))
+        + tag
+        + payload
+        + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+    )
+
+
+def encode_png(image: np.ndarray, *, level: int = 6) -> bytes:
+    """Encode a uint8 image array as a PNG byte string.
+
+    Args:
+        image: ``(h, w)`` grayscale or ``(h, w, 3)`` RGB uint8 array,
+            row 0 = top (the image convention; flip heat grids first).
+        level: zlib compression level 0-9.
+
+    Returns:
+        The complete PNG file contents.
+
+    Raises:
+        InvalidInputError: wrong dtype or shape.
+    """
+    image = np.asarray(image)
+    if image.dtype != np.uint8:
+        raise InvalidInputError("encode_png expects a uint8 array")
+    if image.ndim == 2:
+        color_type = 0
+        rows = image
+    elif image.ndim == 3 and image.shape[2] == 3:
+        color_type = 2
+        rows = image
+    else:
+        raise InvalidInputError(
+            f"encode_png expects (h, w) or (h, w, 3), got {image.shape}"
+        )
+    h, w = image.shape[:2]
+    if h == 0 or w == 0:
+        raise InvalidInputError("encode_png expects a non-empty image")
+    header = struct.pack(">IIBBBBB", w, h, 8, color_type, 0, 0, 0)
+    # Filter byte 0 (None) before every scanline, then one zlib stream.
+    raw = np.empty((h, rows.reshape(h, -1).shape[1] + 1), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = rows.reshape(h, -1)
+    return (
+        _SIGNATURE
+        + _chunk(b"IHDR", header)
+        + _chunk(b"IDAT", zlib.compress(raw.tobytes(), level))
+        + _chunk(b"IEND", b"")
+    )
+
+
+def decode_png(data: bytes) -> np.ndarray:
+    """Decode a PNG produced by :func:`encode_png` back to a uint8 array.
+
+    Supports 8-bit grayscale / RGB with filter-0 scanlines — exactly the
+    encoder's output.  Used by the golden wire-format tests to check the
+    served tile bytes against the service's raw heat grid.
+
+    Returns:
+        ``(h, w)`` or ``(h, w, 3)`` uint8 array, row 0 = top.
+
+    Raises:
+        InvalidInputError: not a PNG, or a feature outside the encoder's
+            subset (palette, interlace, non-zero scanline filters, ...).
+    """
+    if not data.startswith(_SIGNATURE):
+        raise InvalidInputError("not a PNG byte string")
+    pos = len(_SIGNATURE)
+    idat = bytearray()
+    header = None
+    while pos + 8 <= len(data):
+        (length,) = struct.unpack(">I", data[pos : pos + 4])
+        tag = data[pos + 4 : pos + 8]
+        payload = data[pos + 8 : pos + 8 + length]
+        pos += 12 + length
+        if tag == b"IHDR":
+            header = struct.unpack(">IIBBBBB", payload)
+        elif tag == b"IDAT":
+            idat.extend(payload)
+        elif tag == b"IEND":
+            break
+    if header is None:
+        raise InvalidInputError("PNG missing IHDR chunk")
+    w, h, depth, color_type, compression, filt, interlace = header
+    if depth != 8 or compression != 0 or filt != 0 or interlace != 0:
+        raise InvalidInputError("unsupported PNG variant (need plain 8-bit)")
+    if color_type == 0:
+        channels = 1
+    elif color_type == 2:
+        channels = 3
+    else:
+        raise InvalidInputError(f"unsupported PNG color type {color_type}")
+    raw = np.frombuffer(zlib.decompress(bytes(idat)), dtype=np.uint8)
+    stride = w * channels + 1
+    if len(raw) != h * stride:
+        raise InvalidInputError("PNG scanline data has the wrong length")
+    raw = raw.reshape(h, stride)
+    if np.any(raw[:, 0] != 0):
+        raise InvalidInputError("unsupported PNG scanline filter (only 0)")
+    pixels = raw[:, 1:]
+    if channels == 1:
+        return pixels.copy()
+    return pixels.reshape(h, w, 3).copy()

@@ -1,0 +1,52 @@
+"""HTTP tile/query serving edge over the asyncio coalescing core.
+
+The paper positions RNN heat maps as an *interactive influence-exploration
+tool*; this package is the layer that makes the whole stack externally
+reachable — a dependency-free asyncio HTTP server (stdlib streams, no
+web framework) mounting
+:class:`~repro.service.async_service.AsyncHeatMapService` behind a
+slippy-map-style REST surface:
+
+* :mod:`~repro.server.app` — the application: routes, handlers, dataset/
+  build/dynamic registries, connection handling with **client-disconnect
+  cancellation** propagating into in-flight request tasks.
+* :mod:`~repro.server.http` — minimal HTTP/1.1 parsing/serialization over
+  asyncio streams (keep-alive, Content-Length bodies, pushback buffer).
+* :mod:`~repro.server.router` — placeholder-pattern routing
+  (``/tiles/{handle}/{z:int}/{tx:int}/{ty:int}.png``), introspectable for
+  the OpenAPI sync test.
+* :mod:`~repro.server.wire` — wire-format codecs: numpy-aware JSON,
+  strict request decoding, PNG tile rendering, generation-based ETags.
+* :mod:`~repro.server.errors` — the HTTP error taxonomy and the
+  domain-exception -> status mapping.
+* :mod:`~repro.server.openapi` — the generated API contract
+  (``docs/openapi.yaml``) and a schema validator tests run against live
+  responses.
+
+Start from the CLI (``python -m repro serve-http --port 8080``) or
+in-process via :class:`~repro.server.app.ThreadedHTTPServer`.
+"""
+
+from .app import (
+    HeatMapHTTPApp,
+    HeatMapHTTPServer,
+    HTTPStats,
+    ThreadedHTTPServer,
+    serve,
+)
+from .errors import HTTPError
+from .http import Request, Response
+from .router import Route, Router
+
+__all__ = [
+    "HTTPError",
+    "HTTPStats",
+    "HeatMapHTTPApp",
+    "HeatMapHTTPServer",
+    "Request",
+    "Response",
+    "Route",
+    "Router",
+    "ThreadedHTTPServer",
+    "serve",
+]

@@ -1,0 +1,866 @@
+"""The HTTP application: AsyncHeatMapService behind a REST tile/query API.
+
+:class:`HeatMapHTTPApp` is the paper's "interactive influence exploration"
+end state — a slippy-map-style serving edge a map client pans and zooms
+against:
+
+========================================  ===================================
+``GET  /healthz``                         liveness + registry counts
+``GET  /stats``                           service/HTTP/latency counters
+``GET  /openapi.yaml``                    the machine-readable API contract
+``POST /datasets``                        register client/facility arrays
+``POST /build``                           kick a build by fingerprint (202)
+``GET  /build/{handle}``                  poll build status
+``POST /query/{handle}``                  JSON batch heat / rnn / top-k
+``POST /update/{handle}``                 dynamic update batch (incremental)
+``GET  /tiles/{handle}/{z}/{tx}/{ty}.png``  raster tile, ETag revalidation
+========================================  ===================================
+
+Every blocking computation runs through the wrapped
+:class:`~repro.service.async_service.AsyncHeatMapService`, so concurrent
+cold requests for one tile or one build fingerprint coalesce onto a single
+render/sweep (``coalesced_tiles``/``coalesced_builds`` in ``/stats``).
+
+**Cancellation propagation**: each request is handled in its own asyncio
+task while the connection is watched for EOF; a client that disconnects
+mid-request gets its task *cancelled*.  A cancelled coalescing leader
+abandons its flight (followers re-lead and take the sync layer's cache
+hit) and a cancelled follower simply drops off the shared future — an
+abandoned viewer never kills a render other viewers are waiting on.
+
+Run it::
+
+    python -m repro serve-http --port 8080 --workers 8
+
+or in-process (tests, examples, benchmarks)::
+
+    with ThreadedHTTPServer(tile_size=128) as server:
+        urllib.request.urlopen(server.url + "/healthz")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import math
+import sys
+import threading
+import traceback
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..dynamic import DynamicHeatMap
+from ..service.async_service import AsyncHeatMapService
+from ..service.cache import LRUCache
+from ..service.fingerprint import fingerprint_build
+from ..service.latency import LatencyRecorder
+from ..service.service import _canonical_algorithm
+from .errors import HTTPError, error_payload, status_for_exception
+from .http import ConnectionBuffer, Request, Response, read_request, write_response
+from .router import Router
+from .wire import (
+    decode_dataset,
+    decode_points,
+    decode_updates,
+    json_response,
+    render_tile_png,
+    tile_etag,
+)
+
+__all__ = ["HTTPStats", "HeatMapHTTPApp", "HeatMapHTTPServer", "ThreadedHTTPServer", "serve"]
+
+_METRICS = ("l1", "l2", "linf")
+_REBUILD_MODES = ("auto", "incremental", "full")
+
+#: One tile request must stay bounded: level 30 already addresses 4^30
+#: tiles, far past float resolution of any world rect.
+_MAX_TILE_ZOOM = 30
+
+#: Terminal build records kept for polling before the oldest are pruned
+#: (in-progress records are never pruned — their tasks are referenced).
+_MAX_BUILD_RECORDS = 512
+
+
+@dataclass
+class HTTPStats:
+    """Edge-level counters (mutated only on the server's event loop).
+
+    ``cancelled_requests`` counts handler tasks cancelled because their
+    client disconnected mid-request — the cancellation-propagation path.
+    ``not_modified`` counts tile revalidations answered 304 without
+    touching the render path.
+    """
+
+    connections: int = 0
+    connections_open: int = 0
+    requests: int = 0
+    responses_2xx: int = 0
+    responses_3xx: int = 0
+    responses_4xx: int = 0
+    responses_5xx: int = 0
+    not_modified: int = 0
+    cancelled_requests: int = 0
+
+    def count_status(self, status: int) -> None:
+        """Bucket one response status into its class counter."""
+        if status == 304:
+            self.not_modified += 1
+        bucket = f"responses_{status // 100}xx"
+        if hasattr(self, bucket):
+            setattr(self, bucket, getattr(self, bucket) + 1)
+
+    def as_dict(self) -> dict:
+        """The counters as a plain dict (the ``/stats`` ``http`` block)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class HeatMapHTTPApp:
+    """Routes, handlers and registries over one ``AsyncHeatMapService``.
+
+    Args:
+        service: an existing async service to mount; by default a new one
+            is created from the remaining keyword arguments.
+        max_workers: executor bound of the default service (ignored when
+            ``service`` is passed).
+        build_workers: default process-worker count for cold sweeps
+            (``HeatMapService(workers=...)``).
+        max_points: largest accepted probe batch per ``/query`` request.
+        max_body_bytes: largest accepted request body.
+        max_datasets: LRU capacity of the dataset registry — a registry
+            of raw coordinate arrays must be bounded like every other
+            cache in the stack; evicted ids answer 404 and the client
+            re-POSTs (content-addressed ids make that loss-free).
+        max_dynamic: most dynamic maps kept at once; past it the oldest
+            ``dyn-N`` handle is invalidated and reports ``evicted``.
+        max_png_tiles: LRU capacity of encoded PNG bytes (keyed by the
+            tile's strong ETag), the warm-fetch fast path.
+        default_cmap: tile colormap when the request has no ``?cmap=``.
+        **service_kwargs: forwarded to ``HeatMapService`` (``max_results``,
+            ``max_tiles``, ``tile_size``, ``store_dir``).
+
+    The app must be *used* from a single event loop (the service's
+    coalescing maps are loop-confined), but may be constructed anywhere —
+    tests construct it, install observability hooks, then start the loop.
+    """
+
+    def __init__(
+        self,
+        service: "AsyncHeatMapService | None" = None,
+        *,
+        max_workers: int = 8,
+        build_workers: "int | None" = None,
+        max_points: int = 1_000_000,
+        max_body_bytes: int = 64 * 1024 * 1024,
+        max_datasets: int = 256,
+        max_dynamic: int = 64,
+        max_png_tiles: int = 1024,
+        default_cmap: str = "heat",
+        **service_kwargs,
+    ) -> None:
+        if service is None:
+            service = AsyncHeatMapService(
+                max_workers=max_workers, workers=build_workers, **service_kwargs
+            )
+        elif service_kwargs:
+            raise TypeError(
+                "pass either an existing service or HeatMapService kwargs, "
+                f"not both (got {sorted(service_kwargs)})"
+            )
+        self.service = service
+        self.max_points = int(max_points)
+        self.max_body_bytes = int(max_body_bytes)
+        self.default_cmap = default_cmap
+        self.latency = LatencyRecorder()
+        self.http_stats = HTTPStats()
+        #: dataset id -> (clients, facilities | None); content-addressed,
+        #: LRU-bounded like every other cache in the stack.
+        self.datasets = LRUCache(max_datasets)
+        #: build handle -> {"status": building|ready|failed, "error", "task"}.
+        self._builds: "dict[str, dict]" = {}
+        #: dynamic handle -> DynamicHeatMap (the /update targets); bounded
+        #: like every registry here — the oldest map is dropped (and its
+        #: service handle invalidated) past ``max_dynamic``.
+        self._dynamic: "dict[str, DynamicHeatMap]" = {}
+        self.max_dynamic = int(max_dynamic)
+        self._dyn_seq = 0
+        #: etag -> encoded PNG bytes; strong ETags name exact bytes, so a
+        #: hit skips the colormap + zlib encode on warm tile fetches.
+        self._png_cache = LRUCache(max(64, max_png_tiles))
+        self.router = Router()
+        self.router.add("GET", "/healthz", self._handle_healthz)
+        self.router.add("GET", "/stats", self._handle_stats)
+        self.router.add("GET", "/openapi.yaml", self._handle_openapi)
+        self.router.add("POST", "/datasets", self._handle_datasets)
+        self.router.add("POST", "/build", self._handle_build)
+        self.router.add("GET", "/build/{handle}", self._handle_build_status)
+        self.router.add("POST", "/query/{handle}", self._handle_query)
+        self.router.add("POST", "/update/{handle}", self._handle_update)
+        self.router.add(
+            "GET", "/tiles/{handle}/{z:int}/{tx:int}/{ty:int}.png",
+            self._handle_tile,
+        )
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: Request) -> Response:
+        """Route one request to its handler; every failure becomes JSON.
+
+        Cancellation (client disconnect) propagates out — the connection
+        loop owns it; everything else is mapped through
+        :func:`~repro.server.errors.status_for_exception`.
+        """
+        # HEAD is served by the GET handler; the connection loop strips
+        # the body (RFC 9110: same headers, no content).
+        method = "GET" if request.method == "HEAD" else request.method
+        try:
+            handler, params = self.router.match(method, request.path)
+        except HTTPError as exc:
+            self.http_stats.count_status(exc.status)
+            return json_response(
+                error_payload(exc.status, exc.message), exc.status,
+                headers=exc.headers,
+            )
+        kind = handler.__name__.removeprefix("_handle_")
+        with self.latency.timing(kind):
+            try:
+                response = await handler(request, **params)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - edge boundary
+                status = status_for_exception(exc)
+                if status >= 500:
+                    traceback.print_exc(file=sys.stderr)
+                headers = exc.headers if isinstance(exc, HTTPError) else {}
+                response = json_response(
+                    error_payload(status, str(exc)), status, headers=headers
+                )
+        self.http_stats.count_status(response.status)
+        return response
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: keep-alive loop + disconnect watching.
+
+        While a handler task runs, a monitor task probes the socket; EOF
+        before the response is ready means the client is gone, and the
+        handler task is cancelled (the coalescing layer drops the
+        abandoned waiter without killing any shared computation).
+        """
+        buf = ConnectionBuffer(reader)
+        self.http_stats.connections += 1
+        self.http_stats.connections_open += 1
+        try:
+            while True:
+                try:
+                    request = await read_request(buf, max_body=self.max_body_bytes)
+                except (ConnectionError, OSError):
+                    break  # peer reset between requests
+                except HTTPError as exc:
+                    self.http_stats.count_status(exc.status)
+                    await write_response(
+                        writer,
+                        json_response(
+                            error_payload(exc.status, exc.message), exc.status
+                        ),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                self.http_stats.requests += 1
+                handler_task = asyncio.create_task(self.dispatch(request))
+                monitor = asyncio.create_task(buf.poll_eof())
+                try:
+                    done, _pending = await asyncio.wait(
+                        {handler_task, monitor},
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    if handler_task not in done and monitor.result():
+                        # Client hung up mid-request: propagate cancellation
+                        # into the pending handler (and thereby its flight).
+                        handler_task.cancel()
+                        with contextlib.suppress(asyncio.CancelledError):
+                            await handler_task
+                        self.http_stats.cancelled_requests += 1
+                        break
+                    response = await handler_task
+                finally:
+                    monitor.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await monitor
+                keep_alive = not request.wants_close
+                try:
+                    await write_response(
+                        writer, response, keep_alive=keep_alive,
+                        suppress_body=request.method == "HEAD",
+                    )
+                except (ConnectionError, OSError):
+                    break
+                if not keep_alive:
+                    break
+        finally:
+            self.http_stats.connections_open -= 1
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _run(self, fn, *args, **kwargs):
+        """Run a blocking callable on the service's executor."""
+        if kwargs or args:
+            fn = functools.partial(fn, *args, **kwargs)
+        return await self.service._run(fn)
+
+    def aclose_sync(self) -> None:
+        """Release the owned service executor (callable from any thread)."""
+        self.service.close()
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+    async def _handle_healthz(self, request: Request) -> Response:
+        """Liveness: cheap, allocation-only, never touches the sweep path."""
+        building = sum(
+            1 for s in self._builds.values() if s["status"] == "building"
+        )
+        return json_response({
+            "status": "ok",
+            "handles": len(self.service.handles()),
+            "datasets": len(self.datasets),
+            "builds_in_progress": building,
+        })
+
+    async def _handle_stats(self, request: Request) -> Response:
+        """The full observability surface in one document.
+
+        ``service`` is :meth:`HeatMapService.stats_snapshot` (cache +
+        coalescing counters), ``http`` the edge counters, ``latency`` the
+        per-endpoint percentile records.
+        """
+        return json_response({
+            "service": self.service.stats_snapshot(),
+            "http": self.http_stats.as_dict(),
+            "latency": self.latency.snapshot(),
+        })
+
+    async def _handle_openapi(self, request: Request) -> Response:
+        """Serve the generated OpenAPI document (the docs/ copy's source)."""
+        from .openapi import spec_yaml
+
+        return Response(
+            body=spec_yaml().encode(), content_type="application/yaml"
+        )
+
+    # ------------------------------------------------------------------
+    # Datasets and builds
+    # ------------------------------------------------------------------
+    async def _handle_datasets(self, request: Request) -> Response:
+        """Register client/facility coordinate arrays; returns a dataset id.
+
+        Ids are content-addressed (a fingerprint of the arrays), so
+        re-posting identical data is idempotent.
+        """
+        clients, facilities = decode_dataset(request.json())
+        digest = await self._run(
+            fingerprint_build, clients, facilities,
+            metric="dataset", algorithm="dataset",
+        )
+        dataset_id = f"ds-{digest[:16]}"
+        created = dataset_id not in self.datasets
+        self.datasets.put(dataset_id, (clients, facilities))
+        return json_response(
+            {
+                "dataset": dataset_id,
+                "n_clients": len(clients),
+                "n_facilities": len(facilities) if facilities is not None else 0,
+            },
+            201 if created else 200,
+        )
+
+    def _dataset(self, payload: dict) -> "tuple[np.ndarray, np.ndarray | None]":
+        dataset_id = payload.get("dataset")
+        if not isinstance(dataset_id, str):
+            raise HTTPError(400, 'build body must carry "dataset": "<id>"')
+        entry = self.datasets.get(dataset_id)
+        if entry is None:
+            raise HTTPError(
+                404,
+                f"unknown dataset {dataset_id!r} (never registered, or "
+                "evicted — POST /datasets again)",
+            )
+        return entry
+
+    @staticmethod
+    def _bool_field(payload: dict, name: str) -> bool:
+        """A strict JSON boolean: "false" (a string) must 400, not enable."""
+        value = payload.get(name, False)
+        if not isinstance(value, bool):
+            raise HTTPError(400, f'"{name}" must be a JSON boolean')
+        return value
+
+    @classmethod
+    def _build_params(cls, payload: dict) -> dict:
+        """Validate the build-configuration fields shared by both paths."""
+        metric = str(payload.get("metric", "l2")).lower()
+        if metric not in _METRICS:
+            raise HTTPError(400, f"metric must be one of {_METRICS}")
+        try:
+            k = int(payload.get("k", 1))
+            workers = payload.get("workers")
+            workers = None if workers is None else int(workers)
+        except (TypeError, ValueError):
+            raise HTTPError(400, '"k" and "workers" must be integers') from None
+        if k < 1:
+            raise HTTPError(400, '"k" must be >= 1')
+        return {
+            "metric": metric,
+            "algorithm": str(payload.get("algorithm", "crest")).lower(),
+            "monochromatic": cls._bool_field(payload, "monochromatic"),
+            "k": k,
+            "workers": workers,
+        }
+
+    async def _handle_build(self, request: Request) -> Response:
+        """Kick (or recall) a build; 202 + poll URL until it is resident.
+
+        Static builds are keyed by input fingerprint: posting the same
+        body twice returns the same handle, and a resident handle answers
+        200/ready immediately.  ``"dynamic": true`` instead attaches a
+        fresh ``DynamicHeatMap`` (unique handle per request) whose
+        ``/update`` endpoint routes through the incremental rebuild path.
+        """
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "build body must be a JSON object")
+        clients, facilities = self._dataset(payload)
+        params = self._build_params(payload)
+        if self._bool_field(payload, "dynamic"):
+            return await self._start_dynamic_build(
+                payload, clients, facilities, params
+            )
+        canonical = _canonical_algorithm(params["algorithm"], params["metric"])
+        handle = await self._run(
+            fingerprint_build, clients, facilities,
+            metric=params["metric"], algorithm=canonical,
+            monochromatic=params["monochromatic"], k=params["k"],
+        )
+        if handle in self.service.handles():
+            self._record_build(handle, "ready", None)
+            return json_response({"handle": handle, "status": "ready"})
+        state = self._builds.get(handle)
+        if state is None or state["status"] != "building":
+            state = {"status": "building", "error": None}
+            state["task"] = asyncio.create_task(
+                self._run_build(handle, clients, facilities, params)
+            )
+            self._builds[handle] = state
+        return json_response(
+            {"handle": handle, "status": "building", "poll": f"/build/{handle}"},
+            202,
+            headers={"Location": f"/build/{handle}"},
+        )
+
+    def _record_build(self, handle: str, status: str, error: "str | None") -> None:
+        """Record a terminal build state, pruning the oldest terminal
+        records so the registry stays bounded (building entries are kept —
+        their tasks are live)."""
+        self._builds[handle] = {"status": status, "error": error}
+        excess = len(self._builds) - _MAX_BUILD_RECORDS
+        if excess > 0:
+            doomed = [
+                h for h, s in self._builds.items()
+                if s["status"] != "building"
+            ][:excess]
+            for h in doomed:
+                del self._builds[h]
+
+    async def _run_build(self, handle, clients, facilities, params) -> None:
+        """The background build task body; records terminal status."""
+        try:
+            await self.service.build(
+                clients, facilities, metric=params["metric"],
+                algorithm=params["algorithm"],
+                monochromatic=params["monochromatic"], k=params["k"],
+                workers=params["workers"], fingerprint=handle,
+            )
+        except asyncio.CancelledError:
+            self._record_build(handle, "failed", "cancelled")
+            raise
+        except Exception as exc:  # noqa: BLE001 - reported via polling
+            self._record_build(handle, "failed", str(exc))
+        else:
+            self._record_build(handle, "ready", None)
+
+    async def _start_dynamic_build(
+        self, payload, clients, facilities, params
+    ) -> Response:
+        """Attach a new ``DynamicHeatMap`` under a fresh ``dyn-N`` handle."""
+        rebuild = str(payload.get("rebuild", "auto"))
+        if rebuild not in _REBUILD_MODES:
+            raise HTTPError(400, f"rebuild must be one of {_REBUILD_MODES}")
+        if params["monochromatic"] or params["k"] != 1:
+            raise HTTPError(
+                400, "dynamic maps support monochromatic=false, k=1 only"
+            )
+        if facilities is None:
+            raise HTTPError(400, "dynamic maps need explicit facilities")
+        self._dyn_seq += 1
+        handle = f"dyn-{self._dyn_seq}"
+        state = {"status": "building", "error": None}
+
+        def make() -> DynamicHeatMap:
+            dyn = DynamicHeatMap(
+                clients, facilities, metric=params["metric"], rebuild=rebuild
+            )
+            self.service.attach_dynamic(dyn, name=handle)
+            return dyn
+
+        async def run() -> None:
+            try:
+                self._dynamic[handle] = await self._run(make)
+                # Bound the registry: the oldest dynamic map is dropped
+                # and its handle invalidated (polls then say "evicted").
+                while len(self._dynamic) > self.max_dynamic:
+                    oldest = next(iter(self._dynamic))
+                    del self._dynamic[oldest]
+                    self.service.invalidate(oldest)
+            except asyncio.CancelledError:
+                self._record_build(handle, "failed", "cancelled")
+                raise
+            except Exception as exc:  # noqa: BLE001 - reported via polling
+                self._record_build(handle, "failed", str(exc))
+            else:
+                self._record_build(handle, "ready", None)
+
+        state["task"] = asyncio.create_task(run())
+        self._builds[handle] = state
+        return json_response(
+            {"handle": handle, "status": "building", "poll": f"/build/{handle}"},
+            202,
+            headers={"Location": f"/build/{handle}"},
+        )
+
+    async def _handle_build_status(self, request: Request, handle: str) -> Response:
+        """Poll a build kicked by ``POST /build``.
+
+        A handle that finished building but has since been LRU-evicted
+        from the service reports ``"evicted"`` (not a stale ``"ready"``):
+        the client re-POSTs ``/build`` — a promotion from the persistent
+        store or a re-sweep, never a ready-but-404 contradiction.
+        """
+        if handle in self.service.handles():
+            return json_response({"handle": handle, "status": "ready"})
+        state = self._builds.get(handle)
+        if state is None:
+            raise HTTPError(404, f"unknown build handle {handle!r}")
+        status = state["status"]
+        if status == "ready":
+            status = "evicted"
+        body = {"handle": handle, "status": status}
+        if state["error"] is not None:
+            body["error"] = state["error"]
+        return json_response(body, 202 if status == "building" else 200)
+
+    # ------------------------------------------------------------------
+    # Queries, updates, tiles
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: Request, handle: str) -> Response:
+        """Batch point queries: ``kind`` = "heat" | "rnn" | "top-k"."""
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "query body must be a JSON object")
+        kind = payload.get("kind", "heat")
+        if kind == "top-k":
+            try:
+                k = int(payload.get("k", 5))
+            except (TypeError, ValueError):
+                raise HTTPError(400, '"k" must be an integer') from None
+            if k < 1:
+                raise HTTPError(400, '"k" must be >= 1')
+            heats = await self.service.top_k_heats(handle, k)
+            return json_response({"handle": handle, "kind": kind, "heats": heats})
+        points = decode_points(payload, max_points=self.max_points)
+        if kind == "heat":
+            heats = await self.service.heat_at_many(handle, points)
+            return json_response({
+                "handle": handle, "kind": kind, "n": len(heats), "heats": heats,
+            })
+        if kind == "rnn":
+            rnn = await self.service.rnn_at_many(handle, points)
+            return json_response({
+                "handle": handle, "kind": kind, "n": len(rnn),
+                "rnn": [sorted(s) for s in rnn],
+            })
+        raise HTTPError(400, f'unknown query kind {kind!r} (heat | rnn | top-k)')
+
+    async def _handle_update(self, request: Request, handle: str) -> Response:
+        """Apply a dynamic update batch; rebuilds stay lazy and incremental.
+
+        The response reports the map's (still pre-rebuild) version; the
+        next query or tile fetch triggers the dirty-band re-sweep, and the
+        service drops only tiles intersecting the dirty region.
+        """
+        dyn = self._dynamic.get(handle)
+        if dyn is None:
+            if handle in self.service.handles():
+                raise HTTPError(
+                    409,
+                    f"handle {handle!r} is a static build; only dynamic "
+                    'handles (built with "dynamic": true) accept updates',
+                )
+            raise HTTPError(404, f"unknown handle {handle!r}")
+        updates = decode_updates(request.json())
+
+        def apply() -> "list[int | None]":
+            # Atomic batch: validate every operation against the (locked)
+            # handle sets before applying any, so a bad op at position i
+            # can never leave the prefix silently applied — a 400 means
+            # nothing changed and the whole batch is safely retryable.
+            with dyn.batch():
+                clients = set(dyn.assignment.client_handles())
+                facilities = set(dyn.assignment.facility_handles())
+                # Simulate the batch op by op: adds raise the facility
+                # count (their handles are unknowable mid-validation, so
+                # later ops cannot reference them by id, but counts —
+                # e.g. "last facility" — must see them).
+                n_facilities = len(facilities)
+                for i, (op, kw) in enumerate(updates):
+                    if op == "remove_facility" and n_facilities <= 1:
+                        raise HTTPError(
+                            400, f"update #{i}: cannot remove the last facility"
+                        )
+                    if "handle" in kw:
+                        pool = clients if op.endswith("client") else facilities
+                        if kw["handle"] not in pool:
+                            kind = "client" if pool is clients else "facility"
+                            raise HTTPError(
+                                400,
+                                f"update #{i} ({op}): unknown {kind} "
+                                f"handle {kw['handle']}",
+                            )
+                    if op == "remove_client":
+                        clients.discard(kw["handle"])
+                    elif op == "remove_facility":
+                        facilities.discard(kw["handle"])
+                        n_facilities -= 1
+                    elif op == "add_facility":
+                        n_facilities += 1
+                results: "list[int | None]" = []
+                for op, kw in updates:
+                    method = getattr(dyn, op)
+                    if op.startswith("add"):
+                        results.append(method(kw["x"], kw["y"]))
+                    elif op.startswith("move"):
+                        method(kw["handle"], kw["x"], kw["y"])
+                        results.append(None)
+                    else:
+                        method(kw["handle"])
+                        results.append(None)
+                return results
+
+        results = await self._run(apply)
+        return json_response({
+            "handle": handle,
+            "applied": len(updates),
+            "results": results,
+            "version": dyn.version,
+            "stale": dyn.dirty,
+        })
+
+    async def _handle_tile(
+        self, request: Request, handle: str, z: int, tx: int, ty: int
+    ) -> Response:
+        """One raster tile as PNG, with generation-based revalidation.
+
+        ``If-None-Match`` against the current ETag short-circuits to 304
+        before any render; otherwise the fetch coalesces with every other
+        cold request for the same tile and the PNG is encoded off-loop.
+        """
+        if not 0 <= z <= _MAX_TILE_ZOOM:
+            raise HTTPError(400, f"z must be in [0, {_MAX_TILE_ZOOM}]")
+        try:
+            size = int(request.query.get("size", self.service.service.tile_size))
+        except ValueError:
+            raise HTTPError(400, "size must be an integer") from None
+        if not 1 <= size <= 2048:
+            raise HTTPError(400, "size must be in [1, 2048]")
+        cmap = request.query.get("cmap", self.default_cmap)
+        vmax = None
+        if "vmax" in request.query:
+            try:
+                vmax = float(request.query["vmax"])
+            except ValueError:
+                raise HTTPError(400, "vmax must be a number") from None
+            if not math.isfinite(vmax):
+                raise HTTPError(400, "vmax must be finite")
+        # Settle any pending dynamic refresh (and 404 unknown handles)
+        # before reading the generation the ETag is derived from.
+        await self.service.result(handle)
+        generation = self.service.service.generation(handle)
+        etag = tile_etag(handle, z, tx, ty, size, cmap, vmax, generation)
+        if_none_match = request.headers.get("if-none-match", "")
+        if etag in (t.strip() for t in if_none_match.split(",")):
+            return Response(status=304, headers={"ETag": etag})
+        # A strong ETag names the exact bytes: warm fetches skip both the
+        # grid lookup and the colormap+zlib encode.
+        png = self._png_cache.get(etag)
+        if png is None:
+            grid, _bounds = await self.service.tile(
+                handle, z, tx, ty, tile_size=size
+            )
+            png = await self._run(render_tile_png, grid, cmap, vmax)
+            if self.service.service.generation(handle) == generation:
+                self._png_cache.put(etag, png)
+        return Response(
+            body=png,
+            content_type="image/png",
+            headers={"ETag": etag, "Cache-Control": "no-cache"},
+        )
+
+
+class HeatMapHTTPServer:
+    """Bind a :class:`HeatMapHTTPApp` to a TCP port on the current loop."""
+
+    def __init__(
+        self, app: HeatMapHTTPApp, host: str = "127.0.0.1", port: int = 8080
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: "asyncio.base_events.Server | None" = None
+
+    async def start(self) -> int:
+        """Start accepting connections; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self.app.handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, close the listener, release the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service_aclose()
+
+    async def service_aclose(self) -> None:
+        """Shut the app's service executor down off-loop."""
+        await self.app.service.aclose()
+
+
+async def serve(
+    host: str = "127.0.0.1", port: int = 8080, *, on_bound=None, **app_kwargs
+) -> None:
+    """Build an app and serve it forever (the ``serve-http`` CLI body).
+
+    ``on_bound(port)`` fires once the listener is up — the CLI uses it to
+    announce the address (the library itself never prints).
+    """
+    app = HeatMapHTTPApp(**app_kwargs)
+    server = HeatMapHTTPServer(app, host, port)
+    bound = await server.start()
+    if on_bound is not None:
+        on_bound(bound)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.aclose()
+
+
+class ThreadedHTTPServer:
+    """The server on a background thread — tests, examples, benchmarks.
+
+    Starts an event loop in a daemon thread, binds an ephemeral (or given)
+    port, and exposes ``url`` for plain blocking clients
+    (``urllib.request``) in the calling thread.  Usable as a context
+    manager; :meth:`close` stops the loop and joins the thread.
+
+    Args:
+        app: an existing app (hooks may be pre-installed); by default one
+            is built from ``**app_kwargs``.
+        host/port: bind address; port 0 picks a free port.
+    """
+
+    def __init__(
+        self,
+        app: "HeatMapHTTPApp | None" = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **app_kwargs,
+    ) -> None:
+        self.app = app if app is not None else HeatMapHTTPApp(**app_kwargs)
+        self.host = host
+        self.port = port
+        self._ready = threading.Event()
+        self._startup_error: "BaseException | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stop: "asyncio.Event | None" = None
+        self._thread = threading.Thread(
+            target=self._thread_main, name="rnnhm-http", daemon=True
+        )
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server (no trailing slash)."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ThreadedHTTPServer":
+        """Start the server thread; returns once the port is bound."""
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def close(self) -> None:
+        """Stop the loop, join the thread, release the service executor."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread.is_alive():
+            self._thread.join(timeout=30)
+        self.app.aclose_sync()
+
+    def __enter__(self) -> "ThreadedHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+            else:
+                traceback.print_exc(file=sys.stderr)
+
+    async def _main(self) -> None:
+        server = HeatMapHTTPServer(self.app, self.host, self.port)
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self.port = await server.start()
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server._server.close()
+            await server._server.wait_closed()

@@ -1,0 +1,85 @@
+"""HTTP error taxonomy and domain-exception mapping for the serving edge.
+
+Handlers raise :class:`HTTPError` for protocol-level problems (bad JSON,
+unknown route, body too large); domain exceptions raised by the service
+layer (:class:`~repro.errors.UnknownHandleError`, ...) are translated to
+status codes in one place (:func:`status_for_exception`) so every endpoint
+reports the same failure the same way.  Error bodies share one JSON shape::
+
+    {"error": {"status": 404, "message": "..."}}
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    AlgorithmUnsupportedError,
+    InvalidInputError,
+    ReproError,
+    UnknownAlgorithmError,
+    UnknownDatasetError,
+    UnknownHandleError,
+    UnknownMetricError,
+)
+
+__all__ = ["HTTPError", "STATUS_REASONS", "error_payload", "status_for_exception"]
+
+#: Reason phrases for every status the edge emits.
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """A request failure with an HTTP status, raised by handlers/parsers.
+
+    Args:
+        status: the HTTP status code to respond with.
+        message: human-readable explanation (becomes the JSON error body).
+        headers: extra response headers (e.g. ``Allow`` on a 405).
+    """
+
+    def __init__(self, status: int, message: str, *, headers: "dict | None" = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.headers = dict(headers) if headers else {}
+
+
+#: Domain exception -> HTTP status.  Order matters: first match wins, so
+#: subclasses must precede :class:`ReproError`.
+_DOMAIN_STATUS = (
+    (UnknownHandleError, 404),
+    (UnknownDatasetError, 404),
+    (UnknownAlgorithmError, 400),
+    (UnknownMetricError, 400),
+    (AlgorithmUnsupportedError, 400),
+    (InvalidInputError, 400),
+    (ReproError, 400),
+)
+
+
+def status_for_exception(exc: BaseException) -> int:
+    """The HTTP status a raised exception maps to (500 when unknown)."""
+    if isinstance(exc, HTTPError):
+        return exc.status
+    for exc_type, status in _DOMAIN_STATUS:
+        if isinstance(exc, exc_type):
+            return status
+    return 500
+
+
+def error_payload(status: int, message: str) -> dict:
+    """The canonical JSON error body for a failure response."""
+    return {"error": {"status": int(status), "message": str(message)}}

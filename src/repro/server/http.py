@@ -1,0 +1,233 @@
+"""Minimal HTTP/1.1 over asyncio streams — the edge's only transport.
+
+The serving edge deliberately takes no web-framework dependency: the
+protocol subset a tile/query server needs (request line, headers,
+``Content-Length`` bodies, keep-alive, ``ETag``/``If-None-Match``) is
+small, and owning the read loop is what lets the connection handler watch
+for client disconnects and *cancel* the in-flight request task — the
+cancellation-propagation behavior frameworks hide.
+
+:class:`ConnectionBuffer` wraps a ``StreamReader`` with a pushback buffer
+so the disconnect monitor can probe the socket for EOF between pipelined
+requests without losing bytes; :func:`read_request` parses one request
+from it and :func:`write_response` serializes a :class:`Response`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from .errors import STATUS_REASONS, HTTPError
+
+__all__ = [
+    "ConnectionBuffer",
+    "Request",
+    "Response",
+    "read_request",
+    "write_response",
+]
+
+#: Protocol guard rails (per request).
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_CRLF2 = b"\r\n\r\n"
+
+
+class ConnectionBuffer:
+    """A ``StreamReader`` with pushback, shared by parser and monitor.
+
+    The request parser consumes from here; the disconnect monitor calls
+    :meth:`poll_eof` while a handler runs, and any byte it reads ahead
+    (the start of a pipelined request) is appended to the buffer instead
+    of being lost.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader) -> None:
+        self.reader = reader
+        self._buf = bytearray()
+
+    async def _fill(self) -> bool:
+        """Read one chunk into the buffer; False on EOF."""
+        chunk = await self.reader.read(65536)
+        if not chunk:
+            return False
+        self._buf.extend(chunk)
+        return True
+
+    async def read_until(self, sep: bytes, limit: int) -> "bytes | None":
+        """Bytes up to and including ``sep``; None on EOF before any byte.
+
+        Raises:
+            HTTPError: 400 when EOF truncates a started message, 413 when
+                ``limit`` is exceeded before ``sep`` appears.
+        """
+        while True:
+            idx = self._buf.find(sep)
+            if idx >= 0:
+                out = bytes(self._buf[: idx + len(sep)])
+                del self._buf[: idx + len(sep)]
+                return out
+            if len(self._buf) > limit:
+                raise HTTPError(413, "request head too large")
+            if not await self._fill():
+                if not self._buf:
+                    return None
+                raise HTTPError(400, "connection closed mid-request")
+
+    async def read_exactly(self, n: int) -> bytes:
+        """Exactly ``n`` body bytes (400 on early EOF)."""
+        while len(self._buf) < n:
+            if not await self._fill():
+                raise HTTPError(400, "connection closed mid-body")
+        out = bytes(self._buf[:n])
+        del self._buf[:n]
+        return out
+
+    async def poll_eof(self) -> bool:
+        """Block until the peer sends data (False) or disconnects (True).
+
+        Used as the disconnect monitor while a handler runs.  Cancelling
+        this coroutine is always safe: a byte is either still unread in
+        the stream or already pushed onto the buffer.  An abrupt reset
+        (``ECONNRESET``) counts as a disconnect, not an error — the
+        cancellation path must fire for RST-closing clients too.
+        """
+        if self._buf:
+            return False
+        try:
+            return not await self._fill()
+        except (ConnectionError, OSError):
+            return True
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request.
+
+    Attributes:
+        method: upper-cased request method.
+        path: decoded path component (no query string).
+        query: query-string parameters (last value wins).
+        headers: header map with lower-cased names.
+        body: the raw request body (b"" when absent).
+    """
+
+    method: str
+    path: str
+    query: "dict[str, str]" = field(default_factory=dict)
+    headers: "dict[str, str]" = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The body parsed as JSON (400 on absent/undecodable bodies)."""
+        import json
+
+        if not self.body:
+            raise HTTPError(400, "expected a JSON request body")
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from None
+
+    @property
+    def wants_close(self) -> bool:
+        """True when the client asked for ``Connection: close``."""
+        return self.headers.get("connection", "").lower() == "close"
+
+
+@dataclass
+class Response:
+    """One HTTP response ready for serialization.
+
+    Attributes:
+        status: HTTP status code.
+        body: response payload bytes.
+        content_type: ``Content-Type`` header value.
+        headers: extra headers (``ETag``, ``Location``, ...).
+    """
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: "dict[str, str]" = field(default_factory=dict)
+
+
+async def read_request(
+    buf: ConnectionBuffer, *, max_body: int = MAX_BODY_BYTES
+) -> "Request | None":
+    """Parse one request from the connection; None on clean EOF.
+
+    Raises:
+        HTTPError: malformed request line/headers (400), oversized head
+            (413) or body (413).
+    """
+    head = await buf.read_until(_CRLF2, MAX_HEADER_BYTES)
+    if head is None:
+        return None
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, version = lines[0].split(" ", 2)
+    except ValueError:
+        raise HTTPError(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(400, f"unsupported protocol {version!r}")
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HTTPError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HTTPError(400, "malformed Content-Length")
+        if length > max_body:
+            raise HTTPError(413, f"request body over {max_body} bytes")
+        body = await buf.read_exactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HTTPError(400, "chunked request bodies are not supported")
+    return Request(
+        method=method.upper(),
+        path=unquote(parts.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    response: Response,
+    *,
+    keep_alive: bool = True,
+    suppress_body: bool = False,
+) -> None:
+    """Serialize and flush one response (Content-Length framing only).
+
+    ``suppress_body`` answers HEAD requests: the head (including the
+    entity's ``Content-Length``) is sent, the body is not.
+    """
+    reason = STATUS_REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = dict(response.headers)
+    if response.status != 304:
+        headers.setdefault("Content-Type", response.content_type)
+    headers.setdefault("Content-Length", str(len(response.body)))
+    headers.setdefault("Connection", "keep-alive" if keep_alive else "close")
+    for name, value in headers.items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    if response.body and response.status != 304 and not suppress_body:
+        writer.write(response.body)
+    await writer.drain()

@@ -1,0 +1,669 @@
+"""The OpenAPI contract for the HTTP edge — generated, never hand-edited.
+
+The Python :data:`SPEC` dict is the single source of truth.  It is
+rendered to ``docs/openapi.yaml`` by :func:`spec_yaml` (a small
+deterministic YAML emitter — the repo takes no YAML dependency), served
+live at ``GET /openapi.yaml``, and *kept in sync by tests*:
+
+* ``tests/test_openapi.py`` regenerates the YAML and compares it to the
+  committed ``docs/openapi.yaml`` byte-for-byte;
+* the same test checks every route registered in the app's router appears
+  in :data:`SPEC` (and vice versa), and validates live endpoint responses
+  against the declared schemas via :func:`validate`.
+
+Regenerate after editing :data:`SPEC`::
+
+    PYTHONPATH=src python -m repro.server.openapi docs/openapi.yaml
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+__all__ = ["SPEC", "spec_yaml", "validate"]
+
+_POINTS = {"$ref": "#/components/schemas/Points"}
+_ERROR_RESPONSE = {
+    "description": "Error",
+    "content": {
+        "application/json": {
+            "schema": {"$ref": "#/components/schemas/Error"}
+        }
+    },
+}
+
+
+def _json_response(description: str, schema_name: str, status_ok: str = "200"):
+    return {
+        status_ok: {
+            "description": description,
+            "content": {
+                "application/json": {
+                    "schema": {"$ref": f"#/components/schemas/{schema_name}"}
+                }
+            },
+        }
+    }
+
+
+#: The OpenAPI 3.0 document (plain literals only — rendered to YAML).
+SPEC = {
+    "openapi": "3.0.3",
+    "info": {
+        "title": "rnnhm serving edge",
+        "description": (
+            "HTTP tile/query serving for reverse nearest neighbor heat maps "
+            "(Sun et al., ICDE 2016). Slippy-map raster tiles with ETag "
+            "revalidation, JSON batch queries, fingerprint-addressed builds "
+            "and dynamic update batches over the asyncio coalescing core."
+        ),
+        "version": "1.0.0",
+    },
+    "paths": {
+        "/healthz": {
+            "get": {
+                "summary": "Liveness probe and registry counts",
+                "operationId": "healthz",
+                "responses": _json_response("Server is up", "Health"),
+            }
+        },
+        "/stats": {
+            "get": {
+                "summary": "Service, HTTP and latency counters",
+                "operationId": "stats",
+                "responses": _json_response("Observability snapshot", "Stats"),
+            }
+        },
+        "/openapi.yaml": {
+            "get": {
+                "summary": "This document",
+                "operationId": "openapi",
+                "responses": {
+                    "200": {
+                        "description": "The OpenAPI contract as YAML",
+                        "content": {"application/yaml": {}},
+                    }
+                },
+            }
+        },
+        "/datasets": {
+            "post": {
+                "summary": "Register client/facility coordinate arrays",
+                "description": (
+                    "Dataset ids are content-addressed: re-posting identical "
+                    "arrays returns the same id (201 first time, 200 after)."
+                ),
+                "operationId": "createDataset",
+                "requestBody": {
+                    "required": True,
+                    "content": {
+                        "application/json": {
+                            "schema": {"$ref": "#/components/schemas/DatasetRequest"}
+                        }
+                    },
+                },
+                "responses": {
+                    **_json_response("Dataset registered", "Dataset", "201"),
+                    "400": _ERROR_RESPONSE,
+                },
+            }
+        },
+        "/build": {
+            "post": {
+                "summary": "Kick (or recall) a heat-map build",
+                "description": (
+                    "Static builds are keyed by input fingerprint and "
+                    "answered 202 + poll URL while sweeping, 200/ready once "
+                    "resident. Concurrent identical requests coalesce onto "
+                    "one sweep. dynamic=true attaches a DynamicHeatMap "
+                    "(unique dyn-N handle) that accepts /update batches."
+                ),
+                "operationId": "build",
+                "requestBody": {
+                    "required": True,
+                    "content": {
+                        "application/json": {
+                            "schema": {"$ref": "#/components/schemas/BuildRequest"}
+                        }
+                    },
+                },
+                "responses": {
+                    "200": {
+                        "description": "Already resident",
+                        "content": {
+                            "application/json": {
+                                "schema": {"$ref": "#/components/schemas/BuildStatus"}
+                            }
+                        },
+                    },
+                    "202": {
+                        "description": "Build started; poll the Location URL",
+                        "content": {
+                            "application/json": {
+                                "schema": {"$ref": "#/components/schemas/BuildStatus"}
+                            }
+                        },
+                    },
+                    "400": _ERROR_RESPONSE,
+                    "404": _ERROR_RESPONSE,
+                },
+            }
+        },
+        "/build/{handle}": {
+            "get": {
+                "summary": "Poll a build kicked by POST /build",
+                "operationId": "buildStatus",
+                "parameters": [
+                    {
+                        "name": "handle",
+                        "in": "path",
+                        "required": True,
+                        "schema": {"type": "string"},
+                    }
+                ],
+                "responses": {
+                    "200": {
+                        "description": "Terminal status (ready or failed)",
+                        "content": {
+                            "application/json": {
+                                "schema": {"$ref": "#/components/schemas/BuildStatus"}
+                            }
+                        },
+                    },
+                    "202": {
+                        "description": "Still building",
+                        "content": {
+                            "application/json": {
+                                "schema": {"$ref": "#/components/schemas/BuildStatus"}
+                            }
+                        },
+                    },
+                    "404": _ERROR_RESPONSE,
+                },
+            }
+        },
+        "/query/{handle}": {
+            "post": {
+                "summary": "Batch heat / RNN / top-k queries",
+                "operationId": "query",
+                "parameters": [
+                    {
+                        "name": "handle",
+                        "in": "path",
+                        "required": True,
+                        "schema": {"type": "string"},
+                    }
+                ],
+                "requestBody": {
+                    "required": True,
+                    "content": {
+                        "application/json": {
+                            "schema": {"$ref": "#/components/schemas/QueryRequest"}
+                        }
+                    },
+                },
+                "responses": {
+                    **_json_response("Query answers", "QueryResponse"),
+                    "400": _ERROR_RESPONSE,
+                    "404": _ERROR_RESPONSE,
+                },
+            }
+        },
+        "/update/{handle}": {
+            "post": {
+                "summary": "Apply a dynamic update batch",
+                "description": (
+                    "Only handles built with dynamic=true accept updates "
+                    "(409 for static handles). Rebuilds stay lazy: the next "
+                    "query or tile fetch re-sweeps only the dirty bands and "
+                    "drops only intersecting tiles."
+                ),
+                "operationId": "update",
+                "parameters": [
+                    {
+                        "name": "handle",
+                        "in": "path",
+                        "required": True,
+                        "schema": {"type": "string"},
+                    }
+                ],
+                "requestBody": {
+                    "required": True,
+                    "content": {
+                        "application/json": {
+                            "schema": {"$ref": "#/components/schemas/UpdateRequest"}
+                        }
+                    },
+                },
+                "responses": {
+                    **_json_response("Updates applied", "UpdateResponse"),
+                    "400": _ERROR_RESPONSE,
+                    "404": _ERROR_RESPONSE,
+                    "409": _ERROR_RESPONSE,
+                },
+            }
+        },
+        "/tiles/{handle}/{z}/{tx}/{ty}.png": {
+            "get": {
+                "summary": "One raster heat tile as PNG",
+                "description": (
+                    "Slippy-map quadtree addressing from the lower-left "
+                    "corner. ETag is derived from the handle's tile "
+                    "generation, so If-None-Match revalidation answers 304 "
+                    "until an update actually invalidates the tile. "
+                    "Concurrent cold requests for one tile coalesce onto a "
+                    "single render."
+                ),
+                "operationId": "tile",
+                "parameters": [
+                    {
+                        "name": "handle",
+                        "in": "path",
+                        "required": True,
+                        "schema": {"type": "string"},
+                    },
+                    {
+                        "name": "z",
+                        "in": "path",
+                        "required": True,
+                        "schema": {"type": "integer", "minimum": 0},
+                    },
+                    {
+                        "name": "tx",
+                        "in": "path",
+                        "required": True,
+                        "schema": {"type": "integer", "minimum": 0},
+                    },
+                    {
+                        "name": "ty",
+                        "in": "path",
+                        "required": True,
+                        "schema": {"type": "integer", "minimum": 0},
+                    },
+                    {
+                        "name": "size",
+                        "in": "query",
+                        "required": False,
+                        "schema": {"type": "integer", "minimum": 1, "maximum": 2048},
+                    },
+                    {
+                        "name": "cmap",
+                        "in": "query",
+                        "required": False,
+                        "schema": {"type": "string", "enum": ["heat", "gray_dark"]},
+                    },
+                    {
+                        "name": "vmax",
+                        "in": "query",
+                        "required": False,
+                        "schema": {"type": "number"},
+                    },
+                ],
+                "responses": {
+                    "200": {
+                        "description": "The rendered tile",
+                        "content": {"image/png": {}},
+                    },
+                    "304": {"description": "Client's cached tile is current"},
+                    "400": _ERROR_RESPONSE,
+                    "404": _ERROR_RESPONSE,
+                },
+            }
+        },
+    },
+    "components": {
+        "schemas": {
+            "Points": {
+                "type": "array",
+                "minItems": 1,
+                "items": {
+                    "type": "array",
+                    "items": {"type": "number"},
+                    "minItems": 2,
+                    "maxItems": 2,
+                },
+            },
+            "Health": {
+                "type": "object",
+                "required": ["status", "handles", "datasets", "builds_in_progress"],
+                "properties": {
+                    "status": {"type": "string", "enum": ["ok"]},
+                    "handles": {"type": "integer"},
+                    "datasets": {"type": "integer"},
+                    "builds_in_progress": {"type": "integer"},
+                },
+            },
+            "Stats": {
+                "type": "object",
+                "required": ["service", "http", "latency"],
+                "properties": {
+                    "service": {
+                        "type": "object",
+                        "description": (
+                            "HeatMapService.stats_snapshot(): builds, cache "
+                            "hit/miss/eviction, coalesced_builds/"
+                            "coalesced_tiles, inflight_peak, ..."
+                        ),
+                    },
+                    "http": {
+                        "type": "object",
+                        "description": (
+                            "Edge counters: requests, response classes, "
+                            "not_modified, cancelled_requests"
+                        ),
+                    },
+                    "latency": {
+                        "type": "object",
+                        "description": "Per-endpoint latency percentile records",
+                    },
+                },
+            },
+            "DatasetRequest": {
+                "type": "object",
+                "required": ["clients"],
+                "properties": {
+                    "clients": _POINTS,
+                    "facilities": _POINTS,
+                },
+            },
+            "Dataset": {
+                "type": "object",
+                "required": ["dataset", "n_clients", "n_facilities"],
+                "properties": {
+                    "dataset": {"type": "string"},
+                    "n_clients": {"type": "integer"},
+                    "n_facilities": {"type": "integer"},
+                },
+            },
+            "BuildRequest": {
+                "type": "object",
+                "required": ["dataset"],
+                "properties": {
+                    "dataset": {"type": "string"},
+                    "metric": {"type": "string", "enum": ["l1", "l2", "linf"]},
+                    "algorithm": {"type": "string"},
+                    "k": {"type": "integer", "minimum": 1},
+                    "monochromatic": {"type": "boolean"},
+                    "workers": {"type": "integer"},
+                    "dynamic": {"type": "boolean"},
+                    "rebuild": {
+                        "type": "string",
+                        "enum": ["auto", "incremental", "full"],
+                    },
+                },
+            },
+            "BuildStatus": {
+                "type": "object",
+                "required": ["handle", "status"],
+                "properties": {
+                    "handle": {"type": "string"},
+                    "status": {
+                        "type": "string",
+                        "enum": ["building", "ready", "failed", "evicted"],
+                        "description": (
+                            "evicted: the build finished but was since "
+                            "LRU-evicted from the service — re-POST /build "
+                            "(a store promotion or re-sweep, same handle)"
+                        ),
+                    },
+                    "poll": {"type": "string"},
+                    "error": {"type": "string"},
+                },
+            },
+            "QueryRequest": {
+                "type": "object",
+                "properties": {
+                    "kind": {
+                        "type": "string",
+                        "enum": ["heat", "rnn", "top-k"],
+                    },
+                    "points": _POINTS,
+                    "k": {"type": "integer", "minimum": 1},
+                },
+            },
+            "QueryResponse": {
+                "type": "object",
+                "required": ["handle", "kind"],
+                "properties": {
+                    "handle": {"type": "string"},
+                    "kind": {"type": "string"},
+                    "n": {"type": "integer"},
+                    "heats": {"type": "array", "items": {"type": "number"}},
+                    "rnn": {
+                        "type": "array",
+                        "items": {
+                            "type": "array",
+                            "items": {"type": "integer"},
+                        },
+                    },
+                },
+            },
+            "UpdateOp": {
+                "type": "object",
+                "required": ["op"],
+                "properties": {
+                    "op": {
+                        "type": "string",
+                        "enum": [
+                            "add_client", "move_client", "remove_client",
+                            "add_facility", "move_facility", "remove_facility",
+                        ],
+                    },
+                    "handle": {"type": "integer"},
+                    "x": {"type": "number"},
+                    "y": {"type": "number"},
+                },
+            },
+            "UpdateRequest": {
+                "type": "object",
+                "required": ["updates"],
+                "properties": {
+                    "updates": {
+                        "type": "array",
+                        "minItems": 1,
+                        "items": {"$ref": "#/components/schemas/UpdateOp"},
+                    }
+                },
+            },
+            "UpdateResponse": {
+                "type": "object",
+                "required": ["handle", "applied", "results", "version", "stale"],
+                "properties": {
+                    "handle": {"type": "string"},
+                    "applied": {"type": "integer"},
+                    "results": {
+                        "type": "array",
+                        "items": {"type": ["integer", "null"]},
+                    },
+                    "version": {"type": "integer"},
+                    "stale": {"type": "boolean"},
+                },
+            },
+            "Error": {
+                "type": "object",
+                "required": ["error"],
+                "properties": {
+                    "error": {
+                        "type": "object",
+                        "required": ["status", "message"],
+                        "properties": {
+                            "status": {"type": "integer"},
+                            "message": {"type": "string"},
+                        },
+                    }
+                },
+            },
+        }
+    },
+}
+
+# ----------------------------------------------------------------------
+# YAML rendering (deterministic; the repo takes no YAML dependency)
+# ----------------------------------------------------------------------
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]*$")
+
+_HEADER = (
+    "# Generated from repro.server.openapi.SPEC — do not edit by hand.\n"
+    "# Regenerate: PYTHONPATH=src python -m repro.server.openapi docs/openapi.yaml\n"
+)
+
+
+def _scalar(value) -> str:
+    """One YAML scalar; strings are JSON-quoted (valid YAML double-quote)."""
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value is None:
+        return "null"
+    if isinstance(value, (int, float)):
+        return json.dumps(value)
+    return json.dumps(str(value))
+
+
+def _key(name) -> str:
+    name = str(name)
+    # All-digit keys (status codes) must be quoted or YAML reads ints.
+    if name.isdigit() or not _BARE_KEY.match(name):
+        return json.dumps(name)
+    return name
+
+
+def _emit(value, indent: int, lines: "list[str]") -> None:
+    pad = "  " * indent
+    if isinstance(value, dict):
+        if not value:
+            lines[-1] += " {}"
+            return
+        for k, v in value.items():
+            lines.append(f"{pad}{_key(k)}:")
+            if isinstance(v, (dict, list)):
+                _emit(v, indent + 1, lines)
+            else:
+                lines[-1] += f" {_scalar(v)}"
+    elif isinstance(value, list):
+        if not value:
+            lines[-1] += " []"
+            return
+        for item in value:
+            lines.append(f"{pad}-")
+            if isinstance(item, (dict, list)):
+                # Nest the structure under the dash marker.
+                sub: "list[str]" = [lines[-1]]
+                _emit(item, indent + 1, sub)
+                if len(sub) > 1 and not sub[0].endswith((" {}", " []")):
+                    # Fold the first child onto the dash line.
+                    first = sub[1].strip()
+                    sub[1] = f"{pad}- {first}"
+                    del sub[0]
+                lines[-1:] = sub
+            else:
+                lines[-1] += f" {_scalar(item)}"
+    else:  # pragma: no cover - callers always pass containers
+        lines.append(f"{pad}{_scalar(value)}")
+
+
+def spec_yaml(spec: "dict | None" = None) -> str:
+    """Render :data:`SPEC` (or another document) as deterministic YAML."""
+    lines: "list[str]" = []
+    _emit(spec if spec is not None else SPEC, 0, lines)
+    return _HEADER + "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Schema validation (the JSON-Schema subset the spec uses)
+# ----------------------------------------------------------------------
+def _resolve(schema: dict, root: dict) -> dict:
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    node = root
+    for part in ref.lstrip("#/").split("/"):
+        node = node[part]
+    return node
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(instance, type_name: str) -> bool:
+    if type_name == "number":
+        return isinstance(instance, (int, float)) and not isinstance(instance, bool)
+    if type_name == "integer":
+        return isinstance(instance, int) and not isinstance(instance, bool)
+    return isinstance(instance, _TYPES[type_name])
+
+
+def validate(instance, schema: dict, *, root: "dict | None" = None,
+             path: str = "$") -> "list[str]":
+    """Check ``instance`` against the spec's JSON-Schema subset.
+
+    Supports ``$ref`` into components, ``type`` (including type lists),
+    ``properties``/``required``, ``items``/``minItems``/``maxItems``,
+    ``enum``, ``minimum``/``maximum``.  Returns a list of human-readable
+    violations — empty means valid.  This is what lets the test suite (and
+    CI's docs job) validate live HTTP responses against
+    ``docs/openapi.yaml`` without a jsonschema dependency.
+    """
+    root = root if root is not None else SPEC
+    schema = _resolve(schema, root)
+    errors: "list[str]" = []
+    declared = schema.get("type")
+    if declared is not None:
+        types = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(instance, t) for t in types):
+            return [f"{path}: expected {declared}, got {type(instance).__name__}"]
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        for name, sub in schema.get("properties", {}).items():
+            if name in instance:
+                errors.extend(
+                    validate(instance[name], sub, root=root, path=f"{path}.{name}")
+                )
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(f"{path}: fewer than {schema['minItems']} items")
+        if "maxItems" in schema and len(instance) > schema["maxItems"]:
+            errors.append(f"{path}: more than {schema['maxItems']} items")
+        items = schema.get("items")
+        if items:
+            for i, element in enumerate(instance):
+                errors.extend(
+                    validate(element, items, root=root, path=f"{path}[{i}]")
+                )
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} below minimum {schema['minimum']}")
+        if "maximum" in schema and instance > schema["maximum"]:
+            errors.append(f"{path}: {instance} above maximum {schema['maximum']}")
+    return errors
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Write the rendered YAML to the given path (or stdout)."""
+    import sys
+
+    args = sys.argv[1:] if argv is None else argv
+    text = spec_yaml()
+    if args:
+        with open(args[0], "w", encoding="utf-8") as fh:
+            fh.write(text)
+        sys.stderr.write(f"wrote {args[0]} ({len(text.splitlines())} lines)\n")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

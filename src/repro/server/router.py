@@ -1,0 +1,101 @@
+"""Pattern-based request routing for the HTTP edge.
+
+Routes are declared with slippy-map-style placeholder patterns —
+``/tiles/{handle}/{z:int}/{tx:int}/{ty:int}.png`` — compiled to regular
+expressions once at registration.  ``{name}`` matches one path segment as
+a string, ``{name:int}`` matches and converts an integer.  Matching
+distinguishes "no such path" (404) from "path exists, wrong method"
+(405 with an ``Allow`` header), and the route table is introspectable
+(:meth:`Router.routes`) so the OpenAPI document can be checked against it
+by a test instead of drifting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .errors import HTTPError
+
+__all__ = ["Route", "Router"]
+
+_PLACEHOLDER = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)(?::(int))?\}")
+
+
+def _compile(pattern: str):
+    """A route pattern -> compiled regex + per-parameter converters."""
+    regex = ["^"]
+    converters: "dict[str, type]" = {}
+    pos = 0
+    for match in _PLACEHOLDER.finditer(pattern):
+        regex.append(re.escape(pattern[pos : match.start()]))
+        name, kind = match.group(1), match.group(2)
+        if kind == "int":
+            regex.append(f"(?P<{name}>-?\\d+)")
+            converters[name] = int
+        else:
+            regex.append(f"(?P<{name}>[^/]+)")
+        pos = match.end()
+    regex.append(re.escape(pattern[pos:]))
+    regex.append("$")
+    return re.compile("".join(regex)), converters
+
+
+@dataclass(frozen=True)
+class Route:
+    """One registered endpoint: method + pattern + handler callable."""
+
+    method: str
+    pattern: str
+    handler: object
+
+    @property
+    def openapi_path(self) -> str:
+        """The pattern in OpenAPI syntax (``{name:int}`` -> ``{name}``)."""
+        return _PLACEHOLDER.sub(lambda m: "{" + m.group(1) + "}", self.pattern)
+
+
+class Router:
+    """Method+path dispatch over placeholder patterns."""
+
+    def __init__(self) -> None:
+        self._routes: "list[tuple[Route, object, dict]]" = []
+
+    def add(self, method: str, pattern: str, handler) -> Route:
+        """Register ``handler`` for ``method`` requests matching ``pattern``."""
+        route = Route(method.upper(), pattern, handler)
+        regex, converters = _compile(pattern)
+        self._routes.append((route, regex, converters))
+        return route
+
+    def routes(self) -> "list[Route]":
+        """Every registered route, in registration order."""
+        return [route for route, _regex, _conv in self._routes]
+
+    def match(self, method: str, path: str) -> "tuple[object, dict]":
+        """Resolve a request to ``(handler, path_params)``.
+
+        Raises:
+            HTTPError: 404 when no pattern matches the path, 405 (with an
+                ``Allow`` header) when patterns match under other methods.
+        """
+        method = method.upper()
+        allowed: "set[str]" = set()
+        for route, regex, converters in self._routes:
+            found = regex.match(path)
+            if not found:
+                continue
+            if route.method != method:
+                allowed.add(route.method)
+                continue
+            params = found.groupdict()
+            for name, conv in converters.items():
+                params[name] = conv(params[name])
+            return route.handler, params
+        if allowed:
+            raise HTTPError(
+                405,
+                f"{method} not allowed for {path} (try {'/'.join(sorted(allowed))})",
+                headers={"Allow": ", ".join(sorted(allowed))},
+            )
+        raise HTTPError(404, f"no route for {path}")

@@ -213,21 +213,30 @@ class AsyncHeatMapService:
         monochromatic: bool = False,
         k: int = 1,
         workers: "int | None" = None,
+        fingerprint: "str | None" = None,
     ) -> str:
         """Build (or recall) a heat map; returns its fingerprint handle.
 
         Concurrent calls with the same fingerprint coalesce onto one
         sweep — ``ServiceStats.coalesced_builds`` counts the joiners.
+
+        ``fingerprint`` skips re-hashing the coordinate arrays when the
+        caller already computed this request's key (it must come from
+        :func:`~repro.service.fingerprint.fingerprint_build` over these
+        very arguments with the canonicalized algorithm name — the HTTP
+        edge does this to key its build registry).
         """
-        canonical = _canonical_algorithm(algorithm, metric)
-        # Hash the coordinate arrays on the executor (O(n) for large
-        # instances — it must not stall the event loop), and hand the key
-        # down so the sync layer does not hash a second time.
-        handle = await self._run(functools.partial(
-            fingerprint_build, clients, facilities, metric=metric,
-            algorithm=canonical, measure=measure,
-            monochromatic=monochromatic, k=k,
-        ))
+        handle = fingerprint
+        if handle is None:
+            canonical = _canonical_algorithm(algorithm, metric)
+            # Hash the coordinate arrays on the executor (O(n) for large
+            # instances — it must not stall the event loop), and hand the
+            # key down so the sync layer does not hash a second time.
+            handle = await self._run(functools.partial(
+                fingerprint_build, clients, facilities, metric=metric,
+                algorithm=canonical, measure=measure,
+                monochromatic=monochromatic, k=k,
+            ))
 
         def call():
             return self.service.build(

@@ -1,15 +1,23 @@
-"""Latency-percentile reporting shared by the CLI and the benchmarks.
+"""Latency-percentile reporting shared by every serving front end.
 
 One implementation of the p50/p90/p99/max summary so ``serve-queries
---async`` and ``benchmarks/bench_async_serving.py`` can never drift apart
-in how they describe the same serving workload.
+--async``, ``serve-http``, ``benchmarks/bench_async_serving.py`` and
+``benchmarks/bench_http_serving.py`` can never drift apart in how they
+describe the same serving workload.  :class:`LatencyRecorder` is the
+shared accumulator: callers time requests into named kinds ("tile",
+"query", "build", ...) and snapshot them as percentile records at
+reporting time.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from contextlib import contextmanager
+
 import numpy as np
 
-__all__ = ["latency_percentiles", "format_percentiles"]
+__all__ = ["LatencyRecorder", "latency_percentiles", "format_percentiles"]
 
 
 def latency_percentiles(samples: "list[float]") -> dict:
@@ -17,7 +25,7 @@ def latency_percentiles(samples: "list[float]") -> dict:
 
     Returns ``{"n": 0}`` for an empty sample list, otherwise ``n`` plus
     ``p50_ms``/``p90_ms``/``p99_ms``/``max_ms`` — the record embedded in
-    ``BENCH_async.json`` and printed by the CLI.
+    ``BENCH_async.json`` / ``BENCH_http.json`` and printed by the CLI.
     """
     ms = np.asarray(samples, dtype=float) * 1e3
     if not len(ms):
@@ -40,3 +48,75 @@ def format_percentiles(label: str, pcts: dict) -> str:
         f"p90={pcts['p90_ms']:.1f}ms p99={pcts['p99_ms']:.1f}ms "
         f"max={pcts['max_ms']:.1f}ms"
     )
+
+
+class LatencyRecorder:
+    """Thread-safe accumulator of per-kind request latencies.
+
+    The serving paths (asyncio CLI viewers, the HTTP edge's request
+    handlers, benchmark clients) each observe latencies from many tasks or
+    threads at once; the recorder keeps one sample list per *kind* and
+    renders them through the shared percentile formatting above.
+
+    Example::
+
+        rec = LatencyRecorder()
+        with rec.timing("tile"):
+            fetch_tile()
+        out = await rec.timed("query", svc.heat_at_many(handle, pts))
+        rec.snapshot()   # {"tile": {"n": 1, "p50_ms": ...}, ...}
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: "dict[str, list[float]]" = {}
+
+    def observe(self, kind: str, seconds: float) -> None:
+        """Record one request of ``kind`` that took ``seconds``."""
+        with self._lock:
+            self._samples.setdefault(kind, []).append(float(seconds))
+
+    @contextmanager
+    def timing(self, kind: str):
+        """Context manager: time the enclosed block into ``kind``.
+
+        The sample is recorded even when the block raises — a failed or
+        cancelled request still occupied the server for that long.
+        """
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(kind, time.perf_counter() - t0)
+
+    async def timed(self, kind: str, awaitable):
+        """Await ``awaitable``, recording its wall time into ``kind``."""
+        with self.timing(kind):
+            return await awaitable
+
+    def count(self, kind: str) -> int:
+        """Number of samples recorded for ``kind`` (0 when never seen)."""
+        with self._lock:
+            return len(self._samples.get(kind, ()))
+
+    def kinds(self) -> "list[str]":
+        """Kinds observed so far, in first-seen order."""
+        with self._lock:
+            return list(self._samples)
+
+    def percentiles(self, kind: str) -> dict:
+        """The :func:`latency_percentiles` record for one kind."""
+        with self._lock:
+            samples = list(self._samples.get(kind, ()))
+        return latency_percentiles(samples)
+
+    def snapshot(self) -> "dict[str, dict]":
+        """All kinds' percentile records (the ``/stats`` latency block)."""
+        return {kind: self.percentiles(kind) for kind in self.kinds()}
+
+    def report(self, indent: str = "  ") -> "list[str]":
+        """Human-readable percentile lines, one per kind."""
+        return [
+            indent + format_percentiles(kind, pcts)
+            for kind, pcts in self.snapshot().items()
+        ]

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "dynamic_fleet.py",
     "batch_serving.py",
     "async_serving.py",
+    "http_serving.py",
 ]
 
 
@@ -50,6 +51,16 @@ def test_taxi_sharing_contrasts_superimposition():
     )
     assert "superimposition" in proc.stdout
     assert "connectivity" in proc.stdout
+
+
+def test_http_serving_walks_the_full_lifecycle():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "http_serving.py")],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "revalidation -> 304" in proc.stdout
+    assert "all assertions passed" in proc.stdout
 
 
 def test_dynamic_fleet_reports_incremental_work():

@@ -1,0 +1,632 @@
+"""The HTTP serving edge, end to end over real sockets.
+
+Covers the tentpole guarantees:
+
+* golden wire formats — tile PNG bytes are a deterministic function of the
+  build inputs (byte-stable across fetches and equal to an independently
+  rendered PNG of the synchronous service's grid), JSON responses validate
+  against the schemas in ``docs/openapi.yaml``;
+* coalescing through HTTP — a cold tile requested by 8 concurrent clients
+  renders exactly once (``coalesced_tiles == 7`` observable via
+  ``/stats``);
+* cancellation propagation — a client that disconnects mid-request gets
+  its handler task cancelled without killing the server or a shared
+  render;
+* protocol behavior — ETag/304 revalidation, keep-alive, error mapping
+  (404/405/400/409/413).
+"""
+
+import http.client
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.render.png import decode_png, encode_png
+from repro.errors import InvalidInputError
+from repro.server import HTTPError, Router, ThreadedHTTPServer
+from repro.server.openapi import SPEC, validate
+from repro.server.wire import decode_points, decode_updates, render_tile_png
+from repro.service import HeatMapService
+
+N_CLIENTS, N_FACILITIES, SEED = 90, 14, 7
+TILE_SIZE = 32
+
+
+def _instance():
+    rng = np.random.default_rng(SEED)
+    return rng.random((N_CLIENTS, 2)), rng.random((N_FACILITIES, 2))
+
+
+def _get(url, headers=None):
+    req = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, resp.read(), dict(resp.headers)
+
+
+def _post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _poll_ready(base, handle, timeout=60.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        _status, body, _ = _get(f"{base}/build/{handle}")
+        state = json.loads(body)
+        if state["status"] != "building":
+            return state
+        time.sleep(0.02)
+    raise AssertionError(f"build {handle} did not finish")
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ThreadedHTTPServer(tile_size=TILE_SIZE, max_tiles=1024) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def handle(server):
+    """A built static handle over the module's fixed instance."""
+    clients, facilities = _instance()
+    _s, ds = _post(server.url + "/datasets", {
+        "clients": clients.tolist(), "facilities": facilities.tolist(),
+    })
+    status, body = _post(server.url + "/build", {
+        "dataset": ds["dataset"], "metric": "l2",
+    })
+    assert status in (200, 202)
+    state = _poll_ready(server.url, body["handle"])
+    assert state["status"] == "ready"
+    return body["handle"]
+
+
+# ----------------------------------------------------------------------
+# Unit layers: router, PNG codec, request decoding
+# ----------------------------------------------------------------------
+def test_router_patterns_and_conversion():
+    router = Router()
+    router.add("GET", "/tiles/{handle}/{z:int}/{tx:int}/{ty:int}.png", "tile")
+    router.add("POST", "/query/{handle}", "query")
+    handler, params = router.match("GET", "/tiles/abc/2/1/3.png")
+    assert handler == "tile"
+    assert params == {"handle": "abc", "z": 2, "tx": 1, "ty": 3}
+    assert params["z"] == 2 and isinstance(params["z"], int)
+    with pytest.raises(HTTPError) as exc:
+        router.match("GET", "/query/abc")
+    assert exc.value.status == 405
+    assert exc.value.headers["Allow"] == "POST"
+    with pytest.raises(HTTPError) as exc:
+        router.match("GET", "/tiles/abc/x/1/3.png")
+    assert exc.value.status == 404
+    assert [r.openapi_path for r in router.routes()] == [
+        "/tiles/{handle}/{z}/{tx}/{ty}.png", "/query/{handle}",
+    ]
+
+
+def test_png_round_trip_gray_and_rgb():
+    rng = np.random.default_rng(3)
+    gray = rng.integers(0, 256, (17, 23), dtype=np.uint8)
+    assert np.array_equal(decode_png(encode_png(gray)), gray)
+    rgb = rng.integers(0, 256, (9, 5, 3), dtype=np.uint8)
+    assert np.array_equal(decode_png(encode_png(rgb)), rgb)
+    # Deterministic bytes for identical input.
+    assert encode_png(rgb) == encode_png(rgb.copy())
+    with pytest.raises(InvalidInputError):
+        encode_png(gray.astype(float))
+    with pytest.raises(InvalidInputError):
+        decode_png(b"not a png")
+
+
+def test_decode_points_rejects_bad_batches():
+    good = decode_points({"points": [[0.1, 0.2], [1, 2]]}, max_points=10)
+    assert good.shape == (2, 2)
+    for bad in (
+        {"points": []},
+        {"points": "nope"},
+        {"points": [[1, 2, 3]]},
+        {"points": [[1, float("nan")]]},
+        {"nope": 1},
+    ):
+        with pytest.raises(HTTPError) as exc:
+            decode_points(bad, max_points=10)
+        assert exc.value.status == 400
+    with pytest.raises(HTTPError) as exc:
+        decode_points({"points": [[0, 0]] * 11}, max_points=10)
+    assert exc.value.status == 413
+
+
+def test_decode_updates_validates_ops():
+    ops = decode_updates({"updates": [
+        {"op": "add_client", "x": 0.5, "y": 0.5},
+        {"op": "move_facility", "handle": 3, "x": 0.1, "y": 0.9},
+    ]})
+    assert ops[0] == ("add_client", {"x": 0.5, "y": 0.5})
+    assert ops[1][1]["handle"] == 3
+    for bad in (
+        {"updates": []},
+        {"updates": [{"op": "teleport", "x": 0, "y": 0}]},
+        {"updates": [{"op": "move_client", "x": 0, "y": 0}]},  # no handle
+        {"updates": [{"op": "add_client", "x": "a", "y": 0}]},
+        # NaN coords would wedge the map on the next deferred rebuild.
+        {"updates": [{"op": "add_client", "x": float("nan"), "y": 0}]},
+        {"updates": [{"op": "move_client", "handle": 0, "x": 0,
+                      "y": float("inf")}]},
+    ):
+        with pytest.raises(HTTPError) as exc:
+            decode_updates(bad)
+        assert exc.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# Golden wire formats
+# ----------------------------------------------------------------------
+def test_tile_bytes_are_stable_and_match_sync_render(server, handle):
+    url = f"{server.url}/tiles/{handle}/1/0/1.png"
+    _s, png1, headers = _get(url)
+    _s, png2, _ = _get(url)
+    assert png1 == png2, "tile bytes must be deterministic"
+    assert png1.startswith(b"\x89PNG\r\n\x1a\n")
+    assert headers["Content-Type"] == "image/png"
+    # Independently build the same instance through the synchronous
+    # service and render the same tile: the wire bytes must agree.
+    clients, facilities = _instance()
+    sync = HeatMapService(tile_size=TILE_SIZE)
+    sync_handle = sync.build(clients, facilities, metric="l2")
+    assert sync_handle == handle, "fingerprint must be input-addressed"
+    grid, _bounds = sync.tile(sync_handle, 1, 0, 1)
+    assert render_tile_png(grid, "heat", None) == png1
+    # And the decoded image equals the colormapped grid.
+    image = decode_png(png1)
+    assert image.shape == (TILE_SIZE, TILE_SIZE, 3)
+
+
+def test_tile_query_params_change_bytes(server, handle):
+    _s, default_png, _ = _get(f"{server.url}/tiles/{handle}/0/0/0.png")
+    _s, gray_png, _ = _get(f"{server.url}/tiles/{handle}/0/0/0.png?cmap=gray_dark")
+    _s, small_png, _ = _get(f"{server.url}/tiles/{handle}/0/0/0.png?size=16")
+    assert default_png != gray_png
+    assert decode_png(gray_png).shape == (TILE_SIZE, TILE_SIZE)
+    assert decode_png(small_png).shape[:2] == (16, 16)
+
+
+def test_vmax_participates_in_etag(server, handle):
+    """Strong ETags name exact bytes: different vmax, different ETag —
+    a vmax=10 tag must never validate a vmax=20 representation."""
+    _s, png10, h10 = _get(f"{server.url}/tiles/{handle}/0/0/0.png?vmax=10")
+    _s, png20, h20 = _get(f"{server.url}/tiles/{handle}/0/0/0.png?vmax=20")
+    assert h10["ETag"] != h20["ETag"]
+    assert png10 != png20
+    status, body, _ = _get(
+        f"{server.url}/tiles/{handle}/0/0/0.png?vmax=20",
+        headers={"If-None-Match": h10["ETag"]},
+    )
+    assert status == 200 and body == png20
+
+
+def test_json_responses_validate_against_openapi(server, handle):
+    schemas = SPEC["components"]["schemas"]
+    _s, body, _ = _get(server.url + "/healthz")
+    assert validate(json.loads(body), schemas["Health"]) == []
+    _s, body, _ = _get(server.url + "/stats")
+    assert validate(json.loads(body), schemas["Stats"]) == []
+    _s, state = _post(server.url + "/query/" + handle, {
+        "points": [[0.5, 0.5], [0.25, 0.75]],
+    })
+    assert validate(state, schemas["QueryResponse"]) == []
+    assert state["n"] == 2 and len(state["heats"]) == 2
+    _s, state = _post(server.url + "/query/" + handle, {
+        "kind": "rnn", "points": [[0.5, 0.5]],
+    })
+    assert validate(state, schemas["QueryResponse"]) == []
+    _s, body, _ = _get(f"{server.url}/build/{handle}")
+    assert validate(json.loads(body), schemas["BuildStatus"]) == []
+
+
+def test_query_answers_match_library(server, handle):
+    clients, facilities = _instance()
+    sync = HeatMapService()
+    h = sync.build(clients, facilities, metric="l2")
+    pts = np.random.default_rng(11).random((50, 2))
+    _s, got = _post(server.url + "/query/" + handle, {"points": pts.tolist()})
+    assert np.allclose(got["heats"], sync.heat_at_many(h, pts))
+    _s, got = _post(server.url + "/query/" + handle, {
+        "kind": "rnn", "points": pts[:10].tolist(),
+    })
+    assert got["rnn"] == [sorted(s) for s in sync.rnn_at_many(h, pts[:10])]
+    _s, got = _post(server.url + "/query/" + handle, {"kind": "top-k", "k": 4})
+    assert got["heats"] == sync.top_k_heats(h, 4)
+
+
+# ----------------------------------------------------------------------
+# Protocol behavior
+# ----------------------------------------------------------------------
+def test_etag_revalidation_304(server, handle):
+    url = f"{server.url}/tiles/{handle}/1/1/1.png"
+    _s, png, headers = _get(url)
+    etag = headers["ETag"]
+    with pytest.raises(urllib.error.HTTPError) as exc:
+        _get(url, headers={"If-None-Match": etag})
+    assert exc.value.code == 304
+    assert exc.value.headers["ETag"] == etag
+    # A different (stale) ETag still gets the full tile.
+    status, body, _ = _get(url, headers={"If-None-Match": '"other"'})
+    assert status == 200 and body == png
+
+
+def test_head_serves_headers_without_body(server, handle):
+    """``curl -sI`` (HEAD) must expose the ETag without transferring the
+    tile — and that ETag must revalidate a subsequent conditional GET."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        conn.request("HEAD", f"/tiles/{handle}/1/0/0.png")
+        resp = conn.getresponse()
+        body = resp.read()
+        assert resp.status == 200
+        assert body == b""
+        assert int(resp.headers["Content-Length"]) > 0
+        etag = resp.headers["ETag"]
+        conn.request("GET", f"/tiles/{handle}/1/0/0.png",
+                     headers={"If-None-Match": etag})
+        resp = conn.getresponse()
+        resp.read()
+        assert resp.status == 304
+    finally:
+        conn.close()
+
+
+def test_keep_alive_serves_multiple_requests_per_connection(server, handle):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        for _ in range(3):
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert json.loads(resp.read())["status"] == "ok"
+        conn.request("POST", f"/query/{handle}",
+                     body=json.dumps({"points": [[0.5, 0.5]]}),
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        assert resp.status == 200
+    finally:
+        conn.close()
+
+
+def test_error_mapping(server, handle):
+    def status_of(fn):
+        try:
+            fn()
+        except urllib.error.HTTPError as exc:
+            payload = json.loads(exc.read() or b"{}")
+            if payload:
+                assert payload["error"]["status"] == exc.code
+            return exc.code
+        raise AssertionError("expected an HTTP error")
+
+    base = server.url
+    assert status_of(lambda: _get(base + "/no/such/route")) == 404
+    assert status_of(lambda: _get(base + "/datasets")) == 405
+    assert status_of(lambda: _post(base + "/query/unknown-handle",
+                                   {"points": [[0, 0]]})) == 404
+    assert status_of(lambda: _post(base + "/query/" + handle,
+                                   {"kind": "sideways"})) == 400
+    assert status_of(lambda: _post(base + "/build", {"dataset": "missing"})) == 404
+    # Stringly-typed booleans must 400, never silently enable the flag.
+    _s, ds = _post(base + "/datasets", {"clients": [[0.1, 0.2], [0.3, 0.4]]})
+    assert status_of(lambda: _post(base + "/build", {
+        "dataset": ds["dataset"], "dynamic": "false"})) == 400
+    assert status_of(lambda: _post(base + "/build", {
+        "dataset": ds["dataset"], "monochromatic": "false"})) == 400
+    assert status_of(lambda: _post(base + "/datasets",
+                                   {"clients": [[1, 2, 3]]})) == 400
+    assert status_of(lambda: _post(base + "/update/" + handle,
+                                   {"updates": [{"op": "add_client",
+                                                 "x": 0, "y": 0}]})) == 409
+    # Invalid tile addresses map to 400 (InvalidInputError).
+    assert status_of(lambda: _get(
+        f"{base}/tiles/{handle}/1/9/9.png")) == 400
+    assert status_of(lambda: _get(
+        f"{base}/tiles/{handle}/1/0/0.png?cmap=neon")) == 400
+    # Malformed query parameters must never 500: non-finite vmax and
+    # absurd zoom levels are client errors.
+    assert status_of(lambda: _get(
+        f"{base}/tiles/{handle}/1/0/0.png?vmax=nan")) == 400
+    assert status_of(lambda: _get(
+        f"{base}/tiles/{handle}/1/0/0.png?vmax=inf")) == 400
+    assert status_of(lambda: _get(
+        f"{base}/tiles/{handle}/99999/0/0.png")) == 400
+    assert status_of(lambda: _get(
+        f"{base}/tiles/{handle}/9999999999/0/0.png")) == 400
+
+
+def test_payload_too_large_is_413():
+    with ThreadedHTTPServer(max_body_bytes=256) as srv:
+        big = {"clients": [[0.1, 0.2]] * 500}
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(srv.url + "/datasets", big)
+        assert exc.value.code == 413
+
+
+def test_update_batch_is_atomic(server):
+    """A batch with a bad op at position i applies nothing at all."""
+    clients, facilities = _instance()
+    _s, ds = _post(server.url + "/datasets", {
+        "clients": clients.tolist(), "facilities": facilities.tolist(),
+    })
+    _s, kicked = _post(server.url + "/build", {
+        "dataset": ds["dataset"], "dynamic": True,
+    })
+    dyn_handle = kicked["handle"]
+    _poll_ready(server.url, dyn_handle)
+    dyn = server.app._dynamic[dyn_handle]
+    n_before = dyn.assignment.n_clients
+    with pytest.raises(urllib.error.HTTPError) as exc:
+        _post(server.url + f"/update/{dyn_handle}", {"updates": [
+            {"op": "add_client", "x": 0.5, "y": 0.5},
+            {"op": "move_client", "handle": 999_999, "x": 0.1, "y": 0.1},
+        ]})
+    assert exc.value.code == 400
+    payload = json.loads(exc.value.read())
+    assert "update #1" in payload["error"]["message"]
+    assert dyn.assignment.n_clients == n_before, \
+        "the valid prefix must not have been applied"
+    # The same batch without the bad op applies cleanly.
+    _s, upd = _post(server.url + f"/update/{dyn_handle}", {"updates": [
+        {"op": "add_client", "x": 0.5, "y": 0.5},
+    ]})
+    assert upd["applied"] == 1
+    assert dyn.assignment.n_clients == n_before + 1
+
+
+def test_evicted_build_reports_evicted_not_ready():
+    """After LRU eviction, polling must not claim 'ready' while queries 404."""
+    rng = np.random.default_rng(21)
+    with ThreadedHTTPServer(max_results=1, tile_size=16) as srv:
+        handles, datasets = [], []
+        for i in range(2):
+            _s, ds = _post(srv.url + "/datasets", {
+                "clients": rng.random((40 + i, 2)).tolist(),
+                "facilities": rng.random((8, 2)).tolist(),
+            })
+            _s, kicked = _post(srv.url + "/build", {"dataset": ds["dataset"]})
+            _poll_ready(srv.url, kicked["handle"])
+            handles.append(kicked["handle"])
+            datasets.append(ds["dataset"])
+        # The second build evicted the first (max_results=1).
+        _status, body, _ = _get(f"{srv.url}/build/{handles[0]}")
+        assert json.loads(body)["status"] == "evicted"
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(srv.url + f"/query/{handles[0]}", {"points": [[0.5, 0.5]]})
+        assert exc.value.code == 404
+        # Re-POSTing the identical build restores the very same handle.
+        _s, again = _post(srv.url + "/build", {"dataset": datasets[0]})
+        assert again["handle"] == handles[0]
+        state = _poll_ready(srv.url, handles[0])
+        assert state["status"] == "ready"
+        _s, answer = _post(srv.url + f"/query/{handles[0]}",
+                           {"points": [[0.5, 0.5]]})
+        assert answer["n"] == 1
+
+
+def test_dataset_registry_is_lru_bounded():
+    rng = np.random.default_rng(33)
+    with ThreadedHTTPServer(max_datasets=2, tile_size=16) as srv:
+        ids = []
+        for i in range(3):
+            _s, ds = _post(srv.url + "/datasets", {
+                "clients": rng.random((10 + i, 2)).tolist(),
+            })
+            ids.append(ds["dataset"])
+        # The first dataset was evicted by the third.
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(srv.url + "/build", {"dataset": ids[0]})
+        assert exc.value.code == 404
+        assert "evicted" in json.loads(exc.value.read())["error"]["message"]
+        # The newest two still build fine.
+        _s, kicked = _post(srv.url + "/build", {"dataset": ids[2]})
+        assert kicked["status"] in ("building", "ready")
+
+
+def test_update_batch_simulates_adds_during_validation(server):
+    """add_facility before remove_facility of the only old facility is a
+    legal sequential batch and must not be rejected by pre-validation."""
+    clients, _facilities = _instance()
+    _s, ds = _post(server.url + "/datasets", {
+        "clients": clients.tolist(), "facilities": [[0.5, 0.5]],
+    })
+    _s, kicked = _post(server.url + "/build", {
+        "dataset": ds["dataset"], "dynamic": True,
+    })
+    dyn_handle = kicked["handle"]
+    _poll_ready(server.url, dyn_handle)
+    dyn = server.app._dynamic[dyn_handle]
+    only = dyn.assignment.facility_handles()[0]
+    _s, upd = _post(server.url + f"/update/{dyn_handle}", {"updates": [
+        {"op": "add_facility", "x": 0.2, "y": 0.8},
+        {"op": "remove_facility", "handle": only},
+    ]})
+    assert upd["applied"] == 2
+    assert dyn.assignment.n_facilities == 1
+    # And removing the now-only facility is still rejected with nothing applied.
+    remaining = dyn.assignment.facility_handles()[0]
+    with pytest.raises(urllib.error.HTTPError) as exc:
+        _post(server.url + f"/update/{dyn_handle}", {"updates": [
+            {"op": "remove_facility", "handle": remaining},
+        ]})
+    assert exc.value.code == 400
+    assert dyn.assignment.n_facilities == 1
+
+
+def test_dynamic_registry_is_bounded():
+    """Past max_dynamic, the oldest dynamic map is invalidated (evicted)."""
+    rng = np.random.default_rng(55)
+    with ThreadedHTTPServer(max_dynamic=1, tile_size=16) as srv:
+        _s, ds = _post(srv.url + "/datasets", {
+            "clients": rng.random((30, 2)).tolist(),
+            "facilities": rng.random((6, 2)).tolist(),
+        })
+        dyn_handles = []
+        for _ in range(2):
+            _s, kicked = _post(srv.url + "/build", {
+                "dataset": ds["dataset"], "dynamic": True,
+            })
+            _poll_ready(srv.url, kicked["handle"])
+            dyn_handles.append(kicked["handle"])
+        _status, body, _ = _get(f"{srv.url}/build/{dyn_handles[0]}")
+        assert json.loads(body)["status"] == "evicted"
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(srv.url + f"/update/{dyn_handles[0]}",
+                  {"updates": [{"op": "add_client", "x": 0.5, "y": 0.5}]})
+        assert exc.value.code == 404
+        # The survivor still works.
+        _s, upd = _post(srv.url + f"/update/{dyn_handles[1]}",
+                        {"updates": [{"op": "add_client", "x": 0.5, "y": 0.5}]})
+        assert upd["applied"] == 1
+
+
+def test_rst_disconnect_cancels_request():
+    """An abrupt RST close (not a clean FIN) must also fire the
+    cancellation path rather than erroring the connection handler."""
+    import struct
+
+    clients, facilities = _instance()
+    with ThreadedHTTPServer(tile_size=16) as srv:
+        _s, ds = _post(srv.url + "/datasets", {
+            "clients": clients.tolist(), "facilities": facilities.tolist(),
+        })
+        _s, kicked = _post(srv.url + "/build", {"dataset": ds["dataset"]})
+        handle = kicked["handle"]
+        _poll_ready(srv.url, handle)
+        started = threading.Event()
+        release = threading.Event()
+        srv.app.service.service.on_tile_render = \
+            lambda key: (started.set(), release.wait(15))
+        try:
+            sock = socket.create_connection((srv.host, srv.port), timeout=10)
+            sock.sendall(
+                f"GET /tiles/{handle}/2/0/1.png HTTP/1.1\r\n"
+                f"Host: {srv.host}\r\n\r\n".encode()
+            )
+            assert started.wait(timeout=15)
+            # SO_LINGER with zero timeout turns close() into a TCP RST.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            sock.close()
+            deadline = time.time() + 10
+            while srv.app.http_stats.cancelled_requests < 1:
+                assert time.time() < deadline, "RST never cancelled the request"
+                time.sleep(0.01)
+        finally:
+            release.set()
+            srv.app.service.service.on_tile_render = None
+        status, _body, _ = _get(srv.url + "/healthz")
+        assert status == 200
+
+
+def test_build_failure_is_reported_via_poll(server):
+    clients, facilities = _instance()
+    _s, ds = _post(server.url + "/datasets", {
+        "clients": clients.tolist(), "facilities": facilities.tolist(),
+    })
+    # 'baseline' cannot run under L2: the build task fails, the poll says so.
+    _s, kicked = _post(server.url + "/build", {
+        "dataset": ds["dataset"], "metric": "l2", "algorithm": "baseline",
+    })
+    state = _poll_ready(server.url, kicked["handle"])
+    assert state["status"] == "failed"
+    assert "L2" in state["error"] or "l2" in state["error"]
+
+
+# ----------------------------------------------------------------------
+# Coalescing and cancellation through the wire
+# ----------------------------------------------------------------------
+def test_eight_concurrent_cold_fetches_render_once():
+    """The acceptance gate: 8 clients, 1 render, coalesced_tiles == 7."""
+    clients, facilities = _instance()
+    with ThreadedHTTPServer(tile_size=16) as srv:
+        _s, ds = _post(srv.url + "/datasets", {
+            "clients": clients.tolist(), "facilities": facilities.tolist(),
+        })
+        _s, kicked = _post(srv.url + "/build", {"dataset": ds["dataset"]})
+        handle = kicked["handle"]
+        _poll_ready(srv.url, handle)
+
+        stats = srv.app.service.stats
+        renders = []
+
+        def gate_render(key):
+            renders.append(key)
+            # Hold the one render until every other client has attached to
+            # the in-flight future (or a generous deadline passes).
+            deadline = time.time() + 10
+            while stats.coalesced_tiles < 7 and time.time() < deadline:
+                time.sleep(0.002)
+
+        srv.app.service.service.on_tile_render = gate_render
+        try:
+            url = f"{srv.url}/tiles/{handle}/2/1/2.png"
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(lambda _i: _get(url), range(8)))
+        finally:
+            srv.app.service.service.on_tile_render = None
+        bodies = {body for _s, body, _h in results}
+        assert len(bodies) == 1, "all 8 clients must receive identical bytes"
+        assert len(renders) == 1, "a cold tile must render exactly once"
+        _s, body, _ = _get(srv.url + "/stats")
+        snapshot = json.loads(body)["service"]
+        assert snapshot["coalesced_tiles"] == 7
+        assert snapshot["tile_renders"] == 1
+
+
+def test_client_disconnect_cancels_request_without_killing_server():
+    """Dropping the socket mid-render cancels the handler task; the server
+    stays healthy and the tile remains servable afterwards."""
+    clients, facilities = _instance()
+    with ThreadedHTTPServer(tile_size=16) as srv:
+        _s, ds = _post(srv.url + "/datasets", {
+            "clients": clients.tolist(), "facilities": facilities.tolist(),
+        })
+        _s, kicked = _post(srv.url + "/build", {"dataset": ds["dataset"]})
+        handle = kicked["handle"]
+        _poll_ready(srv.url, handle)
+
+        started = threading.Event()
+        release = threading.Event()
+
+        def gate_render(key):
+            started.set()
+            release.wait(timeout=15)
+
+        srv.app.service.service.on_tile_render = gate_render
+        try:
+            sock = socket.create_connection((srv.host, srv.port), timeout=10)
+            sock.sendall(
+                f"GET /tiles/{handle}/2/3/3.png HTTP/1.1\r\n"
+                f"Host: {srv.host}\r\n\r\n".encode()
+            )
+            assert started.wait(timeout=15), "render never started"
+            sock.close()  # the client walks away mid-render
+            deadline = time.time() + 10
+            while srv.app.http_stats.cancelled_requests < 1:
+                assert time.time() < deadline, "disconnect never cancelled"
+                time.sleep(0.01)
+        finally:
+            release.set()
+            srv.app.service.service.on_tile_render = None
+        # The server survived and serves the same tile to the next client.
+        status, png, _ = _get(f"{srv.url}/tiles/{handle}/2/3/3.png")
+        assert status == 200 and png.startswith(b"\x89PNG")
+        _s, body, _ = _get(srv.url + "/healthz")
+        assert json.loads(body)["status"] == "ok"

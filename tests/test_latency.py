@@ -1,0 +1,97 @@
+"""Direct unit tests for the shared latency-percentile reporting.
+
+``serve-queries --async``, ``serve-http`` and both serving benchmarks all
+report through ``repro.service.latency``; previously the formatting was
+only exercised via CLI smoke runs — these tests pin the behavior down.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.latency import (
+    LatencyRecorder,
+    format_percentiles,
+    latency_percentiles,
+)
+
+
+def test_percentiles_empty():
+    assert latency_percentiles([]) == {"n": 0}
+    assert format_percentiles("tile", {"n": 0}) == "tile: (none)"
+
+
+def test_percentiles_values_and_units():
+    # 1..100 ms as seconds; percentiles computed in milliseconds.
+    samples = [i / 1000 for i in range(1, 101)]
+    pcts = latency_percentiles(samples)
+    assert pcts["n"] == 100
+    assert pcts["max_ms"] == pytest.approx(100.0)
+    assert pcts["p50_ms"] == pytest.approx(np.percentile(range(1, 101), 50))
+    assert pcts["p90_ms"] == pytest.approx(np.percentile(range(1, 101), 90))
+    assert pcts["p99_ms"] == pytest.approx(np.percentile(range(1, 101), 99))
+    line = format_percentiles("probe", pcts)
+    assert line.startswith("probe: n=100 ")
+    assert "p50=" in line and "p99=" in line and "max=100.0ms" in line
+
+
+def test_recorder_observe_and_snapshot():
+    rec = LatencyRecorder()
+    assert rec.kinds() == []
+    assert rec.percentiles("tile") == {"n": 0}
+    rec.observe("tile", 0.010)
+    rec.observe("tile", 0.030)
+    rec.observe("query", 0.002)
+    assert rec.kinds() == ["tile", "query"]
+    assert rec.count("tile") == 2
+    snap = rec.snapshot()
+    assert snap["tile"]["n"] == 2
+    assert snap["tile"]["max_ms"] == pytest.approx(30.0)
+    assert snap["query"]["n"] == 1
+    report = rec.report()
+    assert len(report) == 2
+    assert report[0].lstrip().startswith("tile:")
+
+
+def test_recorder_timing_context_records_on_error():
+    rec = LatencyRecorder()
+    with pytest.raises(ValueError):
+        with rec.timing("build"):
+            raise ValueError("boom")
+    assert rec.count("build") == 1
+
+
+def test_recorder_timed_coroutine():
+    rec = LatencyRecorder()
+
+    async def work():
+        await asyncio.sleep(0.01)
+        return 42
+
+    async def main():
+        return await rec.timed("probe", work())
+
+    assert asyncio.run(main()) == 42
+    pcts = rec.percentiles("probe")
+    assert pcts["n"] == 1
+    assert pcts["max_ms"] >= 5.0
+
+
+def test_recorder_thread_safety():
+    rec = LatencyRecorder()
+    n_threads, per_thread = 8, 500
+
+    def worker(i):
+        for _ in range(per_thread):
+            rec.observe("tile", 0.001)
+            rec.observe(f"kind-{i % 2}", 0.002)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert rec.count("tile") == n_threads * per_thread
+    assert rec.count("kind-0") + rec.count("kind-1") == n_threads * per_thread

@@ -1,0 +1,91 @@
+"""``docs/openapi.yaml`` is generated — these tests keep it honest.
+
+Three sync guarantees:
+
+* the committed YAML is byte-identical to what ``repro.server.openapi``
+  renders (edit ``SPEC``, regenerate, or this fails);
+* every route registered in the app's router appears in the spec's
+  ``paths`` with the right method, and vice versa — the contract can
+  never silently drift from the code;
+* the YAML is well-formed (round-tripped through PyYAML when available)
+  and the validator subset behaves.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.server.app import HeatMapHTTPApp
+from repro.server.openapi import SPEC, spec_yaml, validate
+
+DOCS_YAML = Path(__file__).resolve().parent.parent / "docs" / "openapi.yaml"
+
+
+def test_committed_yaml_matches_generator():
+    committed = DOCS_YAML.read_text(encoding="utf-8")
+    assert committed == spec_yaml(), (
+        "docs/openapi.yaml is stale — regenerate with "
+        "`PYTHONPATH=src python -m repro.server.openapi docs/openapi.yaml`"
+    )
+
+
+def test_router_and_spec_agree_on_every_endpoint():
+    app = HeatMapHTTPApp(max_workers=1)
+    try:
+        in_router = {
+            (route.method.lower(), route.openapi_path)
+            for route in app.router.routes()
+        }
+    finally:
+        app.aclose_sync()
+    in_spec = {
+        (method, path)
+        for path, methods in SPEC["paths"].items()
+        for method in methods
+    }
+    assert in_router == in_spec
+
+
+def test_spec_declares_error_schema_for_every_4xx():
+    for path, methods in SPEC["paths"].items():
+        for method, operation in methods.items():
+            for status, response in operation["responses"].items():
+                if not status.startswith("4"):
+                    continue
+                schema = response["content"]["application/json"]["schema"]
+                assert schema == {"$ref": "#/components/schemas/Error"}, (
+                    f"{method.upper()} {path} {status} must use the shared "
+                    "Error schema"
+                )
+
+
+def test_yaml_round_trips_through_pyyaml():
+    yaml = pytest.importorskip("yaml")
+    assert yaml.safe_load(spec_yaml()) == SPEC
+
+
+def test_validator_subset():
+    schemas = SPEC["components"]["schemas"]
+    assert validate(
+        {"dataset": "ds-1", "n_clients": 5, "n_facilities": 2},
+        schemas["Dataset"],
+    ) == []
+    errors = validate({"dataset": "ds-1"}, schemas["Dataset"])
+    assert any("n_clients" in e for e in errors)
+    errors = validate(
+        {"handle": "h", "status": "sideways"}, schemas["BuildStatus"]
+    )
+    assert any("enum" in e for e in errors)
+    errors = validate({"updates": []}, schemas["UpdateRequest"])
+    assert any("fewer than 1" in e for e in errors)
+    assert validate(
+        {"updates": [{"op": "move_client", "handle": 1, "x": 0.1, "y": 0.2}]},
+        schemas["UpdateRequest"],
+    ) == []
+    # Type lists ("integer or null" results) accept both.
+    assert validate(
+        {"handle": "d", "applied": 1, "results": [3, None],
+         "version": 2, "stale": True},
+        schemas["UpdateResponse"],
+    ) == []
+    assert validate(True, {"type": "integer"}) != []  # bool is not integer
