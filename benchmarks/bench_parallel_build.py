@@ -1,25 +1,39 @@
-"""Benchmark: slab-partitioned multi-process builds vs the serial sweep.
+"""Benchmark: loop sweep vs batched sweep vs slab-parallel builds.
 
-City-scale builds are sweep-bound single-core Python; the ``repro.parallel``
-pipeline partitions the event queue into x-slabs and sweeps them in worker
-processes.  This script times the serial engine and the pipeline at a list
-of worker counts, checks that every parallel build answers a probe batch
-identically to the serial one, and reports the speedup per worker count.
+City-scale builds are sweep-bound Python; this PR attacks that on two
+axes and this script measures both:
+
+* the **batched serial engines** (``l2-batched`` / ``linf-batched``)
+  vectorize the hot loop over flat numpy columns, bit-identical to the
+  loop sweep;
+* the **parallel pipeline** sweeps x-slabs in worker processes, each slab
+  running the batched engine (L2), and ships results back as shared-memory
+  columns instead of pickled fragment graphs (``stats.transport_s`` is
+  that movement's cost, reported per run).
+
+Worker processes are leased from the shared pool (``repro.parallel.pool``)
+and kept warm across the timed runs — the numbers measure sweeping and
+transport, not fork and interpreter start-up.  Every timed build is checked
+to answer a probe batch identically to the loop-serial reference.
 
 Run standalone (no pytest)::
 
     PYTHONPATH=src python benchmarks/bench_parallel_build.py
-    PYTHONPATH=src python benchmarks/bench_parallel_build.py \\
-        --clients 300 --facilities 60 --workers 1,2 --probes 2000   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_parallel_build.py --smoke \\
+        --json BENCH_parallel.json                             # CI gate
 
-Expect speedup only on multi-core machines: on one core the pipeline pays
-for overlap margins and process startup without parallel recovery.  Exit
-status is non-zero when --check finds any divergence from the serial build.
+``--smoke`` shrinks the instance and turns on the self-check gates: the
+batched serial engine must beat the loop engine, and every parallel run's
+speedup over loop-serial must exceed workers/2 (slab overlap and transport
+may eat into perfect scaling, but the batched slab engines must keep the
+pipeline comfortably ahead).  Exit status is non-zero on any gate or
+equivalence failure.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import time
@@ -27,25 +41,50 @@ import time
 import numpy as np
 
 from repro import RNNHeatMap
+from repro.parallel.pool import close_pool, discard_pool, lease_pool
+
+
+def _warm_pool(workers: int) -> None:
+    """Fork the shared pool's workers before the timed runs.
+
+    A fresh ``ProcessPoolExecutor`` forks lazily on first submit; parking
+    one short sleep per worker forces all of them up front, so the timed
+    builds lease a warm pool.
+    """
+    discard_pool()
+    pool = lease_pool(workers)
+    if pool is not None:
+        list(pool.map(time.sleep, [0.01] * workers))
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    ap.add_argument("--clients", type=int, default=4000)
-    ap.add_argument("--facilities", type=int, default=800)
+    ap.add_argument("--clients", type=int, default=2000)
+    ap.add_argument("--facilities", type=int, default=400)
     ap.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
-    ap.add_argument("--workers", default="1,2,4,8",
+    ap.add_argument("--workers", default="1,2,4",
                     help="comma-separated worker counts to time")
     ap.add_argument("--probes", type=int, default=20_000,
                     help="random probes used by the equivalence check")
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--check", action="store_true", default=True,
-                    help="verify parallel answers match the serial build "
-                         "(default: on)")
+                    help="verify every build answers like the loop-serial "
+                         "reference (default: on)")
     ap.add_argument("--no-check", dest="check", action="store_false")
+    ap.add_argument("--gate", action="store_true",
+                    help="fail unless batched-serial beats loop-serial and "
+                         "every parallel speedup exceeds workers/2")
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI instance with the --gate self-checks on")
     ap.add_argument("--json", type=str, default=None, metavar="PATH",
                     help="write a machine-readable result record here")
     args = ap.parse_args(argv)
+    if args.smoke:
+        args.clients = min(args.clients, 500)
+        args.facilities = min(args.facilities, 100)
+        args.probes = min(args.probes, 2000)
+        args.workers = "1,2"
+        args.gate = True
     worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
 
     rng = np.random.default_rng(args.seed)
@@ -55,46 +94,96 @@ def main(argv=None) -> int:
     # NN-circle computation happens once in the constructor; the timings
     # below isolate the sweep, mirroring the paper's benchmark setup.
     hm = RNNHeatMap(clients, facilities, metric=args.metric)
+    batched_name = f"{hm.sweep_metric_name}-batched"
     print(f"|O|={args.clients} |F|={args.facilities} metric={args.metric} "
           f"({len(hm.circles)} NN-circles)")
 
     t0 = time.perf_counter()
     serial = hm.build("crest")
     serial_s = time.perf_counter() - t0
-    print(f"serial crest:               {serial_s:8.2f}s  "
+    print(f"serial crest (loop):          {serial_s:8.2f}s  "
           f"({len(serial.region_set)} fragments, {serial.stats.labels} labels)")
 
     probes = rng.random((args.probes, 2)) * 1.2 - 0.1
     serial_heats = serial.heat_at_many(probes)
     serial_topk = serial.region_set.top_k_heats(10)
+    # The reference build stays alive for the equivalence checks — a million
+    # long-lived fragment objects the collector would otherwise rescan on
+    # every allocation burst inside the timed runs.  Freeze them out.
+    gc.collect()
+    gc.freeze()
+
+    def check(result, tag: str) -> "bool | None":
+        if not args.check:
+            return None
+        ok = (
+            np.array_equal(result.heat_at_many(probes), serial_heats)
+            and result.region_set.top_k_heats(10) == serial_topk
+        )
+        if not ok:
+            print(f"MISMATCH: {tag} diverged from the loop-serial build")
+        return ok
 
     failures = 0
+
+    t0 = time.perf_counter()
+    batched = hm.build(batched_name)
+    batched_s = time.perf_counter() - t0
+    batched_ok = check(batched, batched_name)
+    failures += 0 if batched_ok in (True, None) else 1
+    batched_speedup = serial_s / batched_s if batched_s > 0 else float("inf")
+    print(f"serial {batched_name}:{'':{max(0, 14 - len(batched_name))}}"
+          f"{batched_s:8.2f}s  speedup {batched_speedup:5.2f}x"
+          f"{'  answers==serial' if batched_ok else ''}")
+    del batched  # keep dead builds out of the next run's GC scans
+    gc.collect()
+
     runs = []
     for w in worker_counts:
+        _warm_pool(w)
         t0 = time.perf_counter()
         par = hm.build("crest", workers=w) if w != 1 else hm.build(
             f"{hm.sweep_metric_name}-parallel", workers=1
         )
         par_s = time.perf_counter() - t0
-        verdict = ""
-        ok = None  # null in the JSON record when the check did not run
-        if args.check:
-            ok = (
-                np.array_equal(par.heat_at_many(probes), serial_heats)
-                and par.region_set.top_k_heats(10) == serial_topk
-            )
-            verdict = "  answers==serial" if ok else "  MISMATCH vs serial"
-            failures += 0 if ok else 1
+        ok = check(par, f"workers={w}")
+        failures += 0 if ok in (True, None) else 1
         runs.append({
             "workers": w,
             "slabs": par.stats.n_slabs,
             "parallel_s": par_s,
+            "transport_s": par.stats.transport_s,
             "speedup": serial_s / par_s if par_s > 0 else float("inf"),
-            "answers_equal": None if ok is None else bool(ok),
+            "answers_equal": ok,
         })
         print(f"parallel workers={w:<2} "
               f"(slabs={par.stats.n_slabs}): {par_s:8.2f}s  "
-              f"speedup {serial_s / par_s:5.2f}x{verdict}")
+              f"speedup {serial_s / par_s:5.2f}x  "
+              f"transport {par.stats.transport_s:6.3f}s"
+              f"{'  answers==serial' if ok else ''}")
+        del par
+        gc.collect()
+    close_pool()
+
+    gate_failures = []
+    if args.gate:
+        if batched_s >= serial_s:
+            gate_failures.append(
+                f"batched serial ({batched_s:.2f}s) did not beat "
+                f"loop serial ({serial_s:.2f}s)"
+            )
+        for r in runs:
+            floor = r["workers"] / 2.0
+            if r["speedup"] <= floor:
+                gate_failures.append(
+                    f"workers={r['workers']}: speedup {r['speedup']:.2f}x "
+                    f"<= gate {floor:.1f}x"
+                )
+        for msg in gate_failures:
+            print(f"GATE FAIL: {msg}")
+        if not gate_failures:
+            print("gates passed: batched beats loop; "
+                  "every speedup > workers/2")
 
     if args.json:
         record = {
@@ -105,10 +194,15 @@ def main(argv=None) -> int:
                 "metric": args.metric,
                 "probes": args.probes,
                 "seed": args.seed,
+                "smoke": args.smoke,
             },
             "serial_s": serial_s,
+            "batched_serial_s": batched_s,
+            "batched_speedup": batched_speedup,
+            "batched_answers_equal": batched_ok,
             "runs": runs,
             "failures": failures,
+            "gate_failures": gate_failures,
         }
         with open(args.json, "w") as fh:
             json.dump(record, fh, indent=2)
@@ -116,7 +210,9 @@ def main(argv=None) -> int:
         print(f"wrote {args.json}")
 
     if failures:
-        print(f"FAIL: {failures} worker count(s) diverged from serial")
+        print(f"FAIL: {failures} build(s) diverged from serial")
+        return 1
+    if gate_failures:
         return 1
     return 0
 

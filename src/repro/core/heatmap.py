@@ -142,19 +142,26 @@ class RNNHeatMap:
         baseline_index: str = "segment_tree",
         workers: "int | None" = None,
         on_label=None,
+        should_cancel=None,
     ) -> HeatMapResult:
         """Solve the RC problem and return the labeled subdivision.
 
         Algorithms are looked up in :data:`repro.core.registry.REGISTRY`;
         registered by default: 'crest' (the paper's sweep), 'crest-a' (no
         changed intervals), 'baseline' (grid + enclosure queries; square
-        metrics only), 'superimposition' (size measure only), and the
+        metrics only), 'superimposition' (size measure only), the
+        'l2-batched'/'linf-batched' vectorized sweeps, and the
         'linf-parallel'/'l2-parallel' slab-partitioned pipelines.
 
         ``workers`` requests a multi-process build: passing a value other
         than 1 with the default 'crest' engine routes through the parallel
         pipeline for the active sweep metric (``None`` means one worker per
         CPU there); serial engines ignore the option.
+
+        ``should_cancel`` is a zero-argument hook polled by the sweep
+        engines once per event batch; returning True abandons the build
+        with :class:`~repro.errors.BuildCancelledError`.  Engines that do
+        not poll (superimposition, baseline) ignore it.
         """
         if workers is not None and int(workers) != 1 and algorithm.lower() == "crest":
             algorithm = f"{self.circles.metric.name}-parallel"
@@ -168,6 +175,7 @@ class RNNHeatMap:
             status_backend=status_backend,
             baseline_index=baseline_index,
             workers=workers,
+            should_cancel=should_cancel,
         )
         if region_set is None:
             region_set = RegionSet([], self.transform, float(self.measure(frozenset())))

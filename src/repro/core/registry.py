@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from ..errors import AlgorithmUnsupportedError, UnknownAlgorithmError
 from .baseline import run_baseline
 from .superimposition import run_superimposition
+from .sweep_batched import run_crest_batched, run_crest_l2_batched
 from .sweep_l2 import run_crest_l2
 from .sweep_linf import run_crest
 
@@ -157,31 +158,49 @@ class AlgorithmRegistry:
 # facade passes its full option set to whichever engine was selected.
 # ----------------------------------------------------------------------
 def _crest_linf(circles, measure, *, transform, collect_fragments, on_label,
-                status_backend="sortedlist", **_ignored):
+                status_backend="sortedlist", should_cancel=None, **_ignored):
     """CREST segment sweep (with changed-interval batching)."""
     return run_crest(
         circles, measure, use_changed_intervals=True,
         status_backend=status_backend, collect_fragments=collect_fragments,
-        transform=transform, on_label=on_label,
+        transform=transform, on_label=on_label, should_cancel=should_cancel,
     )
 
 
 def _crest_a_linf(circles, measure, *, transform, collect_fragments, on_label,
-                  status_backend="sortedlist", **_ignored):
+                  status_backend="sortedlist", should_cancel=None, **_ignored):
     """CREST-A ablation (no changed-interval batching)."""
     return run_crest(
         circles, measure, use_changed_intervals=False,
         status_backend=status_backend, collect_fragments=collect_fragments,
-        transform=transform, on_label=on_label,
+        transform=transform, on_label=on_label, should_cancel=should_cancel,
     )
 
 
 def _crest_l2(circles, measure, *, transform, collect_fragments, on_label,
-              **_ignored):
+              should_cancel=None, **_ignored):
     """CREST-L2 arc sweep over disk NN-circles."""
     return run_crest_l2(
         circles, measure, collect_fragments=collect_fragments,
-        transform=transform, on_label=on_label,
+        transform=transform, on_label=on_label, should_cancel=should_cancel,
+    )
+
+
+def _crest_linf_batched(circles, measure, *, transform, collect_fragments,
+                        on_label, should_cancel=None, **_ignored):
+    """Vectorized CREST segment sweep (flat status columns)."""
+    return run_crest_batched(
+        circles, measure, collect_fragments=collect_fragments,
+        transform=transform, on_label=on_label, should_cancel=should_cancel,
+    )
+
+
+def _crest_l2_batched(circles, measure, *, transform, collect_fragments,
+                      on_label, should_cancel=None, **_ignored):
+    """Vectorized CREST-L2 arc sweep (flat status columns)."""
+    return run_crest_l2_batched(
+        circles, measure, collect_fragments=collect_fragments,
+        transform=transform, on_label=on_label, should_cancel=should_cancel,
     )
 
 
@@ -201,7 +220,8 @@ def _superimposition_linf(circles, measure, *, transform, **_ignored):
 
 
 def _parallel_sweep(circles, measure, *, transform, collect_fragments, on_label,
-                    status_backend="sortedlist", workers=None, **_ignored):
+                    status_backend="sortedlist", workers=None,
+                    should_cancel=None, **_ignored):
     """Slab-partitioned multi-process CREST (repro.parallel pipeline).
 
     Imported lazily so importing the registry never pays the
@@ -213,6 +233,7 @@ def _parallel_sweep(circles, measure, *, transform, collect_fragments, on_label,
         circles, measure, transform=transform,
         collect_fragments=collect_fragments, on_label=on_label,
         status_backend=status_backend, workers=workers,
+        should_cancel=should_cancel,
     )
 
 
@@ -245,6 +266,16 @@ REGISTRY.register(EngineSpec(
     runners={"l2": _crest_l2},
     description="explicit alias for the L2 arc sweep",
     public=False,
+))
+REGISTRY.register(EngineSpec(
+    name="l2-batched",
+    runners={"l2": _crest_l2_batched},
+    description="vectorized CREST-L2 over flat arrays; bit-identical to crest",
+))
+REGISTRY.register(EngineSpec(
+    name="linf-batched",
+    runners={"linf": _crest_linf_batched},
+    description="vectorized CREST over flat arrays; bit-identical to crest",
 ))
 REGISTRY.register(EngineSpec(
     name="linf-parallel",

@@ -24,7 +24,7 @@ from ..geometry.circle import NNCircleSet
 from ..geometry.transforms import IDENTITY, Transform
 from ..index.grid import UniformGridIndex
 from .regionset import ArcFragment, RegionSet
-from .sweep_linf import SweepStats
+from .sweep_linf import SweepStats, _check_cancel
 
 __all__ = ["run_crest_l2"]
 
@@ -97,6 +97,7 @@ def run_crest_l2(
     collect_fragments: bool = True,
     transform: Transform = IDENTITY,
     on_label=None,
+    should_cancel=None,
 ) -> "tuple[SweepStats, RegionSet | None]":
     """Run CREST-L2 over disk NN-circles.
 
@@ -150,6 +151,7 @@ def run_crest_l2(
 
     x = 0.0
     for b, (x, batch) in enumerate(batches):
+        _check_cancel(should_cancel)
         dirty: "set[int]" = set()
         inserted: "list[int]" = []
         for _x, etype, payload in batch:

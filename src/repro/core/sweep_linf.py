@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..errors import InvalidInputError
+from ..errors import BuildCancelledError, InvalidInputError
 from ..geometry.circle import NNCircleSet
 from ..geometry.transforms import IDENTITY, Transform
 from ..index.skiplist import SkipList
@@ -63,9 +63,12 @@ class SweepStats:
     n_fragments: int = 0
     algorithm: str = "crest"
     # Parallel-pipeline provenance (repro.parallel): serial sweeps keep the
-    # defaults; slab-partitioned builds record the plan actually executed.
+    # defaults; slab-partitioned builds record the plan actually executed
+    # and the wall-clock seconds spent moving fragments between processes
+    # (worker-side column packing + parent-side claim and rebuild).
     n_slabs: int = 1
     n_workers: int = 1
+    transport_s: float = 0.0
     # Incremental-rebuild provenance (repro.dynamic.incremental): full
     # builds keep the defaults; a dirty-band re-sweep records the fraction
     # of the event queue that fell inside the re-swept bands (``n_events``
@@ -115,6 +118,13 @@ class _FragmentAssembler:
         return self.fragments
 
 
+def _check_cancel(should_cancel) -> None:
+    """Poll a build's ``should_cancel`` hook (engines call this once per
+    event batch, so cancellation lands within one batch of the request)."""
+    if should_cancel is not None and should_cancel():
+        raise BuildCancelledError("heat-map build cancelled by its caller")
+
+
 def _make_status(backend: str):
     if backend == "sortedlist":
         return SortedKeyList()
@@ -136,6 +146,7 @@ def run_crest(
     collect_fragments: bool = True,
     transform: Transform = IDENTITY,
     on_label=None,
+    should_cancel=None,
 ) -> "tuple[SweepStats, RegionSet | None]":
     """Run CREST (or CREST-A) over square NN-circles.
 
@@ -147,6 +158,8 @@ def run_crest(
         collect_fragments: assemble a RegionSet (off for pure benchmarking).
         transform: recorded on the RegionSet (pi/4 rotation for L1 runs).
         on_label: optional callback (rnn_set, heat) per labeling operation.
+        should_cancel: optional zero-argument hook polled once per event
+            batch; returning True raises ``BuildCancelledError``.
 
     Returns:
         (stats, region_set) — region_set is None when not collecting.
@@ -227,6 +240,7 @@ def run_crest(
     i = 0
     x = 0.0
     while i < n_ev:
+        _check_cancel(should_cancel)
         x = events[i][0]
         finalize_pending(x)
         changed: "list[tuple[float, float]]" = []

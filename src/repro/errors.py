@@ -37,6 +37,16 @@ class UnknownHandleError(ReproError):
     """
 
 
+class BuildCancelledError(ReproError):
+    """Raised when a build is abandoned through its ``should_cancel`` hook.
+
+    The sweep engines poll the hook once per event batch, so cancellation
+    lands within one batch of the request; nothing partial is ever cached
+    (the service layers let this exception propagate past their admit
+    steps).
+    """
+
+
 class BudgetExceededError(ReproError):
     """Raised when an algorithm exceeds a caller-imposed time/work budget.
 

@@ -11,7 +11,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["Arc", "LOWER_ARC", "UPPER_ARC", "circle_intersections"]
+import numpy as np
+
+__all__ = [
+    "Arc",
+    "LOWER_ARC",
+    "UPPER_ARC",
+    "circle_intersections",
+    "circle_intersections_many",
+]
 
 LOWER_ARC = 0
 UPPER_ARC = 1
@@ -87,3 +95,42 @@ def circle_intersections(
     ox = -dy * (h / d)
     oy = dx * (h / d)
     return [(mx + ox, my + oy), (mx - ox, my - oy)]
+
+
+def circle_intersections_many(cx1, cy1, r1, cx2, cy2, r2):
+    """Vectorized :func:`circle_intersections` over pair arrays.
+
+    Every arithmetic step mirrors the scalar radical-line construction
+    operation for operation, so the returned coordinates are bit-identical
+    to per-pair scalar calls.  Returns ``(count, px0, py0, px1, py1)``:
+    ``count`` in {0, 1, 2} per pair; a tangency stores its single point in
+    ``(px0, py0)``; the first point of a 2-point pair is the ``+h`` offset
+    one, matching the scalar return order.
+    """
+    cx1 = np.asarray(cx1, dtype=float)
+    cy1 = np.asarray(cy1, dtype=float)
+    r1 = np.asarray(r1, dtype=float)
+    cx2 = np.asarray(cx2, dtype=float)
+    cy2 = np.asarray(cy2, dtype=float)
+    r2 = np.asarray(r2, dtype=float)
+    dx = cx2 - cx1
+    dy = cy2 - cy1
+    d2 = dx * dx + dy * dy
+    with np.errstate(divide="ignore", invalid="ignore"):
+        d = np.sqrt(d2)
+        valid = (d2 != 0.0) & ~(d > r1 + r2) & ~(d < np.abs(r1 - r2))
+        a = (r1 * r1 - r2 * r2 + d2) / (2.0 * d)
+        h2 = r1 * r1 - a * a
+        mx = cx1 + a * dx / d
+        my = cy1 + a * dy / d
+        tangent = h2 <= 0.0
+        h = np.sqrt(np.where(tangent, 0.0, h2))
+        hd = h / d
+        ox = -dy * hd
+        oy = dx * hd
+    count = np.where(valid, np.where(tangent, 1, 2), 0).astype(np.int64)
+    px0 = np.where(tangent, mx, mx + ox)
+    py0 = np.where(tangent, my, my + oy)
+    px1 = mx - ox
+    py1 = my - oy
+    return count, px0, py0, px1, py1

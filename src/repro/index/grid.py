@@ -75,6 +75,50 @@ class UniformGridIndex:
                         seen.add(pair)
         return sorted(seen)
 
+    def intersecting_pairs_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Vectorized :meth:`intersecting_pairs`: the same (i, j), i < j,
+        pairs in the same lexicographic order, as two int64 arrays.
+
+        Candidate pairs are enumerated per bucket with broadcast index
+        triangles, deduplicated through one ``np.unique`` over packed
+        ``i * n + j`` keys (which also yields the sorted order), and the
+        closed-rectangle overlap test runs as one boolean mask.
+        """
+        empty = np.zeros(0, dtype=np.int64)
+        if self.n == 0:
+            return empty, empty
+        tri_cache: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
+        ia: "list[np.ndarray]" = []
+        ja: "list[np.ndarray]" = []
+        for bucket in self._buckets.values():
+            k = len(bucket)
+            if k < 2:
+                continue
+            tri = tri_cache.get(k)
+            if tri is None:
+                tri = np.triu_indices(k, 1)
+                tri_cache[k] = tri
+            arr = np.asarray(bucket, dtype=np.int64)
+            ia.append(arr[tri[0]])
+            ja.append(arr[tri[1]])
+        if not ia:
+            return empty, empty
+        a = np.concatenate(ia)
+        b = np.concatenate(ja)
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        n = np.int64(self.n)
+        key = np.unique(lo * n + hi)
+        lo = key // n
+        hi = key % n
+        keep = ~(
+            (self.x_lo[hi] > self.x_hi[lo])
+            | (self.x_hi[hi] < self.x_lo[lo])
+            | (self.y_lo[hi] > self.y_hi[lo])
+            | (self.y_hi[hi] < self.y_lo[lo])
+        )
+        return lo[keep], hi[keep]
+
     def _overlaps(self, i: int, j: int) -> bool:
         return not (
             self.x_lo[j] > self.x_hi[i]

@@ -44,6 +44,18 @@ class InfluenceMeasure:
     def __call__(self, rnn_set: frozenset) -> float:
         raise NotImplementedError
 
+    def measure_many(self, rnn_sets: "list[frozenset]") -> "list[float]":
+        """Influence of each set, in order — the batched engines' entry
+        point (one call per event batch instead of one per label).
+
+        The default delegates to ``self(fs)`` per set, preserving every
+        measure's exact float semantics (e.g. ``WeightedMeasure``'s
+        set-iteration summation order); measures whose value is
+        order-independent may override with a vectorized form, as long as
+        the returned floats stay bit-identical to scalar calls.
+        """
+        return [float(self(fs)) for fs in rnn_sets]
+
     def upper_bound(self, included: frozenset, undecided: frozenset) -> float:
         """Optimistic bound over any R with included <= R <= included|undecided.
 
@@ -61,6 +73,12 @@ class SizeMeasure(InfluenceMeasure):
 
     def __call__(self, rnn_set: frozenset) -> float:
         return float(len(rnn_set))
+
+    def measure_many(self, rnn_sets: "list[frozenset]") -> "list[float]":
+        # Set cardinalities are exactly representable, so the vectorized
+        # conversion is bit-identical to per-set float(len(...)) calls.
+        return np.fromiter(map(len, rnn_sets), dtype=float,
+                           count=len(rnn_sets)).tolist()
 
 
 class WeightedMeasure(InfluenceMeasure):

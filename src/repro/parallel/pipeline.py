@@ -3,9 +3,11 @@
 ``build_parallel`` has the same contract as ``run_crest`` /
 ``run_crest_l2``: ``(circles, measure, ...) -> (SweepStats, RegionSet)``.
 It cuts the event queue into x-slabs (:mod:`.slabs`), sweeps each slab with
-the unmodified serial engine in a ``ProcessPoolExecutor`` worker
-(:mod:`.worker`), and stitches the clipped per-slab fragments into one
-``RegionSet``.
+a serial engine in a ``ProcessPoolExecutor`` worker (:mod:`.worker`), and
+stitches the clipped per-slab fragments into one ``RegionSet``.  Worker
+results travel as flat numpy columns in shared memory (:mod:`.shm`) rather
+than pickled fragment graphs; ``stats.transport_s`` records what that
+movement cost.
 
 Correctness: slab boundaries never coincide with event abscissae, so a
 boundary only ever splits a region of constant RNN set; the stitch re-merges
@@ -28,14 +30,19 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import wait as futures_wait
 
 from ..core.regionset import RegionSet
 from ..core.stitching import stitch_fragments
-from ..core.sweep_linf import SweepStats
+from ..core.sweep_linf import SweepStats, _check_cancel
+from ..errors import BuildCancelledError
 from ..geometry.transforms import IDENTITY, Transform
 from .pool import discard_pool, lease_pool
+from .shm import claim_columns, columns_to_fragments, discard_block
 from .slabs import plan_slabs
-from .worker import SlabResult, make_task, sweep_slab
+from .worker import SlabResult, make_task, sweep_slab, sweep_slab_columns
 
 __all__ = ["build_parallel", "resolve_workers", "stitch_fragments"]
 
@@ -87,6 +94,70 @@ def _picklable(obj) -> bool:
         return False
 
 
+def _run_pool(executor, tasks, should_cancel):
+    """Run slab tasks on an executor; poll ``should_cancel`` while waiting.
+
+    Cancellation is slab-grained on this path (callables do not cross
+    process boundaries): queued slabs are cancelled outright, in-flight
+    slabs are allowed to finish so their shared-memory blocks can be
+    unlinked, and the build raises ``BuildCancelledError``.  Any abandoned
+    path — cancellation or a worker failure — drains every completed
+    result's block so no segment outlives the build.
+    """
+    futures = [executor.submit(sweep_slab_columns, t) for t in tasks]
+    try:
+        pending = set(futures)
+        while pending:
+            done, pending = futures_wait(
+                pending,
+                timeout=0.05 if should_cancel is not None else None,
+                return_when=FIRST_COMPLETED,
+            )
+            _check_cancel(should_cancel)
+        return [f.result() for f in futures]
+    except BaseException:
+        for f in futures:
+            f.cancel()
+        for f in futures:
+            if f.cancelled():
+                continue
+            try:
+                discard_block(f.result().block)
+            except Exception:
+                pass
+        raise
+
+
+def _claim_results(col_results) -> "tuple[list[SlabResult], float]":
+    """Rebuild :class:`SlabResult` objects from shipped columns.
+
+    Returns the per-slab results plus the total transport seconds (worker
+    packing + parent claim/rebuild).
+    """
+    transport = sum(r.pack_s for r in col_results)
+    t0 = time.perf_counter()
+    results = []
+    try:
+        for r in col_results:
+            fragments = []
+            if r.block is not None:
+                kind, cols = claim_columns(r.block)
+                fragments = columns_to_fragments(kind, cols)
+            results.append(
+                SlabResult(
+                    r.stats, fragments,
+                    r.max_heat, r.max_heat_rnn, r.max_heat_point, r.max_rnn_size,
+                )
+            )
+    except BaseException:
+        # Unlink whatever was not claimed (already-claimed segments are
+        # gone and discard is a no-op for them).
+        for r in col_results:
+            discard_block(r.block)
+        raise
+    return results, transport + (time.perf_counter() - t0)
+
+
 def build_parallel(
     circles,
     measure,
@@ -96,6 +167,7 @@ def build_parallel(
     workers: "int | None" = None,
     status_backend: str = "sortedlist",
     on_label=None,
+    should_cancel=None,
 ) -> "tuple[SweepStats, RegionSet | None]":
     """Build a heat map by sweeping x-slabs in parallel worker processes.
 
@@ -114,12 +186,17 @@ def build_parallel(
         status_backend: line-status structure for the L-infinity engine.
         on_label: per-labeling callback; forces in-process execution and may
             fire more than once per region (margin overlap re-labels).
+        should_cancel: zero-argument cancellation hook.  In-process slabs
+            poll it once per event batch; the multi-process path polls it
+            while waiting on workers (slab granularity), cancels queued
+            slabs and unlinks every finished slab's shared-memory block
+            before raising ``BuildCancelledError``.
 
     Returns:
         (stats, region_set) — ``region_set`` is None when not collecting.
         ``stats`` sums the per-slab work counters (overlap margins are swept
         once per adjacent slab, so e.g. ``labels`` can exceed the serial
-        count) and records ``n_slabs`` / ``n_workers``.
+        count) and records ``n_slabs`` / ``n_workers`` / ``transport_s``.
     """
     n_workers = resolve_workers(workers)
     sweep = "l2" if circles.metric.circle_shape == "disk" else "linf"
@@ -142,6 +219,7 @@ def build_parallel(
             circles, s.members, measure,
             sweep=sweep, own_lo=s.own_lo, own_hi=s.own_hi,
             status_backend=status_backend,
+            ship_fragments=collect_fragments,
         )
         for s in slabs
     ]
@@ -153,6 +231,7 @@ def build_parallel(
         and _picklable(tasks[0].measure)
     )
     results: "list[SlabResult] | None" = None
+    transport_s = 0.0
     if use_pool:
         # Worker processes are reused across builds: the shared pool is
         # created on first use and leased to every build requesting the
@@ -165,7 +244,10 @@ def build_parallel(
             shared = None
         if shared is not None:
             try:
-                results = list(shared.map(sweep_slab, tasks))
+                col_results = _run_pool(shared, tasks, should_cancel)
+                results, transport_s = _claim_results(col_results)
+            except BuildCancelledError:
+                raise
             except Exception:
                 # The *shared* executor failed: its state is suspect, so
                 # drop it for everyone and fall through in-process.  A
@@ -179,11 +261,17 @@ def build_parallel(
                 with ProcessPoolExecutor(
                     max_workers=min(n_workers, len(tasks))
                 ) as ex:
-                    results = list(ex.map(sweep_slab, tasks))
+                    col_results = _run_pool(ex, tasks, should_cancel)
+                results, transport_s = _claim_results(col_results)
+            except BuildCancelledError:
+                raise
             except Exception:
                 results = None  # private pool broken: fall through
     if results is None:
-        results = [sweep_slab(t, on_label=on_label) for t in tasks]
+        results = [
+            sweep_slab(t, on_label=on_label, should_cancel=should_cancel)
+            for t in tasks
+        ]
 
     stats = _aggregate_stats(
         results,
@@ -191,6 +279,7 @@ def build_parallel(
         algorithm=algorithm,
         n_workers=n_workers,
     )
+    stats.transport_s = transport_s
     region_set = None
     if collect_fragments:
         fragments = stitch_fragments([r.fragments for r in results])

@@ -1,0 +1,246 @@
+"""Shared-memory column transport for per-slab sweep results.
+
+Returning a slab's clipped fragments by pickling them costs the parent a
+second O(fragments) pass of object construction — every ``RectFragment`` /
+``ArcFragment`` (and its ``frozenset``) is serialized in the worker and
+rebuilt by the unpickler, and at city scale that transport rivals the sweep
+itself.  Workers therefore flatten their fragments into parallel numpy
+columns (one float column per scalar field, RNN sets in CSR form), park the
+columns in one ``multiprocessing.shared_memory`` segment, and send back only
+a tiny picklable :class:`ColumnBlock` handle.  The parent maps the segment,
+copies the columns out, unlinks it, and rebuilds fragments exactly once.
+
+Lifetime protocol: the *worker* creates the segment and immediately
+unregisters it from its own ``resource_tracker`` (otherwise the tracker
+would unlink the segment when the worker exits, racing the parent's read);
+ownership passes with the handle, and the *parent* unlinks after copying.
+:func:`claim_columns` and :func:`discard_block` are the only two legitimate
+ends of a published block's life.
+
+When shared memory is unavailable (permissions, exotic platforms) the
+columns travel inline in the handle — still one array pickle per column
+rather than per-fragment object graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..core.regionset import ArcFragment, RectFragment
+from ..geometry.arcs import Arc
+
+__all__ = [
+    "ColumnBlock",
+    "fragments_to_columns",
+    "columns_to_fragments",
+    "publish_columns",
+    "claim_columns",
+    "discard_block",
+]
+
+#: Column order is the wire layout — packing and claiming must agree on it.
+_RECT_COLUMNS = (
+    ("x_lo", "<f8"), ("x_hi", "<f8"), ("heat", "<f8"),
+    ("y_lo", "<f8"), ("y_hi", "<f8"),
+)
+_ARC_COLUMNS = (
+    ("x_lo", "<f8"), ("x_hi", "<f8"), ("heat", "<f8"),
+    ("lo_idx", "<i8"), ("lo_kind", "<i8"),
+    ("lo_cx", "<f8"), ("lo_cy", "<f8"), ("lo_r", "<f8"),
+    ("hi_idx", "<i8"), ("hi_kind", "<i8"),
+    ("hi_cx", "<f8"), ("hi_cy", "<f8"), ("hi_r", "<f8"),
+)
+
+
+@dataclass(frozen=True)
+class ColumnBlock:
+    """Picklable handle to one slab's fragment columns.
+
+    ``shm_name`` names the shared-memory segment holding the columns in
+    :data:`_RECT_COLUMNS` / :data:`_ARC_COLUMNS` order followed by the two
+    RNN CSR arrays; ``None`` means the columns travel inline in ``inline``
+    (the no-shared-memory fallback).  ``n_fragments`` and ``n_rnn_values``
+    fix every column length, so the layout needs no per-column bookkeeping.
+    """
+
+    kind: str  # 'rect' | 'arc'
+    n_fragments: int
+    n_rnn_values: int
+    shm_name: "str | None" = None
+    inline: "dict | None" = None
+
+
+def fragments_to_columns(fragments: list) -> "tuple[str, dict]":
+    """Flatten a fragment list into parallel numpy columns.
+
+    The RNN sets become a CSR pair (``rnn_offsets`` of length n+1 and
+    ``rnn_values``); everything else is one column per scalar field.
+    Fragment order is preserved — the stitcher depends on slab output
+    staying x-ordered.
+    """
+    n = len(fragments)
+    kind = "arc" if n and isinstance(fragments[0], ArcFragment) else "rect"
+    cols: "dict[str, np.ndarray]" = {}
+    cols["x_lo"] = np.fromiter((f.x_lo for f in fragments), "<f8", n)
+    cols["x_hi"] = np.fromiter((f.x_hi for f in fragments), "<f8", n)
+    cols["heat"] = np.fromiter((f.heat for f in fragments), "<f8", n)
+    if kind == "rect":
+        cols["y_lo"] = np.fromiter((f.y_lo for f in fragments), "<f8", n)
+        cols["y_hi"] = np.fromiter((f.y_hi for f in fragments), "<f8", n)
+    else:
+        for prefix, attr in (("lo", "lower"), ("hi", "upper")):
+            arcs = [getattr(f, attr) for f in fragments]
+            cols[f"{prefix}_idx"] = np.fromiter((a.circle_idx for a in arcs), "<i8", n)
+            cols[f"{prefix}_kind"] = np.fromiter((a.kind for a in arcs), "<i8", n)
+            cols[f"{prefix}_cx"] = np.fromiter((a.cx for a in arcs), "<f8", n)
+            cols[f"{prefix}_cy"] = np.fromiter((a.cy for a in arcs), "<f8", n)
+            cols[f"{prefix}_r"] = np.fromiter((a.r for a in arcs), "<f8", n)
+    offsets = np.zeros(n + 1, "<i8")
+    np.cumsum([len(f.rnn) for f in fragments], out=offsets[1:])
+    total = int(offsets[-1])
+    cols["rnn_offsets"] = offsets
+    cols["rnn_values"] = np.fromiter(
+        (c for f in fragments for c in f.rnn), "<i8", total
+    )
+    return kind, cols
+
+
+def _make_arc(idx, kind, cx, cy, r):
+    # Frozen-dataclass __init__ pays one object.__setattr__ per field;
+    # rebuilding through __new__ + a direct __dict__.update (the same path
+    # the unpickler takes) shaves ~20% off the parent's rebuild pass.
+    a = Arc.__new__(Arc)
+    a.__dict__.update(circle_idx=idx, kind=kind, cx=cx, cy=cy, r=r)
+    return a
+
+
+def _make_rect(x_lo, x_hi, y_lo, y_hi, heat, rnn):
+    f = RectFragment.__new__(RectFragment)
+    f.__dict__.update(x_lo=x_lo, x_hi=x_hi, y_lo=y_lo, y_hi=y_hi,
+                      heat=heat, rnn=rnn)
+    return f
+
+
+def _make_arc_fragment(x_lo, x_hi, lower, upper, heat, rnn):
+    f = ArcFragment.__new__(ArcFragment)
+    f.__dict__.update(x_lo=x_lo, x_hi=x_hi, lower=lower, upper=upper,
+                      heat=heat, rnn=rnn)
+    return f
+
+
+def columns_to_fragments(kind: str, cols: "dict[str, np.ndarray]") -> list:
+    """Rebuild the fragment list a worker flattened (order preserved)."""
+    x_lo = cols["x_lo"].tolist()
+    x_hi = cols["x_hi"].tolist()
+    heat = cols["heat"].tolist()
+    offsets = cols["rnn_offsets"].tolist()
+    values = cols["rnn_values"].tolist()
+    rnns = list(map(
+        frozenset, map(values.__getitem__, map(slice, offsets[:-1], offsets[1:]))
+    ))
+    if kind == "rect":
+        return list(map(
+            _make_rect, x_lo, x_hi,
+            cols["y_lo"].tolist(), cols["y_hi"].tolist(), heat, rnns,
+        ))
+    lowers = list(map(
+        _make_arc, cols["lo_idx"].tolist(), cols["lo_kind"].tolist(),
+        cols["lo_cx"].tolist(), cols["lo_cy"].tolist(), cols["lo_r"].tolist(),
+    ))
+    uppers = list(map(
+        _make_arc, cols["hi_idx"].tolist(), cols["hi_kind"].tolist(),
+        cols["hi_cx"].tolist(), cols["hi_cy"].tolist(), cols["hi_r"].tolist(),
+    ))
+    return list(map(_make_arc_fragment, x_lo, x_hi, lowers, uppers, heat, rnns))
+
+
+def _column_layout(kind: str, n: int, n_values: int):
+    """(name, dtype, length) triples in wire order."""
+    named = _RECT_COLUMNS if kind == "rect" else _ARC_COLUMNS
+    layout = [(name, np.dtype(dt), n) for name, dt in named]
+    layout.append(("rnn_offsets", np.dtype("<i8"), n + 1))
+    layout.append(("rnn_values", np.dtype("<i8"), n_values))
+    return layout
+
+
+def publish_columns(kind: str, cols: "dict[str, np.ndarray]") -> ColumnBlock:
+    """Park columns in a fresh shared-memory segment (worker side).
+
+    Falls back to an inline handle if the segment cannot be created; the
+    caller never needs to care which transport was used.
+    """
+    n = int(len(cols["x_lo"]))
+    n_values = int(len(cols["rnn_values"]))
+    layout = _column_layout(kind, n, n_values)
+    total = sum(dtype.itemsize * length for _name, dtype, length in layout)
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    except Exception:
+        return ColumnBlock(kind, n, n_values, inline=cols)
+    try:
+        off = 0
+        for name, dtype, length in layout:
+            dest = np.frombuffer(shm.buf, dtype=dtype, count=length, offset=off)
+            dest[:] = cols[name]
+            # Release the view before close(): mmap refuses to close while
+            # an exported buffer is alive.
+            del dest
+            off += dtype.itemsize * length
+        name_out = shm.name
+    except Exception:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        return ColumnBlock(kind, n, n_values, inline=cols)
+    # Ownership passes to the parent with the handle: stop this process's
+    # resource tracker from unlinking the segment when the worker exits.
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    shm.close()
+    return ColumnBlock(kind, n, n_values, shm_name=name_out)
+
+
+def claim_columns(block: ColumnBlock) -> "tuple[str, dict]":
+    """Copy a published block's columns out and unlink its segment."""
+    if block.shm_name is None:
+        return block.kind, block.inline
+    shm = shared_memory.SharedMemory(name=block.shm_name)
+    try:
+        cols: "dict[str, np.ndarray]" = {}
+        off = 0
+        for name, dtype, length in _column_layout(
+            block.kind, block.n_fragments, block.n_rnn_values
+        ):
+            cols[name] = np.frombuffer(
+                shm.buf, dtype=dtype, count=length, offset=off
+            ).copy()
+            off += dtype.itemsize * length
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+    return block.kind, cols
+
+
+def discard_block(block: "ColumnBlock | None") -> None:
+    """Unlink a published block without reading it (abandoned builds)."""
+    if block is None or block.shm_name is None:
+        return
+    try:
+        shm = shared_memory.SharedMemory(name=block.shm_name)
+    except FileNotFoundError:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass

@@ -1,11 +1,19 @@
 """The per-slab unit of work, picklable and importable by worker processes.
 
 ``sweep_slab`` is a pure function of its :class:`SlabTask`: it rebuilds the
-slab's circle subset, runs the *serial* sweep engine over it, and clips the
-resulting fragments to the slab's ownership interval.  Running the unmodified
-serial engine per slab is what makes the pipeline's answers match the serial
-build — the only parallel-specific code is partitioning and clipping, both
-of which operate on regions of constant RNN set.
+slab's circle subset, runs the serial sweep engine over it, and clips the
+resulting fragments to the slab's ownership interval.  Running a serial
+engine per slab is what makes the pipeline's answers match the serial build
+— the only parallel-specific code is partitioning and clipping, both of
+which operate on regions of constant RNN set.  Under L2 the slab engine is
+the vectorized ``run_crest_l2_batched``, which is bit-identical to the loop
+sweep (see :mod:`repro.core.sweep_batched`) and substantially faster.
+
+``sweep_slab_columns`` wraps ``sweep_slab`` for cross-process execution: it
+flattens the clipped fragments into numpy columns and parks them in shared
+memory (:mod:`.shm`), so the result that travels back through the pickle
+channel is a handful of scalars plus a segment name instead of an
+O(fragments) object graph.
 
 Clipped fragments are correct even though the slab sweep saw only a subset
 of the circles: any fragment intersecting the open ownership interval has a
@@ -17,16 +25,25 @@ subset's possibly-incomplete arrangement in the margins — are dropped.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.stitching import clip_fragments, fragment_maxima
-from ..core.sweep_l2 import run_crest_l2
+from ..core.sweep_batched import run_crest_l2_batched
 from ..core.sweep_linf import SweepStats, run_crest
 from ..geometry.circle import NNCircleSet
+from .shm import ColumnBlock, fragments_to_columns, publish_columns
 
-__all__ = ["SlabTask", "SlabResult", "clip_fragments", "sweep_slab"]
+__all__ = [
+    "SlabTask",
+    "SlabResult",
+    "SlabColumnsResult",
+    "clip_fragments",
+    "sweep_slab",
+    "sweep_slab_columns",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +66,10 @@ class SlabTask:
     own_lo: float
     own_hi: float
     status_backend: str = "sortedlist"
+    #: ``sweep_slab_columns`` only publishes fragment columns when this is
+    #: set — a stats-only build (``collect_fragments=False``) still clips
+    #: fragments for the owned maxima but ships none of them.
+    ship_fragments: bool = True
 
 
 @dataclass
@@ -69,29 +90,66 @@ class SlabResult:
     max_rnn_size: int
 
 
-def sweep_slab(task: SlabTask, on_label=None) -> SlabResult:
+def sweep_slab(task: SlabTask, on_label=None, should_cancel=None) -> SlabResult:
     """Run the serial sweep over one slab's circle subset and clip.
 
-    ``on_label`` is only usable in-process (callables do not travel with the
-    task); when set, it fires once per slab labeling operation, which may
-    revisit regions that extend into neighboring slabs' margins.
+    ``on_label`` and ``should_cancel`` are only usable in-process (callables
+    do not travel with the task); ``on_label`` fires once per slab labeling
+    operation, which may revisit regions that extend into neighboring slabs'
+    margins, and ``should_cancel`` is polled by the slab engine once per
+    event batch.
     """
     circles = NNCircleSet(
         task.cx, task.cy, task.radius, task.metric_name,
         client_ids=task.client_ids, drop_degenerate=False,
     )
     if task.sweep == "l2":
-        stats, region_set = run_crest_l2(
+        stats, region_set = run_crest_l2_batched(
             circles, task.measure, collect_fragments=True, on_label=on_label,
+            should_cancel=should_cancel,
         )
     else:
         stats, region_set = run_crest(
             circles, task.measure, status_backend=task.status_backend,
             collect_fragments=True, on_label=on_label,
+            should_cancel=should_cancel,
         )
     fragments = clip_fragments(region_set.fragments, task.own_lo, task.own_hi)
     max_heat, max_rnn, max_point, max_rnn_size = fragment_maxima(fragments)
     return SlabResult(stats, fragments, max_heat, max_rnn, max_point, max_rnn_size)
+
+
+@dataclass
+class SlabColumnsResult:
+    """One slab's output with fragments parked in shared memory.
+
+    ``block`` is ``None`` when the task asked for no fragment shipping;
+    ``pack_s`` is the worker-side seconds spent flattening and publishing
+    (the parent adds its claim/rebuild time for the full transport cost).
+    """
+
+    stats: SweepStats
+    block: "ColumnBlock | None"
+    pack_s: float
+    max_heat: float
+    max_heat_rnn: frozenset
+    max_heat_point: "tuple[float, float] | None"
+    max_rnn_size: int
+
+
+def sweep_slab_columns(task: SlabTask) -> SlabColumnsResult:
+    """``sweep_slab`` for worker processes: ship columns, not objects."""
+    res = sweep_slab(task)
+    block = None
+    t0 = time.perf_counter()
+    if task.ship_fragments:
+        kind, cols = fragments_to_columns(res.fragments)
+        block = publish_columns(kind, cols)
+    pack_s = time.perf_counter() - t0
+    return SlabColumnsResult(
+        res.stats, block, pack_s,
+        res.max_heat, res.max_heat_rnn, res.max_heat_point, res.max_rnn_size,
+    )
 
 
 def make_task(
@@ -103,6 +161,7 @@ def make_task(
     own_lo: float,
     own_hi: float,
     status_backend: str = "sortedlist",
+    ship_fragments: bool = True,
 ) -> SlabTask:
     """A :class:`SlabTask` for one slab of a parent circle set."""
     return SlabTask(
@@ -116,4 +175,5 @@ def make_task(
         own_lo=own_lo,
         own_hi=own_hi,
         status_backend=status_backend,
+        ship_fragments=ship_fragments,
     )

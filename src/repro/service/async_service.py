@@ -16,6 +16,10 @@ workload:
   one render, K answers.  ``ServiceStats.coalesced_tiles`` /
   ``coalesced_builds`` count the saved computations and
   ``inflight_peak`` the high-water mark of distinct in-flight keys;
+* a build leader that disconnects with **no followers waiting cancels its
+  sweep**: the flight's ``should_cancel`` hook is polled by the engine once
+  per event batch, so an abandoned cold build stops within one batch
+  instead of running to completion for nobody;
 * an **invalidation during flight never serves a stale result**: each
   flight captures its handle's tile *generation* at takeoff, and a leader
   that lands after the generation moved (``invalidate``, a dynamic-update
@@ -38,6 +42,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from ..geometry.rect import Rect
@@ -59,14 +64,23 @@ class _RetryFlight(Exception):
 
 
 class _Flight:
-    """One in-flight computation: the leader's future plus its takeoff
-    generation (for staleness detection on landing)."""
+    """One in-flight computation: the leader's future, its takeoff
+    generation (for staleness detection on landing), a follower count and
+    a cancellation flag.
 
-    __slots__ = ("future", "generation")
+    ``cancel`` crosses the loop/executor boundary: the executor thread's
+    sweep polls ``cancel.is_set`` once per event batch, and the event loop
+    sets it when the leader disconnects with nobody else waiting — the
+    only case where the computation's result has no consumer left.
+    """
+
+    __slots__ = ("future", "generation", "waiters", "cancel")
 
     def __init__(self, loop: asyncio.AbstractEventLoop, generation: int) -> None:
         self.future: asyncio.Future = loop.create_future()
         self.generation = generation
+        self.waiters = 0
+        self.cancel = threading.Event()
 
 
 class AsyncHeatMapService:
@@ -150,6 +164,15 @@ class AsyncHeatMapService:
         true when ``handle``'s generation moved during the flight — then
         everyone rejoins the queue and the computation reruns against the
         refreshed entry (bounded by ``_MAX_STALE_RETRIES``).
+
+        ``call`` receives the flight's ``should_cancel`` hook as its one
+        argument (builds thread it down to the sweep; tile renders ignore
+        it).  A leader cancelled with *zero* followers sets the hook, so a
+        disconnected client's abandoned sweep stops within one event batch
+        instead of running to completion for nobody; with followers
+        waiting, the computation is left running — the re-leading follower
+        blocks on the sync layer's per-key mutex and then takes the cache
+        hit the abandoned call filled.
         """
         loop = asyncio.get_running_loop()
         counted = False  # one logical request coalesces at most once
@@ -160,10 +183,13 @@ class AsyncHeatMapService:
                 if not counted:
                     self.stats.inc(coalesce_counter)
                     counted = True
+                flight.waiters += 1
                 try:
                     value, stale = await flight.future
                 except _RetryFlight:
                     continue
+                finally:
+                    flight.waiters -= 1
                 if not stale or last:
                     return value
                 continue
@@ -171,7 +197,9 @@ class AsyncHeatMapService:
             inflight[key] = flight
             self._note_inflight()
             try:
-                value = await loop.run_in_executor(self._executor, call)
+                value = await loop.run_in_executor(
+                    self._executor, functools.partial(call, flight.cancel.is_set)
+                )
             except BaseException as exc:
                 if inflight.get(key) is flight:
                     del inflight[key]
@@ -182,7 +210,10 @@ class AsyncHeatMapService:
                         # sync layer's per-key mutex still guarantees the
                         # abandoned call and the re-led one don't compute
                         # twice concurrently — the re-leader blocks, then
-                        # takes the cache hit.)
+                        # takes the cache hit.)  With no follower left the
+                        # result has no consumer: tell the sweep to stop.
+                        if flight.waiters == 0:
+                            flight.cancel.set()
                         flight.future.set_exception(_RetryFlight())
                     else:
                         flight.future.set_exception(exc)
@@ -197,7 +228,7 @@ class AsyncHeatMapService:
         # Every attempt ended in an abandoned flight (leaders cancelled
         # from under us): compute directly, uncoalesced.  The sync layer's
         # per-key mutex still prevents duplicate concurrent work.
-        return await loop.run_in_executor(self._executor, call)
+        return await loop.run_in_executor(self._executor, call, None)
 
     # ------------------------------------------------------------------
     # Builds / registration
@@ -238,11 +269,12 @@ class AsyncHeatMapService:
                 monochromatic=monochromatic, k=k,
             ))
 
-        def call():
+        def call(should_cancel=None):
             return self.service.build(
                 clients, facilities, metric=metric, algorithm=algorithm,
                 measure=measure, monochromatic=monochromatic, k=k,
                 workers=workers, fingerprint=handle,
+                should_cancel=should_cancel,
             )
 
         return await self._single_flight(
@@ -310,7 +342,7 @@ class AsyncHeatMapService:
         size = self.service.tile_size if tile_size is None else int(tile_size)
         key = (handle, z, tx, ty, size)
 
-        def call():
+        def call(should_cancel=None):
             return self.service.tile(handle, z, tx, ty, tile_size=size)
 
         return await self._single_flight(

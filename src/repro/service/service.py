@@ -60,6 +60,8 @@ _CANONICAL_ALGORITHM = {
     "linf-parallel": "crest",
     "l2-parallel": "crest",
     "crest-l2": "crest",
+    "l2-batched": "crest",
+    "linf-batched": "crest",
 }
 
 
@@ -220,6 +222,7 @@ class HeatMapService:
         k: int = 1,
         workers: "int | None" = None,
         fingerprint: "str | None" = None,
+        should_cancel=None,
     ) -> str:
         """Build (or recall) a heat map; returns its fingerprint handle.
 
@@ -240,6 +243,11 @@ class HeatMapService:
         thread sweeps while the rest wait and then take the cache hit, so
         a cold fingerprint is swept exactly once no matter how many
         threads ask for it.
+
+        ``should_cancel`` is forwarded to the sweep engine, which polls it
+        once per event batch; returning True abandons a cold build with
+        :class:`~repro.errors.BuildCancelledError` (cache hits and store
+        promotions are unaffected — they do no sweep work).
         """
         if workers is None:
             workers = self.default_workers
@@ -268,7 +276,7 @@ class HeatMapService:
                 clients, facilities, metric=metric, measure=measure,
                 monochromatic=monochromatic, k=k,
             )
-            result = hm.build(algorithm, workers=workers)
+            result = hm.build(algorithm, workers=workers, should_cancel=should_cancel)
             self.stats.inc("builds")
             self._admit(handle, _Entry(result, world_bounds(result.region_set)))
         return handle

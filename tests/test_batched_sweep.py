@@ -1,0 +1,127 @@
+"""The vectorized batched engines vs the loop engines: bit-identity.
+
+``run_crest_l2_batched`` / ``run_crest_batched`` promise *bit-identical*
+output to the loop sweeps they replace — same sweep counters, same fragment
+multiset, same probe answers — over random instances, both measures, both
+metrics, with and without fragment collection, and on the degenerate shapes
+(empty input, one circle, duplicate clients producing identical circles).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.sweep_batched import run_crest_batched, run_crest_l2_batched
+from repro.core.sweep_l2 import run_crest_l2
+from repro.core.sweep_linf import run_crest
+from repro.geometry.circle import NNCircleSet
+from repro.influence.measures import SizeMeasure, WeightedMeasure
+from repro.nn.nncircles import compute_nn_circles
+
+#: Every SweepStats field both engines must agree on (provenance fields —
+#: algorithm name, slab/worker counts, transport — are excluded by design).
+STAT_FIELDS = (
+    "n_circles", "n_events", "n_event_batches", "labels", "measure_calls",
+    "changed_intervals", "merged_intervals", "max_rnn_size", "max_heat",
+    "max_heat_rnn", "max_heat_point", "n_fragments",
+)
+
+PROBES = np.random.default_rng(7).uniform(-5, 105, size=(400, 2))
+
+
+def _loop_engine(metric):
+    return run_crest_l2 if metric == "l2" else run_crest
+
+
+def _batched_engine(metric):
+    return run_crest_l2_batched if metric == "l2" else run_crest_batched
+
+
+def _circles(seed, n_clients, n_fac, metric):
+    rng = np.random.default_rng(seed)
+    clients = rng.uniform(0, 100, size=(n_clients, 2))
+    fac = rng.uniform(0, 100, size=(n_fac, 2))
+    return compute_nn_circles(clients, fac, metric)
+
+
+def _frag_key(f):
+    return (type(f).__name__, repr(dataclasses.astuple(f)))
+
+
+def assert_bit_identical(loop_out, batched_out):
+    """The oracle: counters equal, fragment multiset equal, answers equal."""
+    (s1, r1), (s2, r2) = loop_out, batched_out
+    for field in STAT_FIELDS:
+        assert getattr(s1, field) == getattr(s2, field), field
+    if r1 is None or r2 is None:
+        assert r1 is None and r2 is None
+        return
+    assert sorted(map(_frag_key, r1.fragments)) == sorted(
+        map(_frag_key, r2.fragments)
+    )
+    np.testing.assert_array_equal(r2.heat_at_many(PROBES), r1.heat_at_many(PROBES))
+    assert r2.rnn_at_many(PROBES) == r1.rnn_at_many(PROBES)
+    assert r2.top_k_heats(10) == r1.top_k_heats(10)
+
+
+@pytest.mark.parametrize("metric", ["l2", "linf"])
+@pytest.mark.parametrize("seed,n_clients,n_fac", [
+    (0, 60, 10), (11, 150, 25), (23, 40, 3),
+])
+class TestRandomInstances:
+    def test_size_measure(self, seed, n_clients, n_fac, metric):
+        circles = _circles(seed, n_clients, n_fac, metric)
+        m = SizeMeasure()
+        assert_bit_identical(
+            _loop_engine(metric)(circles, m),
+            _batched_engine(metric)(circles, m),
+        )
+
+    def test_weighted_measure(self, seed, n_clients, n_fac, metric):
+        circles = _circles(seed, n_clients, n_fac, metric)
+        m = WeightedMeasure(
+            {i: float((i * 31 % 17) + 0.25) for i in range(n_clients)}
+        )
+        assert_bit_identical(
+            _loop_engine(metric)(circles, m),
+            _batched_engine(metric)(circles, m),
+        )
+
+    def test_without_fragments(self, seed, n_clients, n_fac, metric):
+        circles = _circles(seed, n_clients, n_fac, metric)
+        m = SizeMeasure()
+        assert_bit_identical(
+            _loop_engine(metric)(circles, m, collect_fragments=False),
+            _batched_engine(metric)(circles, m, collect_fragments=False),
+        )
+
+
+@pytest.mark.parametrize("metric", ["l2", "linf"])
+class TestDegenerateShapes:
+    def test_empty(self, metric):
+        empty = NNCircleSet(np.zeros(0), np.zeros(0), np.zeros(0), metric)
+        m = SizeMeasure()
+        assert_bit_identical(
+            _loop_engine(metric)(empty, m), _batched_engine(metric)(empty, m)
+        )
+
+    def test_single_circle(self, metric):
+        one = _circles(99, 1, 1, metric)
+        m = SizeMeasure()
+        assert_bit_identical(
+            _loop_engine(metric)(one, m), _batched_engine(metric)(one, m)
+        )
+
+    def test_duplicate_clients_identical_circles(self, metric):
+        pts = np.array(
+            [[10.0, 10.0], [10.0, 10.0], [30.0, 30.0], [30.0, 30.0], [10.0, 30.0]]
+        )
+        fac = np.array([[0.0, 0.0], [50.0, 50.0]])
+        dup = compute_nn_circles(pts, fac, metric, drop_degenerate=False)
+        m = SizeMeasure()
+        assert_bit_identical(
+            _loop_engine(metric)(dup, m), _batched_engine(metric)(dup, m)
+        )

@@ -46,6 +46,21 @@ def test_serial_vs_parallel_pipeline(seed, metric):
 
 
 @pytest.mark.parametrize("seed,metric", CASES)
+def test_serial_vs_batched_engines(seed, metric):
+    """The vectorized batched engines answer exactly like the loop sweep
+    and perform the identical labeled work (same sweep counters)."""
+    clients, facilities, probes = _instance(seed, metric)
+    hm = RNNHeatMap(clients, facilities, metric=metric)
+    serial = hm.build("crest")
+    name = f"{hm.sweep_metric_name}-batched"
+    batched = hm.build(name)
+    assert_same_answers(serial, [(name, batched)], probes)
+    assert batched.stats.labels == serial.stats.labels
+    assert batched.stats.measure_calls == serial.stats.measure_calls
+    assert batched.stats.max_heat == serial.stats.max_heat
+
+
+@pytest.mark.parametrize("seed,metric", CASES)
 def test_incremental_path_vs_from_scratch(seed, metric):
     """A randomized update workload: after every applied batch, the
     incremental-splice result answers exactly like a from-scratch sweep."""

@@ -24,6 +24,7 @@ REQUIRED_DOCS = (
     "docs/http-api.md",
     "docs/serving.md",
     "docs/parallel-builds.md",
+    "docs/performance.md",
     "docs/incremental-updates.md",
     "docs/async-serving.md",
     "docs/openapi.yaml",

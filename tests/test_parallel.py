@@ -3,6 +3,7 @@ parallel-vs-serial equivalence gate."""
 
 import math
 import pickle
+from collections import Counter
 
 import numpy as np
 import pytest
@@ -162,7 +163,16 @@ class TestEquivalenceSmall:
         hm = RNNHeatMap(O, F, metric=metric)
         serial = hm.build("crest")
         one = hm.build(f"{metric}-parallel", workers=1)
-        assert one.region_set.fragments == serial.region_set.fragments
+        if metric == "linf":
+            assert one.region_set.fragments == serial.region_set.fragments
+        else:
+            # The L2 slab engine is the vectorized batched sweep: it emits
+            # the loop sweep's exact fragment multiset, but closes a
+            # batch's dying pairs in status-position order where the loop
+            # iterates a set difference — the list order differs.
+            assert Counter(one.region_set.fragments) == Counter(
+                serial.region_set.fragments
+            )
         assert one.stats.n_slabs == 1
 
     def test_stats_only_build(self, rng):

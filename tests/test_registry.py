@@ -20,6 +20,7 @@ class TestRegistryContents:
     def test_algorithms_derive_from_registry(self):
         assert ALGORITHMS == REGISTRY.names(public_only=True)
         assert ALGORITHMS == ("crest", "crest-a", "baseline", "superimposition",
+                              "l2-batched", "linf-batched",
                               "linf-parallel", "l2-parallel")
 
     def test_crest_l2_registered_non_public(self):

@@ -30,6 +30,8 @@ PUBLIC_MODULES = (
     "core/heatmap.py",
     "core/registry.py",
     "core/regionset.py",
+    "core/sweep_batched.py",
+    "parallel/shm.py",
     "dynamic/heatmap.py",
     "dynamic/assignment.py",
     "errors.py",
