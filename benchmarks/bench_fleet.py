@@ -1,0 +1,394 @@
+"""Benchmark: a 3-replica serving fleet behind the consistent-hash proxy.
+
+Starts N real replica servers (stdlib asyncio, ephemeral ports) sharing
+one result ``store_dir``, fronts them with a real
+:class:`~repro.fleet.proxy.FleetProxy`, and drives the proxy over real
+sockets:
+
+1. **fleet build storm** — V viewers POST identical builds for each of F
+   distinct fingerprints at once; the proxy fans each build out to every
+   replica and the shared store's cross-process sweep lease must collapse
+   the storm to exactly one sweep per fingerprint *fleet-wide*;
+2. **sharded pan** — every viewer fetches the full tile level through the
+   proxy in shuffled order; the ring spreads the tiles over all replicas
+   (per-replica request share is reported from ``/fleet/stats``);
+3. **push invalidation** — S SSE subscribers connect through the proxy
+   (one shared upstream relay per handle), a ``POST /update`` lands, and
+   each subscriber's push latency is measured end to end;
+4. **probe batches** — every viewer POSTs vectorized heat queries routed
+   to the handle's ring owner.
+
+Self-checks (non-zero exit on failure): exactly one sweep per distinct
+fingerprint fleet-wide, identical tile bytes across viewers, every
+replica served a share of the pan, every subscriber saw the update push
+in < 1s without polling, no 5xx.
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+    PYTHONPATH=src python benchmarks/bench_fleet.py \\
+        --smoke --json BENCH_fleet.json                        # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import socket
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.fleet import FleetProxy
+from repro.server import ThreadedHTTPServer
+from repro.service.latency import LatencyRecorder, format_percentiles
+
+
+def _request(conn, method, path, payload=None, headers=None):
+    """One request on a persistent connection; returns (status, body, headers)."""
+    import http.client  # noqa: F401 - conn is an HTTPConnection
+
+    body = None
+    send_headers = dict(headers or {})
+    if payload is not None:
+        body = json.dumps(payload).encode()
+        send_headers["Content-Type"] = "application/json"
+    conn.request(method, path, body=body, headers=send_headers)
+    resp = conn.getresponse()
+    data = resp.read()
+    return resp.status, data, dict(resp.getheaders())
+
+
+def _conn(url):
+    import http.client
+
+    host, port = url.removeprefix("http://").rsplit(":", 1)
+    return http.client.HTTPConnection(host, int(port), timeout=60)
+
+
+def _poll_ready(conn, handle, timeout=180.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, body, _ = _request(conn, "GET", f"/build/{handle}")
+        state = json.loads(body)
+        if state["status"] == "ready":
+            return
+        if state["status"] == "failed":
+            raise RuntimeError(f"build failed: {state.get('error')}")
+        time.sleep(0.02)
+    raise RuntimeError(f"build {handle} did not become ready in time")
+
+
+class _SSESubscriber:
+    """A raw-socket SSE subscriber measuring push latency."""
+
+    def __init__(self, url, handle):
+        host, port = url.removeprefix("http://").rsplit(":", 1)
+        self.sock = socket.create_connection((host, int(port)), timeout=30)
+        self.sock.sendall(
+            f"GET /events/{handle} HTTP/1.1\r\nHost: b\r\n\r\n".encode()
+        )
+        self._buf = b""
+        self._read_until(b"\r\n\r\n")  # response head
+        hello = self._read_until(b"\n\n")
+        if b"event: hello" not in hello:
+            raise RuntimeError(f"expected hello frame, got {hello!r}")
+
+    def _read_until(self, sep):
+        while sep not in self._buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise RuntimeError("SSE stream ended early")
+            self._buf += chunk
+        frame, self._buf = self._buf.split(sep, 1)
+        return frame
+
+    def wait_update(self):
+        """Block until the next update frame; returns its arrival time."""
+        frame = self._read_until(b"\n\n")
+        if b"event: update" not in frame:
+            raise RuntimeError(f"expected update frame, got {frame!r}")
+        return time.monotonic()
+
+    def close(self):
+        self.sock.close()
+
+
+def run(args) -> dict:
+    """Drive the fleet workload; returns the measured record."""
+    rng = np.random.default_rng(args.seed)
+    recorder = LatencyRecorder()
+    checks: "dict[str, bool]" = {}
+
+    store_dir = Path(tempfile.mkdtemp(prefix="bench-fleet-store-"))
+    replicas = []
+    for _ in range(args.replicas):
+        srv = ThreadedHTTPServer(
+            tile_size=args.tile_size, max_tiles=4096,
+            max_workers=args.executor_workers,
+            store_dir=store_dir, shared_store=True,
+        )
+        srv.start()
+        replicas.append(srv)
+    addresses = [f"127.0.0.1:{srv.port}" for srv in replicas]
+    proxy_app = FleetProxy(addresses, vnodes=args.vnodes)
+    proxy = ThreadedHTTPServer(app=proxy_app)
+    proxy.start()
+
+    try:
+        t0 = time.perf_counter()
+        # -- phase 1: fleet build storm -------------------------------
+        setup = _conn(proxy.url)
+        datasets = []
+        for f in range(args.fingerprints):
+            clients = rng.random((args.clients, 2))
+            facilities = rng.random((args.facilities, 2))
+            _s, body, _ = _request(setup, "POST", "/datasets", {
+                "clients": clients.tolist(),
+                "facilities": facilities.tolist(),
+            })
+            datasets.append(json.loads(body)["dataset"])
+
+        def storm(viewer):
+            conn = _conn(proxy.url)
+            handles = []
+            for dataset in datasets:
+                start = time.perf_counter()
+                _s, body, _ = _request(conn, "POST", "/build", {
+                    "dataset": dataset, "metric": args.metric,
+                })
+                handles.append(json.loads(body)["handle"])
+                recorder.observe("fleet_build_kick", time.perf_counter() - start)
+            for handle in handles:
+                _poll_ready(conn, handle)
+            conn.close()
+            return handles
+
+        with ThreadPoolExecutor(max_workers=args.viewers) as pool:
+            all_handles = list(pool.map(storm, range(args.viewers)))
+        handles = sorted(set(all_handles[0]))
+        checks["all_viewers_same_handles"] = all(
+            sorted(set(h)) == handles for h in all_handles
+        )
+
+        # -- phase 2: sharded pan -------------------------------------
+        pan_handle = handles[0]
+        tiles = [
+            (args.tile_zoom, tx, ty)
+            for tx in range(2 ** args.tile_zoom)
+            for ty in range(2 ** args.tile_zoom)
+        ]
+
+        def pan(viewer):
+            conn = _conn(proxy.url)
+            order = list(tiles)
+            np.random.default_rng(args.seed + viewer).shuffle(order)
+            fetched = {}
+            for z, tx, ty in order:
+                start = time.perf_counter()
+                status, body, _ = _request(
+                    conn, "GET", f"/tiles/{pan_handle}/{z}/{tx}/{ty}.png"
+                )
+                recorder.observe("fleet_tile", time.perf_counter() - start)
+                if status != 200:
+                    raise RuntimeError(f"tile {z}/{tx}/{ty}: {status}")
+                fetched[(z, tx, ty)] = body
+            conn.close()
+            digest = hashlib.sha256()
+            for key in sorted(fetched):  # canonical order: shuffled pans
+                digest.update(repr(key).encode() + fetched[key])  # compare
+            return digest.hexdigest()
+
+        with ThreadPoolExecutor(max_workers=args.viewers) as pool:
+            digests = set(pool.map(pan, range(args.viewers)))
+        checks["identical_tile_bytes_across_viewers"] = len(digests) == 1
+
+        # -- phase 3: push invalidation -------------------------------
+        _s, body, _ = _request(setup, "POST", "/build", {
+            "dataset": datasets[0], "dynamic": True, "metric": args.metric,
+        })
+        dyn = json.loads(body)["handle"]
+        _poll_ready(setup, dyn)
+        subscribers = [
+            _SSESubscriber(proxy.url, dyn) for _ in range(args.subscribers)
+        ]
+        push_latencies = []
+        try:
+            with ThreadPoolExecutor(max_workers=args.subscribers) as pool:
+                waiters = [pool.submit(s.wait_update) for s in subscribers]
+                sent_at = time.monotonic()
+                _request(setup, "POST", f"/update/{dyn}", {
+                    "updates": [{"op": "add_client", "x": 0.4, "y": 0.6}],
+                })
+                for waiter in waiters:
+                    arrived = waiter.result(timeout=10)
+                    latency = arrived - sent_at
+                    push_latencies.append(latency)
+                    recorder.observe("fleet_push", latency)
+        finally:
+            for s in subscribers:
+                s.close()
+        checks["push_under_1s_all_subscribers"] = bool(
+            push_latencies
+            and len(push_latencies) == args.subscribers
+            and max(push_latencies) < 1.0
+        )
+
+        # -- phase 4: probe batches -----------------------------------
+        def probe(viewer):
+            conn = _conn(proxy.url)
+            points = np.random.default_rng(
+                args.seed + 100 + viewer
+            ).random((args.probes // args.viewers or 1, 2))
+            start = time.perf_counter()
+            status, body, _ = _request(
+                conn, "POST", f"/query/{pan_handle}",
+                {"kind": "heat", "points": points.tolist()},
+            )
+            recorder.observe("fleet_query", time.perf_counter() - start)
+            conn.close()
+            return status == 200
+
+        with ThreadPoolExecutor(max_workers=args.viewers) as pool:
+            probe_ok = all(pool.map(probe, range(args.viewers)))
+        checks["all_queries_answered"] = probe_ok
+
+        wall = time.perf_counter() - t0
+
+        # -- fleet-wide accounting ------------------------------------
+        _s, body, _ = _request(setup, "GET", "/fleet/stats")
+        fleet_stats = json.loads(body)
+        setup.close()
+        svc = fleet_stats["fleet"]
+        routing = fleet_stats["proxy"]["routing"]
+        # One static sweep per fingerprint, no matter how many viewers
+        # stormed or how many replicas each build fanned out to (dynamic
+        # maps are per-replica state and never enter the shared store).
+        fingerprints = len(handles)
+        checks["one_sweep_per_fingerprint_fleet_wide"] = (
+            svc.get("builds", 0) == fingerprints
+        )
+        checks["replicas_promoted_the_rest"] = (
+            svc.get("promotions", 0) >= fingerprints * (args.replicas - 1)
+        )
+        per_replica = {}
+        for entry in fleet_stats["replicas"]:
+            stats = entry.get("stats", {})
+            per_replica[entry["replica"]] = (
+                stats.get("http", {}).get("requests", 0)
+            )
+        pan_requests = len(tiles) * args.viewers
+        checks["pan_sharded_across_all_replicas"] = all(
+            count > 0 for count in per_replica.values()
+        )
+        checks["no_proxy_5xx"] = (
+            fleet_stats["proxy"]["http"]["responses_5xx"] == 0
+        )
+    finally:
+        proxy.close()
+        for srv in replicas:
+            srv.close()
+
+    record = {
+        "benchmark": "fleet",
+        "replicas": args.replicas,
+        "vnodes": args.vnodes,
+        "viewers": args.viewers,
+        "subscribers": args.subscribers,
+        "fingerprints": args.fingerprints,
+        "clients": args.clients,
+        "facilities": args.facilities,
+        "metric": args.metric,
+        "tile_zoom": args.tile_zoom,
+        "tile_size": args.tile_size,
+        "wall_s": wall,
+        "latency": recorder.snapshot(),
+        "fleet": {
+            "builds": svc.get("builds", 0),
+            "promotions": svc.get("promotions", 0),
+            "store_writes": svc.get("store_writes", 0),
+            "tile_renders": svc.get("tile_renders", 0),
+            "pan_requests": pan_requests,
+            "per_replica_requests": per_replica,
+            "push_latency_max_s": max(push_latencies) if push_latencies else None,
+            "events_relayed": routing["events_relayed"],
+        },
+        "routing": routing,
+        "checks": checks,
+    }
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--vnodes", type=int, default=64)
+    parser.add_argument("--viewers", type=int, default=8)
+    parser.add_argument("--subscribers", type=int, default=8)
+    parser.add_argument("--fingerprints", type=int, default=3)
+    parser.add_argument("--clients", type=int, default=1200)
+    parser.add_argument("--facilities", type=int, default=250)
+    parser.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
+    parser.add_argument("--tile-zoom", type=int, default=3)
+    parser.add_argument("--tile-size", type=int, default=128)
+    parser.add_argument("--probes", type=int, default=40_000)
+    parser.add_argument("--executor-workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small instance, few viewers)")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the measured record to this path")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.viewers = min(args.viewers, 6)
+        args.subscribers = min(args.subscribers, 6)
+        args.fingerprints = min(args.fingerprints, 2)
+        args.clients = min(args.clients, 220)
+        args.facilities = min(args.facilities, 45)
+        args.tile_zoom = min(args.tile_zoom, 2)
+        args.tile_size = min(args.tile_size, 64)
+        args.probes = min(args.probes, 6000)
+
+    record = run(args)
+
+    fl = record["fleet"]
+    print(
+        f"fleet: {record['replicas']} replicas x {record['viewers']} viewers, "
+        f"{record['fingerprints']} fingerprints over "
+        f"{record['clients']}/{record['facilities']} ({record['metric']}), "
+        f"level-{record['tile_zoom']} pan in {record['wall_s']:.2f}s"
+    )
+    print(
+        f"dedupe: {fl['builds']} sweeps fleet-wide "
+        f"({fl['promotions']} promotions, {fl['store_writes']} store writes); "
+        f"pan: {fl['pan_requests']} tile requests over "
+        f"{len(fl['per_replica_requests'])} replicas "
+        f"{sorted(fl['per_replica_requests'].values())}"
+    )
+    print(
+        f"push: {record['subscribers']} subscribers, max latency "
+        f"{fl['push_latency_max_s']:.4f}s, {fl['events_relayed']} frames "
+        f"relayed over 1 upstream subscription; routing: "
+        f"{record['routing']['routed']} routed, "
+        f"{record['routing']['fanouts']} fanouts, "
+        f"{record['routing']['failovers']} failovers"
+    )
+    for kind, pcts in record["latency"].items():
+        print("  " + format_percentiles(kind, pcts))
+    failed = [name for name, ok in record["checks"].items() if not ok]
+    for name, ok in record["checks"].items():
+        print(f"  check {name}: {'ok' if ok else 'FAIL'}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

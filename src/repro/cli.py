@@ -116,6 +116,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "demote to disk, identical re-builds promote back)")
     sh.add_argument("--cmap", default="heat", choices=("heat", "gray_dark"),
                     help="default tile colormap (?cmap= overrides per tile)")
+    sh.add_argument("--fleet-proxy", metavar="REPLICAS", default=None,
+                    help="run as a fleet coordinator instead of a replica: "
+                         "comma-separated host:port replica addresses; "
+                         "tiles/queries route to ring owners, builds fan "
+                         "out, /fleet/stats aggregates (see docs/fleet.md)")
+    sh.add_argument("--replica", action="store_true",
+                    help="run as a fleet replica: the shared --store-dir "
+                         "becomes the build write-through + cross-process "
+                         "sweep-lease layer (exactly one sweep per "
+                         "fingerprint fleet-wide)")
+    sh.add_argument("--ring-vnodes", type=int, default=128,
+                    help="--fleet-proxy: virtual nodes per replica on the "
+                         "consistent-hash ring")
+    sh.add_argument("--drain-grace", type=float, default=10.0,
+                    help="seconds to wait for in-flight requests on "
+                         "SIGTERM/SIGINT before force-closing connections")
 
     up = sub.add_parser(
         "update",
@@ -383,13 +399,41 @@ def _cmd_query_async(args) -> int:
 
 
 def _cmd_serve_http(args) -> int:
-    """serve-http: the HTTP tile/query edge over the asyncio core."""
+    """serve-http: the HTTP tile/query edge — replica or fleet proxy."""
     import asyncio
 
     from .server import serve
 
+    if args.fleet_proxy:
+        from .fleet import FleetProxy
+
+        replicas = [r for r in args.fleet_proxy.split(",") if r.strip()]
+        app = FleetProxy(replicas, vnodes=args.ring_vnodes)
+
+        def announce_proxy(port: int) -> None:
+            print(f"fleet proxy on http://{args.host}:{port} routing "
+                  f"{len(replicas)} replicas (GET /fleet/stats)", flush=True)
+
+        try:
+            asyncio.run(serve(
+                host=args.host,
+                port=args.port,
+                on_bound=announce_proxy,
+                app=app,
+                drain_grace=args.drain_grace,
+            ))
+        except KeyboardInterrupt:
+            print("shutting down")
+        return 0
+
+    if args.replica and args.store_dir is None:
+        print("--replica needs a shared --store-dir "
+              "(the fleet-wide build dedupe layer)")
+        return 2
+
     def announce(port: int) -> None:
-        print(f"serving heat maps on http://{args.host}:{port} "
+        role = "fleet replica" if args.replica else "heat maps"
+        print(f"serving {role} on http://{args.host}:{port} "
               f"(GET /healthz, /stats, /openapi.yaml)", flush=True)
 
     try:
@@ -397,6 +441,7 @@ def _cmd_serve_http(args) -> int:
             host=args.host,
             port=args.port,
             on_bound=announce,
+            drain_grace=args.drain_grace,
             max_workers=max(1, args.workers),
             build_workers=_cli_workers(args.build_workers),
             tile_size=args.tile_size,
@@ -404,6 +449,7 @@ def _cmd_serve_http(args) -> int:
             max_results=args.max_results,
             store_dir=args.store_dir,
             default_cmap=args.cmap,
+            shared_store=args.replica,
         ))
     except KeyboardInterrupt:
         print("shutting down")

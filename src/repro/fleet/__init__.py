@@ -1,0 +1,41 @@
+"""Sharded serving fleet: consistent-hash routing + push invalidation.
+
+One ``serve-http`` process owns one tile cache; this package is how the
+stack scales *horizontally*:
+
+* :mod:`~repro.fleet.ring` — a consistent-hash ring with virtual nodes
+  sharding tile ownership on ``(handle, z, tx, ty)`` across N replicas,
+  with minimal remapping when a replica joins or leaves.
+* :mod:`~repro.fleet.proxy` — the coordinator: a
+  :class:`~repro.fleet.proxy.FleetProxy` app (``serve-http
+  --fleet-proxy host:port,...``) that routes tiles/queries to owner
+  replicas over the same dependency-free HTTP stack, fails over to the
+  next ring node when a replica dies, fans builds out fleet-wide, and
+  aggregates ``/fleet/stats``.
+* :mod:`~repro.fleet.events` — the push-invalidation channel: an SSE
+  :class:`~repro.fleet.events.EventBroker` behind ``GET
+  /events/{handle}``, broadcasting per-handle version bumps from ``POST
+  /update`` so viewers (and the proxy, relaying one upstream
+  subscription per handle) never poll ETags.
+
+Replicas started with ``serve-http --replica --store-dir DIR`` share one
+result store: fingerprint-keyed builds dedupe *fleet-wide* (exactly one
+sweep per fingerprint, enforced by the store's cross-process file locks
+— see :mod:`repro.service.store`).
+
+``FleetProxy`` is imported lazily (it depends on :mod:`repro.server`,
+which itself imports this package's event broker).
+"""
+
+from .events import EventBroker, format_sse_event
+from .ring import HashRing, tile_key
+
+__all__ = ["EventBroker", "FleetProxy", "HashRing", "format_sse_event", "tile_key"]
+
+
+def __getattr__(name: str):
+    if name == "FleetProxy":
+        from .proxy import FleetProxy
+
+        return FleetProxy
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

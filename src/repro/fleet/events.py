@@ -1,0 +1,135 @@
+"""Push invalidation: per-handle Server-Sent-Events fan-out.
+
+Dynamic heat maps already carry monotone version/generation counters; this
+module is how those bumps reach viewers *without polling*.  An
+:class:`EventBroker` lives inside each HTTP app (replica and proxy alike):
+``POST /update`` publishes a frame, and every ``GET /events/{handle}``
+subscriber's stream yields it.  The proxy relays a single upstream
+subscription per handle and republishes frames to its own broker, so N
+viewers behind the proxy cost one replica connection.
+
+Frames are standard SSE (``id:``/``event:``/``data:`` lines, blank-line
+terminated, JSON payloads), so a browser ``EventSource`` consumes them
+directly.  Delivery is lossy by design: a slow subscriber's bounded queue
+drops its *oldest* frame first — an invalidation stream only has to
+deliver "your tiles are stale, refetch", and the newest frame carries the
+latest truth.
+
+Loop-confined like the rest of the async edge: subscribe/publish/close
+must run on the app's event loop (handlers already do).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["EventBroker", "format_sse_event"]
+
+#: Queue sentinel: the subscription ended (drain, handle close, relay EOF).
+_CLOSED = None
+
+
+def format_sse_event(event: str, data: dict, event_id: "int | None" = None) -> bytes:
+    """One wire-ready SSE frame (``id``/``event``/``data`` + blank line)."""
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {event}")
+    lines.append(f"data: {json.dumps(data, sort_keys=True)}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+class EventBroker:
+    """Per-handle subscriber queues behind publish/subscribe counters.
+
+    Args:
+        max_queue: per-subscriber buffered frames; on overflow the oldest
+            frame is dropped (counted in ``dropped``) so a stalled viewer
+            can never wedge a publisher.
+    """
+
+    def __init__(self, *, max_queue: int = 256) -> None:
+        self.max_queue = int(max_queue)
+        self._subs: "dict[str, set[asyncio.Queue]]" = {}
+        self._seq: "dict[str, int]" = {}
+        self.closed = False
+        self.published = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.subscribers_peak = 0
+
+    def subscribers(self, handle: "str | None" = None) -> int:
+        """Live subscription count for one handle (or the whole broker)."""
+        if handle is not None:
+            return len(self._subs.get(handle, ()))
+        return sum(len(qs) for qs in self._subs.values())
+
+    def last_seq(self, handle: str) -> int:
+        """The most recently published sequence number for ``handle``."""
+        return self._seq.get(handle, 0)
+
+    def subscribe(self, handle: str) -> asyncio.Queue:
+        """A new subscription queue for ``handle`` (frames as bytes).
+
+        On a closed (draining) broker the queue arrives pre-terminated so
+        the caller's stream ends immediately instead of hanging.
+        """
+        q: asyncio.Queue = asyncio.Queue()
+        if self.closed:
+            q.put_nowait(_CLOSED)
+            return q
+        self._subs.setdefault(handle, set()).add(q)
+        self.subscribers_peak = max(self.subscribers_peak, self.subscribers())
+        return q
+
+    def unsubscribe(self, handle: str, q: asyncio.Queue) -> None:
+        """Drop one subscription (no-op when already gone)."""
+        qs = self._subs.get(handle)
+        if qs is not None:
+            qs.discard(q)
+            if not qs:
+                del self._subs[handle]
+
+    def publish_frame(self, handle: str, frame: bytes) -> None:
+        """Deliver one pre-formatted frame to every ``handle`` subscriber."""
+        if self.closed:
+            return
+        self.published += 1
+        for q in self._subs.get(handle, ()):
+            while q.qsize() >= self.max_queue:
+                try:
+                    q.get_nowait()
+                    self.dropped += 1
+                except asyncio.QueueEmpty:  # pragma: no cover - defensive
+                    break
+            q.put_nowait(frame)
+            self.delivered += 1
+
+    def publish(self, handle: str, event: str, data: dict) -> int:
+        """Format and deliver one event; returns its per-handle sequence."""
+        seq = self._seq.get(handle, 0) + 1
+        self._seq[handle] = seq
+        self.publish_frame(handle, format_sse_event(event, data, event_id=seq))
+        return seq
+
+    def close_handle(self, handle: str) -> None:
+        """End every stream for one handle (upstream relay went away)."""
+        for q in self._subs.pop(handle, ()):
+            q.put_nowait(_CLOSED)
+
+    def close(self) -> None:
+        """End every stream (drain): sentinel all queues, refuse new work."""
+        self.closed = True
+        for handle in list(self._subs):
+            self.close_handle(handle)
+
+    def stats(self) -> dict:
+        """Broker counters for the ``/stats``/``/fleet/stats`` documents."""
+        return {
+            "subscribers": self.subscribers(),
+            "subscribers_peak": self.subscribers_peak,
+            "published": self.published,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+        }

@@ -1,0 +1,127 @@
+"""Consistent-hash ring: tile ownership sharded across serving replicas.
+
+The fleet shards work on stable string keys — ``handle`` for queries and
+``handle/z/tx/ty`` for tiles (see :func:`tile_key`) — so one hot heat map
+spreads across every replica instead of pinning a single process, while
+each *individual* tile keeps hitting the same replica's warm caches.
+
+Classic consistent hashing with virtual nodes: each replica is hashed to
+``vnodes`` points on a 64-bit ring, and a key belongs to the first vnode
+clockwise from the key's own hash.  Virtual nodes smooth the load split
+(the ring property test bounds a chi-square-ish statistic), and the ring
+structure bounds churn: adding or removing one replica remaps only the
+keys adjacent to that replica's vnodes — about ``1/N`` of the keyspace,
+never a full reshuffle (tested at ``<= 2/N``).
+
+Hashing is :func:`hashlib.blake2b` (stable across processes and Python
+runs — ``hash()`` is salted and would shard differently per process), so
+every proxy and replica computes identical ownership independently.
+"""
+
+from __future__ import annotations
+
+import bisect
+from hashlib import blake2b
+
+__all__ = ["HashRing", "tile_key"]
+
+
+def tile_key(handle: str, z: int, tx: int, ty: int) -> str:
+    """The ring key for one tile: shards a handle's tiles across replicas."""
+    return f"{handle}/{z}/{tx}/{ty}"
+
+
+def _hash64(data: str) -> int:
+    return int.from_bytes(
+        blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over named replicas.
+
+    Args:
+        nodes: initial replica names (typically ``host:port`` strings).
+        vnodes: virtual nodes per replica; more vnodes = smoother load
+            split at the cost of a larger (still tiny) sorted table.
+
+    The ring is deterministic: two rings built from the same node set
+    agree on every key's owner, whatever the insertion order.
+    """
+
+    def __init__(self, nodes=(), *, vnodes: int = 128) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        #: Sorted vnode hash points and their parallel owner list.
+        self._points: "list[int]" = []
+        self._owners: "list[str]" = []
+        self._nodes: "set[str]" = set()
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> "list[str]":
+        """The current replica names, sorted."""
+        return sorted(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Join one replica (its ``vnodes`` hash points) to the ring.
+
+        Raises ``ValueError`` on duplicates — a silent re-add would mask
+        configuration bugs (two replicas claiming one name).
+        """
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            point = _hash64(f"{node}#{i}")
+            idx = bisect.bisect_left(self._points, point)
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+
+    def remove(self, node: str) -> None:
+        """Leave: drop one replica's vnodes (ValueError when unknown)."""
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        keep = [
+            (p, o) for p, o in zip(self._points, self._owners) if o != node
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def owner(self, key: str) -> str:
+        """The replica owning ``key``: first vnode clockwise of its hash."""
+        if not self._points:
+            raise LookupError("the ring has no nodes")
+        idx = bisect.bisect_right(self._points, _hash64(key))
+        return self._owners[idx % len(self._owners)]
+
+    def preference(self, key: str, n: "int | None" = None) -> "list[str]":
+        """Distinct replicas in ring order from ``key`` — the failover list.
+
+        The first element is :meth:`owner`; each subsequent element is the
+        next *distinct* replica clockwise, which is exactly the node that
+        inherits the key if every replica before it leaves.  ``n`` caps
+        the list (default: all replicas).
+        """
+        if not self._points:
+            raise LookupError("the ring has no nodes")
+        want = len(self._nodes) if n is None else min(int(n), len(self._nodes))
+        start = bisect.bisect_right(self._points, _hash64(key))
+        out: "list[str]" = []
+        seen: "set[str]" = set()
+        for i in range(len(self._owners)):
+            node = self._owners[(start + i) % len(self._owners)]
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+                if len(out) == want:
+                    break
+        return out

@@ -28,6 +28,7 @@ in-process via :class:`~repro.server.app.ThreadedHTTPServer`.
 """
 
 from .app import (
+    BaseHTTPApp,
     HeatMapHTTPApp,
     HeatMapHTTPServer,
     HTTPStats,
@@ -39,6 +40,7 @@ from .http import Request, Response
 from .router import Route, Router
 
 __all__ = [
+    "BaseHTTPApp",
     "HTTPError",
     "HTTPStats",
     "HeatMapHTTPApp",

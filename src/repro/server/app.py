@@ -14,7 +14,16 @@ against:
 ``POST /query/{handle}``                  JSON batch heat / rnn / top-k
 ``POST /update/{handle}``                 dynamic update batch (incremental)
 ``GET  /tiles/{handle}/{z}/{tx}/{ty}.png``  raster tile, ETag revalidation
+``GET  /events/{handle}``                 SSE push-invalidation stream
 ========================================  ===================================
+
+The connection/dispatch plumbing lives in :class:`BaseHTTPApp` so the
+fleet proxy (:class:`~repro.fleet.proxy.FleetProxy`) can reuse it
+verbatim; both apps support **readiness** (``/healthz?ready=1`` answers
+503 until the app is attached to a running server, and again while
+draining) and **graceful shutdown** (:meth:`HeatMapHTTPServer.shutdown`
+drains in-flight requests and ends SSE streams cleanly before closing
+connections — SIGTERM/SIGINT trigger it under :func:`serve`).
 
 Every blocking computation runs through the wrapped
 :class:`~repro.service.async_service.AsyncHeatMapService`, so concurrent
@@ -44,6 +53,7 @@ import asyncio
 import contextlib
 import functools
 import math
+import signal
 import sys
 import threading
 import traceback
@@ -52,13 +62,21 @@ from dataclasses import dataclass, fields
 import numpy as np
 
 from ..dynamic import DynamicHeatMap
+from ..fleet.events import EventBroker, format_sse_event
 from ..service.async_service import AsyncHeatMapService
 from ..service.cache import LRUCache
 from ..service.fingerprint import fingerprint_build
 from ..service.latency import LatencyRecorder
 from ..service.service import _canonical_algorithm
 from .errors import HTTPError, error_payload, status_for_exception
-from .http import ConnectionBuffer, Request, Response, read_request, write_response
+from .http import (
+    ConnectionBuffer,
+    Request,
+    Response,
+    read_request,
+    write_response,
+    write_stream_head,
+)
 from .router import Router
 from .wire import (
     decode_dataset,
@@ -69,7 +87,14 @@ from .wire import (
     tile_etag,
 )
 
-__all__ = ["HTTPStats", "HeatMapHTTPApp", "HeatMapHTTPServer", "ThreadedHTTPServer", "serve"]
+__all__ = [
+    "BaseHTTPApp",
+    "HTTPStats",
+    "HeatMapHTTPApp",
+    "HeatMapHTTPServer",
+    "ThreadedHTTPServer",
+    "serve",
+]
 
 _METRICS = ("l1", "l2", "linf")
 _REBUILD_MODES = ("auto", "incremental", "full")
@@ -116,7 +141,266 @@ class HTTPStats:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
-class HeatMapHTTPApp:
+class BaseHTTPApp:
+    """Connection/dispatch plumbing shared by the app and the fleet proxy.
+
+    Owns everything that is not heat-map-specific: the router, the HTTP
+    and latency counters, the SSE :class:`~repro.fleet.events.EventBroker`,
+    the keep-alive connection loop with client-disconnect cancellation,
+    streaming-response writing, and the readiness/draining lifecycle:
+
+    * ``ready`` flips on when :meth:`startup` runs (the server calls it
+      once the listener is bound) and off again on :meth:`begin_drain`;
+      ``/healthz?ready=1`` answers 503 outside that window.
+    * ``begin_drain`` also closes the event broker, ending every SSE
+      stream cleanly (a viewer sees its stream end, never a 500), and
+      makes in-flight keep-alive connections close after their current
+      response; new requests on old connections answer 503.
+
+    Subclasses register routes on ``self.router`` and may override
+    :meth:`startup` / :meth:`aclose` / :meth:`aclose_sync`.
+    """
+
+    def __init__(self, *, max_body_bytes: int = 64 * 1024 * 1024) -> None:
+        self.max_body_bytes = int(max_body_bytes)
+        self.latency = LatencyRecorder()
+        self.http_stats = HTTPStats()
+        self.events = EventBroker()
+        self.router = Router()
+        self._ready = False
+        self._draining = False
+        self._inflight = 0
+        self._writers: "set[asyncio.StreamWriter]" = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """True between :meth:`startup` and :meth:`begin_drain`."""
+        return self._ready and not self._draining
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` ran (no way back)."""
+        return self._draining
+
+    @property
+    def inflight_requests(self) -> int:
+        """Requests (including open SSE streams) currently being served."""
+        return self._inflight
+
+    async def startup(self) -> None:
+        """Mark the app ready; the server awaits this after binding."""
+        self._ready = True
+
+    def begin_drain(self) -> None:
+        """Stop being ready, end SSE streams, close after each response."""
+        self._draining = True
+        self.events.close()
+
+    def force_close_connections(self) -> None:
+        """Abruptly close every tracked connection (drain-grace expiry)."""
+        for writer in list(self._writers):
+            writer.close()
+
+    async def aclose(self) -> None:
+        """Release owned resources (subclass hook; base owns none)."""
+
+    def aclose_sync(self) -> None:
+        """Thread-callable resource release (subclass hook)."""
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: Request) -> Response:
+        """Route one request to its handler; every failure becomes JSON.
+
+        Cancellation (client disconnect) propagates out — the connection
+        loop owns it; everything else is mapped through
+        :func:`~repro.server.errors.status_for_exception`.
+        """
+        # HEAD is served by the GET handler; the connection loop strips
+        # the body (RFC 9110: same headers, no content).
+        method = "GET" if request.method == "HEAD" else request.method
+        try:
+            handler, params = self.router.match(method, request.path)
+        except HTTPError as exc:
+            self.http_stats.count_status(exc.status)
+            return json_response(
+                error_payload(exc.status, exc.message), exc.status,
+                headers=exc.headers,
+            )
+        kind = handler.__name__.removeprefix("_handle_")
+        with self.latency.timing(kind):
+            try:
+                response = await handler(request, **params)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - edge boundary
+                status = status_for_exception(exc)
+                if status >= 500:
+                    traceback.print_exc(file=sys.stderr)
+                headers = exc.headers if isinstance(exc, HTTPError) else {}
+                response = json_response(
+                    error_payload(status, str(exc)), status, headers=headers
+                )
+        self.http_stats.count_status(response.status)
+        return response
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: keep-alive loop + disconnect watching.
+
+        While a handler task runs, a monitor task probes the socket; EOF
+        before the response is ready means the client is gone, and the
+        handler task is cancelled (the coalescing layer drops the
+        abandoned waiter without killing any shared computation).
+
+        A handler may return a *streaming* response (``Response.stream``);
+        the loop then flushes chunks until the iterator (or the client)
+        ends and closes the connection — streams are terminal.
+        """
+        buf = ConnectionBuffer(reader)
+        self.http_stats.connections += 1
+        self.http_stats.connections_open += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(buf, max_body=self.max_body_bytes)
+                except (ConnectionError, OSError):
+                    break  # peer reset between requests
+                except HTTPError as exc:
+                    self.http_stats.count_status(exc.status)
+                    await write_response(
+                        writer,
+                        json_response(
+                            error_payload(exc.status, exc.message), exc.status
+                        ),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                if self._draining:
+                    # In-flight work drains; *new* requests do not start.
+                    self.http_stats.count_status(503)
+                    with contextlib.suppress(ConnectionError, OSError):
+                        await write_response(
+                            writer,
+                            json_response(
+                                error_payload(503, "server is draining"), 503
+                            ),
+                            keep_alive=False,
+                        )
+                    break
+                self.http_stats.requests += 1
+                self._inflight += 1
+                try:
+                    handler_task = asyncio.create_task(self.dispatch(request))
+                    monitor = asyncio.create_task(buf.poll_eof())
+                    try:
+                        done, _pending = await asyncio.wait(
+                            {handler_task, monitor},
+                            return_when=asyncio.FIRST_COMPLETED,
+                        )
+                        if handler_task not in done and monitor.result():
+                            # Client hung up mid-request: propagate
+                            # cancellation into the pending handler (and
+                            # thereby its flight).
+                            handler_task.cancel()
+                            with contextlib.suppress(asyncio.CancelledError):
+                                await handler_task
+                            self.http_stats.cancelled_requests += 1
+                            break
+                        response = await handler_task
+                    finally:
+                        monitor.cancel()
+                        with contextlib.suppress(asyncio.CancelledError):
+                            await monitor
+                    if response.stream is not None:
+                        await self._send_stream(writer, buf, request, response)
+                        break
+                    keep_alive = not request.wants_close and not self._draining
+                    try:
+                        await write_response(
+                            writer, response, keep_alive=keep_alive,
+                            suppress_body=request.method == "HEAD",
+                        )
+                    except (ConnectionError, OSError):
+                        break
+                finally:
+                    self._inflight -= 1
+                if not keep_alive:
+                    break
+        finally:
+            self.http_stats.connections_open -= 1
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _send_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        buf: ConnectionBuffer,
+        request: Request,
+        response: Response,
+    ) -> None:
+        """Flush a streaming response until its iterator or client ends."""
+        stream = response.stream
+        try:
+            await write_stream_head(writer, response)
+        except (ConnectionError, OSError):
+            with contextlib.suppress(Exception):
+                await stream.aclose()
+            return
+        if request.method == "HEAD":
+            with contextlib.suppress(Exception):
+                await stream.aclose()
+            return
+        gen = stream.__aiter__()
+        monitor = asyncio.create_task(buf.poll_eof())
+        nxt: "asyncio.Task | None" = None
+        try:
+            while True:
+                if nxt is None:
+                    nxt = asyncio.create_task(gen.__anext__())
+                done, _pending = await asyncio.wait(
+                    {nxt, monitor}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if nxt in done:
+                    try:
+                        chunk = nxt.result()
+                    except StopAsyncIteration:
+                        return  # clean end of stream (drain/handle close)
+                    nxt = None
+                    try:
+                        writer.write(chunk)
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        self.http_stats.cancelled_requests += 1
+                        return
+                if monitor in done:
+                    if monitor.result():
+                        # Subscriber disconnected: stop streaming.
+                        self.http_stats.cancelled_requests += 1
+                        return
+                    # The client sent bytes mid-stream (ignored): rearm.
+                    monitor = asyncio.create_task(buf.poll_eof())
+        finally:
+            for task in (monitor, nxt):
+                if task is not None:
+                    task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await task
+            with contextlib.suppress(Exception):
+                await gen.aclose()
+
+
+class HeatMapHTTPApp(BaseHTTPApp):
     """Routes, handlers and registries over one ``AsyncHeatMapService``.
 
     Args:
@@ -168,12 +452,10 @@ class HeatMapHTTPApp:
                 "pass either an existing service or HeatMapService kwargs, "
                 f"not both (got {sorted(service_kwargs)})"
             )
+        super().__init__(max_body_bytes=max_body_bytes)
         self.service = service
         self.max_points = int(max_points)
-        self.max_body_bytes = int(max_body_bytes)
         self.default_cmap = default_cmap
-        self.latency = LatencyRecorder()
-        self.http_stats = HTTPStats()
         #: dataset id -> (clients, facilities | None); content-addressed,
         #: LRU-bounded like every other cache in the stack.
         self.datasets = LRUCache(max_datasets)
@@ -188,7 +470,6 @@ class HeatMapHTTPApp:
         #: etag -> encoded PNG bytes; strong ETags name exact bytes, so a
         #: hit skips the colormap + zlib encode on warm tile fetches.
         self._png_cache = LRUCache(max(64, max_png_tiles))
-        self.router = Router()
         self.router.add("GET", "/healthz", self._handle_healthz)
         self.router.add("GET", "/stats", self._handle_stats)
         self.router.add("GET", "/openapi.yaml", self._handle_openapi)
@@ -201,118 +482,17 @@ class HeatMapHTTPApp:
             "GET", "/tiles/{handle}/{z:int}/{tx:int}/{ty:int}.png",
             self._handle_tile,
         )
-
-    # ------------------------------------------------------------------
-    # Request plumbing
-    # ------------------------------------------------------------------
-    async def dispatch(self, request: Request) -> Response:
-        """Route one request to its handler; every failure becomes JSON.
-
-        Cancellation (client disconnect) propagates out — the connection
-        loop owns it; everything else is mapped through
-        :func:`~repro.server.errors.status_for_exception`.
-        """
-        # HEAD is served by the GET handler; the connection loop strips
-        # the body (RFC 9110: same headers, no content).
-        method = "GET" if request.method == "HEAD" else request.method
-        try:
-            handler, params = self.router.match(method, request.path)
-        except HTTPError as exc:
-            self.http_stats.count_status(exc.status)
-            return json_response(
-                error_payload(exc.status, exc.message), exc.status,
-                headers=exc.headers,
-            )
-        kind = handler.__name__.removeprefix("_handle_")
-        with self.latency.timing(kind):
-            try:
-                response = await handler(request, **params)
-            except asyncio.CancelledError:
-                raise
-            except Exception as exc:  # noqa: BLE001 - edge boundary
-                status = status_for_exception(exc)
-                if status >= 500:
-                    traceback.print_exc(file=sys.stderr)
-                headers = exc.headers if isinstance(exc, HTTPError) else {}
-                response = json_response(
-                    error_payload(status, str(exc)), status, headers=headers
-                )
-        self.http_stats.count_status(response.status)
-        return response
-
-    async def handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        """One client connection: keep-alive loop + disconnect watching.
-
-        While a handler task runs, a monitor task probes the socket; EOF
-        before the response is ready means the client is gone, and the
-        handler task is cancelled (the coalescing layer drops the
-        abandoned waiter without killing any shared computation).
-        """
-        buf = ConnectionBuffer(reader)
-        self.http_stats.connections += 1
-        self.http_stats.connections_open += 1
-        try:
-            while True:
-                try:
-                    request = await read_request(buf, max_body=self.max_body_bytes)
-                except (ConnectionError, OSError):
-                    break  # peer reset between requests
-                except HTTPError as exc:
-                    self.http_stats.count_status(exc.status)
-                    await write_response(
-                        writer,
-                        json_response(
-                            error_payload(exc.status, exc.message), exc.status
-                        ),
-                        keep_alive=False,
-                    )
-                    break
-                if request is None:
-                    break
-                self.http_stats.requests += 1
-                handler_task = asyncio.create_task(self.dispatch(request))
-                monitor = asyncio.create_task(buf.poll_eof())
-                try:
-                    done, _pending = await asyncio.wait(
-                        {handler_task, monitor},
-                        return_when=asyncio.FIRST_COMPLETED,
-                    )
-                    if handler_task not in done and monitor.result():
-                        # Client hung up mid-request: propagate cancellation
-                        # into the pending handler (and thereby its flight).
-                        handler_task.cancel()
-                        with contextlib.suppress(asyncio.CancelledError):
-                            await handler_task
-                        self.http_stats.cancelled_requests += 1
-                        break
-                    response = await handler_task
-                finally:
-                    monitor.cancel()
-                    with contextlib.suppress(asyncio.CancelledError):
-                        await monitor
-                keep_alive = not request.wants_close
-                try:
-                    await write_response(
-                        writer, response, keep_alive=keep_alive,
-                        suppress_body=request.method == "HEAD",
-                    )
-                except (ConnectionError, OSError):
-                    break
-                if not keep_alive:
-                    break
-        finally:
-            self.http_stats.connections_open -= 1
-            writer.close()
-            with contextlib.suppress(Exception):
-                await writer.wait_closed()
+        self.router.add("GET", "/events/{handle}", self._handle_events)
 
     async def _run(self, fn, *args, **kwargs):
         """Run a blocking callable on the service's executor."""
         if kwargs or args:
             fn = functools.partial(fn, *args, **kwargs)
         return await self.service._run(fn)
+
+    async def aclose(self) -> None:
+        """Release the owned service executor off-loop."""
+        await self.service.aclose()
 
     def aclose_sync(self) -> None:
         """Release the owned service executor (callable from any thread)."""
@@ -322,16 +502,29 @@ class HeatMapHTTPApp:
     # Introspection endpoints
     # ------------------------------------------------------------------
     async def _handle_healthz(self, request: Request) -> Response:
-        """Liveness: cheap, allocation-only, never touches the sweep path."""
+        """Liveness (and, with ``?ready=1``, readiness).
+
+        Liveness is cheap, allocation-only, and never touches the sweep
+        path: a live-but-starting process answers 200.  The readiness
+        form answers 503 with ``status: starting|draining`` until the app
+        is attached to a running server and again once draining — the
+        fleet proxy health-checks replicas with it before routing.
+        """
         building = sum(
             1 for s in self._builds.values() if s["status"] == "building"
         )
-        return json_response({
+        body = {
             "status": "ok",
             "handles": len(self.service.handles()),
             "datasets": len(self.datasets),
             "builds_in_progress": building,
-        })
+        }
+        status = 200
+        if request.query.get("ready", "") not in ("", "0", "false"):
+            if not self.ready:
+                body["status"] = "draining" if self.draining else "starting"
+                status = 503
+        return json_response(body, status)
 
     async def _handle_stats(self, request: Request) -> Response:
         """The full observability surface in one document.
@@ -662,6 +855,15 @@ class HeatMapHTTPApp:
                 return results
 
         results = await self._run(apply)
+        # Push invalidation: every /events/{handle} subscriber (viewers,
+        # and the fleet proxy relaying to *its* viewers) learns of the
+        # bump now, instead of discovering it on the next ETag poll.
+        self.events.publish(handle, "update", {
+            "handle": handle,
+            "version": dyn.version,
+            "stale": dyn.dirty,
+            "applied": len(updates),
+        })
         return json_response({
             "handle": handle,
             "applied": len(updates),
@@ -720,6 +922,54 @@ class HeatMapHTTPApp:
             headers={"ETag": etag, "Cache-Control": "no-cache"},
         )
 
+    async def _handle_events(self, request: Request, handle: str) -> Response:
+        """SSE push-invalidation stream for one handle.
+
+        The stream opens with a ``hello`` frame carrying the handle's
+        current version/generation (so a subscriber knows what "current"
+        means without a separate poll), then yields one ``update`` frame
+        per applied ``POST /update`` batch.  It ends cleanly — EOF, never
+        an error — when the server drains.  Static handles are accepted
+        too (their stream simply never fires), but a wholly unknown
+        handle answers 404.
+        """
+        known = (
+            handle in self._dynamic
+            or handle in self.service.handles()
+            or handle in self._builds
+        )
+        if not known:
+            raise HTTPError(404, f"unknown handle {handle!r}")
+        if self._draining:
+            raise HTTPError(503, "server is draining")
+        dyn = self._dynamic.get(handle)
+        hello = {
+            "handle": handle,
+            "version": dyn.version if dyn is not None else 0,
+            "generation": self.service.service.generation(handle),
+        }
+        queue = self.events.subscribe(handle)
+        broker = self.events
+
+        async def stream():
+            try:
+                yield format_sse_event(
+                    "hello", hello, event_id=broker.last_seq(handle)
+                )
+                while True:
+                    frame = await queue.get()
+                    if frame is None:
+                        return  # drained/closed: end the stream cleanly
+                    yield frame
+            finally:
+                broker.unsubscribe(handle, queue)
+
+        return Response(
+            content_type="text/event-stream",
+            headers={"Cache-Control": "no-cache"},
+            stream=stream(),
+        )
+
 
 class HeatMapHTTPServer:
     """Bind a :class:`HeatMapHTTPApp` to a TCP port on the current loop."""
@@ -733,11 +983,16 @@ class HeatMapHTTPServer:
         self._server: "asyncio.base_events.Server | None" = None
 
     async def start(self) -> int:
-        """Start accepting connections; returns the bound port."""
+        """Start accepting connections; returns the bound port.
+
+        Awaits the app's :meth:`BaseHTTPApp.startup` once the listener is
+        bound — after this returns, ``/healthz?ready=1`` answers 200.
+        """
         self._server = await asyncio.start_server(
             self.app.handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        await self.app.startup()
         return self.port
 
     async def serve_forever(self) -> None:
@@ -747,35 +1002,92 @@ class HeatMapHTTPServer:
         async with self._server:
             await self._server.serve_forever()
 
+    async def shutdown(self, grace: float = 10.0) -> None:
+        """Graceful drain: finish in-flight work, then close everything.
+
+        The sequence a restarting fleet must not turn into viewer 500s:
+
+        1. readiness flips off (the proxy stops routing here) and every
+           SSE stream ends cleanly (broker close — subscribers see their
+           stream end, not an error);
+        2. the listener closes (no new connections);
+        3. in-flight requests get up to ``grace`` seconds to complete —
+           responses go out with ``Connection: close``;
+        4. whatever remains is force-closed, and the executor released.
+        """
+        self.app.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, grace)
+        while self.app.inflight_requests > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        self.app.force_close_connections()
+        await self.app.aclose()
+
     async def aclose(self) -> None:
         """Stop accepting, close the listener, release the executor."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+            self._server = None
         await self.service_aclose()
 
     async def service_aclose(self) -> None:
-        """Shut the app's service executor down off-loop."""
-        await self.app.service.aclose()
+        """Shut the app's owned resources down off-loop."""
+        await self.app.aclose()
 
 
 async def serve(
-    host: str = "127.0.0.1", port: int = 8080, *, on_bound=None, **app_kwargs
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    on_bound=None,
+    app: "BaseHTTPApp | None" = None,
+    drain_grace: float = 10.0,
+    **app_kwargs,
 ) -> None:
-    """Build an app and serve it forever (the ``serve-http`` CLI body).
+    """Build an app and serve it until SIGTERM/SIGINT (the CLI body).
 
     ``on_bound(port)`` fires once the listener is up — the CLI uses it to
-    announce the address (the library itself never prints).
+    announce the address (the library itself never prints).  ``app``
+    mounts a pre-built application (the fleet proxy) instead of
+    constructing a :class:`HeatMapHTTPApp` from ``**app_kwargs``.
+
+    SIGTERM and SIGINT trigger a *graceful* shutdown: in-flight requests
+    get ``drain_grace`` seconds to finish and SSE streams end cleanly
+    (see :meth:`HeatMapHTTPServer.shutdown`) — a supervisor restarting a
+    replica never 500s its viewers.
     """
-    app = HeatMapHTTPApp(**app_kwargs)
+    if app is None:
+        app = HeatMapHTTPApp(**app_kwargs)
+    elif app_kwargs:
+        raise TypeError(
+            "pass either a pre-built app or app kwargs, not both "
+            f"(got {sorted(app_kwargs)})"
+        )
     server = HeatMapHTTPServer(app, host, port)
     bound = await server.start()
     if on_bound is not None:
         on_bound(bound)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: "list[signal.Signals]" = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without loop signal handlers: Ctrl-C still works
     try:
-        await server.serve_forever()
+        await stop.wait()
     finally:
-        await server.aclose()
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        await server.shutdown(grace=drain_grace)
 
 
 class ThreadedHTTPServer:
@@ -807,6 +1119,7 @@ class ThreadedHTTPServer:
         self._startup_error: "BaseException | None" = None
         self._loop: "asyncio.AbstractEventLoop | None" = None
         self._stop: "asyncio.Event | None" = None
+        self._http_server: "HeatMapHTTPServer | None" = None
         self._thread = threading.Thread(
             target=self._thread_main, name="rnnhm-http", daemon=True
         )
@@ -825,12 +1138,30 @@ class ThreadedHTTPServer:
         return self
 
     def close(self) -> None:
-        """Stop the loop, join the thread, release the service executor."""
+        """Stop the loop, join the thread, release the service executor.
+
+        Idempotent: closing an already-closed (or never-started) server is
+        a no-op, so a supervisor may always close on the way out.
+        """
         if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+            with contextlib.suppress(RuntimeError):  # loop already closed
+                self._loop.call_soon_threadsafe(self._stop.set)
         if self._thread.is_alive():
             self._thread.join(timeout=30)
         self.app.aclose_sync()
+
+    def shutdown(self, grace: float = 5.0) -> None:
+        """Gracefully drain (see :meth:`HeatMapHTTPServer.shutdown`), then
+        stop the loop and join the thread.  Unlike :meth:`close` — which
+        abruptly stops the loop — in-flight requests get up to ``grace``
+        seconds to complete and SSE streams end cleanly first."""
+        if self._loop is not None and self._http_server is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self._http_server.shutdown(grace), self._loop
+            )
+            with contextlib.suppress(Exception):
+                future.result(timeout=grace + 30)
+        self.close()
 
     def __enter__(self) -> "ThreadedHTTPServer":
         return self.start()
@@ -850,6 +1181,7 @@ class ThreadedHTTPServer:
 
     async def _main(self) -> None:
         server = HeatMapHTTPServer(self.app, self.host, self.port)
+        self._http_server = server
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         try:
@@ -862,5 +1194,16 @@ class ThreadedHTTPServer:
         try:
             await self._stop.wait()
         finally:
-            server._server.close()
-            await server._server.wait_closed()
+            if server._server is not None:  # None after a graceful shutdown
+                server._server.close()
+                await server._server.wait_closed()
+                # Abrupt close: snap every live connection shut and let
+                # the handler tasks see EOF and finish on their own —
+                # asyncio.run would otherwise cancel them mid-read, and
+                # the streams machinery logs each such cancellation.
+                self.app.begin_drain()
+                self.app.force_close_connections()
+                deadline = asyncio.get_running_loop().time() + 1.0
+                while (self.app._writers
+                       and asyncio.get_running_loop().time() < deadline):
+                    await asyncio.sleep(0.01)

@@ -26,7 +26,9 @@ __all__ = [
     "Request",
     "Response",
     "read_request",
+    "read_response",
     "write_response",
+    "write_stream_head",
 ]
 
 #: Protocol guard rails (per request).
@@ -147,12 +149,20 @@ class Response:
         body: response payload bytes.
         content_type: ``Content-Type`` header value.
         headers: extra headers (``ETag``, ``Location``, ...).
+        stream: when set, an *async iterator of bytes chunks* replaces
+            ``body``: the connection handler writes the head without a
+            ``Content-Length`` (``Connection: close`` — stream end is
+            framed by EOF, the one framing a dependency-free HTTP/1.1
+            stack can always produce) and then flushes chunks as the
+            iterator yields them.  This is how SSE event streams ride the
+            same stack as every JSON/PNG response.
     """
 
     status: int = 200
     body: bytes = b""
     content_type: str = "application/json"
     headers: "dict[str, str]" = field(default_factory=dict)
+    stream: "object | None" = field(default=None, repr=False)
 
 
 async def read_request(
@@ -231,3 +241,76 @@ async def write_response(
     if response.body and response.status != 304 and not suppress_body:
         writer.write(response.body)
     await writer.drain()
+
+
+async def write_stream_head(
+    writer: asyncio.StreamWriter, response: Response
+) -> None:
+    """Flush the head of a *streaming* response (no ``Content-Length``).
+
+    The connection is marked ``Connection: close`` — the end of the
+    stream is signalled by EOF, so the client never misparses a
+    keep-alive boundary.  Chunks are written by the caller as the
+    response's ``stream`` iterator yields them.
+    """
+    reason = STATUS_REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = dict(response.headers)
+    headers.setdefault("Content-Type", response.content_type)
+    headers.setdefault("Cache-Control", "no-cache")
+    headers["Connection"] = "close"
+    for name, value in headers.items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+
+
+async def read_response(
+    buf: ConnectionBuffer, *, max_body: int = MAX_BODY_BYTES
+) -> "Response | None":
+    """Parse one HTTP/1.1 *response* from a connection (the client side).
+
+    The fleet proxy speaks to replicas over the same dependency-free
+    stack it serves with; this is its read half.  Returns ``None`` on EOF
+    before any byte.  A ``Content-Length`` body is consumed; a response
+    *without* one (a streaming SSE relay, flagged ``Connection: close``)
+    has its body left unread in ``buf`` for the caller to stream.
+
+    Raises:
+        HTTPError: 502-flavored 400s on malformed upstream data, 413 on
+            an oversized head or body.
+    """
+    head = await buf.read_until(_CRLF2, MAX_HEADER_BYTES)
+    if head is None:
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HTTPError(400, f"malformed response line {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HTTPError(400, f"malformed response status {parts[1]!r}") from None
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HTTPError(400, "malformed Content-Length") from None
+        if not 0 <= length <= max_body:
+            raise HTTPError(413, f"response body over {max_body} bytes")
+        body = await buf.read_exactly(length)
+    return Response(
+        status=status,
+        body=body,
+        content_type=headers.get("content-type", "application/json"),
+        headers=headers,
+    )

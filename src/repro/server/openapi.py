@@ -64,8 +64,37 @@ SPEC = {
         "/healthz": {
             "get": {
                 "summary": "Liveness probe and registry counts",
+                "description": (
+                    "Plain GET /healthz answers 200 whenever the process is "
+                    "up (liveness). With ?ready=1 it becomes a readiness "
+                    "probe: 503 status=starting until the service layer is "
+                    "attached, 503 status=draining once graceful shutdown "
+                    "began. A fleet proxy serves the same contract with "
+                    "role=fleet-proxy."
+                ),
                 "operationId": "healthz",
-                "responses": _json_response("Server is up", "Health"),
+                "parameters": [
+                    {
+                        "name": "ready",
+                        "in": "query",
+                        "required": False,
+                        "schema": {"type": "string"},
+                        "description": "any truthy value asks for readiness",
+                    }
+                ],
+                "responses": {
+                    **_json_response("Server is up", "Health"),
+                    "503": {
+                        "description": (
+                            "ready=1 only: not (yet, or any more) serving"
+                        ),
+                        "content": {
+                            "application/json": {
+                                "schema": {"$ref": "#/components/schemas/Health"}
+                            }
+                        },
+                    },
+                },
             }
         },
         "/stats": {
@@ -311,6 +340,57 @@ SPEC = {
                 },
             }
         },
+        "/events/{handle}": {
+            "get": {
+                "summary": "Per-handle push-invalidation event stream (SSE)",
+                "description": (
+                    "A Server-Sent Events stream: one 'hello' event with the "
+                    "handle's current version/generation, then one 'update' "
+                    "event per applied POST /update batch — viewers drop "
+                    "stale tiles on push instead of polling ETags. The "
+                    "stream is Connection: close framed (no Content-Length) "
+                    "and ends cleanly when the server drains. Behind a "
+                    "fleet proxy, N viewers share one upstream replica "
+                    "subscription per handle."
+                ),
+                "operationId": "events",
+                "parameters": [
+                    {
+                        "name": "handle",
+                        "in": "path",
+                        "required": True,
+                        "schema": {"type": "string"},
+                    }
+                ],
+                "responses": {
+                    "200": {
+                        "description": (
+                            "The event stream (id/event/data frames; data is "
+                            "JSON)"
+                        ),
+                        "content": {"text/event-stream": {}},
+                    },
+                    "404": _ERROR_RESPONSE,
+                },
+            }
+        },
+        "/fleet/stats": {
+            "get": {
+                "summary": "Fleet-wide aggregated observability (proxy only)",
+                "description": (
+                    "Served by a --fleet-proxy coordinator: per-replica "
+                    "/stats snapshots, their numeric service counters "
+                    "summed (so fleet.builds is the number of actual sweeps "
+                    "performed fleet-wide), the proxy's own routing "
+                    "counters, and the consistent-hash ring layout. A "
+                    "single-process server does not mount this path."
+                ),
+                "operationId": "fleetStats",
+                "responses": _json_response(
+                    "Aggregated fleet snapshot", "FleetStats"
+                ),
+            }
+        },
     },
     "components": {
         "schemas": {
@@ -326,12 +406,17 @@ SPEC = {
             },
             "Health": {
                 "type": "object",
-                "required": ["status", "handles", "datasets", "builds_in_progress"],
+                "required": ["status"],
                 "properties": {
-                    "status": {"type": "string", "enum": ["ok"]},
+                    "status": {
+                        "type": "string",
+                        "enum": ["ok", "starting", "draining"],
+                    },
                     "handles": {"type": "integer"},
                     "datasets": {"type": "integer"},
                     "builds_in_progress": {"type": "integer"},
+                    "role": {"type": "string", "enum": ["fleet-proxy"]},
+                    "replicas": {"type": "integer"},
                 },
             },
             "Stats": {
@@ -478,6 +563,53 @@ SPEC = {
                     },
                     "version": {"type": "integer"},
                     "stale": {"type": "boolean"},
+                },
+            },
+            "FleetStats": {
+                "type": "object",
+                "required": ["fleet", "replicas", "proxy", "ring"],
+                "properties": {
+                    "fleet": {
+                        "type": "object",
+                        "description": (
+                            "Numeric service counters summed across "
+                            "reachable replicas (builds = actual sweeps "
+                            "fleet-wide)"
+                        ),
+                    },
+                    "replicas": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["replica", "reachable"],
+                            "properties": {
+                                "replica": {"type": "string"},
+                                "reachable": {"type": "boolean"},
+                                "stats": {"type": "object"},
+                                "error": {"type": "string"},
+                            },
+                        },
+                    },
+                    "proxy": {
+                        "type": "object",
+                        "description": (
+                            "The coordinator's own HTTP + routing counters "
+                            "(routed, fanouts, failovers, replica_errors, "
+                            "events_relayed)"
+                        ),
+                    },
+                    "ring": {
+                        "type": "object",
+                        "required": ["nodes", "vnodes"],
+                        "properties": {
+                            "nodes": {
+                                "type": "array",
+                                "items": {"type": "string"},
+                            },
+                            "vnodes": {"type": "integer"},
+                            "sticky_handles": {"type": "integer"},
+                        },
+                    },
                 },
             },
             "Error": {

@@ -34,6 +34,7 @@ requests across executor threads:
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from dataclasses import dataclass, field, fields
 
@@ -115,6 +116,9 @@ class ServiceStats:
     tiles_dropped_partial: int = 0
     demotions: int = 0
     promotions: int = 0
+    #: Cold builds written through to the store at build time (fleet /
+    #: ``shared_store`` mode) rather than lazily on eviction.
+    store_writes: int = 0
     coalesced_builds: int = 0
     coalesced_tiles: int = 0
     inflight_peak: int = 0
@@ -164,6 +168,14 @@ class HeatMapService:
             with the same fingerprint *promotes* them back instead of
             re-sweeping.  Dynamic handles are never spilled (their source
             regenerates them).
+        shared_store: fleet mode — ``store_dir`` is shared with other
+            serving replicas.  Cold builds *write through* to the store
+            at build time (not lazily on eviction), and the whole
+            load-or-sweep section runs under the store's cross-process
+            sweep lease, so one fingerprint is swept exactly once across
+            every process sharing the directory; the others block briefly
+            and promote the finished entry.  Ignored without a
+            ``store_dir``.
         workers: default worker count for cold builds (see
             :class:`~repro.core.heatmap.RNNHeatMap.build`); per-call
             ``workers=`` overrides it.
@@ -187,12 +199,14 @@ class HeatMapService:
         max_tiles: int = 512,
         tile_size: int = 256,
         store_dir=None,
+        shared_store: bool = False,
         workers: "int | None" = None,
     ) -> None:
         self._results = LRUCache(max_results)
         self._tiles = LRUCache(max_tiles)
         self.tile_size = int(tile_size)
         self.store = ResultStore(store_dir) if store_dir is not None else None
+        self.shared_store = bool(shared_store) and self.store is not None
         self.default_workers = workers
         self.stats = ServiceStats()
         #: Guards compound registry mutations (admit/evict/generation) —
@@ -262,23 +276,44 @@ class HeatMapService:
             if self._results.get(handle) is not None:
                 self.stats.inc("build_cache_hits")
                 return handle
-            if self.store is not None:
-                promoted = self.store.load(handle)
-                if promoted is not None:
-                    self.stats.inc("promotions")
-                    self._admit(
-                        handle, _Entry(promoted, world_bounds(promoted.region_set))
-                    )
-                    return handle
-            if self.on_build is not None:
-                self.on_build(handle)
-            hm = RNNHeatMap(
-                clients, facilities, metric=metric, measure=measure,
-                monochromatic=monochromatic, k=k,
+            # In shared_store (fleet) mode the whole load-or-sweep section
+            # runs under the store's cross-process sweep lease: a replica
+            # that blocked on another process's sweep wakes up to find the
+            # finished entry on disk and promotes it — one sweep per
+            # fingerprint across the whole fleet.
+            lease = (
+                self.store.sweep_lease(handle)
+                if self.shared_store
+                else contextlib.nullcontext()
             )
-            result = hm.build(algorithm, workers=workers, should_cancel=should_cancel)
-            self.stats.inc("builds")
-            self._admit(handle, _Entry(result, world_bounds(result.region_set)))
+            with lease:
+                if self.store is not None:
+                    promoted = self.store.load(handle)
+                    if promoted is not None:
+                        self.stats.inc("promotions")
+                        self._admit(
+                            handle,
+                            _Entry(promoted, world_bounds(promoted.region_set)),
+                        )
+                        return handle
+                if self.on_build is not None:
+                    self.on_build(handle)
+                hm = RNNHeatMap(
+                    clients, facilities, metric=metric, measure=measure,
+                    monochromatic=monochromatic, k=k,
+                )
+                result = hm.build(
+                    algorithm, workers=workers, should_cancel=should_cancel
+                )
+                self.stats.inc("builds")
+                if self.shared_store:
+                    # Write through while the lease is held, so waiting
+                    # replicas promote instead of re-sweeping.
+                    self.store.save(handle, result)
+                    self.stats.inc("store_writes")
+                self._admit(
+                    handle, _Entry(result, world_bounds(result.region_set))
+                )
         return handle
 
     def attach_dynamic(self, dynamic, name: "str | None" = None) -> str:
@@ -311,9 +346,13 @@ class HeatMapService:
         for evicted_handle, evicted in evicted_pairs:
             if self.store is not None and evicted.dynamic is None:
                 # Eviction becomes demotion: the fingerprint-keyed result
-                # spills to disk and a later build promotes it back.
-                self.store.save(evicted_handle, evicted.result)
-                self.stats.inc("demotions")
+                # spills to disk and a later build promotes it back.  In
+                # write-through (shared_store) mode the entry usually is
+                # on disk already — content-addressed, so skipping the
+                # duplicate save is free and loses nothing.
+                if evicted_handle not in self.store:
+                    self.store.save(evicted_handle, evicted.result)
+                    self.stats.inc("demotions")
             self._drop_tiles(evicted_handle)
 
     # ------------------------------------------------------------------

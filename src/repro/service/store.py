@@ -16,6 +16,18 @@ The store is a cache, never the source of truth: writes go through a
 temp-file-and-rename so a crash mid-demotion cannot leave a half-written
 entry under a live fingerprint, and an unreadable entry loads as ``None``
 (the service re-sweeps, and the next demotion overwrites the bad file).
+
+**Cross-process safety** (a ``store_dir`` shared by a fleet of replicas):
+every save/load/delete of one fingerprint holds a :class:`FileLock` — an
+``O_CREAT|O_EXCL`` sidecar (``<fingerprint>.lock``) carrying the owner's
+pid — so two *processes* can no longer interleave the stats/npz rename
+pair of a save with a delete or a load.  A second, long-held sidecar
+(``<fingerprint>.sweep.lock``, via :meth:`ResultStore.sweep_lease`) is
+the fleet-wide *build lease*: the service wraps
+``load-or-sweep-and-save`` in it, so one fingerprint is swept exactly
+once across every replica sharing the directory.  Stale locks from
+crashed owners are broken by liveness-probing the recorded pid — never
+by age, because a legitimate sweep lease can be held for minutes.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import time
 from pathlib import Path
 
 from ..core.heatmap import HeatMapResult
@@ -30,7 +43,96 @@ from ..core.serialize import load_region_set, save_region_set
 from ..core.sweep_linf import SweepStats
 from .flight import KeyedMutex
 
-__all__ = ["ResultStore"]
+__all__ = ["FileLock", "ResultStore"]
+
+
+class FileLock:
+    """Cross-process mutex: an ``O_CREAT|O_EXCL`` sidecar file.
+
+    ``O_EXCL`` makes creation the atomic acquire (works on every local
+    filesystem and on NFSv3+); the file body records the owner's pid.  A
+    waiter finding the file probes that pid — a lock whose owner is dead
+    is *stale* and gets broken (unlinked, then re-raced).  Liveness, not
+    age, decides staleness: long legitimate holds (a fleet build lease
+    across a multi-minute sweep) must never be stolen.  The one age-based
+    escape (``_ORPHAN_GRACE``) covers a file whose owner crashed between
+    creating it and writing its pid — an empty sidecar older than the
+    grace window cannot be a live acquisition.
+
+    Within one process, threads contending the same path exclude each
+    other too (creation is just as atomic), but holds are not reentrant —
+    callers layer their own per-key mutex (the store does) or ensure a
+    single holder.
+    """
+
+    #: Seconds after which an *empty* (pid-less) lock file is orphaned.
+    _ORPHAN_GRACE = 5.0
+
+    def __init__(self, path: "str | Path", *, poll: float = 0.01) -> None:
+        self.path = Path(path)
+        self.poll = float(poll)
+
+    def acquire(self, timeout: "float | None" = None) -> None:
+        """Block until the lock is held (``TimeoutError`` past ``timeout``)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                self._break_if_stale()
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"could not acquire {self.path} within {timeout}s"
+                    ) from None
+                time.sleep(self.poll)
+            else:
+                try:
+                    os.write(fd, str(os.getpid()).encode("ascii"))
+                finally:
+                    os.close(fd)
+                return
+
+    def release(self) -> None:
+        """Drop the lock (no-op when not held — release must never raise)."""
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - fs-level raciness
+            pass
+
+    def _break_if_stale(self) -> None:
+        """Unlink the sidecar when its recorded owner is provably dead."""
+        try:
+            body = self.path.read_text(encoding="ascii").strip()
+        except OSError:
+            return  # released (or being created) under us: just re-race
+        if not body:
+            try:
+                age = time.time() - self.path.stat().st_mtime
+            except OSError:
+                return
+            if age > self._ORPHAN_GRACE:
+                self.release()
+            return
+        try:
+            pid = int(body)
+        except ValueError:
+            self.release()  # garbage body: not a live acquisition
+            return
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            self.release()  # owner is gone; break the lock and re-race
+        except PermissionError:  # pragma: no cover - other-user process
+            pass  # alive but not ours: keep waiting
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
 
 
 def _stats_to_json(stats: SweepStats) -> dict:
@@ -65,6 +167,13 @@ class ResultStore:
     fingerprints proceed in parallel, and temp files carry a per-writer
     unique suffix so even two *processes* demoting the same fingerprint
     never rename each other's half-written files into place.
+
+    Safe *across* processes too: inside the per-process mutex, each
+    operation on one fingerprint additionally holds that entry's
+    :class:`FileLock` sidecar, so replicas sharing one ``store_dir``
+    cannot interleave the stats/npz rename pair of a save with another
+    replica's load or delete.  :meth:`sweep_lease` exposes the separate
+    long-held build lease the service uses for fleet-wide sweep dedupe.
     """
 
     #: Process-wide source of unique temp-file suffixes.
@@ -85,6 +194,22 @@ class ResultStore:
 
     def _stats_path(self, handle: str) -> Path:
         return self.root / f"{handle}.stats.json"
+
+    def _entry_lock(self, handle: str) -> FileLock:
+        return FileLock(self.root / f"{handle}.lock")
+
+    def sweep_lease(self, handle: str) -> FileLock:
+        """The fleet-wide build lease for one fingerprint (unacquired).
+
+        Held (as a context manager) across a replica's whole
+        ``load-or-sweep-and-save`` build section, it guarantees at most
+        one process is sweeping this fingerprint at any moment — every
+        other replica blocks, then finds the finished entry on disk and
+        promotes it.  A distinct sidecar from the short per-operation
+        entry lock, so ``save``/``load`` inside a held lease never
+        self-deadlock.
+        """
+        return FileLock(self.root / f"{handle}.sweep.lock")
 
     def __contains__(self, handle: str) -> bool:
         return self._region_path(handle).exists()
@@ -113,7 +238,7 @@ class ResultStore:
             tmp_stats.write_text(json.dumps(_stats_to_json(result.stats)))
             # The .npz suffix keeps np.savez from appending its own.
             save_region_set(result.region_set, tmp)
-            with self._locks.holding(handle):
+            with self._locks.holding(handle), self._entry_lock(handle):
                 os.replace(tmp_stats, self._stats_path(handle))
                 os.replace(tmp, final)
         finally:
@@ -129,7 +254,7 @@ class ResultStore:
         poison every future build of this fingerprint.
         """
         path = self._region_path(handle)
-        with self._locks.holding(handle):
+        with self._locks.holding(handle), self._entry_lock(handle):
             if not path.exists():
                 return None
             try:
@@ -147,6 +272,6 @@ class ResultStore:
 
     def delete(self, handle: str) -> None:
         """Forget one stored result (no-op when absent)."""
-        with self._locks.holding(handle):
+        with self._locks.holding(handle), self._entry_lock(handle):
             self._region_path(handle).unlink(missing_ok=True)
             self._stats_path(handle).unlink(missing_ok=True)

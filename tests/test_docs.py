@@ -27,6 +27,7 @@ REQUIRED_DOCS = (
     "docs/performance.md",
     "docs/incremental-updates.md",
     "docs/async-serving.md",
+    "docs/fleet.md",
     "docs/openapi.yaml",
 )
 

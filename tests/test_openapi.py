@@ -15,6 +15,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.fleet.proxy import FleetProxy
 from repro.server.app import HeatMapHTTPApp
 from repro.server.openapi import SPEC, spec_yaml, validate
 
@@ -30,6 +31,12 @@ def test_committed_yaml_matches_generator():
 
 
 def test_router_and_spec_agree_on_every_endpoint():
+    """Replica and fleet-proxy routers together cover the spec exactly.
+
+    The proxy forwards the replica surface and adds ``/fleet/stats``; the
+    spec documents the union, so every path must be mounted by at least
+    one of the two apps and neither may mount an undocumented one.
+    """
     app = HeatMapHTTPApp(max_workers=1)
     try:
         in_router = {
@@ -38,12 +45,19 @@ def test_router_and_spec_agree_on_every_endpoint():
         }
     finally:
         app.aclose_sync()
+    proxy = FleetProxy(["127.0.0.1:1", "127.0.0.1:2"])
+    in_proxy = {
+        (route.method.lower(), route.openapi_path)
+        for route in proxy.router.routes()
+    }
     in_spec = {
         (method, path)
         for path, methods in SPEC["paths"].items()
         for method in methods
     }
-    assert in_router == in_spec
+    assert in_router | in_proxy == in_spec
+    assert in_proxy - in_router == {("get", "/fleet/stats")}
+    assert in_router - in_proxy == set()
 
 
 def test_spec_declares_error_schema_for_every_4xx():

@@ -54,6 +54,10 @@ PUBLIC_MODULES = (
     "service/service.py",
     "service/store.py",
     "service/tiles.py",
+    "fleet/__init__.py",
+    "fleet/ring.py",
+    "fleet/events.py",
+    "fleet/proxy.py",
 )
 
 _MIN_DOC_LEN = 8
