@@ -16,12 +16,20 @@ sockets:
    (one shared upstream relay per handle), a ``POST /update`` lands, and
    each subscriber's push latency is measured end to end;
 4. **probe batches** — every viewer POSTs vectorized heat queries routed
-   to the handle's ring owner.
+   to the handle's ring owner;
+5. **fault phase** (skip with ``--no-faults``) — one replica is killed
+   mid-serve with a seeded slow-read schedule installed: the pan repeats
+   under per-request ``X-Deadline`` budgets while the health monitor
+   ejects the dead node, then the replica restarts on its old port and
+   must be re-admitted (hot-rejoin).  Reports availability and tile p99
+   with one replica down.
 
 Self-checks (non-zero exit on failure): exactly one sweep per distinct
 fingerprint fleet-wide, identical tile bytes across viewers, every
 replica served a share of the pan, every subscriber saw the update push
-in < 1s without polling, no 5xx.
+in < 1s without polling, no 5xx; under faults: 100% availability with
+one replica down, no request outliving its deadline, ejection and
+re-admission both observed.
 
 Run standalone (no pytest)::
 
@@ -44,6 +52,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
+from repro.faults import FaultInjector
 from repro.fleet import FleetProxy
 from repro.server import ThreadedHTTPServer
 from repro.service.latency import LatencyRecorder, format_percentiles
@@ -136,7 +146,8 @@ def run(args) -> dict:
         srv.start()
         replicas.append(srv)
     addresses = [f"127.0.0.1:{srv.port}" for srv in replicas]
-    proxy_app = FleetProxy(addresses, vnodes=args.vnodes)
+    proxy_app = FleetProxy(addresses, vnodes=args.vnodes,
+                           health_interval=args.health_interval)
     proxy = ThreadedHTTPServer(app=proxy_app)
     proxy.start()
 
@@ -289,6 +300,84 @@ def run(args) -> dict:
         checks["no_proxy_5xx"] = (
             fleet_stats["proxy"]["http"]["responses_5xx"] == 0
         )
+
+        # -- phase 5: fault phase — kill, serve degraded, hot-rejoin ---
+        # Runs after the accounting read: the killed replica's counters
+        # vanish with its process, so dedupe checks must be settled first.
+        fault_record = None
+        if not args.no_faults:
+            fault_t0 = time.perf_counter()
+            conn = _conn(proxy.url)
+            victim_idx = len(replicas) - 1
+            victim_addr = addresses[victim_idx]
+            inj = faults.install(FaultInjector(seed=args.seed))
+            inj.schedule("replica-read", "slow", rate=0.1, delay=0.01)
+            try:
+                replicas[victim_idx].close()
+                eject_t0 = time.perf_counter()
+                ejected = False
+                while time.perf_counter() - eject_t0 < 30:
+                    _s, body, _ = _request(conn, "GET", "/fleet/stats")
+                    if victim_addr not in json.loads(body)["ring"]["nodes"]:
+                        ejected = True
+                        break
+                    time.sleep(0.05)
+                ejection_s = time.perf_counter() - eject_t0
+
+                budget = 2.0
+                ok = total = 0
+                worst = 0.0
+                for z, tx, ty in tiles:
+                    start = time.perf_counter()
+                    status, _body, _ = _request(
+                        conn, "GET",
+                        f"/tiles/{pan_handle}/{z}/{tx}/{ty}.png",
+                        headers={"X-Deadline": str(budget)},
+                    )
+                    latency = time.perf_counter() - start
+                    recorder.observe("fleet_tile_one_down", latency)
+                    worst = max(worst, latency)
+                    total += 1
+                    ok += 1 if 200 <= status < 300 else 0
+                availability = ok / total
+
+                port = int(victim_addr.rsplit(":", 1)[1])
+                replicas[victim_idx] = ThreadedHTTPServer(
+                    tile_size=args.tile_size, max_tiles=4096,
+                    max_workers=args.executor_workers,
+                    store_dir=store_dir, shared_store=True, port=port,
+                )
+                replicas[victim_idx].start()
+                rejoin_t0 = time.perf_counter()
+                readmitted = False
+                while time.perf_counter() - rejoin_t0 < 30:
+                    _s, body, _ = _request(conn, "GET", "/fleet/stats")
+                    if victim_addr in json.loads(body)["ring"]["nodes"]:
+                        readmitted = True
+                        break
+                    time.sleep(0.05)
+                readmission_s = time.perf_counter() - rejoin_t0
+            finally:
+                faults.uninstall()
+                conn.close()
+            degraded = recorder.percentiles("fleet_tile_one_down")
+            fault_record = {
+                "availability_one_down": availability,
+                "tile_requests_one_down": total,
+                "tile_p99_ms_one_down": degraded.get("p99_ms"),
+                "worst_tile_s_one_down": worst,
+                "deadline_budget_s": budget,
+                "ejection_s": ejection_s,
+                "readmission_s": readmission_s,
+                "injected": inj.stats(),
+                "wall_s": time.perf_counter() - fault_t0,
+            }
+            checks["availability_floor_one_replica_down"] = (
+                availability == 1.0
+            )
+            checks["no_request_outlived_deadline"] = worst < budget + 1.0
+            checks["dead_replica_ejected"] = ejected
+            checks["restarted_replica_readmitted"] = readmitted
     finally:
         proxy.close()
         for srv in replicas:
@@ -319,6 +408,7 @@ def run(args) -> dict:
             "events_relayed": routing["events_relayed"],
         },
         "routing": routing,
+        "faults": fault_record,
         "checks": checks,
     }
     return record
@@ -338,6 +428,10 @@ def main(argv=None) -> int:
     parser.add_argument("--tile-size", type=int, default=128)
     parser.add_argument("--probes", type=int, default=40_000)
     parser.add_argument("--executor-workers", type=int, default=4)
+    parser.add_argument("--health-interval", type=float, default=0.25,
+                        help="proxy health-probe period (0 disables)")
+    parser.add_argument("--no-faults", action="store_true",
+                        help="skip the kill/degrade/rejoin fault phase")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (small instance, few viewers)")
@@ -378,6 +472,16 @@ def main(argv=None) -> int:
         f"{record['routing']['fanouts']} fanouts, "
         f"{record['routing']['failovers']} failovers"
     )
+    if record["faults"]:
+        fp = record["faults"]
+        print(
+            f"faults: availability {fp['availability_one_down']:.1%} over "
+            f"{fp['tile_requests_one_down']} tiles with one replica down "
+            f"(p99 {fp['tile_p99_ms_one_down']:.1f}ms, deadline "
+            f"{fp['deadline_budget_s']:.1f}s); ejected in "
+            f"{fp['ejection_s']:.2f}s, re-admitted in "
+            f"{fp['readmission_s']:.2f}s"
+        )
     for kind, pcts in record["latency"].items():
         print("  " + format_percentiles(kind, pcts))
     failed = [name for name, ok in record["checks"].items() if not ok]

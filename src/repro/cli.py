@@ -132,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
     sh.add_argument("--drain-grace", type=float, default=10.0,
                     help="seconds to wait for in-flight requests on "
                          "SIGTERM/SIGINT before force-closing connections")
+    sh.add_argument("--max-inflight", type=int, default=None,
+                    help="admission control: shed requests 503+Retry-After "
+                         "past this many in flight (default: unbounded; "
+                         "/healthz is always exempt)")
+    sh.add_argument("--health-interval", type=float, default=0.5,
+                    help="--fleet-proxy: seconds between replica health "
+                         "probes driving ring ejection/re-admission "
+                         "(0 disables the monitor)")
 
     up = sub.add_parser(
         "update",
@@ -408,7 +416,12 @@ def _cmd_serve_http(args) -> int:
         from .fleet import FleetProxy
 
         replicas = [r for r in args.fleet_proxy.split(",") if r.strip()]
-        app = FleetProxy(replicas, vnodes=args.ring_vnodes)
+        app = FleetProxy(
+            replicas,
+            vnodes=args.ring_vnodes,
+            max_inflight=args.max_inflight,
+            health_interval=args.health_interval,
+        )
 
         def announce_proxy(port: int) -> None:
             print(f"fleet proxy on http://{args.host}:{port} routing "
@@ -450,6 +463,7 @@ def _cmd_serve_http(args) -> int:
             store_dir=args.store_dir,
             default_cmap=args.cmap,
             shared_store=args.replica,
+            max_inflight=args.max_inflight,
         ))
     except KeyboardInterrupt:
         print("shutting down")

@@ -1,0 +1,44 @@
+"""Failure as a first-class, testable input to the serving stack.
+
+Three small pieces that make the fleet's degradation claims checkable:
+
+* :mod:`~repro.faults.inject` — a seeded :class:`FaultInjector` behind
+  named points (replica-connect, replica-read, store-save, store-load,
+  sweep-batch) so chaos tests replay identical failure schedules;
+* :mod:`~repro.faults.retry` — :class:`RetryPolicy` (exponential backoff
+  with full jitter, per-request attempt budgets) and :class:`Deadline`
+  (the ``X-Deadline`` end-to-end time budget);
+* :mod:`~repro.faults.breaker` — a per-replica :class:`CircuitBreaker`
+  so a dead peer costs one timeout, not one per request.
+
+See ``docs/resilience.md`` for the fault model and the chaos-suite guide.
+"""
+
+from .breaker import CircuitBreaker
+from .inject import (
+    FaultError,
+    FaultInjector,
+    FaultRule,
+    afire,
+    fire,
+    get,
+    install,
+    mangle_file,
+    uninstall,
+)
+from .retry import Deadline, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "FaultError",
+    "FaultInjector",
+    "FaultRule",
+    "RetryPolicy",
+    "afire",
+    "fire",
+    "get",
+    "install",
+    "mangle_file",
+    "uninstall",
+]

@@ -1,0 +1,86 @@
+"""A per-peer circuit breaker: stop hammering a replica that keeps failing.
+
+Classic three-state machine.  *Closed* passes traffic and counts
+consecutive failures; at ``failures`` consecutive errors it *opens* and
+every :meth:`CircuitBreaker.allow` is refused (callers fail over
+instantly instead of burning their deadline on a dead peer).  After
+``reset_after`` seconds the next ``allow`` admits exactly one probe
+(*half-open*); a success closes the breaker, a failure re-opens it and
+restarts the clock.  The clock is injectable so tests drive the state
+machine without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding one peer.
+
+    Args:
+        failures: consecutive failures that trip the breaker open.
+        reset_after: seconds open before one half-open probe is admitted.
+        clock: monotonic time source (tests inject a fake).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failures: int = 3,
+        reset_after: float = 2.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        self.failures = int(failures)
+        self.reset_after = float(reset_after)
+        self._clock = clock
+        self._consecutive = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self.trips = 0  #: total closed/half-open -> open transitions
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when the timer allows."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller send a request to this peer right now?
+
+        In half-open, the first ``allow`` admits the probe and subsequent
+        calls are refused until the probe reports back.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN:
+            self._state = self.OPEN  # only one probe in flight
+            self._opened_at = self._clock()
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A request to the peer succeeded: close and reset the count."""
+        self._consecutive = 0
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        """A request failed: count it; trip open at the threshold."""
+        self._consecutive += 1
+        if self._consecutive >= self.failures and self._state != self.OPEN:
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            self.trips += 1

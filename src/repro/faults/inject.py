@@ -1,0 +1,230 @@
+"""Deterministic fault injection behind named points in the serving stack.
+
+Production code calls :func:`fire` (sync paths: the store, the sweep) or
+:func:`afire` (event-loop paths: the proxy's replica clients) at a named
+*injection point*.  With no injector installed both are near-free no-ops;
+tests install a seeded :class:`FaultInjector` carrying a schedule of
+:class:`FaultRule` entries and the same seed replays the same failures in
+the same order, so a chaos run that trips an invariant is reproducible
+from its seed alone.
+
+Points currently wired through the stack:
+
+========================  ====================================================
+``replica-connect``       proxy opening a TCP connection to a replica
+``replica-read``          proxy awaiting a replica's response bytes
+``store-save``            replica persisting a result to the shared store
+``store-load``            replica promoting a result from the shared store
+``sweep-batch``           the sweep engine's per-batch cancellation poll
+========================  ====================================================
+
+Rule kinds: ``fail`` raises :class:`FaultError`, ``slow`` sleeps ``delay``
+then continues, ``hang`` sleeps a long ``delay`` then *fails* (a peer that
+never answers), and ``corrupt`` arms :func:`mangle_file` to flip bytes in
+the next file written under that point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FaultError",
+    "FaultRule",
+    "FaultInjector",
+    "install",
+    "get",
+    "uninstall",
+    "fire",
+    "afire",
+    "mangle_file",
+]
+
+#: Rule kinds a schedule may carry.
+KINDS = ("fail", "slow", "hang", "corrupt")
+
+
+class FaultError(Exception):
+    """An injected failure (never raised by real code paths)."""
+
+
+@dataclass
+class FaultRule:
+    """One scheduled failure mode at one injection point.
+
+    Args:
+        point: the injection-point name this rule arms.
+        kind: one of ``fail``, ``slow``, ``hang``, ``corrupt``.
+        rate: probability in [0, 1] that an arrival triggers the rule.
+        count: total number of triggers before the rule burns out
+            (``None`` = unlimited).
+        delay: seconds slept by ``slow``/``hang`` triggers.
+    """
+
+    point: str
+    kind: str
+    rate: float = 1.0
+    count: "int | None" = None
+    delay: float = 0.0
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the rule has triggered ``count`` times."""
+        return self.count is not None and self.fired >= self.count
+
+
+class FaultInjector:
+    """A seeded schedule of faults, replayable run-to-run.
+
+    Thread-safe: the sweep fires from executor threads while the proxy
+    fires from the event loop, and both share one RNG and one counter set
+    under a lock.  Sleeps (``slow``/``hang``) happen *outside* the lock so
+    one hanging point never stalls every other point.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._rules: "list[FaultRule]" = []
+        self._fired: "dict[str, int]" = {}
+        self._lock = threading.Lock()
+        self.seed = seed
+
+    def schedule(
+        self,
+        point: str,
+        kind: str,
+        *,
+        rate: float = 1.0,
+        count: "int | None" = None,
+        delay: float = 0.0,
+    ) -> FaultRule:
+        """Arm one rule at ``point``; returns it (for later inspection)."""
+        rule = FaultRule(point, kind, rate=rate, count=count, delay=delay)
+        with self._lock:
+            self._rules.append(rule)
+        return rule
+
+    def clear(self, point: "str | None" = None) -> None:
+        """Drop every rule (or just the rules armed at ``point``)."""
+        with self._lock:
+            if point is None:
+                self._rules.clear()
+            else:
+                self._rules = [r for r in self._rules if r.point != point]
+
+    def _draw(self, point: str, kinds: "tuple[str, ...]") -> "FaultRule | None":
+        """Pick the first live matching rule that wins its rate draw."""
+        with self._lock:
+            for rule in self._rules:
+                if rule.point != point or rule.exhausted:
+                    continue
+                if rule.kind not in kinds:
+                    continue
+                if self._rng.random() >= rule.rate:
+                    continue
+                rule.fired += 1
+                key = f"{point}:{rule.kind}"
+                self._fired[key] = self._fired.get(key, 0) + 1
+                return rule
+        return None
+
+    def fire(self, point: str) -> None:
+        """Trigger ``point`` from a sync context (may sleep or raise)."""
+        rule = self._draw(point, ("fail", "slow", "hang"))
+        if rule is None:
+            return
+        if rule.kind == "fail":
+            raise FaultError(f"injected {rule.kind} at {point}")
+        time.sleep(rule.delay)
+        if rule.kind == "hang":
+            raise FaultError(f"injected {rule.kind} at {point}")
+
+    async def afire(self, point: str) -> None:
+        """Trigger ``point`` from the event loop (sleeps never block it)."""
+        rule = self._draw(point, ("fail", "slow", "hang"))
+        if rule is None:
+            return
+        if rule.kind == "fail":
+            raise FaultError(f"injected {rule.kind} at {point}")
+        await asyncio.sleep(rule.delay)
+        if rule.kind == "hang":
+            raise FaultError(f"injected {rule.kind} at {point}")
+
+    def mangle_file(self, point: str, path: "str | Path") -> bool:
+        """Flip a few seeded bytes of ``path`` if a corrupt rule fires.
+
+        Returns True when the file was mangled.  Byte positions come from
+        the injector's RNG, so the damage is as reproducible as the
+        schedule that armed it.
+        """
+        rule = self._draw(point, ("corrupt",))
+        if rule is None:
+            return False
+        path = Path(path)
+        data = bytearray(path.read_bytes())
+        if not data:
+            return False
+        with self._lock:
+            positions = [
+                self._rng.randrange(len(data))
+                for _ in range(min(8, len(data)))
+            ]
+        for pos in positions:
+            data[pos] ^= 0xFF
+        path.write_bytes(bytes(data))
+        return True
+
+    def stats(self) -> "dict[str, int]":
+        """Trigger counts keyed ``point:kind`` (a copy)."""
+        with self._lock:
+            return dict(self._fired)
+
+
+_installed: "FaultInjector | None" = None
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Make ``injector`` the process-wide active injector; returns it."""
+    global _installed
+    _installed = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Deactivate fault injection (the no-op fast path returns)."""
+    global _installed
+    _installed = None
+
+
+def get() -> "FaultInjector | None":
+    """The active injector, or None when faults are disabled."""
+    return _installed
+
+
+def fire(point: str) -> None:
+    """Fire ``point`` on the active injector (no-op when none installed)."""
+    if _installed is not None:
+        _installed.fire(point)
+
+
+async def afire(point: str) -> None:
+    """Async :func:`fire` — sleeps on the loop, not the thread."""
+    if _installed is not None:
+        await _installed.afire(point)
+
+
+def mangle_file(point: str, path: "str | Path") -> bool:
+    """Mangle ``path`` if the active injector has a live corrupt rule."""
+    if _installed is not None:
+        return _installed.mangle_file(point, path)
+    return False

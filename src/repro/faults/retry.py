@@ -1,0 +1,100 @@
+"""Retry budgets with full-jitter backoff, and end-to-end deadlines.
+
+:class:`RetryPolicy` is the fleet's one answer to "how often and how hard
+do we retry": exponential backoff capped at ``cap`` with *full jitter*
+(``uniform(0, min(cap, base * 2**attempt))``, the AWS-style variant that
+decorrelates a thundering herd), bounded by a per-request attempt budget.
+
+:class:`Deadline` carries a request's remaining time budget end to end:
+the edge parses an ``X-Deadline: <seconds>`` header into one, the proxy
+clamps each replica attempt (and its backoff sleeps) to ``remaining()``,
+forwards the decremented budget downstream, and the replica threads
+``should_cancel`` into the sweep so work is abandoned the moment nobody
+can use its result.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+__all__ = ["RetryPolicy", "Deadline"]
+
+
+class RetryPolicy:
+    """How many attempts a request gets and how long to sleep between them.
+
+    Args:
+        attempts: total tries including the first (so 1 = no retries).
+        base: backoff scale in seconds; attempt *n* draws from
+            ``uniform(0, min(cap, base * 2**n))``.
+        cap: upper bound on any single sleep.
+        rng: the random source (tests inject a seeded one).
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        *,
+        base: float = 0.05,
+        cap: float = 2.0,
+        rng: "random.Random | None" = None,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.attempts = int(attempts)
+        self.base = float(base)
+        self.cap = float(cap)
+        self._rng = rng if rng is not None else random.Random()
+
+    def backoff(self, attempt: int) -> float:
+        """The jittered sleep before retry number ``attempt`` (0-based)."""
+        ceiling = min(self.cap, self.base * (2.0 ** attempt))
+        return self._rng.uniform(0.0, ceiling)
+
+    def delays(self) -> "list[float]":
+        """The full jittered sleep sequence for one request (drawn now)."""
+        return [self.backoff(i) for i in range(self.attempts - 1)]
+
+
+class Deadline:
+    """A monotonic time budget threaded through a request's whole life.
+
+    Args:
+        budget: seconds from *now* until the request is worthless.
+        clock: monotonic time source (tests inject a fake).
+    """
+
+    def __init__(self, budget: float, *, clock=time.monotonic) -> None:
+        self._clock = clock
+        self.budget = float(budget)
+        self._expires = clock() + self.budget
+
+    @classmethod
+    def from_header(cls, value: str, *, clock=time.monotonic) -> "Deadline":
+        """Parse an ``X-Deadline`` header (seconds of remaining budget).
+
+        Raises ValueError on a non-numeric, non-finite, or non-positive
+        value — the edge maps that to a 400.
+        """
+        budget = float(value)  # ValueError propagates
+        if not (budget > 0.0) or budget != budget or budget == float("inf"):
+            raise ValueError(f"X-Deadline must be a positive finite number of seconds, got {value!r}")
+        return cls(budget, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self._expires - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is fully spent."""
+        return self._clock() >= self._expires
+
+    def should_cancel(self) -> bool:
+        """Cancellation-callback form of :attr:`expired` (for the sweep)."""
+        return self.expired
+
+    def header_value(self) -> str:
+        """The ``X-Deadline`` value to forward downstream (remaining budget)."""
+        return f"{self.remaining():.6f}"

@@ -17,6 +17,11 @@ stack scales *horizontally*:
   /events/{handle}``, broadcasting per-handle version bumps from ``POST
   /update`` so viewers (and the proxy, relaying one upstream
   subscription per handle) never poll ETags.
+* :mod:`~repro.fleet.health` — the membership monitor: a
+  :class:`~repro.fleet.health.HealthMonitor` on the proxy's loop probes
+  each replica's readiness, ejects dead nodes from the ring and
+  re-admits recovered ones (replica hot-rejoin), closing their circuit
+  breakers so traffic returns immediately.
 
 Replicas started with ``serve-http --replica --store-dir DIR`` share one
 result store: fingerprint-keyed builds dedupe *fleet-wide* (exactly one
@@ -30,7 +35,14 @@ which itself imports this package's event broker).
 from .events import EventBroker, format_sse_event
 from .ring import HashRing, tile_key
 
-__all__ = ["EventBroker", "FleetProxy", "HashRing", "format_sse_event", "tile_key"]
+__all__ = [
+    "EventBroker",
+    "FleetProxy",
+    "HashRing",
+    "HealthMonitor",
+    "format_sse_event",
+    "tile_key",
+]
 
 
 def __getattr__(name: str):
@@ -38,4 +50,8 @@ def __getattr__(name: str):
         from .proxy import FleetProxy
 
         return FleetProxy
+    if name == "HealthMonitor":
+        from .health import HealthMonitor
+
+        return HealthMonitor
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

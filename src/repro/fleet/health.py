@@ -1,0 +1,127 @@
+"""Background replica health probing: eject dead ring nodes, re-admit live.
+
+PR 7's fleet had *static* ring membership: a dead replica stayed on the
+ring forever, costing every request that hashed to it a connect-timeout
+before failing over.  :class:`HealthMonitor` closes that gap — a
+background task on the proxy's loop probes each replica's
+``/healthz?ready=1`` on an interval (with its own short-timeout clients,
+never the hot path's pools):
+
+* ``failures`` consecutive failed probes **eject** the replica from the
+  consistent-hash ring — tiles re-shard to the surviving nodes and no
+  request pays the dead node's timeout again;
+* a successful probe of an off-ring replica **re-admits** it (the
+  replica hot-rejoin the ring API always supported), restores its
+  pinned traffic share, and closes its circuit breaker so requests flow
+  immediately.
+
+Membership changes are just ``ring.remove``/``ring.add`` — the proxy's
+``_candidates`` failover list always falls back to the full static
+replica set, so even a fully-ejected fleet keeps answering the moment
+any replica comes back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+__all__ = ["HealthMonitor"]
+
+
+class HealthMonitor:
+    """Probe replicas periodically; drive the proxy's ring membership.
+
+    Args:
+        proxy: the owning :class:`~repro.fleet.proxy.FleetProxy` (its
+            ring and breakers are the state this monitor drives).
+        interval: seconds between probe rounds.
+        failures: consecutive probe failures before ejection.
+        probe_timeout: per-probe connect/response bound — probes must be
+            much snappier than real requests.
+    """
+
+    def __init__(
+        self,
+        proxy,
+        *,
+        interval: float = 0.5,
+        failures: int = 3,
+        probe_timeout: float = 1.0,
+    ) -> None:
+        self.proxy = proxy
+        self.interval = float(interval)
+        self.failures = int(failures)
+        self.probe_timeout = float(probe_timeout)
+        self._task: "asyncio.Task | None" = None
+        self._bad: "dict[str, int]" = {a: 0 for a in proxy.replicas}
+        self.ejections = 0
+        self.readmissions = 0
+        # Dedicated short-timeout clients: a probe must never block on
+        # (or steal a pooled connection from) the request path.
+        from .proxy import _ReplicaClient
+
+        self._clients = {
+            addr: _ReplicaClient(
+                addr,
+                connect_timeout=self.probe_timeout,
+                request_timeout=self.probe_timeout,
+                max_idle=1,
+            )
+            for addr in proxy.replicas
+        }
+
+    def start(self) -> None:
+        """Begin probing on the current event loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.create_task(self._loop())
+
+    def stop(self) -> None:
+        """Cancel the probe task and drop the probe connections."""
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        for client in self._clients.values():
+            client.close()
+
+    async def _loop(self) -> None:
+        while True:
+            await asyncio.gather(
+                *(self._probe(addr) for addr in self.proxy.replicas)
+            )
+            await asyncio.sleep(self.interval)
+
+    async def _probe(self, addr: str) -> None:
+        """One probe of one replica; applies the membership consequences."""
+        from .proxy import ReplicaError
+
+        try:
+            response = await self._clients[addr].request(
+                "GET", "/healthz?ready=1"
+            )
+            ok = response.status == 200
+        except ReplicaError:
+            ok = False
+        if ok:
+            self._bad[addr] = 0
+            if addr not in self.proxy.ring:
+                self.proxy.ring.add(addr)
+                self.readmissions += 1
+            # The probe is a real successful request: let traffic flow
+            # again instead of waiting out the breaker's reset window.
+            self.proxy.breakers[addr].record_success()
+        else:
+            self._bad[addr] += 1
+            if self._bad[addr] >= self.failures and addr in self.proxy.ring:
+                with contextlib.suppress(ValueError):
+                    self.proxy.ring.remove(addr)
+                    self.ejections += 1
+
+    def snapshot(self) -> dict:
+        """Health state for ``/fleet/stats``: membership + probe counters."""
+        return {
+            "ejections": self.ejections,
+            "readmissions": self.readmissions,
+            "ring_members": self.proxy.ring.nodes(),
+            "failing": {a: n for a, n in self._bad.items() if n > 0},
+        }

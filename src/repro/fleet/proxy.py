@@ -14,14 +14,26 @@ client-disconnect cancellation as the replica app — whose handlers
   store's cross-process sweep lease guarantees exactly one actual sweep
   per fingerprint fleet-wide.  ``GET /build/{handle}`` aggregates: ready
   only when every reachable replica is ready.
-* **Dynamic handles** (``dyn-N``) are per-replica state: their build is
+* **Dynamic handles** (``dyn-…``, fleet-unique per replica) are
+  per-replica state: their build is
   routed to one replica (round-robin) and a sticky ``handle -> replica``
   map pins every later tile/query/update/event for that handle to it.
 * **Events** relay: the proxy keeps *one* upstream SSE subscription per
   handle and republishes frames through its own broker to any number of
   downstream viewers — N viewers cost one replica connection.
 * ``GET /fleet/stats`` aggregates every replica's ``/stats`` with the
-  proxy's own routing counters and the ring layout.
+  proxy's own routing counters, the ring layout, health-probe state and
+  per-replica circuit-breaker states.
+
+**Resilience** (see ``docs/resilience.md``): every replica client is
+guarded by a :class:`~repro.faults.CircuitBreaker` — a replica that
+keeps failing transport costs an instant local refusal instead of a
+timeout per request; a background
+:class:`~repro.fleet.health.HealthMonitor` ejects dead replicas from
+the ring and re-admits recovered ones (replica hot-rejoin); failover
+sleeps follow a full-jitter :class:`~repro.faults.RetryPolicy`; and a
+request carrying ``X-Deadline`` has each replica attempt clamped to the
+remaining budget, with the decremented budget forwarded downstream.
 
 The proxy is stateless apart from caches (sticky map, connection pools):
 restarting it loses nothing durable.
@@ -35,10 +47,13 @@ import json
 from dataclasses import dataclass, field, fields
 from urllib.parse import quote, urlencode
 
+from .. import faults
+from ..faults import CircuitBreaker, Deadline, FaultError, RetryPolicy
 from ..server.app import BaseHTTPApp
 from ..server.errors import HTTPError, error_payload
 from ..server.http import ConnectionBuffer, Request, Response, read_response
 from ..server.wire import json_response
+from .health import HealthMonitor
 from .ring import HashRing, tile_key
 
 __all__ = ["FleetProxy", "FleetStats", "ReplicaError"]
@@ -64,13 +79,16 @@ class FleetStats:
 
     ``failovers`` counts requests answered by a node other than the
     first-choice owner; ``replica_errors`` counts transport failures
-    against individual replicas (several may back one ``failover``).
+    against individual replicas (several may back one ``failover``);
+    ``breaker_rejections`` counts attempts refused locally because the
+    target replica's circuit breaker was open (no socket was touched).
     """
 
     routed: int = 0
     fanouts: int = 0
     failovers: int = 0
     replica_errors: int = 0
+    breaker_rejections: int = 0
     events_relayed: int = 0
     relays_open: int = 0
 
@@ -112,11 +130,12 @@ class _ReplicaClient:
 
     async def _connect(self):
         try:
+            await faults.afire("replica-connect")
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(self.host, self.port),
                 self.connect_timeout,
             )
-        except (OSError, asyncio.TimeoutError) as exc:
+        except (OSError, asyncio.TimeoutError, FaultError) as exc:
             raise ReplicaError(f"{self.address}: connect failed: {exc}") from exc
         return reader, writer, ConnectionBuffer(reader)
 
@@ -136,9 +155,15 @@ class _ReplicaClient:
         *,
         body: bytes = b"",
         headers: "dict[str, str] | None" = None,
+        timeout: "float | None" = None,
     ) -> Response:
-        """One request/response exchange; pooled, with one stale-retry."""
+        """One request/response exchange; pooled, with one stale-retry.
+
+        ``timeout`` overrides the client's default response bound — the
+        proxy clamps it to a request's remaining ``X-Deadline`` budget.
+        """
         payload = self._encode(method, target, headers or {}, body)
+        bound = self.request_timeout if timeout is None else timeout
         attempts = 2 if self._idle else 1
         for attempt in range(attempts):
             fresh = not self._idle
@@ -149,13 +174,20 @@ class _ReplicaClient:
             try:
                 writer.write(payload)
                 await writer.drain()
-                response = await asyncio.wait_for(
-                    read_response(buf), self.request_timeout
-                )
+
+                async def _read():
+                    # The injected delay counts against the same response
+                    # bound a real slow replica would: a "hang" fault with
+                    # a long delay times out exactly like a dead peer.
+                    await faults.afire("replica-read")
+                    return await read_response(buf)
+
+                response = await asyncio.wait_for(_read(), bound)
                 if response is None:
                     raise ConnectionError("EOF before response")
             except (
                 ConnectionError, OSError, asyncio.TimeoutError, HTTPError,
+                FaultError,
             ) as exc:
                 writer.close()
                 if fresh or attempt == attempts - 1:
@@ -214,13 +246,27 @@ class FleetProxy(BaseHTTPApp):
     """Coordinator app routing requests across a replica fleet.
 
     Args:
-        replicas: replica addresses (``host:port`` strings); the fleet
-            membership is static per proxy process — restart the proxy
-            (it is stateless) to change it.
+        replicas: replica addresses (``host:port`` strings); the *static*
+            superset of the fleet — the health monitor ejects dead
+            members from the ring and re-admits them when they recover,
+            but never learns of addresses not listed here.
         vnodes: virtual nodes per replica on the consistent-hash ring.
         connect_timeout / request_timeout: per-replica client limits.
         startup_timeout: how long :meth:`startup` waits for every replica
             to answer ``/healthz?ready=1`` before serving anyway.
+        max_inflight: admission-control bound (see
+            :class:`~repro.server.app.BaseHTTPApp`).
+        pool_size: most idle keep-alive sockets kept per replica; the
+            pools are also emptied on drain, so a long-lived coordinator
+            cannot leak file descriptors.
+        breaker_failures / breaker_reset: consecutive transport failures
+            that open a replica's circuit breaker, and the seconds it
+            stays open before a half-open probe.
+        retry: the failover backoff policy (default: 3 attempts' worth
+            of full-jitter sleeps from a 20ms base).
+        health_interval / health_failures: health-probe cadence and the
+            consecutive probe failures that eject a replica from the
+            ring (``health_interval=0`` disables the monitor).
     """
 
     def __init__(
@@ -229,11 +275,18 @@ class FleetProxy(BaseHTTPApp):
         *,
         vnodes: int = 128,
         max_body_bytes: int = 64 * 1024 * 1024,
+        max_inflight: "int | None" = None,
         connect_timeout: float = 2.0,
         request_timeout: float = 60.0,
         startup_timeout: float = 10.0,
+        pool_size: int = 8,
+        breaker_failures: int = 3,
+        breaker_reset: float = 2.0,
+        retry: "RetryPolicy | None" = None,
+        health_interval: float = 0.5,
+        health_failures: int = 3,
     ) -> None:
-        super().__init__(max_body_bytes=max_body_bytes)
+        super().__init__(max_body_bytes=max_body_bytes, max_inflight=max_inflight)
         addresses = [str(r).strip() for r in replicas if str(r).strip()]
         if not addresses:
             raise ValueError("a fleet proxy needs at least one replica")
@@ -243,11 +296,26 @@ class FleetProxy(BaseHTTPApp):
         self.ring = HashRing(addresses, vnodes=vnodes)
         self.startup_timeout = float(startup_timeout)
         self.fleet_stats = FleetStats()
+        self.retry = retry if retry is not None else RetryPolicy(base=0.02, cap=0.25)
+        self.breakers = {
+            addr: CircuitBreaker(
+                failures=breaker_failures, reset_after=breaker_reset
+            )
+            for addr in addresses
+        }
+        self.health = (
+            HealthMonitor(
+                self, interval=health_interval, failures=health_failures
+            )
+            if health_interval > 0
+            else None
+        )
         self._clients = {
             addr: _ReplicaClient(
                 addr,
                 connect_timeout=connect_timeout,
                 request_timeout=request_timeout,
+                max_idle=pool_size,
             )
             for addr in addresses
         }
@@ -296,10 +364,23 @@ class FleetProxy(BaseHTTPApp):
                     pending.discard(addr)
             if pending:
                 await asyncio.sleep(0.05)
+        if self.health is not None:
+            self.health.start()
         await super().startup()
 
+    def begin_drain(self) -> None:
+        """Drain like the base app, plus: stop probing and empty the
+        connection pools (a draining coordinator holds no idle sockets)."""
+        super().begin_drain()
+        if self.health is not None:
+            self.health.stop()
+        for client in self._clients.values():
+            client.close()
+
     async def aclose(self) -> None:
-        """Cancel relays and drop every pooled replica connection."""
+        """Stop probing, cancel relays, drop every pooled connection."""
+        if self.health is not None:
+            self.health.stop()
         for relay in list(self._relays.values()):
             self._stop_relay(relay)
         for client in self._clients.values():
@@ -318,18 +399,50 @@ class FleetProxy(BaseHTTPApp):
             target += "?" + urlencode(request.query)
         return target
 
-    async def _forward(self, request: Request, replica: str) -> Response:
-        """Forward one request verbatim; reframe the response for us."""
+    async def _forward(
+        self,
+        request: Request,
+        replica: str,
+        *,
+        deadline: "Deadline | None" = None,
+    ) -> Response:
+        """Forward one request verbatim; reframe the response for us.
+
+        The replica's circuit breaker gates the attempt: open means an
+        instant :class:`ReplicaError` without touching a socket.
+        Transport outcomes feed back into the breaker; HTTP status codes
+        do not (a 500 from a handler is an application answer from a
+        live replica).  With a ``deadline``, the response wait is clamped
+        to the remaining budget and the decremented budget is forwarded
+        as ``X-Deadline`` so the replica stops working the moment the
+        viewer's budget is gone.
+        """
+        breaker = self.breakers[replica]
+        if not breaker.allow():
+            self.fleet_stats.breaker_rejections += 1
+            raise ReplicaError(f"{replica}: circuit open")
         headers = {}
         for name in _FORWARD_REQUEST_HEADERS:
             if name in request.headers:
                 headers[name.title()] = request.headers[name]
-        upstream = await self._clients[replica].request(
-            request.method,
-            self._target(request),
-            body=request.body,
-            headers=headers,
-        )
+        timeout = None
+        if deadline is not None:
+            headers["X-Deadline"] = deadline.header_value()
+            timeout = min(
+                self._clients[replica].request_timeout, deadline.remaining()
+            )
+        try:
+            upstream = await self._clients[replica].request(
+                request.method,
+                self._target(request),
+                body=request.body,
+                headers=headers,
+                timeout=timeout,
+            )
+        except ReplicaError:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
         out = {}
         for name in _FORWARD_RESPONSE_HEADERS:
             if name in upstream.headers:
@@ -345,12 +458,18 @@ class FleetProxy(BaseHTTPApp):
         """Failover order: sticky pin first, then ring preference, then
         every remaining replica (a 404 on the owner may just mean the
         handle lives elsewhere — e.g. after a proxy restart lost the
-        sticky map)."""
+        sticky map).  The tail over the *full static* replica list also
+        keeps the fleet answering when the health monitor has ejected
+        every ring node: a recovered-but-not-yet-readmitted replica is
+        still tried."""
         out: "list[str]" = []
         sticky = self._sticky.get(handle)
         if sticky is not None and sticky in self._clients:
             out.append(sticky)
         for node in self.ring.preference(key if key is not None else handle):
+            if node not in out:
+                out.append(node)
+        for node in self.replicas:
             if node not in out:
                 out.append(node)
         return out
@@ -372,14 +491,36 @@ class FleetProxy(BaseHTTPApp):
         (counted as failovers); 404 also advances — the handle may be
         resident elsewhere — but a unanimous 404 *is* the answer.  The
         replica that answers gets pinned for dynamic handles.
+
+        Transport failures back off between candidates with the proxy's
+        full-jitter :class:`~repro.faults.RetryPolicy` (decorrelating a
+        thundering herd when a replica dies under load); a request
+        carrying ``X-Deadline`` never sleeps or waits past its remaining
+        budget.
         """
         self.fleet_stats.routed += 1
+        raw = request.headers.get("x-deadline")
+        deadline: "Deadline | None" = None
+        if raw is not None:
+            with contextlib.suppress(ValueError):  # bad header: 400 upstream
+                deadline = Deadline.from_header(raw)
         last: "Response | None" = None
+        errors = 0
         for i, replica in enumerate(self._candidates(handle, key)):
+            if deadline is not None and deadline.expired:
+                break  # dispatch turns the cancellation into a 504
             try:
-                response = await self._forward(request, replica)
+                response = await self._forward(
+                    request, replica, deadline=deadline
+                )
             except ReplicaError:
                 self.fleet_stats.replica_errors += 1
+                pause = self.retry.backoff(errors)
+                errors += 1
+                if deadline is not None:
+                    pause = min(pause, deadline.remaining())
+                if pause > 0:
+                    await asyncio.sleep(pause)
                 continue
             if response.status >= 500 or response.status == 404:
                 last = response
@@ -488,6 +629,13 @@ class FleetProxy(BaseHTTPApp):
                 "http": self.http_stats.as_dict(),
                 "routing": self.fleet_stats.as_dict(),
                 "events": self.events.stats(),
+                "breakers": {
+                    addr: breaker.state
+                    for addr, breaker in self.breakers.items()
+                },
+                "health": (
+                    self.health.snapshot() if self.health is not None else None
+                ),
             },
             "ring": {
                 "nodes": self.ring.nodes(),
@@ -522,7 +670,7 @@ class FleetProxy(BaseHTTPApp):
         Static builds go to every replica concurrently: the shared result
         store's sweep lease makes exactly one of them actually sweep; the
         rest block briefly and promote.  Dynamic builds pick one replica
-        round-robin and pin the returned ``dyn-N`` handle to it.
+        round-robin and pin the returned ``dyn-…`` handle to it.
         """
         try:
             payload = request.json()

@@ -53,6 +53,7 @@ import asyncio
 import contextlib
 import functools
 import math
+import secrets
 import signal
 import sys
 import threading
@@ -62,6 +63,7 @@ from dataclasses import dataclass, fields
 import numpy as np
 
 from ..dynamic import DynamicHeatMap
+from ..faults import Deadline
 from ..fleet.events import EventBroker, format_sse_event
 from ..service.async_service import AsyncHeatMapService
 from ..service.cache import LRUCache
@@ -115,7 +117,10 @@ class HTTPStats:
     ``cancelled_requests`` counts handler tasks cancelled because their
     client disconnected mid-request — the cancellation-propagation path.
     ``not_modified`` counts tile revalidations answered 304 without
-    touching the render path.
+    touching the render path.  ``shed_requests`` counts arrivals refused
+    503 + ``Retry-After`` by admission control (the in-flight bound), and
+    ``deadline_timeouts`` counts handlers cancelled because their
+    ``X-Deadline`` budget ran out (answered 504).
     """
 
     connections: int = 0
@@ -127,6 +132,8 @@ class HTTPStats:
     responses_5xx: int = 0
     not_modified: int = 0
     cancelled_requests: int = 0
+    shed_requests: int = 0
+    deadline_timeouts: int = 0
 
     def count_status(self, status: int) -> None:
         """Bucket one response status into its class counter."""
@@ -159,10 +166,28 @@ class BaseHTTPApp:
 
     Subclasses register routes on ``self.router`` and may override
     :meth:`startup` / :meth:`aclose` / :meth:`aclose_sync`.
+
+    **Admission control**: with ``max_inflight`` set, a request arriving
+    while that many are already in flight is *shed* — answered 503 with
+    ``Retry-After`` before any handler work, counted in
+    ``shed_requests`` — so overload degrades to fast, explicit pushback
+    instead of unbounded queueing.  ``/healthz`` is exempt: an overloaded
+    replica must still answer its health probes.
+
+    **Deadlines**: a request carrying ``X-Deadline: <seconds>`` is
+    abandoned (504, ``deadline_timeouts``) the moment its budget runs
+    out; the handler task is cancelled, which propagates into the
+    coalescing layer exactly like a client disconnect.
     """
 
-    def __init__(self, *, max_body_bytes: int = 64 * 1024 * 1024) -> None:
+    def __init__(
+        self,
+        *,
+        max_body_bytes: int = 64 * 1024 * 1024,
+        max_inflight: "int | None" = None,
+    ) -> None:
         self.max_body_bytes = int(max_body_bytes)
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
         self.latency = LatencyRecorder()
         self.http_stats = HTTPStats()
         self.events = EventBroker()
@@ -231,20 +256,48 @@ class BaseHTTPApp:
                 error_payload(exc.status, exc.message), exc.status,
                 headers=exc.headers,
             )
+        raw_deadline = request.headers.get("x-deadline")
+        deadline: "Deadline | None" = None
+        if raw_deadline is not None:
+            try:
+                deadline = Deadline.from_header(raw_deadline)
+            except ValueError as exc:
+                self.http_stats.count_status(400)
+                return json_response(error_payload(400, str(exc)), 400)
         kind = handler.__name__.removeprefix("_handle_")
         with self.latency.timing(kind):
             try:
-                response = await handler(request, **params)
+                if deadline is None:
+                    response = await handler(request, **params)
+                else:
+                    # wait_for cancels the handler task on expiry; the
+                    # cancellation propagates into its flight exactly like
+                    # a client disconnect, so an expired tile request
+                    # stops burning sweep/render CPU.
+                    response = await asyncio.wait_for(
+                        handler(request, **params), deadline.remaining()
+                    )
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # noqa: BLE001 - edge boundary
-                status = status_for_exception(exc)
-                if status >= 500:
-                    traceback.print_exc(file=sys.stderr)
-                headers = exc.headers if isinstance(exc, HTTPError) else {}
-                response = json_response(
-                    error_payload(status, str(exc)), status, headers=headers
-                )
+                if deadline is not None and isinstance(
+                    exc, (asyncio.TimeoutError, TimeoutError)
+                ):
+                    self.http_stats.deadline_timeouts += 1
+                    response = json_response(
+                        error_payload(
+                            504, f"deadline of {deadline.budget:.3f}s exceeded"
+                        ),
+                        504,
+                    )
+                else:
+                    status = status_for_exception(exc)
+                    if status >= 500:
+                        traceback.print_exc(file=sys.stderr)
+                    headers = exc.headers if isinstance(exc, HTTPError) else {}
+                    response = json_response(
+                        error_payload(status, str(exc)), status, headers=headers
+                    )
         self.http_stats.count_status(response.status)
         return response
 
@@ -296,6 +349,36 @@ class BaseHTTPApp:
                             keep_alive=False,
                         )
                     break
+                if (
+                    self.max_inflight is not None
+                    and self._inflight >= self.max_inflight
+                    and not request.path.startswith("/healthz")
+                ):
+                    # Load shedding: explicit, instant pushback beats an
+                    # unbounded queue of doomed work.  The connection
+                    # stays usable — the client backs off and retries.
+                    self.http_stats.requests += 1
+                    self.http_stats.shed_requests += 1
+                    self.http_stats.count_status(503)
+                    keep_alive = not request.wants_close and not self._draining
+                    try:
+                        await write_response(
+                            writer,
+                            json_response(
+                                error_payload(
+                                    503, "server is at capacity, retry shortly"
+                                ),
+                                503,
+                                headers={"Retry-After": "1"},
+                            ),
+                            keep_alive=keep_alive,
+                            suppress_body=request.method == "HEAD",
+                        )
+                    except (ConnectionError, OSError):
+                        break
+                    if not keep_alive:
+                        break
+                    continue
                 self.http_stats.requests += 1
                 self._inflight += 1
                 try:
@@ -412,6 +495,9 @@ class HeatMapHTTPApp(BaseHTTPApp):
             (``HeatMapService(workers=...)``).
         max_points: largest accepted probe batch per ``/query`` request.
         max_body_bytes: largest accepted request body.
+        max_inflight: admission-control bound — requests arriving past
+            this many in flight are shed with 503 + ``Retry-After``
+            (``None`` disables shedding; ``/healthz`` is always exempt).
         max_datasets: LRU capacity of the dataset registry — a registry
             of raw coordinate arrays must be bounded like every other
             cache in the stack; evicted ids answer 404 and the client
@@ -437,6 +523,7 @@ class HeatMapHTTPApp(BaseHTTPApp):
         build_workers: "int | None" = None,
         max_points: int = 1_000_000,
         max_body_bytes: int = 64 * 1024 * 1024,
+        max_inflight: "int | None" = None,
         max_datasets: int = 256,
         max_dynamic: int = 64,
         max_png_tiles: int = 1024,
@@ -452,7 +539,7 @@ class HeatMapHTTPApp(BaseHTTPApp):
                 "pass either an existing service or HeatMapService kwargs, "
                 f"not both (got {sorted(service_kwargs)})"
             )
-        super().__init__(max_body_bytes=max_body_bytes)
+        super().__init__(max_body_bytes=max_body_bytes, max_inflight=max_inflight)
         self.service = service
         self.max_points = int(max_points)
         self.default_cmap = default_cmap
@@ -467,6 +554,10 @@ class HeatMapHTTPApp(BaseHTTPApp):
         self._dynamic: "dict[str, DynamicHeatMap]" = {}
         self.max_dynamic = int(max_dynamic)
         self._dyn_seq = 0
+        #: Fleet-unique component of dynamic handles: two replicas behind
+        #: one proxy must never mint the same ``dyn-`` name (a collision
+        #: would alias two different maps under one sticky pin).
+        self._dyn_token = secrets.token_hex(4)
         #: etag -> encoded PNG bytes; strong ETags name exact bytes, so a
         #: hit skips the colormap + zlib encode on warm tile fetches.
         self._png_cache = LRUCache(max(64, max_png_tiles))
@@ -690,7 +781,13 @@ class HeatMapHTTPApp(BaseHTTPApp):
     async def _start_dynamic_build(
         self, payload, clients, facilities, params
     ) -> Response:
-        """Attach a new ``DynamicHeatMap`` under a fresh ``dyn-N`` handle."""
+        """Attach a new ``DynamicHeatMap`` under a fresh fleet-unique handle.
+
+        Handles are ``dyn-<token>-<seq>`` where the token is minted once
+        per app from the OS entropy pool: the ``dyn-`` prefix keeps the
+        proxy's sticky-pin routing working, and the token keeps two
+        replicas behind one proxy from ever minting colliding names.
+        """
         rebuild = str(payload.get("rebuild", "auto"))
         if rebuild not in _REBUILD_MODES:
             raise HTTPError(400, f"rebuild must be one of {_REBUILD_MODES}")
@@ -701,7 +798,7 @@ class HeatMapHTTPApp(BaseHTTPApp):
         if facilities is None:
             raise HTTPError(400, "dynamic maps need explicit facilities")
         self._dyn_seq += 1
-        handle = f"dyn-{self._dyn_seq}"
+        handle = f"dyn-{self._dyn_token}-{self._dyn_seq}"
         state = {"status": "building", "error": None}
 
         def make() -> DynamicHeatMap:

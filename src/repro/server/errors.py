@@ -38,6 +38,7 @@ STATUS_REASONS = {
     422: "Unprocessable Entity",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 

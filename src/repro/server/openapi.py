@@ -33,6 +33,44 @@ _ERROR_RESPONSE = {
     },
 }
 
+#: Every data-plane endpoint honours an end-to-end request budget.
+_XDEADLINE_PARAM = {
+    "name": "X-Deadline",
+    "in": "header",
+    "required": False,
+    "schema": {"type": "number"},
+    "description": (
+        "End-to-end budget in seconds (positive, finite). The request "
+        "is abandoned with 504 the moment the budget runs out; a fleet "
+        "proxy forwards the *remaining* budget to replicas it tries."
+    ),
+}
+_SHED_RESPONSE = {
+    "description": (
+        "Shed by admission control (max in-flight reached); back off "
+        "for Retry-After seconds and retry"
+    ),
+    "headers": {
+        "Retry-After": {
+            "schema": {"type": "integer"},
+            "description": "Seconds to wait before retrying",
+        }
+    },
+    "content": {
+        "application/json": {
+            "schema": {"$ref": "#/components/schemas/Error"}
+        }
+    },
+}
+_DEADLINE_RESPONSE = {
+    "description": "The request's X-Deadline budget ran out mid-flight",
+    "content": {
+        "application/json": {
+            "schema": {"$ref": "#/components/schemas/Error"}
+        }
+    },
+}
+
 
 def _json_response(description: str, schema_name: str, status_ok: str = "200"):
     return {
@@ -56,7 +94,10 @@ SPEC = {
             "HTTP tile/query serving for reverse nearest neighbor heat maps "
             "(Sun et al., ICDE 2016). Slippy-map raster tiles with ETag "
             "revalidation, JSON batch queries, fingerprint-addressed builds "
-            "and dynamic update batches over the asyncio coalescing core."
+            "and dynamic update batches over the asyncio coalescing core. "
+            "Data-plane requests may carry an X-Deadline budget (504 when "
+            "it runs out); overloaded servers shed load with 503 + "
+            "Retry-After. See docs/resilience.md."
         ),
         "version": "1.0.0",
     },
@@ -124,6 +165,7 @@ SPEC = {
                     "arrays returns the same id (201 first time, 200 after)."
                 ),
                 "operationId": "createDataset",
+                "parameters": [_XDEADLINE_PARAM],
                 "requestBody": {
                     "required": True,
                     "content": {
@@ -135,6 +177,8 @@ SPEC = {
                 "responses": {
                     **_json_response("Dataset registered", "Dataset", "201"),
                     "400": _ERROR_RESPONSE,
+                    "503": _SHED_RESPONSE,
+                    "504": _DEADLINE_RESPONSE,
                 },
             }
         },
@@ -149,6 +193,7 @@ SPEC = {
                     "(unique dyn-N handle) that accepts /update batches."
                 ),
                 "operationId": "build",
+                "parameters": [_XDEADLINE_PARAM],
                 "requestBody": {
                     "required": True,
                     "content": {
@@ -176,6 +221,8 @@ SPEC = {
                     },
                     "400": _ERROR_RESPONSE,
                     "404": _ERROR_RESPONSE,
+                    "503": _SHED_RESPONSE,
+                    "504": _DEADLINE_RESPONSE,
                 },
             }
         },
@@ -189,7 +236,8 @@ SPEC = {
                         "in": "path",
                         "required": True,
                         "schema": {"type": "string"},
-                    }
+                    },
+                    _XDEADLINE_PARAM,
                 ],
                 "responses": {
                     "200": {
@@ -209,6 +257,8 @@ SPEC = {
                         },
                     },
                     "404": _ERROR_RESPONSE,
+                    "503": _SHED_RESPONSE,
+                    "504": _DEADLINE_RESPONSE,
                 },
             }
         },
@@ -222,7 +272,8 @@ SPEC = {
                         "in": "path",
                         "required": True,
                         "schema": {"type": "string"},
-                    }
+                    },
+                    _XDEADLINE_PARAM,
                 ],
                 "requestBody": {
                     "required": True,
@@ -236,6 +287,8 @@ SPEC = {
                     **_json_response("Query answers", "QueryResponse"),
                     "400": _ERROR_RESPONSE,
                     "404": _ERROR_RESPONSE,
+                    "503": _SHED_RESPONSE,
+                    "504": _DEADLINE_RESPONSE,
                 },
             }
         },
@@ -255,7 +308,8 @@ SPEC = {
                         "in": "path",
                         "required": True,
                         "schema": {"type": "string"},
-                    }
+                    },
+                    _XDEADLINE_PARAM,
                 ],
                 "requestBody": {
                     "required": True,
@@ -270,6 +324,8 @@ SPEC = {
                     "400": _ERROR_RESPONSE,
                     "404": _ERROR_RESPONSE,
                     "409": _ERROR_RESPONSE,
+                    "503": _SHED_RESPONSE,
+                    "504": _DEADLINE_RESPONSE,
                 },
             }
         },
@@ -328,6 +384,7 @@ SPEC = {
                         "required": False,
                         "schema": {"type": "number"},
                     },
+                    _XDEADLINE_PARAM,
                 ],
                 "responses": {
                     "200": {
@@ -337,6 +394,8 @@ SPEC = {
                     "304": {"description": "Client's cached tile is current"},
                     "400": _ERROR_RESPONSE,
                     "404": _ERROR_RESPONSE,
+                    "503": _SHED_RESPONSE,
+                    "504": _DEADLINE_RESPONSE,
                 },
             }
         },

@@ -245,6 +245,7 @@ class AsyncHeatMapService:
         k: int = 1,
         workers: "int | None" = None,
         fingerprint: "str | None" = None,
+        should_cancel=None,
     ) -> str:
         """Build (or recall) a heat map; returns its fingerprint handle.
 
@@ -256,6 +257,12 @@ class AsyncHeatMapService:
         :func:`~repro.service.fingerprint.fingerprint_build` over these
         very arguments with the canonicalized algorithm name — the HTTP
         edge does this to key its build registry).
+
+        ``should_cancel`` is the caller's own abort hook (e.g. a
+        :meth:`~repro.faults.Deadline.should_cancel`): the engine polls
+        it — OR-ed with the flight's abandoned-leader flag — once per
+        event batch, so a build whose deadline expired stops burning CPU
+        within one batch even while its 202-poll record stays live.
         """
         handle = fingerprint
         if handle is None:
@@ -269,12 +276,19 @@ class AsyncHeatMapService:
                 monochromatic=monochromatic, k=k,
             ))
 
-        def call(should_cancel=None):
+        def call(flight_cancel=None):
+            if should_cancel is None:
+                poll = flight_cancel
+            elif flight_cancel is None:
+                poll = should_cancel
+            else:
+                def poll() -> bool:
+                    return flight_cancel() or bool(should_cancel())
             return self.service.build(
                 clients, facilities, metric=metric, algorithm=algorithm,
                 measure=measure, monochromatic=monochromatic, k=k,
                 workers=workers, fingerprint=handle,
-                should_cancel=should_cancel,
+                should_cancel=poll,
             )
 
         return await self._single_flight(

@@ -44,6 +44,7 @@ from ..core.heatmap import HeatMapResult, RNNHeatMap
 from ..core.regionset import RegionSet
 from ..core.registry import REGISTRY
 from ..errors import UnknownHandleError
+from .. import faults
 from ..geometry.rect import Rect
 from .cache import LRUCache
 from .fingerprint import fingerprint_build
@@ -119,6 +120,11 @@ class ServiceStats:
     #: Cold builds written through to the store at build time (fleet /
     #: ``shared_store`` mode) rather than lazily on eviction.
     store_writes: int = 0
+    #: Store operations that failed and were absorbed: a load that raised
+    #: degrades to a cache miss (the build re-sweeps), a write-through or
+    #: demotion save that raised is dropped (the result stays in memory).
+    store_read_failures: int = 0
+    store_write_failures: int = 0
     coalesced_builds: int = 0
     coalesced_tiles: int = 0
     inflight_peak: int = 0
@@ -288,7 +294,13 @@ class HeatMapService:
             )
             with lease:
                 if self.store is not None:
-                    promoted = self.store.load(handle)
+                    try:
+                        promoted = self.store.load(handle)
+                    except Exception:
+                        # A store that cannot be read is a cache miss, not
+                        # an outage: fall through to the sweep.
+                        self.stats.inc("store_read_failures")
+                        promoted = None
                     if promoted is not None:
                         self.stats.inc("promotions")
                         self._admit(
@@ -303,18 +315,43 @@ class HeatMapService:
                     monochromatic=monochromatic, k=k,
                 )
                 result = hm.build(
-                    algorithm, workers=workers, should_cancel=should_cancel
+                    algorithm,
+                    workers=workers,
+                    should_cancel=self._wrap_cancel(should_cancel),
                 )
                 self.stats.inc("builds")
                 if self.shared_store:
                     # Write through while the lease is held, so waiting
-                    # replicas promote instead of re-sweeping.
-                    self.store.save(handle, result)
-                    self.stats.inc("store_writes")
+                    # replicas promote instead of re-sweeping.  A failed
+                    # save must not fail the build — the result is already
+                    # in memory; the laggards just re-sweep.
+                    try:
+                        self.store.save(handle, result)
+                        self.stats.inc("store_writes")
+                    except Exception:
+                        self.stats.inc("store_write_failures")
                 self._admit(
                     handle, _Entry(result, world_bounds(result.region_set))
                 )
         return handle
+
+    @staticmethod
+    def _wrap_cancel(should_cancel):
+        """The engine-facing cancellation poll, with fault injection.
+
+        With an injector installed, every per-batch poll also fires the
+        ``sweep-batch`` point so chaos schedules can slow a sweep down or
+        kill it mid-build; without one, the caller's callback (or None)
+        passes through untouched.
+        """
+        if faults.get() is None:
+            return should_cancel
+
+        def poll() -> bool:
+            faults.fire("sweep-batch")
+            return bool(should_cancel()) if should_cancel is not None else False
+
+        return poll
 
     def attach_dynamic(self, dynamic, name: "str | None" = None) -> str:
         """Register a ``DynamicHeatMap``; returns its serving handle.
@@ -350,9 +387,14 @@ class HeatMapService:
                 # write-through (shared_store) mode the entry usually is
                 # on disk already — content-addressed, so skipping the
                 # duplicate save is free and loses nothing.
-                if evicted_handle not in self.store:
-                    self.store.save(evicted_handle, evicted.result)
-                    self.stats.inc("demotions")
+                try:
+                    if evicted_handle not in self.store:
+                        self.store.save(evicted_handle, evicted.result)
+                        self.stats.inc("demotions")
+                except Exception:
+                    # A failed demotion just loses the spill; the next
+                    # build of this fingerprint re-sweeps.
+                    self.stats.inc("store_write_failures")
             self._drop_tiles(evicted_handle)
 
     # ------------------------------------------------------------------
@@ -459,6 +501,7 @@ class HeatMapService:
             tile_lru_misses=self._tiles.misses,
             tile_lru_evictions=self._tiles.evictions,
             stored_results=len(self.store.handles()) if self.store else 0,
+            store_corruptions=self.store.corruptions if self.store else 0,
         )
         return d
 

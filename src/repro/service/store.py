@@ -14,8 +14,11 @@ sidecar carrying the sweep counters, so a promoted result is a full
 
 The store is a cache, never the source of truth: writes go through a
 temp-file-and-rename so a crash mid-demotion cannot leave a half-written
-entry under a live fingerprint, and an unreadable entry loads as ``None``
-(the service re-sweeps, and the next demotion overwrites the bad file).
+entry under a live fingerprint, the sidecar carries a blake2b checksum of
+the ``.npz`` bytes that ``load`` verifies, and an entry that fails its
+checksum (or fails to parse) is *quarantined* — renamed aside, counted in
+``corruptions`` — and loads as ``None`` (the service re-sweeps, and the
+fresh save replaces the entry) instead of crash-looping every replica.
 
 **Cross-process safety** (a ``store_dir`` shared by a fleet of replicas):
 every save/load/delete of one fingerprint holds a :class:`FileLock` — an
@@ -32,6 +35,7 @@ by age, because a legitimate sweep lease can be held for minutes.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import os
@@ -41,6 +45,7 @@ from pathlib import Path
 from ..core.heatmap import HeatMapResult
 from ..core.serialize import load_region_set, save_region_set
 from ..core.sweep_linf import SweepStats
+from .. import faults
 from .flight import KeyedMutex
 
 __all__ = ["FileLock", "ResultStore"]
@@ -156,6 +161,18 @@ def _stats_from_json(d: dict) -> SweepStats:
 #: Prefix of in-flight temp files, excluded from ``handles()``.
 _TMP_PREFIX = ".tmp-"
 
+#: Suffix appended to a corrupt entry's files when it is quarantined;
+#: chosen so ``*.npz`` globs (``handles()``) no longer see the entry.
+_QUARANTINE_SUFFIX = ".quarantined"
+
+#: Sidecar key carrying the npz checksum (ignored by ``_stats_from_json``).
+_CHECKSUM_KEY = "npz_blake2b"
+
+
+def _digest(data: bytes) -> str:
+    """The store's content checksum (short blake2b, hex)."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
 
 class ResultStore:
     """A directory of fingerprint-keyed heat-map results.
@@ -183,6 +200,8 @@ class ResultStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._locks = KeyedMutex()
+        #: Entries this process quarantined after failing verification.
+        self.corruptions = 0
 
     def _tmp_path(self, handle: str, suffix: str) -> Path:
         return self.root / (
@@ -230,14 +249,22 @@ class ResultStore:
         to placeholder stats).  Temp names are unique per writer, so
         concurrent saves of one fingerprint cannot steal (and rename away)
         each other's in-flight files.
+
+        The sidecar records a blake2b checksum of the .npz bytes; ``load``
+        verifies it, so bit rot or a torn write is *detected* (and the
+        entry quarantined), never silently served.
         """
+        faults.fire("store-save")
         final = self._region_path(handle)
         tmp_stats = self._tmp_path(handle, ".stats.json")
         tmp = self._tmp_path(handle, ".npz")
         try:
-            tmp_stats.write_text(json.dumps(_stats_to_json(result.stats)))
             # The .npz suffix keeps np.savez from appending its own.
             save_region_set(result.region_set, tmp)
+            payload = _stats_to_json(result.stats)
+            payload[_CHECKSUM_KEY] = _digest(tmp.read_bytes())
+            tmp_stats.write_text(json.dumps(payload))
+            faults.mangle_file("store-save", tmp)
             with self._locks.holding(handle), self._entry_lock(handle):
                 os.replace(tmp_stats, self._stats_path(handle))
                 os.replace(tmp, final)
@@ -246,25 +273,62 @@ class ResultStore:
             tmp.unlink(missing_ok=True)
         return final
 
+    def _quarantine(self, handle: str) -> None:
+        """Move a poison entry aside so it stops matching ``handles()``.
+
+        Rename, not delete: the bytes stay on disk for forensics, but the
+        fingerprint reads as absent, so every replica falls back to a
+        re-sweep (whose save overwrites cleanly) instead of re-parsing the
+        same bad file forever.
+        """
+        self.corruptions += 1
+        for path in (self._region_path(handle), self._stats_path(handle)):
+            try:
+                if path.exists():
+                    os.replace(path, path.with_name(path.name + _QUARANTINE_SUFFIX))
+            except OSError:  # pragma: no cover - fs-level raciness
+                pass
+
+    def quarantined(self) -> "list[str]":
+        """Fingerprints with a quarantined (corrupt) entry on disk."""
+        return sorted(
+            p.name[: -len(".npz" + _QUARANTINE_SUFFIX)]
+            for p in self.root.glob("*.npz" + _QUARANTINE_SUFFIX)
+        )
+
     def load(self, handle: str) -> "HeatMapResult | None":
         """The stored result, or None when absent *or unreadable*.
 
-        A corrupt entry (torn write from a crash, concurrent writer, disk
-        trouble) must degrade to a cache miss — the caller re-sweeps — not
-        poison every future build of this fingerprint.
+        A corrupt entry (torn write from a crash, bit rot, disk trouble)
+        must degrade to a cache miss — the caller re-sweeps — not poison
+        every future build of this fingerprint.  An entry that fails its
+        checksum or fails to parse is quarantined (renamed aside) so the
+        fleet rebuilds it once instead of crash-looping on the same bytes.
         """
+        faults.fire("store-load")
         path = self._region_path(handle)
         with self._locks.holding(handle), self._entry_lock(handle):
             if not path.exists():
                 return None
-            try:
-                region_set = load_region_set(path)
-            except Exception:
-                return None  # treat as a miss; the next demotion overwrites it
             stats_path = self._stats_path(handle)
             try:
-                stats = _stats_from_json(json.loads(stats_path.read_text()))
+                sidecar = json.loads(stats_path.read_text())
             except Exception:  # sidecar lost/corrupt: still serve the queries
+                sidecar = None
+            expected = (sidecar or {}).get(_CHECKSUM_KEY)
+            try:
+                if expected is not None and _digest(path.read_bytes()) != expected:
+                    raise ValueError("npz checksum mismatch")
+                region_set = load_region_set(path)
+            except Exception:
+                self._quarantine(handle)
+                return None  # treat as a miss; the re-sweep overwrites it
+            if sidecar is not None:
+                try:
+                    stats = _stats_from_json(sidecar)
+                except Exception:
+                    sidecar = None
+            if sidecar is None:
                 stats = SweepStats(
                     n_fragments=len(region_set), algorithm="restored"
                 )

@@ -28,6 +28,7 @@ REQUIRED_DOCS = (
     "docs/incremental-updates.md",
     "docs/async-serving.md",
     "docs/fleet.md",
+    "docs/resilience.md",
     "docs/openapi.yaml",
 )
 

@@ -58,6 +58,11 @@ PUBLIC_MODULES = (
     "fleet/ring.py",
     "fleet/events.py",
     "fleet/proxy.py",
+    "fleet/health.py",
+    "faults/__init__.py",
+    "faults/inject.py",
+    "faults/retry.py",
+    "faults/breaker.py",
 )
 
 _MIN_DOC_LEN = 8
