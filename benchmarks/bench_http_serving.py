@@ -11,7 +11,13 @@ drives it over real sockets with N keep-alive viewer connections:
    render (the coalescing hit rate is the headline number);
 3. **probe batches** — every viewer POSTs a vectorized heat query;
 4. **revalidation pass** — every viewer re-fetches its tiles with
-   ``If-None-Match`` and must get 304s (free tiles).
+   ``If-None-Match`` and must get 304s (free tiles);
+5. **dynamic update** — a fresh dynamic handle over a grid world: cold
+   pan served by progressive placeholders (time-to-first-tile measured
+   against a hard budget), then one localized client move, after which
+   clean tiles must keep revalidating 304, the dirty tiles must refresh
+   through the windowed incremental re-render, and every refreshed tile
+   must be byte-identical to a from-scratch build of the moved world.
 
 Latency percentiles come from the shared ``repro.service.latency``
 module, so the numbers are directly comparable with
@@ -19,7 +25,11 @@ module, so the numbers are directly comparable with
 
 Self-checks (non-zero exit on failure): exactly one sweep for the one
 fingerprint, renders <= distinct tiles, all viewers receive identical
-tile bytes, every revalidation hits 304.
+tile bytes, every revalidation hits 304, placeholder TTFT under budget,
+clean tiles stay 304 after a partial update, incremental re-renders
+match the dirty-tile count, and the converged tiles are byte-identical
+to a from-scratch render. ``--tile-p99-budget-ms`` /
+``--query-p99-budget-ms`` turn the latency percentiles into gates too.
 
 Run standalone (no pytest)::
 
@@ -68,6 +78,134 @@ def _poll_ready(conn, handle, timeout=120.0):
             raise RuntimeError(f"build failed: {state.get('error')}")
         time.sleep(0.02)
     raise RuntimeError("build did not become ready in time")
+
+
+def _grid_instance():
+    """A deterministic grid world whose bbox survives interior moves, so
+    a one-client nudge invalidates partially instead of fully."""
+    gx, gy = np.meshgrid(np.linspace(0.1, 0.9, 6), np.linspace(0.1, 0.9, 6))
+    fx, fy = np.meshgrid(np.linspace(0.15, 0.85, 5), np.linspace(0.15, 0.85, 5))
+    return (
+        np.column_stack([gx.ravel(), gy.ravel()]),
+        np.column_stack([fx.ravel(), fy.ravel()]),
+    )
+
+
+def _dynamic_update_phase(server, recorder, checks, args) -> dict:
+    """Phase 5 — progressive placeholders + incremental re-renders under
+    one localized dynamic update (see the module docstring)."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=120)
+    try:
+        clients, facilities = _grid_instance()
+        _s, body, _ = _request(conn, "POST", "/datasets", {
+            "clients": clients.tolist(), "facilities": facilities.tolist(),
+        })
+        dataset = json.loads(body)["dataset"]
+        _s, kicked, _ = _request(conn, "POST", "/build", {
+            "dataset": dataset, "dynamic": True, "metric": "linf",
+        })
+        handle = json.loads(kicked)["handle"]
+        _poll_ready(conn, handle)
+
+        z = args.tile_zoom
+        n = 1 << z
+        addresses = [(tx, ty) for ty in range(n) for tx in range(n)]
+        # Warm the coarser level for real: these are the ancestors the
+        # placeholder path upsamples from.
+        for ty in range(n // 2):
+            for tx in range(n // 2):
+                _request(conn, "GET",
+                         f"/tiles/{handle}/{z - 1}/{tx}/{ty}.png?placeholder=0")
+
+        # Cold pan at level z: every tile must answer instantly with a
+        # degraded placeholder (weak ETag + marker header).
+        ttfts = []
+        all_marked = True
+        for tx, ty in addresses:
+            path = f"/tiles/{handle}/{z}/{tx}/{ty}.png"
+            t0 = time.perf_counter()
+            with recorder.timing("placeholder"):
+                _s, _png, headers = _request(conn, "GET", path)
+            ttfts.append((time.perf_counter() - t0) * 1e3)
+            all_marked &= (
+                "X-Tile-Placeholder" in headers
+                and headers["ETag"].startswith('W/"')
+            )
+        checks["placeholder_all_marked"] = all_marked
+        checks["placeholder_ttft_under_budget"] = (
+            float(np.percentile(ttfts, 99)) < args.placeholder_ttft_budget_ms
+        )
+
+        # Converge every tile to full resolution and collect strong ETags.
+        etags, tiles = {}, {}
+        for tx, ty in addresses:
+            path = f"/tiles/{handle}/{z}/{tx}/{ty}.png?placeholder=0"
+            _s, png, headers = _request(conn, "GET", path)
+            etags[(tx, ty)] = headers["ETag"]
+            tiles[(tx, ty)] = png
+        _s, body, _ = _request(conn, "GET", "/stats")
+        before = json.loads(body)["service"]
+
+        # One localized interior move, then a warm-viewer revalidation
+        # sweep: clean tiles must stay 304, dirty ones refresh as 200.
+        _request(conn, "POST", f"/update/{handle}", {"updates": [
+            {"op": "move_client", "handle": 14, "x": 0.43, "y": 0.43},
+        ]})
+        n200 = n304 = 0
+        for (tx, ty), etag in etags.items():
+            path = f"/tiles/{handle}/{z}/{tx}/{ty}.png?placeholder=0"
+            with recorder.timing("dirty_revalidate"):
+                s, png, headers = _request(
+                    conn, "GET", path, headers={"If-None-Match": etag}
+                )
+            if s == 200:
+                n200 += 1
+                tiles[(tx, ty)] = png
+            elif s == 304:
+                n304 += 1
+        _s, body, _ = _request(conn, "GET", "/stats")
+        after = json.loads(body)["service"]
+
+        checks["partial_invalidation_counted"] = (
+            after["partial_invalidations"] - before["partial_invalidations"] == 1
+        )
+        checks["clean_tiles_stay_304"] = (
+            n200 + n304 == len(addresses) and 1 <= n200 < len(addresses)
+        )
+        checks["rerenders_match_dirty_tiles"] = (
+            after["tile_rerenders_partial"] - before["tile_rerenders_partial"]
+            == n200
+            and after["tile_renders"] - before["tile_renders"] == n200
+        )
+
+        # Differential gate: a from-scratch static build of the moved
+        # world must produce byte-identical tiles.
+        moved = clients.copy()
+        moved[14] = (0.43, 0.43)
+        _s, body, _ = _request(conn, "POST", "/datasets", {
+            "clients": moved.tolist(), "facilities": facilities.tolist(),
+        })
+        _s, kicked, _ = _request(conn, "POST", "/build", {
+            "dataset": json.loads(body)["dataset"], "metric": "linf",
+        })
+        scratch = json.loads(kicked)["handle"]
+        _poll_ready(conn, scratch)
+        identical = True
+        for tx, ty in addresses:
+            path = f"/tiles/{scratch}/{z}/{tx}/{ty}.png?placeholder=0"
+            _s, png, _h = _request(conn, "GET", path)
+            identical &= png == tiles[(tx, ty)]
+        checks["incremental_tiles_match_scratch"] = identical
+
+        return {
+            "tiles": len(addresses),
+            "dirty_tiles": n200,
+            "placeholder_ttft_p99_ms": float(np.percentile(ttfts, 99)),
+            "placeholder_ttft_max_ms": max(ttfts),
+            "placeholders_served": after["placeholder_tiles"],
+        }
+    finally:
+        conn.close()
 
 
 def run(args) -> dict:
@@ -148,6 +286,11 @@ def run(args) -> dict:
 
         _s, body, _ = _request(setup, "GET", "/stats")
         stats = json.loads(body)
+
+        # Phase 5 — the progressive-serving + incremental-update gate
+        # (after the main stats snapshot so phases 1-4's self-checks stay
+        # on their own counters).
+        dynamic_update = _dynamic_update_phase(server, recorder, checks, args)
         setup.close()
 
     svc = stats["service"]
@@ -186,8 +329,19 @@ def run(args) -> dict:
             "inflight_peak": svc["inflight_peak"],
         },
         "http": stats["http"],
+        "dynamic_update": dynamic_update,
         "checks": checks,
     }
+    if args.tile_p99_budget_ms is not None:
+        p99 = record["latency"].get("tile", {}).get("p99_ms")
+        checks["tile_p99_within_budget"] = (
+            p99 is not None and p99 <= args.tile_p99_budget_ms
+        )
+    if args.query_p99_budget_ms is not None:
+        p99 = record["latency"].get("query", {}).get("p99_ms")
+        checks["query_p99_within_budget"] = (
+            p99 is not None and p99 <= args.query_p99_budget_ms
+        )
     return record
 
 
@@ -202,6 +356,13 @@ def main(argv=None) -> int:
     parser.add_argument("--probes", type=int, default=60_000)
     parser.add_argument("--executor-workers", type=int, default=8)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--placeholder-ttft-budget-ms", type=float,
+                        default=100.0,
+                        help="hard ceiling on placeholder-tile p99 TTFT")
+    parser.add_argument("--tile-p99-budget-ms", type=float, default=None,
+                        help="fail the run if tile p99 exceeds this")
+    parser.add_argument("--query-p99-budget-ms", type=float, default=None,
+                        help="fail the run if query p99 exceeds this")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (small instance, few viewers)")
     parser.add_argument("--json", type=str, default=None,
@@ -233,6 +394,13 @@ def main(argv=None) -> int:
     )
     for kind, pcts in record["latency"].items():
         print("  " + format_percentiles(kind, pcts))
+    du = record["dynamic_update"]
+    print(
+        f"progressive: {du['tiles']} cold tiles served as placeholders "
+        f"(ttft p99 {du['placeholder_ttft_p99_ms']:.2f}ms, max "
+        f"{du['placeholder_ttft_max_ms']:.2f}ms); one localized move "
+        f"dirtied {du['dirty_tiles']} tiles"
+    )
     print(
         f"http: {record['http']['requests']} requests, "
         f"{record['http']['not_modified']} not-modified, "

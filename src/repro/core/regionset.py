@@ -502,8 +502,13 @@ class RegionSet:
         width: int,
         height: int,
         bounds: "Rect | None" = None,
+        window: "tuple[int, int, int, int] | None" = None,
     ) -> "tuple[np.ndarray, Rect]":
-        """Heat raster of the subdivision; see ``repro.render.raster``."""
+        """Heat raster of the subdivision; see ``repro.render.raster``.
+
+        ``window`` computes only a pixel sub-rect of the full raster,
+        bit-identical to the same slice of a full render.
+        """
         from ..render.raster import rasterize_regionset
 
-        return rasterize_regionset(self, width, height, bounds)
+        return rasterize_regionset(self, width, height, bounds, window)

@@ -19,12 +19,28 @@ from ..geometry.rect import Rect
 __all__ = ["rasterize_regionset"]
 
 
-def _paint(region_set, width: int, height: int, bounds: Rect) -> np.ndarray:
+def _paint(
+    region_set,
+    width: int,
+    height: int,
+    bounds: Rect,
+    window: "tuple[int, int, int, int] | None" = None,
+) -> np.ndarray:
     """Paint fragments onto a (height, width) grid over internal bounds.
 
     Row 0 is the *bottom* of the bounds (y increases with row index).
+
+    ``window`` — half-open absolute pixel ranges ``(r0, r1, c0, c1)`` —
+    restricts painting to a sub-grid: the returned array has shape
+    ``(r1 - r0, c1 - c0)`` and is bit-identical to the same slice of a
+    full paint.  All pixel arithmetic stays in full-grid coordinates
+    (``sx``/``sy`` from the full dimensions, column samples from absolute
+    indices); only the writes are clipped and offset.
     """
-    grid = np.full((height, width), region_set.default_heat, dtype=float)
+    wr0, wr1, wc0, wc1 = (0, height, 0, width) if window is None else window
+    grid = np.full(
+        (wr1 - wr0, wc1 - wc0), region_set.default_heat, dtype=float
+    )
     if not region_set.fragments:
         return grid
     x_span = bounds.x_hi - bounds.x_lo
@@ -41,15 +57,15 @@ def _paint(region_set, width: int, height: int, bounds: Rect) -> np.ndarray:
     for frag in region_set.fragments:
         fx0 = (frag.x_lo - bounds.x_lo) * sx
         fx1 = (frag.x_hi - bounds.x_lo) * sx
-        c0 = max(int(math.ceil(fx0 - 0.5)), 0)
-        c1 = min(int(math.floor(fx1 - 0.5)), width - 1)
+        c0 = max(int(math.ceil(fx0 - 0.5)), wc0)
+        c1 = min(int(math.floor(fx1 - 0.5)), wc1 - 1)
         if c1 < c0:
             continue
         if hasattr(frag, "y_lo"):  # rectangle fragment
-            r0 = max(int(math.ceil((frag.y_lo - bounds.y_lo) * sy - 0.5)), 0)
-            r1 = min(int(math.floor((frag.y_hi - bounds.y_lo) * sy - 0.5)), height - 1)
+            r0 = max(int(math.ceil((frag.y_lo - bounds.y_lo) * sy - 0.5)), wr0)
+            r1 = min(int(math.floor((frag.y_hi - bounds.y_lo) * sy - 0.5)), wr1 - 1)
             if r1 >= r0:
-                grid[r0 : r1 + 1, c0 : c1 + 1] = frag.heat
+                grid[r0 - wr0 : r1 + 1 - wr0, c0 - wc0 : c1 + 1 - wc0] = frag.heat
         else:  # arc fragment: evaluate the bounding arcs per pixel column
             cols = np.arange(c0, c1 + 1)
             xs = bounds.x_lo + (cols + 0.5) / sx
@@ -64,12 +80,12 @@ def _paint(region_set, width: int, height: int, bounds: Rect) -> np.ndarray:
                 if hi.kind == 0 else hi.cy + np.sqrt(np.maximum(hi.r**2 - du**2, 0.0))
             r0s = np.ceil((y_lo_vals - bounds.y_lo) * sy - 0.5).astype(int)
             r1s = np.floor((y_hi_vals - bounds.y_lo) * sy - 0.5).astype(int)
-            # Clip so spans fully outside the raster stay empty (r1 < r0).
-            np.clip(r0s, 0, height, out=r0s)
-            np.clip(r1s, -1, height - 1, out=r1s)
+            # Clip so spans fully outside the window stay empty (r1 < r0).
+            np.clip(r0s, wr0, wr1, out=r0s)
+            np.clip(r1s, wr0 - 1, wr1 - 1, out=r1s)
             for c, r0, r1 in zip(cols.tolist(), r0s.tolist(), r1s.tolist()):
                 if r1 >= r0:
-                    grid[r0 : r1 + 1, c] = frag.heat
+                    grid[r0 - wr0 : r1 + 1 - wr0, c - wc0] = frag.heat
     return grid
 
 
@@ -78,6 +94,7 @@ def rasterize_regionset(
     width: int,
     height: int,
     bounds: "Rect | None" = None,
+    window: "tuple[int, int, int, int] | None" = None,
 ) -> "tuple[np.ndarray, Rect]":
     """Rasterize to a (height, width) float grid plus its original-space
     bounds.  Row 0 is the bottom row (flip with [::-1] for image output,
@@ -85,9 +102,21 @@ def rasterize_regionset(
 
     Args:
         bounds: original-space window; defaults to the fragments' extent.
+        window: half-open pixel ranges ``(r0, r1, c0, c1)`` within the
+            full (height, width) raster; when given, only that sub-grid
+            is computed and returned — bit-identical to the same slice of
+            the full raster (the incremental tile re-render path).  The
+            returned bounds still describe the *full* raster.
     """
     if width <= 0 or height <= 0:
         raise InvalidInputError("raster dimensions must be positive")
+    if window is not None:
+        r0, r1, c0, c1 = window
+        if not (0 <= r0 < r1 <= height and 0 <= c0 < c1 <= width):
+            raise InvalidInputError(
+                f"window {window!r} must be non-empty half-open pixel "
+                f"ranges within ({height}, {width})"
+            )
     transform = region_set.transform
 
     if transform.is_identity:
@@ -95,7 +124,7 @@ def rasterize_regionset(
             bounds = region_set.bounds()
         if bounds is None:  # no fragments at all
             bounds = Rect(0.0, 1.0, 0.0, 1.0)
-        return _paint(region_set, width, height, bounds), bounds
+        return _paint(region_set, width, height, bounds, window), bounds
 
     # Rotated internal frame (L1): paint internally, then gather through
     # the forward transform at output pixel centers.
@@ -116,14 +145,18 @@ def rasterize_regionset(
                 min(c[1] for c in corners),
                 max(c[1] for c in corners),
             )
+    wr0, wr1, wc0, wc1 = (0, height, 0, width) if window is None else window
+    out_h, out_w = wr1 - wr0, wc1 - wc0
     if internal_bounds is None:
-        return np.full((height, width), region_set.default_heat), bounds
+        return np.full((out_h, out_w), region_set.default_heat), bounds
 
     scale = max(width, height) * 2
     internal = _paint(region_set, scale, scale, internal_bounds)
 
-    xs = bounds.x_lo + (np.arange(width) + 0.5) * (bounds.x_hi - bounds.x_lo) / width
-    ys = bounds.y_lo + (np.arange(height) + 0.5) * (bounds.y_hi - bounds.y_lo) / height
+    # Sample at absolute pixel-center indices, so a windowed gather reads
+    # the very same internal texels as the full raster at those pixels.
+    xs = bounds.x_lo + (np.arange(wc0, wc1) + 0.5) * (bounds.x_hi - bounds.x_lo) / width
+    ys = bounds.y_lo + (np.arange(wr0, wr1) + 0.5) * (bounds.y_hi - bounds.y_lo) / height
     gx, gy = np.meshgrid(xs, ys)
     pts = np.column_stack([gx.ravel(), gy.ravel()])
     ipts = transform.forward_array(pts)
@@ -132,6 +165,6 @@ def rasterize_regionset(
     cols = np.clip((cx * scale).astype(int), -1, scale)
     rows = np.clip((cy * scale).astype(int), -1, scale)
     inside = (cols >= 0) & (cols < scale) & (rows >= 0) & (rows < scale)
-    out = np.full(width * height, region_set.default_heat)
+    out = np.full(out_w * out_h, region_set.default_heat)
     out[inside] = internal[rows[inside], cols[inside]]
-    return out.reshape(height, width), bounds
+    return out.reshape(out_h, out_w), bounds

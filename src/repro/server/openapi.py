@@ -334,11 +334,15 @@ SPEC = {
                 "summary": "One raster heat tile as PNG",
                 "description": (
                     "Slippy-map quadtree addressing from the lower-left "
-                    "corner. ETag is derived from the handle's tile "
-                    "generation, so If-None-Match revalidation answers 304 "
-                    "until an update actually invalidates the tile. "
-                    "Concurrent cold requests for one tile coalesce onto a "
-                    "single render."
+                    "corner. The ETag carries a per-tile generation: a "
+                    "partial invalidation bumps only the tiles it touched, "
+                    "so clean tiles keep revalidating 304 across localized "
+                    "updates. A cold tile with a warm coarser ancestor is "
+                    "served progressively by default: an instant degraded "
+                    "upsample marked X-Tile-Placeholder with a weak ETag, "
+                    "while the real render proceeds in the background "
+                    "(opt out with placeholder=0). Concurrent cold requests "
+                    "for one tile coalesce onto a single render."
                 ),
                 "operationId": "tile",
                 "parameters": [
@@ -384,14 +388,52 @@ SPEC = {
                         "required": False,
                         "schema": {"type": "number"},
                     },
+                    {
+                        "name": "placeholder",
+                        "in": "query",
+                        "required": False,
+                        "description": (
+                            "Set to 0 to disable progressive serving and "
+                            "always wait for the full-resolution render."
+                        ),
+                        "schema": {
+                            "type": "string",
+                            "enum": ["0", "1", "false", "no", "true", "yes"],
+                        },
+                    },
                     _XDEADLINE_PARAM,
                 ],
                 "responses": {
                     "200": {
                         "description": "The rendered tile",
+                        "headers": {
+                            "ETag": {
+                                "description": (
+                                    "Strong per-tile validator; weak "
+                                    "(W/-prefixed) for placeholder tiles."
+                                ),
+                                "schema": {"type": "string"},
+                            },
+                            "X-Tile-Placeholder": {
+                                "description": (
+                                    "Present on degraded placeholder tiles: "
+                                    "the zoom level of the cached ancestor "
+                                    "the stand-in was upsampled from."
+                                ),
+                                "schema": {"type": "string"},
+                            },
+                        },
                         "content": {"image/png": {}},
                     },
-                    "304": {"description": "Client's cached tile is current"},
+                    "304": {
+                        "description": "Client's cached tile is current",
+                        "headers": {
+                            "ETag": {
+                                "description": "The validator that matched.",
+                                "schema": {"type": "string"},
+                            },
+                        },
+                    },
                     "400": _ERROR_RESPONSE,
                     "404": _ERROR_RESPONSE,
                     "503": _SHED_RESPONSE,
@@ -500,6 +542,21 @@ SPEC = {
                     "latency": {
                         "type": "object",
                         "description": "Per-endpoint latency percentile records",
+                    },
+                    "tiles": {
+                        "type": "object",
+                        "description": (
+                            "Progressive-serving counters: png_purged, "
+                            "placeholders_served, background_renders, "
+                            "png_cache_entries, background_renders_inflight"
+                        ),
+                        "properties": {
+                            "png_purged": {"type": "integer"},
+                            "placeholders_served": {"type": "integer"},
+                            "background_renders": {"type": "integer"},
+                            "png_cache_entries": {"type": "integer"},
+                            "background_renders_inflight": {"type": "integer"},
+                        },
                     },
                 },
             },
@@ -654,7 +711,7 @@ SPEC = {
                         "description": (
                             "The coordinator's own HTTP + routing counters "
                             "(routed, fanouts, failovers, replica_errors, "
-                            "events_relayed)"
+                            "events_relayed, placeholder_tiles_relayed)"
                         ),
                     },
                     "ring": {

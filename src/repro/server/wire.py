@@ -173,17 +173,32 @@ def tile_etag(
     handle: str, z: int, tx: int, ty: int, size: int, cmap: str,
     vmax: "float | None", generation: int,
 ) -> str:
-    """The strong ETag for a tile at one generation of its handle.
+    """The strong ETag for a tile at one generation of that tile.
 
     Strong ETags name byte-identical representations, so every input
     that changes the rendered pixels participates — including ``vmax``
-    (``a`` = auto-normalized).  The generation counter bumps exactly when
-    a handle's tiles are invalidated, so revalidation is precise:
-    ``If-None-Match`` hits (304) until an update actually touches the
-    tile's handle, and misses the moment one does.
+    (``a`` = auto-normalized).  ``generation`` is the *per-tile*
+    generation (:meth:`HeatMapService.tile_generation`): a partial
+    invalidation raises it only for tiles intersecting the update's
+    dirty rects, so revalidation is precise — ``If-None-Match`` hits
+    (304) until an update actually touches this tile's pixels, and
+    misses the moment one does.
     """
     vtag = "a" if vmax is None else repr(float(vmax))
     return f'"{handle[:16]}.{z}.{tx}.{ty}.{size}.{cmap}.v{vtag}.g{generation}"'
+
+
+def placeholder_tile_etag(etag: str, source_z: int) -> str:
+    """The weak ETag for a placeholder (degraded) tile representation.
+
+    Derived from the real tile's strong ETag plus the source zoom the
+    placeholder was upsampled from.  Weak (``W/`` prefix) because the
+    bytes are *not* the tile's canonical representation: caches may
+    reuse it, but a conditional fetch carrying it revalidates into the
+    real tile (200 with the strong ETag) as soon as the background
+    render lands — or 304 only while the tile is still cold.
+    """
+    return f'W/{etag[:-1]}.ph{int(source_z)}"'
 
 
 def render_tile_png(grid: np.ndarray, cmap: str, vmax: "float | None") -> bytes:

@@ -30,11 +30,23 @@ requests across executor threads:
 * every handle carries a monotone *generation*, bumped whenever its tiles
   are dropped; a render that raced an invalidation sees the bump and
   declines to cache its (now possibly stale) grid.
+
+Two tail-latency mechanisms ride on partial invalidation.  Dirty tiles
+are not discarded but *displaced* into a stale store, and their next
+fetch re-rasterizes only the dirty pixel windows over the retained grid
+(bit-identical to a full render).  And a cold tile whose coarser-zoom
+ancestor is cached can be answered instantly with a cropped+upsampled
+*placeholder* (:meth:`HeatMapService.placeholder_tile`) while the real
+render proceeds.  ETags live on a finer axis than the race-guard
+generation: :meth:`HeatMapService.tile_generation` bumps only for tiles
+a partial invalidation actually dirtied, so clean tiles keep revalidating
+304 across localized updates.
 """
 
 from __future__ import annotations
 
 import contextlib
+import math
 import threading
 from dataclasses import dataclass, field, fields
 
@@ -53,6 +65,17 @@ from .store import ResultStore
 from .tiles import tile_bounds, tiles_in_window, world_bounds
 
 __all__ = ["HeatMapService", "ServiceStats"]
+
+#: Cap on retained partial-invalidation events per handle.  Beyond it the
+#: two oldest events merge into one bounding box, so per-tile generation
+#: answers stay O(cap) while remaining conservative (a merged box can only
+#: re-dirty tiles one of the merged events already dirtied).
+_MAX_PARTIAL_EVENTS = 64
+
+#: Cap on accumulated dirty rects per stashed stale tile.  A tile dirtied
+#: by more events than this re-renders from scratch instead — past that
+#: fragmentation the dirty windows cover most of the tile anyway.
+_MAX_STALE_RECTS = 16
 
 #: Engines producing the same subdivision as the serial 'crest' sweep share
 #: cache keys (and disk-store entries) with it — the fingerprint carries
@@ -115,6 +138,13 @@ class ServiceStats:
     #: tiles those partial drops discarded in total.
     partial_invalidations: int = 0
     tiles_dropped_partial: int = 0
+    #: Dirty tiles brought current by re-rasterizing only their dirty
+    #: pixel windows over the retained stale grid (a subset of
+    #: ``tile_renders``), instead of a from-scratch tile render.
+    tile_rerenders_partial: int = 0
+    #: Cold tiles answered instantly by cropping+upsampling a cached
+    #: coarser-zoom ancestor while the real render proceeds elsewhere.
+    placeholder_tiles: int = 0
     demotions: int = 0
     promotions: int = 0
     #: Cold builds written through to the store at build time (fleet /
@@ -210,6 +240,11 @@ class HeatMapService:
     ) -> None:
         self._results = LRUCache(max_results)
         self._tiles = LRUCache(max_tiles)
+        #: Dirty tiles displaced by a partial invalidation, keyed like
+        #: ``_tiles``, holding ``(grid, bounds, dirty rects)`` — the raw
+        #: material for incremental re-render: only the dirty pixel
+        #: windows re-rasterize; the rest of the grid is reused as is.
+        self._stale_tiles = LRUCache(max_tiles)
         self.tile_size = int(tile_size)
         self.store = ResultStore(store_dir) if store_dir is not None else None
         self.shared_store = bool(shared_store) and self.store is not None
@@ -224,8 +259,21 @@ class HeatMapService:
         #: and never deleted, so a render that started before an
         #: invalidation can always detect it raced one.
         self._gens: "dict[str, int]" = {}
+        #: handle -> generation as of its last *full* drop.  Tiles start
+        #: from this base; partial invalidations raise it only for tiles
+        #: intersecting their dirty rects (see :meth:`tile_generation`).
+        self._base_gens: "dict[str, int]" = {}
+        #: handle -> [(generation, dirty rects)] for partial invalidations
+        #: since the last full drop, oldest first.
+        self._partial_log: "dict[str, list]" = {}
         self.on_build = None
         self.on_tile_render = None
+        #: Observability hook ``on_tiles_dropped(handle, rects, world)``,
+        #: fired after tiles are invalidated: ``rects`` is the partial
+        #: drop's dirty rect list (with ``world`` for intersection tests)
+        #: or ``None`` for a full drop.  The HTTP layer uses it to purge
+        #: its encoded-PNG cache in lockstep.  May fire on any thread.
+        self.on_tiles_dropped = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -433,18 +481,19 @@ class HeatMapService:
                 if rects is not None and new_world == old_world:
                     # Partial invalidation: only tiles intersecting the
                     # update's dirty region are stale; the rest still
-                    # rasterize to identical pixels and stay cached.
-                    self._bump_generation(handle)
-                    dropped = self._tiles.purge(
-                        lambda key: key[0] == handle and any(
-                            tile_bounds(
-                                entry.world, key[1], key[2], key[3]
-                            ).intersects(r)
-                            for r in rects
-                        )
+                    # rasterize to identical pixels and stay cached —
+                    # and keep their per-tile generation (their ETags
+                    # survive the update).  Dirty tiles move into the
+                    # stale store so their next fetch re-rasterizes only
+                    # the dirty pixel windows.
+                    self._record_partial(handle, rects)
+                    dropped = self._stash_dirty_tiles(
+                        handle, entry.world, rects
                     )
                     self.stats.inc("partial_invalidations")
                     self.stats.inc("tiles_dropped_partial", dropped)
+                    if self.on_tiles_dropped is not None:
+                        self.on_tiles_dropped(handle, rects, entry.world)
                 else:
                     # Unknown dirty region, or the world rectangle itself
                     # changed (tile addresses re-map): drop everything.
@@ -462,15 +511,105 @@ class HeatMapService:
         with self._lock:
             return self._gens.get(handle, 0)
 
-    def _bump_generation(self, handle: str) -> None:
+    def tile_generation(self, handle: str, z: int, tx: int, ty: int) -> int:
+        """The generation of one tile address, for per-tile ETags.
+
+        The handle-wide :meth:`generation` bumps on *every* drop — the
+        right signal for race detection, but too coarse for cache
+        validators: it would churn every tile's ETag on a localized
+        update.  This is the per-tile view: a partial invalidation raises
+        the generation only of tiles intersecting its dirty rects, so
+        clean tiles keep revalidating 304 across updates.  Full drops
+        (world change, unbounded update, re-attach) raise every tile.
+        """
         with self._lock:
-            self._gens[handle] = self._gens.get(handle, 0) + 1
+            base = self._base_gens.get(handle, 0)
+            events = self._partial_log.get(handle)
+            if not events:
+                return base
+            entry = self._results.peek(handle)
+            if entry is None:
+                # No world to intersect against: be conservative and
+                # treat every tile as touched by every event.
+                return self._gens.get(handle, 0)
+            bounds = tile_bounds(entry.world, z, tx, ty)
+            gen = base
+            for event_gen, rects in events:
+                if event_gen > gen and any(bounds.intersects(r) for r in rects):
+                    gen = event_gen
+            return gen
+
+    def _record_partial(self, handle: str, rects) -> None:
+        # Generation first (as in _drop_tiles): an in-flight render that
+        # started before the bump refuses to cache a stale grid.
+        with self._lock:
+            gen = self._gens.get(handle, 0) + 1
+            self._gens[handle] = gen
+            log = self._partial_log.setdefault(handle, [])
+            log.append((gen, tuple(rects)))
+            if len(log) > _MAX_PARTIAL_EVENTS:
+                # Merge the two oldest events: the younger generation over
+                # their union bounding box.  Only tiles one of the merged
+                # events already dirtied can see a (repeat) bump.
+                (g0, r0), (g1, r1) = log[0], log[1]
+                box = r0[0]
+                for r in (*r0[1:], *r1):
+                    box = box.union_bounds(r)
+                log[:2] = [(max(g0, g1), (box,))]
+
+    def _stash_dirty_tiles(self, handle: str, world: Rect, rects) -> int:
+        """Displace tiles intersecting ``rects`` into the stale store.
+
+        Returns how many live tiles were displaced.  Each stashed entry
+        keeps the stale grid plus the dirty rects that hit it; a tile
+        already stashed by an earlier event accumulates the new rects
+        (and is dropped outright past ``_MAX_STALE_RECTS`` — re-render
+        from scratch beats chasing a shredded tile).
+        """
+        dropped = 0
+        stashed = set()
+        for key in self._tiles.keys():
+            if key[0] != handle:
+                continue
+            bounds = tile_bounds(world, key[1], key[2], key[3])
+            hits = tuple(r for r in rects if bounds.intersects(r))
+            if not hits:
+                continue
+            cached = self._tiles.pop(key)
+            if cached is None:
+                continue
+            dropped += 1
+            stashed.add(key)
+            grid, tile_rect = cached
+            self._stale_tiles.put(key, (grid, tile_rect, hits))
+        for key in self._stale_tiles.keys():
+            if key[0] != handle or key in stashed:
+                continue
+            bounds = tile_bounds(world, key[1], key[2], key[3])
+            hits = tuple(r for r in rects if bounds.intersects(r))
+            if not hits:
+                continue
+            stale = self._stale_tiles.pop(key)
+            if stale is None:
+                continue
+            grid, tile_rect, old_hits = stale
+            merged = (*old_hits, *hits)
+            if len(merged) <= _MAX_STALE_RECTS:
+                self._stale_tiles.put(key, (grid, tile_rect, merged))
+        return dropped
 
     def _drop_tiles(self, handle: str) -> None:
         # Generation first: an in-flight render that started before the
         # bump will refuse to cache into the freshly purged space.
-        self._bump_generation(handle)
+        with self._lock:
+            gen = self._gens.get(handle, 0) + 1
+            self._gens[handle] = gen
+            self._base_gens[handle] = gen
+            self._partial_log.pop(handle, None)
         self._tiles.purge(lambda key: key[0] == handle)
+        self._stale_tiles.purge(lambda key: key[0] == handle)
+        if self.on_tiles_dropped is not None:
+            self.on_tiles_dropped(handle, None, None)
 
     def invalidate(self, handle: str) -> None:
         """Forget one handle's result, tiles and any disk-stored copy
@@ -584,11 +723,103 @@ class HeatMapService:
             if self.on_tile_render is not None:
                 self.on_tile_render(key)
             bounds = tile_bounds(entry.world, z, tx, ty)
-            grid, bounds = entry.result.rasterize(size, size, bounds)
+            # A tile displaced by a partial invalidation re-renders
+            # incrementally: reuse the stale grid and re-rasterize only
+            # its dirty pixel windows — bit-identical to a full render.
+            stale = self._stale_tiles.pop(key)
+            grid = None
+            if stale is not None:
+                grid = self._rerender_stale(entry, bounds, size, stale)
+            if grid is not None:
+                self.stats.inc("tile_rerenders_partial")
+            else:
+                grid, bounds = entry.result.rasterize(size, size, bounds)
             self.stats.inc("tile_renders")
             if self.generation(handle) == generation:
                 self._tiles.put(key, (grid, bounds))
             return grid, bounds
+
+    def _rerender_stale(self, entry, bounds, size, stale):
+        """The incremental tile render, or None to fall back to a full one.
+
+        Re-rasterizes each dirty rect's (conservatively rounded) pixel
+        window over a copy of the stale grid.  Pixels outside every dirty
+        rect rasterize to identical values by the partial-invalidation
+        contract, and the windowed rasterizer is bit-identical to the
+        full one, so the patched grid equals a from-scratch render.
+        """
+        grid, tile_rect, rects = stale
+        if tile_rect != bounds:
+            return None  # the world moved under the stash
+        if not entry.result.region_set.transform.is_identity:
+            # Rotated (L1) rendering is dominated by the internal-frame
+            # paint, which a pixel window cannot shrink: no savings.
+            return None
+        x_span = bounds.x_hi - bounds.x_lo
+        y_span = bounds.y_hi - bounds.y_lo
+        if x_span <= 0 or y_span <= 0:
+            return None
+        # Never patch in place: the stale array may still be aliased by
+        # callers that fetched the tile before the invalidation.
+        out = grid.copy()
+        for r in rects:
+            c0 = max(int(math.floor((r.x_lo - bounds.x_lo) / x_span * size)), 0)
+            c1 = min(int(math.ceil((r.x_hi - bounds.x_lo) / x_span * size)), size)
+            r0 = max(int(math.floor((r.y_lo - bounds.y_lo) / y_span * size)), 0)
+            r1 = min(int(math.ceil((r.y_hi - bounds.y_lo) / y_span * size)), size)
+            if c1 <= c0 or r1 <= r0:
+                continue
+            sub, _ = entry.result.rasterize(
+                size, size, bounds, window=(r0, r1, c0, c1)
+            )
+            out[r0:r1, c0:c1] = sub
+        return out
+
+    def placeholder_tile(
+        self,
+        handle: str,
+        z: int,
+        tx: int,
+        ty: int,
+        *,
+        tile_size: "int | None" = None,
+    ) -> "tuple[np.ndarray, Rect, int] | None":
+        """A degraded stand-in grid for a cold tile, served instantly.
+
+        When tile ``(z, tx, ty)`` is not cached but a coarser-zoom
+        ancestor is, crop the covering ``1/2^dz`` portion of the nearest
+        cached ancestor and upsample it (nearest-neighbor at pixel
+        centers) to full tile size — no rasterization, just an indexed
+        gather.  Returns ``(grid, bounds, source_z)`` or ``None`` when
+        the real tile is already cached (serve that), a displaced stale
+        grid awaits a cheap incremental re-render, or no ancestor is
+        cached.  Never renders and never touches the tile cache's LRU
+        order, so it is safe to call opportunistically on the hot path.
+        """
+        size = self.tile_size if tile_size is None else int(tile_size)
+        entry = self._entry(handle)
+        key = (handle, z, tx, ty, size)
+        if self._tiles.peek(key) is not None:
+            return None
+        if self._stale_tiles.peek(key) is not None:
+            return None
+        bounds = tile_bounds(entry.world, z, tx, ty)
+        for dz in range(1, z + 1):
+            az, atx, aty = z - dz, tx >> dz, ty >> dz
+            cached = self._tiles.peek((handle, az, atx, aty, size))
+            if cached is None:
+                continue
+            agrid, _arect = cached
+            n = 1 << dz
+            fx, fy = tx - (atx << dz), ty - (aty << dz)
+            # Ancestor texel under each output pixel center.
+            u = (fx + (np.arange(size) + 0.5) / size) / n
+            v = (fy + (np.arange(size) + 0.5) / size) / n
+            cols = np.minimum((u * size).astype(int), size - 1)
+            rows = np.minimum((v * size).astype(int), size - 1)
+            self.stats.inc("placeholder_tiles")
+            return agrid[np.ix_(rows, cols)], bounds, az
+        return None
 
     def viewport(
         self,

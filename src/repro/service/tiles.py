@@ -84,6 +84,13 @@ def tiles_in_window(world: Rect, z: int, window: Rect) -> "list[tuple[int, int]]
     tx1 = min(math.floor((window.x_hi - world.x_lo) / wx), n - 1)
     ty0 = max(math.floor((window.y_lo - world.y_lo) / wy), 0)
     ty1 = min(math.floor((window.y_hi - world.y_lo) / wy), n - 1)
+    # A window whose high edge lands exactly on a tile seam overlaps the
+    # next tile only along a zero-width line; don't include it.  The
+    # ``>`` guard keeps degenerate line/point windows non-empty.
+    if tx1 > tx0 and world.x_lo + tx1 * wx >= window.x_hi:
+        tx1 -= 1
+    if ty1 > ty0 and world.y_lo + ty1 * wy >= window.y_hi:
+        ty1 -= 1
     return [
         (tx, ty)
         for ty in range(ty0, ty1 + 1)

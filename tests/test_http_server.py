@@ -253,7 +253,10 @@ def test_query_answers_match_library(server, handle):
 # Protocol behavior
 # ----------------------------------------------------------------------
 def test_etag_revalidation_304(server, handle):
-    url = f"{server.url}/tiles/{handle}/1/1/1.png"
+    # ?placeholder=0: this test pins the *strong*-ETag contract; with
+    # progressive serving on, a cold tile under a cached ancestor would
+    # answer with a weak placeholder ETag first.
+    url = f"{server.url}/tiles/{handle}/1/1/1.png?placeholder=0"
     _s, png, headers = _get(url)
     etag = headers["ETag"]
     with pytest.raises(urllib.error.HTTPError) as exc:
@@ -270,14 +273,14 @@ def test_head_serves_headers_without_body(server, handle):
     tile — and that ETag must revalidate a subsequent conditional GET."""
     conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
     try:
-        conn.request("HEAD", f"/tiles/{handle}/1/0/0.png")
+        conn.request("HEAD", f"/tiles/{handle}/1/0/0.png?placeholder=0")
         resp = conn.getresponse()
         body = resp.read()
         assert resp.status == 200
         assert body == b""
         assert int(resp.headers["Content-Length"]) > 0
         etag = resp.headers["ETag"]
-        conn.request("GET", f"/tiles/{handle}/1/0/0.png",
+        conn.request("GET", f"/tiles/{handle}/1/0/0.png?placeholder=0",
                      headers={"If-None-Match": etag})
         resp = conn.getresponse()
         resp.read()
@@ -387,6 +390,120 @@ def test_update_batch_is_atomic(server):
     ]})
     assert upd["applied"] == 1
     assert dyn.assignment.n_clients == n_before + 1
+
+
+def test_partial_update_preserves_clean_tile_etags(server):
+    """The warm-viewer contract: after a localized one-client move, clean
+    tiles still revalidate 304; only the dirty tiles re-fetch as 200."""
+    gx, gy = np.meshgrid(np.linspace(0.1, 0.9, 6), np.linspace(0.1, 0.9, 6))
+    fx, fy = np.meshgrid(np.linspace(0.15, 0.85, 5), np.linspace(0.15, 0.85, 5))
+    _s, ds = _post(server.url + "/datasets", {
+        "clients": np.column_stack([gx.ravel(), gy.ravel()]).tolist(),
+        "facilities": np.column_stack([fx.ravel(), fy.ravel()]).tolist(),
+    })
+    _s, kicked = _post(server.url + "/build", {
+        "dataset": ds["dataset"], "dynamic": True, "metric": "linf",
+    })
+    handle = kicked["handle"]
+    _poll_ready(server.url, handle)
+    # Warm the whole level-2 pyramid and remember every strong ETag.
+    etags = {}
+    for tx in range(4):
+        for ty in range(4):
+            _s, _png, headers = _get(
+                f"{server.url}/tiles/{handle}/2/{tx}/{ty}.png")
+            etags[(tx, ty)] = headers["ETag"]
+    # Nudge one interior client: the world bbox is unchanged, so the
+    # invalidation is partial and stays far from the corners.
+    _post(server.url + f"/update/{handle}", {"updates": [
+        {"op": "move_client", "handle": 14, "x": 0.43, "y": 0.43},
+    ]})
+    statuses = {}
+    for (tx, ty), etag in etags.items():
+        try:
+            status, _b, _h = _get(
+                f"{server.url}/tiles/{handle}/2/{tx}/{ty}.png",
+                headers={"If-None-Match": etag})
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+        statuses[(tx, ty)] = status
+    n200 = sum(1 for s in statuses.values() if s == 200)
+    n304 = sum(1 for s in statuses.values() if s == 304)
+    assert n200 + n304 == 16
+    assert 1 <= n200 < 16, f"only tiles near the move may re-fetch: {statuses}"
+    for corner in ((0, 0), (3, 3), (0, 3), (3, 0)):
+        assert statuses[corner] == 304, f"corner {corner} must stay clean"
+    # The encoded-PNG cache was purged in lockstep with the tile drop —
+    # the dirty tiles' stale bytes can never be served again.
+    _s, body, _ = _get(server.url + "/stats")
+    tiles_block = json.loads(body)["tiles"]
+    assert tiles_block["png_purged"] >= n200
+
+
+def test_progressive_placeholder_tile_serving():
+    """The progressive-serving contract: a cold tile with a warm coarser
+    ancestor returns an instant degraded stand-in (weak ETag, marker
+    header) and converges to the real render in the background."""
+    clients, facilities = _instance()
+    with ThreadedHTTPServer(tile_size=16) as srv:
+        _s, ds = _post(srv.url + "/datasets", {
+            "clients": clients.tolist(), "facilities": facilities.tolist(),
+        })
+        _s, kicked = _post(srv.url + "/build", {"dataset": ds["dataset"]})
+        handle = kicked["handle"]
+        _poll_ready(srv.url, handle)
+        base = f"{srv.url}/tiles/{handle}"
+
+        # A cold fetch with no cached ancestor renders for real.
+        _s, root_png, root_headers = _get(base + "/0/0/0.png")
+        assert "X-Tile-Placeholder" not in root_headers
+        assert not root_headers["ETag"].startswith("W/")
+
+        # Now the root is warm: a cold child is served degraded.
+        status, ph_png, headers = _get(base + "/1/1/1.png")
+        assert status == 200
+        assert headers["X-Tile-Placeholder"] == "0"
+        weak = headers["ETag"]
+        assert weak.startswith('W/"') and weak.endswith('"')
+        assert headers["Cache-Control"] == "no-cache"
+        assert ph_png != root_png
+
+        # Revalidating with the weak ETag either hits 304 (tile still
+        # cold) or the background render already landed (strong 200).
+        try:
+            status, _b, h2 = _get(base + "/1/1/1.png",
+                                  headers={"If-None-Match": weak})
+        except urllib.error.HTTPError as exc:
+            status, h2 = exc.code, dict(exc.headers)
+        assert status in (200, 304)
+        if status == 200:
+            assert "X-Tile-Placeholder" not in h2
+
+        # The background render converges: poll until the response is the
+        # real tile, which must match an explicit placeholder opt-out.
+        deadline = time.time() + 30
+        while True:
+            _s, real_png, h3 = _get(base + "/1/1/1.png")
+            if "X-Tile-Placeholder" not in h3:
+                break
+            assert time.time() < deadline, "background render never landed"
+            time.sleep(0.02)
+        assert not h3["ETag"].startswith("W/")
+        _s, opted, h4 = _get(base + "/1/1/1.png?placeholder=0")
+        assert opted == real_png
+        assert h4["ETag"] == h3["ETag"]
+
+        # Opting out on a still-cold sibling renders synchronously.
+        _s, _b, h5 = _get(base + "/1/0/1.png?placeholder=0")
+        assert "X-Tile-Placeholder" not in h5
+        assert not h5["ETag"].startswith("W/")
+
+        _s, body, _ = _get(srv.url + "/stats")
+        tiles_block = json.loads(body)["tiles"]
+        assert tiles_block["placeholders_served"] >= 1
+        assert tiles_block["background_renders"] >= 1
+        assert "png_cache_entries" in tiles_block
+        assert "background_renders_inflight" in tiles_block
 
 
 def test_evicted_build_reports_evicted_not_ready():

@@ -281,6 +281,97 @@ class TestPartialInvalidation:
         service.viewport(h, 2, world)
         assert service.stats.tile_renders == renders + dropped
 
+    def test_clean_tiles_keep_their_generation(self):
+        """Per-tile generations: a partial invalidation bumps only the
+        dirty tiles' generations (their ETags), never the clean ones'."""
+        clients, facilities = _grid_world()
+        dyn = DynamicHeatMap(clients, facilities, metric="linf")
+        service = HeatMapService(max_tiles=128, tile_size=16)
+        h = service.attach_dynamic(dyn, name="fleet")
+        world = service.world(h)
+        service.viewport(h, 2, world)
+        addresses = [(tx, ty) for tx in range(4) for ty in range(4)]
+        before = {a: service.tile_generation(h, 2, *a) for a in addresses}
+
+        x, y = dyn.assignment._clients[14]
+        dyn.move_client(14, x + 0.01, y + 0.01)
+        service.result(h)  # settle the refresh (partial invalidation)
+        assert service.stats.partial_invalidations == 1
+        dropped = service.stats.tiles_dropped_partial
+
+        changed = [
+            a for a in addresses
+            if service.tile_generation(h, 2, *a) != before[a]
+        ]
+        # Exactly the dropped (dirty) tiles changed generation; the
+        # handle-wide race guard bumped, but the far corner tiles keep
+        # their validator.
+        assert len(changed) == dropped
+        assert 1 <= len(changed) < 16
+        assert service.generation(h) == 1
+        for corner in ((0, 0), (3, 3), (0, 3), (3, 0)):
+            assert service.tile_generation(h, 2, *corner) == before[corner]
+
+        # Re-attaching under the same name is a full drop: every tile's
+        # generation jumps past every partial event.
+        service.attach_dynamic(dyn, name="fleet")
+        gen = service.generation(h)
+        assert gen == 2
+        assert all(
+            service.tile_generation(h, 2, *a) == gen for a in addresses
+        )
+
+    def test_incremental_rerender_matches_scratch(self):
+        """Dirty tiles are displaced, not dropped: the next fetch patches
+        only the dirty pixel windows over the stale grid, and the result
+        is byte-identical to a from-scratch render."""
+        clients, facilities = _grid_world()
+        dyn = DynamicHeatMap(clients, facilities, metric="linf")
+        service = HeatMapService(max_tiles=128, tile_size=16)
+        h = service.attach_dynamic(dyn, name="fleet")
+        world = service.world(h)
+        service.viewport(h, 2, world)
+
+        x, y = dyn.assignment._clients[14]
+        dyn.move_client(14, x + 0.01, y + 0.01)
+        result = service.result(h)  # settle the partial invalidation
+        dropped = service.stats.tiles_dropped_partial
+        assert dropped >= 1
+
+        service.viewport(h, 2, world)  # re-fetch everything
+        # Every displaced tile came back through the windowed re-render,
+        # and each still counts as a render (it did rasterize pixels).
+        assert service.stats.tile_rerenders_partial == dropped
+        assert service.stats.tile_renders == 16 + dropped
+
+        from repro.service.tiles import tile_bounds
+
+        for tx in range(4):
+            for ty in range(4):
+                grid, bounds = service.tile(h, 2, tx, ty)
+                expected, _ = result.rasterize(16, 16, bounds)
+                np.testing.assert_array_equal(grid, expected)
+                assert bounds == tile_bounds(world, 2, tx, ty)
+
+    def test_stale_entry_consumed_once(self):
+        """The stale stand-in is popped on first fetch; a second fetch is
+        a plain cache hit on the patched grid."""
+        clients, facilities = _grid_world()
+        dyn = DynamicHeatMap(clients, facilities, metric="linf")
+        service = HeatMapService(max_tiles=128, tile_size=16)
+        h = service.attach_dynamic(dyn, name="fleet")
+        world = service.world(h)
+        service.viewport(h, 2, world)
+        x, y = dyn.assignment._clients[14]
+        dyn.move_client(14, x + 0.01, y + 0.01)
+        service.result(h)
+        service.viewport(h, 2, world)
+        rerenders = service.stats.tile_rerenders_partial
+        renders = service.stats.tile_renders
+        service.viewport(h, 2, world)
+        assert service.stats.tile_rerenders_partial == rerenders
+        assert service.stats.tile_renders == renders
+
     def test_noop_update_drops_nothing(self):
         clients, facilities = _grid_world()
         dyn = DynamicHeatMap(clients, facilities, metric="linf")

@@ -126,6 +126,50 @@ class TestTiles:
         assert tiles_in_window(world, 2, Rect(-2.0, -1.0, -2.0, -1.0)) == []
         assert tiles_in_window(world, 2, Rect(1.5, 2.0, 0.0, 1.0)) == []
 
+    def test_tiles_in_window_seam_edge_not_double_counted(self):
+        """A window whose high edge sits exactly on a tile seam overlaps
+        the next tile only along a zero-width line — requesting it would
+        double the tile traffic for seam-aligned pans."""
+        world = Rect(0.0, 1.0, 0.0, 1.0)
+        assert tiles_in_window(world, 2, Rect(0.0, 0.25, 0.0, 0.25)) == [(0, 0)]
+        assert tiles_in_window(world, 2, Rect(0.25, 0.5, 0.5, 0.75)) == [(1, 2)]
+        # A degenerate seam-line window still resolves to one tile column.
+        assert tiles_in_window(world, 1, Rect(0.5, 0.5, 0.0, 0.5)) == [(1, 0)]
+
+    def test_tiles_in_window_outside_world_both_sides(self):
+        """Windows strictly beyond either world edge on each axis are
+        empty — no clamping back onto the boundary tiles."""
+        world = Rect(0.0, 1.0, 0.0, 1.0)
+        assert tiles_in_window(world, 3, Rect(-3.0, -2.0, 0.1, 0.2)) == []
+        assert tiles_in_window(world, 3, Rect(2.0, 3.0, 0.1, 0.2)) == []
+        assert tiles_in_window(world, 3, Rect(0.1, 0.2, -3.0, -2.0)) == []
+        assert tiles_in_window(world, 3, Rect(0.1, 0.2, 2.0, 3.0)) == []
+
+    def test_tiles_in_window_zero_area_world(self):
+        """A degenerate (zero-span) world yields no tiles rather than a
+        division-by-zero."""
+        flat_x = Rect(0.5, 0.5, 0.0, 1.0)
+        flat_y = Rect(0.0, 1.0, 0.5, 0.5)
+        point = Rect(0.5, 0.5, 0.5, 0.5)
+        for world in (flat_x, flat_y, point):
+            assert tiles_in_window(world, 2, Rect(0.0, 1.0, 0.0, 1.0)) == []
+
+    def test_tile_bounds_seam_exact_at_high_zoom(self):
+        """Adjacent tiles share bit-identical seams even at deep zoom
+        where naive ``lo + (i+1) * span`` accumulates float error."""
+        world = Rect(0.1, 0.9, 0.2, 0.7)
+        z = 12
+        n = 1 << z
+        for tx in (0, 1, n // 3, n - 2):
+            left = tile_bounds(world, z, tx, 0)
+            right = tile_bounds(world, z, tx + 1, 0)
+            assert left.x_hi == right.x_lo
+        # Outermost tiles snap exactly to the world edges.
+        assert tile_bounds(world, z, n - 1, n - 1).x_hi == world.x_hi
+        assert tile_bounds(world, z, n - 1, n - 1).y_hi == world.y_hi
+        assert tile_bounds(world, z, 0, 0).x_lo == world.x_lo
+        assert tile_bounds(world, z, 0, 0).y_lo == world.y_lo
+
     def test_viewport_warms_cache(self, service, instance):
         O, F = instance
         h = service.build(O, F, metric="linf")
@@ -134,6 +178,44 @@ class TestTiles:
         renders = service.stats.tile_renders
         service.viewport(h, 1, service.world(h))
         assert service.stats.tile_renders == renders
+
+    def test_placeholder_upsamples_cached_ancestor(self, service, instance):
+        """A cold tile with a warm coarser ancestor gets a degraded
+        stand-in: the ancestor's quadrant, nearest-neighbour upsampled."""
+        O, F = instance
+        h = service.build(O, F, metric="linf")
+        agrid, _ = service.tile(h, 0, 0, 0)  # warm the root
+        renders = service.stats.tile_renders
+
+        ph = service.placeholder_tile(h, 1, 1, 1)
+        assert ph is not None
+        grid, bounds, source_z = ph
+        assert source_z == 0
+        assert bounds == tile_bounds(service.world(h), 1, 1, 1)
+        assert grid.shape == agrid.shape
+        # Tile (1, 1, 1) is the upper-right quadrant of the root: every
+        # placeholder pixel is the nearest ancestor pixel of that quadrant.
+        size = agrid.shape[0]
+        idx = size // 2 + np.arange(size) // 2
+        np.testing.assert_array_equal(grid, agrid[np.ix_(idx, idx)])
+        # The probe never renders and never mutates the cached ancestor.
+        assert service.stats.tile_renders == renders
+        assert service.stats.placeholder_tiles == 1
+        assert grid is not agrid
+
+    def test_placeholder_declines_when_unhelpful(self, service, instance):
+        """No ancestor cached, the tile itself cached, or the root tile:
+        the placeholder probe returns ``None`` instead of guessing."""
+        O, F = instance
+        h = service.build(O, F, metric="linf")
+        assert service.placeholder_tile(h, 0, 0, 0) is None  # root: no coarser level
+        assert service.placeholder_tile(h, 2, 1, 1) is None  # nothing cached yet
+        service.tile(h, 2, 1, 1)
+        assert service.placeholder_tile(h, 2, 1, 1) is None  # already warm
+        # Warming the root makes a distant descendant serveable (dz=2).
+        service.tile(h, 0, 0, 0)
+        ph = service.placeholder_tile(h, 2, 3, 0)
+        assert ph is not None and ph[2] == 0
 
     def test_world_bounds_l1_original_frame(self, rng):
         """For L1 the world is in original coordinates, not the rotated
@@ -355,3 +437,17 @@ class TestLRUCache:
     def test_maxsize_validation(self):
         with pytest.raises(ValueError):
             LRUCache(0)
+
+    def test_peek_is_side_effect_free(self):
+        """``peek`` must not refresh recency or move the hit/miss
+        counters — it is an advisory probe, not a read."""
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.peek("a") == 1
+        assert c.peek("nope") is None
+        assert c.peek("nope", default="d") == "d"
+        assert c.hits == 0 and c.misses == 0
+        # "a" was peeked, not read: it is still the LRU entry.
+        evicted = c.put("c", 3)
+        assert evicted == [("a", 1)]
