@@ -1,0 +1,227 @@
+"""Approximate heat-map builder engines behind the algorithm registry.
+
+Both engines estimate each client's kth-NN radius among the facilities and
+hand the resulting NN-circles to :class:`~repro.approx.surface.ApproxHeatSurface`
+— no arrangement sweep, so they scale to k and d the exact engines cannot
+touch.  They differ only in how the radii are found:
+
+* ``knn-graph`` — an NN-descent neighbor graph over the facilities, then
+  beam search per client (:mod:`repro.approx.knn_graph`).  L2 and
+  L-infinity, any dimension, k up to the registry's ``max_k``.
+* ``lsh-rnn`` — p-stable Gaussian LSH tables over the facilities
+  (:mod:`repro.approx.lsh`).  L2 only; the ``recall`` knob sets the table
+  count.
+
+Small instances (where approximation buys nothing) are answered by exact
+brute force, so the engines degrade *upward* to exactness.  Every source
+of randomness flows from the ``seed`` knob: one (inputs, knobs) pair gives
+byte-identical surfaces on every build.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.heatmap import HeatMapResult
+from ..core.sweep_linf import SweepStats
+from ..errors import (
+    AlgorithmUnsupportedError,
+    BuildCancelledError,
+    InvalidInputError,
+)
+from .knn_graph import (
+    _as_points,
+    brute_force_knn,
+    build_knn_graph,
+    reverse_neighbor_counts,
+    search_graph,
+)
+from .lsh import LSHIndex, tables_for_recall
+from .surface import ApproxHeatSurface
+
+__all__ = ["build_knn_graph_result", "build_lsh_result"]
+
+#: Facility counts at or below which the builders brute-force exactly.
+BRUTE_BELOW = 256
+
+#: Sample size for locating the (approximate) heat maximum.
+_MAX_HEAT_SAMPLE = 2048
+
+
+def _poll(should_cancel) -> None:
+    if should_cancel is not None and should_cancel():
+        raise BuildCancelledError("approximate build cancelled")
+
+
+def _common_inputs(clients, facilities, *, metric, measure, monochromatic, k, name):
+    """Shared validation: bichromatic, size measure, matching dimensions."""
+    if monochromatic:
+        raise AlgorithmUnsupportedError(
+            f"{name!r} is bichromatic only — pass explicit facilities"
+        )
+    if measure is not None:
+        raise AlgorithmUnsupportedError(
+            f"{name!r} supports the default size measure only"
+        )
+    if facilities is None:
+        raise InvalidInputError("bichromatic problems need facilities")
+    c = _as_points(clients, "clients")
+    f = _as_points(facilities, "facilities")
+    if c.shape[1] != f.shape[1]:
+        raise InvalidInputError("clients and facilities must share a dimension")
+    if c.shape[1] < 2:
+        raise InvalidInputError("points must have at least 2 dimensions")
+    k = int(k)
+    if not 1 <= k <= len(f):
+        raise InvalidInputError(f"k must be in [1, {len(f)}], got {k}")
+    return c, f, k
+
+
+def _result(
+    clients: np.ndarray,
+    knn_ids: np.ndarray,
+    knn_dists: np.ndarray,
+    n_facilities: int,
+    *,
+    metric: str,
+    algorithm: str,
+    seed: int,
+    n_events: int,
+) -> HeatMapResult:
+    """Wrap per-client kNN answers into a served surface + stats."""
+    radii = np.ascontiguousarray(knn_dists[:, -1])
+    counts = reverse_neighbor_counts(knn_ids, n_facilities)
+    surface = ApproxHeatSurface(
+        clients,
+        radii,
+        metric_name=metric,
+        knn_indices=knn_ids,
+        facility_rnn_counts=counts,
+    )
+    # Approximate the heat maximum at a seeded sample of circle centers
+    # (every center is covered by its own circle; dense overlaps peak
+    # there).  Sampled, so huge builds don't pay an O(n^2) pass.
+    plane = surface._plane_centers
+    if len(plane):
+        rng = np.random.default_rng(seed)
+        take = (
+            np.arange(len(plane))
+            if len(plane) <= _MAX_HEAT_SAMPLE
+            else np.sort(rng.choice(len(plane), _MAX_HEAT_SAMPLE, replace=False))
+        )
+        heats = surface.heat_at_many(plane[take])
+        best = int(np.argmax(heats))
+        max_heat = float(heats[best])
+        max_pt = (float(plane[take][best, 0]), float(plane[take][best, 1]))
+        max_rnn = surface.rnn_at(*max_pt)
+    else:
+        max_heat, max_pt, max_rnn = 0.0, None, frozenset()
+    stats = SweepStats(
+        n_circles=len(clients),
+        n_events=int(n_events),
+        labels=0,
+        max_rnn_size=int(counts.max(initial=0)),
+        max_heat=max_heat,
+        max_heat_rnn=max_rnn,
+        max_heat_point=max_pt,
+        n_fragments=0,
+        algorithm=algorithm,
+    )
+    return HeatMapResult(region_set=surface, stats=stats)
+
+
+def build_knn_graph_result(
+    clients,
+    facilities=None,
+    *,
+    metric: str = "l2",
+    measure=None,
+    monochromatic: bool = False,
+    k: int = 1,
+    options: "dict | None" = None,
+    should_cancel=None,
+) -> HeatMapResult:
+    """The ``knn-graph`` engine: NN-descent graph + beam-searched radii."""
+    if str(metric).lower() not in ("l2", "linf"):
+        raise AlgorithmUnsupportedError(
+            "'knn-graph' runs under l2/linf NN-circles, not "
+            f"{str(metric).lower()!r}"
+        )
+    metric = str(metric).lower()
+    c, f, k = _common_inputs(
+        clients, facilities, metric=metric, measure=measure,
+        monochromatic=monochromatic, k=k, name="knn-graph",
+    )
+    opts = dict(options or {})
+    seed = int(opts.get("seed", 0))
+    recall = float(opts.get("recall", 0.9))
+    if not 0.0 < recall <= 1.0:
+        raise InvalidInputError(f"recall must be in (0, 1], got {recall!r}")
+    _poll(should_cancel)
+    if len(f) <= max(BRUTE_BELOW, 4 * k):
+        ids, dists = brute_force_knn(c, f, k, metric=metric)
+        n_events = len(c) * len(f)
+    else:
+        # The recall knob buys effort: graph degree, descent rounds and
+        # search width all scale with it (documented in docs/approx.md).
+        degree = min(len(f) - 1, max(8, int(math.ceil(k * (1.0 + recall)))))
+        iters = 4 + int(round(4 * recall))
+        graph, _ = build_knn_graph(f, degree, metric=metric, seed=seed, iters=iters)
+        _poll(should_cancel)
+        beam = max(2 * k, 16, int(math.ceil(k * (1.0 + 2.0 * recall))))
+        ids, dists = search_graph(
+            c, f, graph, k, metric=metric, seed=seed + 1,
+            starts=max(8, degree), rounds=4 + int(round(4 * recall)), beam=beam,
+        )
+        n_events = len(c) * beam + len(f) * degree
+    _poll(should_cancel)
+    return _result(
+        c, ids, dists, len(f),
+        metric=metric, algorithm="knn-graph", seed=seed, n_events=n_events,
+    )
+
+
+def build_lsh_result(
+    clients,
+    facilities=None,
+    *,
+    metric: str = "l2",
+    measure=None,
+    monochromatic: bool = False,
+    k: int = 1,
+    options: "dict | None" = None,
+    should_cancel=None,
+) -> HeatMapResult:
+    """The ``lsh-rnn`` engine: p-stable hash tables + candidate scans."""
+    if str(metric).lower() != "l2":
+        raise AlgorithmUnsupportedError(
+            "'lsh-rnn' hashes with Gaussian projections, which are "
+            f"L2-stable only — not {str(metric).lower()!r}"
+        )
+    c, f, k = _common_inputs(
+        clients, facilities, metric="l2", measure=measure,
+        monochromatic=monochromatic, k=k, name="lsh-rnn",
+    )
+    opts = dict(options or {})
+    seed = int(opts.get("seed", 0))
+    recall = float(opts.get("recall", 0.9))
+    if not 0.0 < recall <= 1.0:
+        raise InvalidInputError(f"recall must be in (0, 1], got {recall!r}")
+    _poll(should_cancel)
+    if len(f) <= max(BRUTE_BELOW, 4 * k):
+        ids, dists = brute_force_knn(c, f, k, metric="l2")
+        n_events = len(c) * len(f)
+    else:
+        tables = int(opts.get("tables") or tables_for_recall(min(recall, 0.999)))
+        hashes = int(opts.get("hashes") or 3)
+        index = LSHIndex(f, k, tables=tables, hashes=hashes, seed=seed)
+        _poll(should_cancel)
+        ids, dists = index.query(c)
+        n_events = index.candidates_scanned + index.fallbacks * len(f)
+    _poll(should_cancel)
+    return _result(
+        c, ids, dists, len(f),
+        metric="l2", algorithm="lsh-rnn", seed=seed, n_events=n_events,
+    )

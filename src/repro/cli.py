@@ -36,7 +36,14 @@ def build_parser() -> argparse.ArgumentParser:
     hm.add_argument("--clients", type=int, default=2000)
     hm.add_argument("--facilities", type=int, default=600)
     hm.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
-    hm.add_argument("--algorithm", default="crest", choices=REGISTRY.names())
+    hm.add_argument("--algorithm", "--engine", default="crest",
+                    choices=REGISTRY.names())
+    hm.add_argument("--k", type=int, default=1,
+                    help="RkNN order (approximate engines serve up to their "
+                         "registered max_k; exact sweeps any k)")
+    hm.add_argument("--recall", type=float, default=None,
+                    help="approximate-engine recall knob in (0, 1] "
+                         "(engines without knobs reject it)")
     hm.add_argument("--resolution", type=int, default=400)
     hm.add_argument("--out", type=Path, default=None,
                     help="output PGM path (default: ASCII to stdout)")
@@ -68,7 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
     qr.add_argument("--clients", type=int, default=2000)
     qr.add_argument("--facilities", type=int, default=600)
     qr.add_argument("--metric", default="l2", choices=("l1", "l2", "linf"))
-    qr.add_argument("--algorithm", default="crest", choices=REGISTRY.names())
+    qr.add_argument("--algorithm", "--engine", default="crest",
+                    choices=REGISTRY.names())
+    qr.add_argument("--k", type=int, default=1,
+                    help="reverse k-NN order (approximate engines allow "
+                         "k up to their registry max_k)")
+    qr.add_argument("--recall", type=float, default=None,
+                    help="approximate-engine recall knob in (0, 1] "
+                         "(engines without knobs reject it)")
     qr.add_argument("--probes", type=int, default=100_000,
                     help="random point probes to answer in one batch")
     qr.add_argument("--top-k", type=int, default=5)
@@ -200,6 +214,15 @@ def _cli_workers(workers: "int | None") -> "int | None":
     return os.cpu_count() or 1
 
 
+def _engine_options(args) -> "dict | None":
+    """Engine knobs from CLI flags (None when no knob flag was passed, so
+    knob-less engines never see an options dict to reject)."""
+    opts = {}
+    if getattr(args, "recall", None) is not None:
+        opts["recall"] = args.recall
+    return opts or None
+
+
 def _cmd_heatmap(args) -> int:
     from .core.heatmap import RNNHeatMap
     from .data.datasets import get_dataset
@@ -214,8 +237,15 @@ def _cmd_heatmap(args) -> int:
     clients, facilities = sample_clients_facilities(
         pool, args.clients, args.facilities, seed=args.seed + 1
     )
-    hm = RNNHeatMap(clients, facilities, metric=args.metric)
-    result = hm.build(args.algorithm, workers=_cli_workers(args.workers))
+    spec = REGISTRY.get(args.algorithm)
+    if spec.builder is not None:
+        result = spec.builder(
+            clients, facilities, metric=args.metric, k=args.k,
+            options=spec.normalized_options(_engine_options(args)),
+        )
+    else:
+        hm = RNNHeatMap(clients, facilities, metric=args.metric, k=args.k)
+        result = hm.build(args.algorithm, workers=_cli_workers(args.workers))
     grid, bounds = result.rasterize(args.resolution, args.resolution)
     workers_note = (
         f" workers={result.stats.n_workers} slabs={result.stats.n_slabs}"
@@ -256,7 +286,8 @@ def _cmd_query(args) -> int:
     t0 = time.perf_counter()
     handle = service.build(
         clients, facilities, metric=args.metric, algorithm=args.algorithm,
-        workers=_cli_workers(args.workers),
+        k=args.k, workers=_cli_workers(args.workers),
+        engine_options=_engine_options(args),
     )
     build_s = time.perf_counter() - t0
     world = service.world(handle)
@@ -348,8 +379,9 @@ def _cmd_query_async(args) -> int:
             handles = await asyncio.gather(*(
                 timed("build", svc.build(
                     clients, facilities, metric=args.metric,
-                    algorithm=args.algorithm,
+                    algorithm=args.algorithm, k=args.k,
                     workers=_cli_workers(args.workers),
+                    engine_options=_engine_options(args),
                 ))
                 for _ in range(n_viewers)
             ))

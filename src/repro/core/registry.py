@@ -40,7 +40,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import AlgorithmUnsupportedError, UnknownAlgorithmError
+from ..errors import (
+    AlgorithmUnsupportedError,
+    InvalidInputError,
+    UnknownAlgorithmError,
+)
 from .baseline import run_baseline
 from .superimposition import run_superimposition
 from .sweep_batched import run_crest_batched, run_crest_l2_batched
@@ -79,15 +83,94 @@ class EngineSpec:
     supports_fragments: bool = True
     public: bool = True
     parallel: bool = False
+    #: Exact engines reproduce the paper's arrangement bit-for-bit;
+    #: approximate ones are gated statistically (recall / heat-RMSE
+    #: differential tests) instead.
+    exact: bool = True
+    #: Surface-builder engines: instead of a sweep ``runner`` they build a
+    #: whole :class:`~repro.core.heatmap.HeatMapResult` from the raw
+    #: coordinate arrays — ``builder(clients, facilities, *, metric,
+    #: measure, monochromatic, k, options, should_cancel)``.  The service
+    #: dispatches on this; ``resolve()`` refuses such engines.
+    builder: "object | None" = None
+    #: Metric names the builder accepts (builder engines see the *request*
+    #: metric, not the internal sweep metric — no L1 rotation).
+    builder_metrics: "tuple[str, ...]" = ()
+    #: Largest supported RkNN order, or None for unbounded.
+    max_k: "int | None" = None
+    #: Largest supported point dimension, or None for arbitrary d.
+    max_dims: "int | None" = 2
+    #: The recall level the engine's default knobs are tuned (and
+    #: differentially tested) to reach; None for exact engines.
+    recall_target: "float | None" = None
+    #: Engine options and their defaults as (name, default) pairs — the
+    #: tunable knobs (``recall``, ``seed``, ...) that also key the build
+    #: fingerprint.  Empty for engines without options.
+    knobs: "tuple[tuple[str, object], ...]" = ()
 
     @property
     def metrics(self) -> "frozenset[str]":
         """Sweep metrics this engine runs under."""
-        return frozenset(self.runners)
+        return frozenset(self.runners) | frozenset(self.builder_metrics)
 
     def supports_metric(self, metric_name: str) -> bool:
-        """Whether a runner is registered for sweep metric ``metric_name``."""
-        return metric_name in self.runners
+        """Whether a runner (or the builder) handles ``metric_name``."""
+        return metric_name in self.runners or metric_name in self.builder_metrics
+
+    def normalized_options(self, options: "dict | None") -> dict:
+        """The engine's knobs with ``options`` merged over the defaults.
+
+        The result is what keys the build fingerprint, so two requests
+        differing only in an explicit-vs-defaulted knob still share a
+        cache entry.  Unknown knobs — including *any* option passed to an
+        engine that has none — raise
+        :class:`~repro.errors.InvalidInputError` rather than being
+        silently ignored, since a dropped ``recall=0.99`` would be a
+        silently wrong answer.
+        """
+        merged = dict(self.knobs)
+        for key, value in (options or {}).items():
+            if key not in merged:
+                accepted = (
+                    f"accepts {sorted(merged)}" if merged else "accepts no options"
+                )
+                raise InvalidInputError(
+                    f"engine {self.name!r} {accepted}; got {key!r}"
+                )
+            default = merged[key]
+            try:
+                merged[key] = type(default)(value) if default is not None else value
+            except (TypeError, ValueError):
+                raise InvalidInputError(
+                    f"option {key!r} must be a {type(default).__name__}, "
+                    f"got {value!r}"
+                ) from None
+        return merged
+
+    def check_workload(
+        self, *, metric_name: str, k: int = 1, dims: int = 2
+    ) -> None:
+        """Reject an (engine, workload) pair the engine cannot answer.
+
+        Raises :class:`~repro.errors.AlgorithmUnsupportedError` naming the
+        violated capability — a clear refusal instead of a silently wrong
+        (or impossible) build.
+        """
+        if not self.supports_metric(metric_name):
+            raise AlgorithmUnsupportedError(
+                f"{self.name!r} runs under {'/'.join(sorted(self.metrics))} "
+                f"NN-circles, not {metric_name!r}"
+            )
+        if self.max_dims is not None and dims > self.max_dims:
+            raise AlgorithmUnsupportedError(
+                f"{self.name!r} supports at most {self.max_dims}-d points; "
+                f"got {dims}-d (approximate engines like 'knn-graph' "
+                "handle arbitrary dimension)"
+            )
+        if self.max_k is not None and k > self.max_k:
+            raise AlgorithmUnsupportedError(
+                f"{self.name!r} supports k <= {self.max_k}; got k={k}"
+            )
 
 
 class AlgorithmRegistry:
@@ -139,6 +222,12 @@ class AlgorithmRegistry:
         runner = spec.runners.get(metric_name)
         if runner is not None:
             return spec, runner
+        if spec.builder is not None:
+            raise AlgorithmUnsupportedError(
+                f"{spec.name!r} is a surface-builder engine with no sweep "
+                "runner — build it through HeatMapService (or the repro.approx "
+                "builders), not the arrangement sweep"
+            )
         if not spec.public:
             raise UnknownAlgorithmError(f"unknown algorithm {name!r}")
         if metric_name == "l2":
@@ -288,4 +377,55 @@ REGISTRY.register(EngineSpec(
     runners={"l2": _parallel_sweep},
     description="CREST-L2 swept in x-slabs across worker processes (workers=)",
     parallel=True,
+))
+
+
+# ----------------------------------------------------------------------
+# Approximate surface-builder engines (repro.approx).  Imported lazily so
+# the registry costs nothing for exact-only workloads; knobs key the build
+# fingerprint (see repro.service.fingerprint).
+# ----------------------------------------------------------------------
+def _knn_graph_builder(clients, facilities=None, **kwargs):
+    """NN-descent facility graph + beam-searched client radii."""
+    from ..approx.engines import build_knn_graph_result
+
+    return build_knn_graph_result(clients, facilities, **kwargs)
+
+
+def _lsh_builder(clients, facilities=None, **kwargs):
+    """p-stable LSH tables + candidate-scanned client radii."""
+    from ..approx.engines import build_lsh_result
+
+    return build_lsh_result(clients, facilities, **kwargs)
+
+
+#: Default knob set shared by the approximate engines: the recall target
+#: their effort is scaled to, and the seed all randomness flows from.
+_APPROX_KNOBS = (("recall", 0.9), ("seed", 0))
+
+REGISTRY.register(EngineSpec(
+    name="knn-graph",
+    runners={},
+    description="approximate NN-descent graph engine: any d, k <= 50",
+    measures="size-like",
+    exact=False,
+    builder=_knn_graph_builder,
+    builder_metrics=("l2", "linf"),
+    max_k=50,
+    max_dims=None,
+    recall_target=0.9,
+    knobs=_APPROX_KNOBS,
+))
+REGISTRY.register(EngineSpec(
+    name="lsh-rnn",
+    runners={},
+    description="approximate p-stable LSH engine (L2): any d, k <= 50",
+    measures="size-like",
+    exact=False,
+    builder=_lsh_builder,
+    builder_metrics=("l2",),
+    max_k=50,
+    max_dims=None,
+    recall_target=0.9,
+    knobs=_APPROX_KNOBS,
 ))

@@ -27,9 +27,27 @@ _TRANSFORMS = {
 }
 
 
-def save_region_set(region_set: RegionSet, path: "str | Path") -> Path:
-    """Serialize a RegionSet to ``.npz``. Returns the written path."""
+def save_region_set(region_set, path: "str | Path") -> Path:
+    """Serialize a heat surface to ``.npz``. Returns the written path.
+
+    Accepts both the exact sweep's :class:`RegionSet` and the approximate
+    engines' circle-backed surface (anything exposing
+    ``kind == "approx-surface"`` plus a ``payload()``); the header's
+    ``kind`` field dispatches :func:`load_region_set` back to the right
+    constructor.
+    """
     path = Path(path)
+    if getattr(region_set, "kind", None) == "approx-surface":
+        header, arrays = region_set.payload()
+        header["version"] = 1
+        np.savez_compressed(
+            path,
+            header=np.frombuffer(
+                json.dumps(header).encode("utf-8"), dtype=np.uint8
+            ),
+            **arrays,
+        )
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
     rects = [f for f in region_set.fragments if isinstance(f, RectFragment)]
     arcs = [f for f in region_set.fragments if isinstance(f, ArcFragment)]
     if len(rects) + len(arcs) != len(region_set.fragments):
@@ -78,12 +96,23 @@ def save_region_set(region_set: RegionSet, path: "str | Path") -> Path:
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def load_region_set(path: "str | Path") -> RegionSet:
-    """Load a RegionSet previously written by ``save_region_set``."""
+def load_region_set(path: "str | Path"):
+    """Load a surface previously written by ``save_region_set``.
+
+    Returns a :class:`RegionSet`, or an
+    :class:`~repro.approx.surface.ApproxHeatSurface` for files whose
+    header carries ``kind: "approx-surface"``.
+    """
     with np.load(Path(path)) as data:
         header = json.loads(bytes(data["header"]).decode("utf-8"))
         if header.get("version") != 1:
             raise InvalidInputError(f"unsupported RegionSet file version: {header}")
+        if header.get("kind") == "approx-surface":
+            from ..approx.surface import ApproxHeatSurface
+
+            return ApproxHeatSurface.from_payload(
+                header, {key: data[key] for key in data.files if key != "header"}
+            )
         transform = _TRANSFORMS.get(header["transform"])
         if transform is None:
             raise InvalidInputError(f"unknown transform {header['transform']!r}")

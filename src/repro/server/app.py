@@ -67,9 +67,10 @@ from ..faults import Deadline
 from ..fleet.events import EventBroker, format_sse_event
 from ..service.async_service import AsyncHeatMapService
 from ..service.cache import LRUCache
+from ..core.registry import REGISTRY
 from ..service.fingerprint import fingerprint_build
 from ..service.latency import LatencyRecorder
-from ..service.service import _canonical_algorithm
+from ..service.service import request_fingerprint
 from ..service.tiles import tile_bounds
 from .errors import HTTPError, error_payload, status_for_exception
 from .http import (
@@ -752,12 +753,28 @@ class HeatMapHTTPApp(BaseHTTPApp):
             raise HTTPError(400, '"k" and "workers" must be integers') from None
         if k < 1:
             raise HTTPError(400, '"k" must be >= 1')
+        # Engine knobs ride in explicitly; which engines accept them is the
+        # registry's call (unknown knobs 400 via normalized_options).
+        engine_options: dict = {}
+        if "recall" in payload:
+            try:
+                engine_options["recall"] = float(payload["recall"])
+            except (TypeError, ValueError):
+                raise HTTPError(400, '"recall" must be a number') from None
+            if not 0.0 < engine_options["recall"] <= 1.0:
+                raise HTTPError(400, '"recall" must be in (0, 1]')
+        if "seed" in payload:
+            try:
+                engine_options["seed"] = int(payload["seed"])
+            except (TypeError, ValueError):
+                raise HTTPError(400, '"seed" must be an integer') from None
         return {
             "metric": metric,
             "algorithm": str(payload.get("algorithm", "crest")).lower(),
             "monochromatic": cls._bool_field(payload, "monochromatic"),
             "k": k,
             "workers": workers,
+            "engine_options": engine_options or None,
         }
 
     async def _handle_build(self, request: Request) -> Response:
@@ -778,11 +795,11 @@ class HeatMapHTTPApp(BaseHTTPApp):
             return await self._start_dynamic_build(
                 payload, clients, facilities, params
             )
-        canonical = _canonical_algorithm(params["algorithm"], params["metric"])
         handle = await self._run(
-            fingerprint_build, clients, facilities,
-            metric=params["metric"], algorithm=canonical,
+            request_fingerprint, clients, facilities,
+            metric=params["metric"], algorithm=params["algorithm"],
             monochromatic=params["monochromatic"], k=params["k"],
+            engine_options=params["engine_options"],
         )
         if handle in self.service.handles():
             self._record_build(handle, "ready", None)
@@ -822,6 +839,7 @@ class HeatMapHTTPApp(BaseHTTPApp):
                 algorithm=params["algorithm"],
                 monochromatic=params["monochromatic"], k=params["k"],
                 workers=params["workers"], fingerprint=handle,
+                engine_options=params["engine_options"],
             )
         except asyncio.CancelledError:
             self._record_build(handle, "failed", "cancelled")
@@ -848,6 +866,14 @@ class HeatMapHTTPApp(BaseHTTPApp):
             raise HTTPError(
                 400, "dynamic maps support monochromatic=false, k=1 only"
             )
+        if REGISTRY.get(params["algorithm"]).builder is not None:
+            raise HTTPError(
+                400,
+                "dynamic maps run the exact incremental sweep; approximate "
+                f"engines ({params['algorithm']!r}) build static handles only",
+            )
+        if params["engine_options"]:
+            raise HTTPError(400, "dynamic maps accept no engine options")
         if facilities is None:
             raise HTTPError(400, "dynamic maps need explicit facilities")
         self._dyn_seq += 1

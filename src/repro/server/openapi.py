@@ -592,6 +592,23 @@ SPEC = {
                         "type": "string",
                         "enum": ["auto", "incremental", "full"],
                     },
+                    "recall": {
+                        "type": "number",
+                        "exclusiveMinimum": 0,
+                        "maximum": 1,
+                        "description": (
+                            "approximate-engine recall knob (engines "
+                            "without knobs reject it)"
+                        ),
+                    },
+                    "seed": {
+                        "type": "integer",
+                        "description": (
+                            "approximate-engine random seed — identical "
+                            "(dataset, knobs, seed) builds are "
+                            "byte-identical"
+                        ),
+                    },
                 },
             },
             "BuildStatus": {

@@ -96,6 +96,11 @@ def decode_points(payload, *, max_points: int) -> np.ndarray:
     return arr
 
 
+#: Hard cap on dataset point dimension (the approximate engines accept
+#: arbitrary d; the cap only bounds request size, like ``max_points``).
+MAX_DATASET_DIMS = 64
+
+
 def _coordinate_array(payload: dict, key: str, *, required: bool) -> "np.ndarray | None":
     value = payload.get(key)
     if value is None:
@@ -106,8 +111,14 @@ def _coordinate_array(payload: dict, key: str, *, required: bool) -> "np.ndarray
         arr = np.asarray(value, dtype=float)
     except (TypeError, ValueError):
         raise HTTPError(400, f'"{key}" must be numeric [x, y] pairs') from None
-    if arr.ndim != 2 or arr.shape[1] != 2 or not len(arr):
-        raise HTTPError(400, f'"{key}" must be a non-empty (n, 2) array')
+    # d > 2 is legal: approximate engines serve arbitrary-dimension data
+    # (exact sweeps reject it at build time with a capability error).
+    if arr.ndim != 2 or not 2 <= arr.shape[1] <= MAX_DATASET_DIMS or not len(arr):
+        raise HTTPError(
+            400,
+            f'"{key}" must be a non-empty (n, d) array with '
+            f"2 <= d <= {MAX_DATASET_DIMS}",
+        )
     if not np.isfinite(arr).all():
         raise HTTPError(400, f'"{key}" must be finite (no NaN/inf)')
     return arr

@@ -46,8 +46,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from ..geometry.rect import Rect
-from .fingerprint import fingerprint_build
-from .service import HeatMapService, _canonical_algorithm
+from .service import HeatMapService, request_fingerprint
 from .tiles import tiles_in_window
 
 __all__ = ["AsyncHeatMapService"]
@@ -245,6 +244,7 @@ class AsyncHeatMapService:
         k: int = 1,
         workers: "int | None" = None,
         fingerprint: "str | None" = None,
+        engine_options: "dict | None" = None,
         should_cancel=None,
     ) -> str:
         """Build (or recall) a heat map; returns its fingerprint handle.
@@ -266,14 +266,14 @@ class AsyncHeatMapService:
         """
         handle = fingerprint
         if handle is None:
-            canonical = _canonical_algorithm(algorithm, metric)
             # Hash the coordinate arrays on the executor (O(n) for large
             # instances — it must not stall the event loop), and hand the
             # key down so the sync layer does not hash a second time.
             handle = await self._run(functools.partial(
-                fingerprint_build, clients, facilities, metric=metric,
-                algorithm=canonical, measure=measure,
+                request_fingerprint, clients, facilities, metric=metric,
+                algorithm=algorithm, measure=measure,
                 monochromatic=monochromatic, k=k,
+                engine_options=engine_options,
             ))
 
         def call(flight_cancel=None):
@@ -288,7 +288,7 @@ class AsyncHeatMapService:
                 clients, facilities, metric=metric, algorithm=algorithm,
                 measure=measure, monochromatic=monochromatic, k=k,
                 workers=workers, fingerprint=handle,
-                should_cancel=poll,
+                engine_options=engine_options, should_cancel=poll,
             )
 
         return await self._single_flight(

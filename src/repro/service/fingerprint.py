@@ -10,6 +10,7 @@ regardless of which caller asks.
 from __future__ import annotations
 
 import hashlib
+import json
 import pickle
 
 import numpy as np
@@ -42,8 +43,17 @@ def fingerprint_build(
     measure=None,
     monochromatic: bool = False,
     k: int = 1,
+    options: "dict | None" = None,
 ) -> str:
-    """SHA-256 fingerprint of one build request (hex digest)."""
+    """SHA-256 fingerprint of one build request (hex digest).
+
+    ``options`` are the engine's *normalized* knobs (see
+    :meth:`~repro.core.registry.EngineSpec.normalized_options`): they key
+    the digest whenever non-empty, so an approximate build at
+    ``recall=0.99`` never answers for one at ``recall=0.9``.  Engines
+    without knobs hash exactly as they always have — existing fingerprints
+    (and everything keyed by them: stores, fleets) stay stable.
+    """
     h = hashlib.sha256()
     c = np.ascontiguousarray(np.asarray(clients, dtype=float))
     h.update(str(c.shape).encode())
@@ -58,4 +68,7 @@ def fingerprint_build(
         f"|{str(metric).lower()}|{algorithm.lower()}|{monochromatic}|{int(k)}|".encode()
     )
     h.update(measure_token(measure).encode())
+    if options:
+        h.update(b"|options|")
+        h.update(json.dumps(options, sort_keys=True, default=repr).encode())
     return h.hexdigest()

@@ -55,7 +55,7 @@ import numpy as np
 from ..core.heatmap import HeatMapResult, RNNHeatMap
 from ..core.regionset import RegionSet
 from ..core.registry import REGISTRY
-from ..errors import UnknownHandleError
+from ..errors import AlgorithmUnsupportedError, UnknownHandleError
 from .. import faults
 from ..geometry.rect import Rect
 from .cache import LRUCache
@@ -64,7 +64,7 @@ from .flight import KeyedMutex
 from .store import ResultStore
 from .tiles import tile_bounds, tiles_in_window, world_bounds
 
-__all__ = ["HeatMapService", "ServiceStats"]
+__all__ = ["HeatMapService", "ServiceStats", "request_fingerprint"]
 
 #: Cap on retained partial-invalidation events per handle.  Beyond it the
 #: two oldest events merge into one bounding box, so per-tile generation
@@ -105,6 +105,39 @@ def _canonical_algorithm(algorithm: str, metric: str) -> str:
         return alg
     internal = "linf" if str(metric).lower() == "l1" else str(metric).lower()
     return target if REGISTRY.get(alg).supports_metric(internal) else alg
+
+
+def request_fingerprint(
+    clients,
+    facilities=None,
+    *,
+    metric: str = "l2",
+    algorithm: str = "crest",
+    measure=None,
+    monochromatic: bool = False,
+    k: int = 1,
+    engine_options: "dict | None" = None,
+) -> str:
+    """The cache key :meth:`HeatMapService.build` would assign a request.
+
+    Canonicalizes the algorithm name and normalizes the engine's knobs
+    (defaults merged, unknown knobs rejected) before hashing, so every
+    front end — sync, async, HTTP — keys identical requests identically.
+    """
+    spec = REGISTRY.get(algorithm)
+    options = spec.normalized_options(engine_options)
+    canonical = _canonical_algorithm(algorithm, metric)
+    return fingerprint_build(
+        clients, facilities, metric=metric, algorithm=canonical,
+        measure=measure, monochromatic=monochromatic, k=k, options=options,
+    )
+
+
+def _point_dims(points) -> int:
+    """Dimension of a coordinate array (2 when it is not (n, d)-shaped —
+    shape errors are the facade's to report, not the capability check's)."""
+    arr = np.asarray(points)
+    return int(arr.shape[1]) if arr.ndim == 2 and arr.shape[1] > 0 else 2
 
 
 @dataclass
@@ -290,6 +323,7 @@ class HeatMapService:
         k: int = 1,
         workers: "int | None" = None,
         fingerprint: "str | None" = None,
+        engine_options: "dict | None" = None,
         should_cancel=None,
     ) -> str:
         """Build (or recall) a heat map; returns its fingerprint handle.
@@ -300,6 +334,18 @@ class HeatMapService:
         parallel builds of the same inputs share one cache entry, and a
         parallel engine name ('linf-parallel'/'l2-parallel') keys the same
         entry as 'crest'.
+
+        ``engine_options`` are the engine's knobs (e.g. ``recall`` /
+        ``seed`` for the approximate engines); they are normalized against
+        the :class:`~repro.core.registry.EngineSpec` defaults and *key the
+        fingerprint*, so different knob settings never share a cache
+        entry.  Unknown knobs raise
+        :class:`~repro.errors.InvalidInputError`.  Surface-builder engines
+        ('knn-graph', 'lsh-rnn') are capability-checked against the
+        workload — metric, k, dimension — and dispatch to their builder;
+        exact sweep engines on d != 2 data are refused with a clear
+        :class:`~repro.errors.AlgorithmUnsupportedError` instead of a
+        shape error.
 
         ``fingerprint`` skips re-hashing the coordinate arrays when the
         caller already computed this request's key (it must come from
@@ -319,12 +365,15 @@ class HeatMapService:
         """
         if workers is None:
             workers = self.default_workers
+        spec = REGISTRY.get(algorithm)
+        options = spec.normalized_options(engine_options)
         handle = fingerprint
         if handle is None:
             canonical = _canonical_algorithm(algorithm, metric)
             handle = fingerprint_build(
                 clients, facilities, metric=metric, algorithm=canonical,
                 measure=measure, monochromatic=monochromatic, k=k,
+                options=options,
             )
         with self._flights.holding(("build", handle)):
             if self._results.get(handle) is not None:
@@ -358,15 +407,33 @@ class HeatMapService:
                         return handle
                 if self.on_build is not None:
                     self.on_build(handle)
-                hm = RNNHeatMap(
-                    clients, facilities, metric=metric, measure=measure,
-                    monochromatic=monochromatic, k=k,
-                )
-                result = hm.build(
-                    algorithm,
-                    workers=workers,
-                    should_cancel=self._wrap_cancel(should_cancel),
-                )
+                if spec.builder is not None:
+                    spec.check_workload(
+                        metric_name=str(metric).lower(), k=k,
+                        dims=_point_dims(clients),
+                    )
+                    result = spec.builder(
+                        clients, facilities, metric=metric, measure=measure,
+                        monochromatic=monochromatic, k=k, options=options,
+                        should_cancel=self._wrap_cancel(should_cancel),
+                    )
+                else:
+                    dims = _point_dims(clients)
+                    if dims != 2:
+                        raise AlgorithmUnsupportedError(
+                            f"{spec.name!r} is an exact 2-d sweep engine; "
+                            f"{dims}-d data needs an approximate engine "
+                            "('knn-graph')"
+                        )
+                    hm = RNNHeatMap(
+                        clients, facilities, metric=metric, measure=measure,
+                        monochromatic=monochromatic, k=k,
+                    )
+                    result = hm.build(
+                        algorithm,
+                        workers=workers,
+                        should_cancel=self._wrap_cancel(should_cancel),
+                    )
                 self.stats.inc("builds")
                 if self.shared_store:
                     # Write through while the lease is held, so waiting

@@ -40,6 +40,9 @@ from repro.fleet import FleetProxy, HashRing, tile_key
 from repro.server import ThreadedHTTPServer
 from repro.server.app import HeatMapHTTPApp
 
+# The whole module is the fault-injection tier (CI runs it as its own job).
+pytestmark = pytest.mark.chaos
+
 N_CLIENTS, N_FACILITIES, SEED = 40, 6, 21
 TILE_SIZE = 32
 VNODES = 64

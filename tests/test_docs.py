@@ -29,6 +29,7 @@ REQUIRED_DOCS = (
     "docs/async-serving.md",
     "docs/fleet.md",
     "docs/resilience.md",
+    "docs/approx.md",
     "docs/openapi.yaml",
 )
 

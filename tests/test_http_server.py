@@ -331,8 +331,11 @@ def test_error_mapping(server, handle):
         "dataset": ds["dataset"], "dynamic": "false"})) == 400
     assert status_of(lambda: _post(base + "/build", {
         "dataset": ds["dataset"], "monochromatic": "false"})) == 400
+    # d in [2, 64] is legal (approximate engines); d = 1 and d > 64 are not.
     assert status_of(lambda: _post(base + "/datasets",
-                                   {"clients": [[1, 2, 3]]})) == 400
+                                   {"clients": [[1]]})) == 400
+    assert status_of(lambda: _post(base + "/datasets",
+                                   {"clients": [list(range(65))]})) == 400
     assert status_of(lambda: _post(base + "/update/" + handle,
                                    {"updates": [{"op": "add_client",
                                                  "x": 0, "y": 0}]})) == 409

@@ -1,0 +1,222 @@
+"""Property and fuzz tests for the NN-descent graph builder and LSH index.
+
+Structural guarantees (no self-edges, sorted rows, symmetrization) and
+the determinism contract — identical (inputs, seed) pairs build identical
+graphs — plus the awkward inputs fuzzing tends to find: duplicate points,
+collinear clusters, single-cluster data where every neighborhood ties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.approx.knn_graph import (
+    brute_force_knn,
+    build_knn_graph,
+    pairwise_distances,
+    reverse_neighbor_counts,
+    search_graph,
+    symmetrize,
+)
+from repro.approx.lsh import LSHIndex, calibrate_width, tables_for_recall
+from repro.errors import InvalidInputError
+
+
+def _points(seed: int, n: int, d: int = 2) -> np.ndarray:
+    return np.random.default_rng(seed).random((n, d))
+
+
+# ----------------------------------------------------------------------
+# Structural invariants of the graph builder
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("metric", ["l2", "linf", "l1"])
+@pytest.mark.parametrize("n,k", [(50, 4), (400, 8), (700, 12)])
+def test_graph_structure(metric, n, k):
+    pts = _points(99, n)
+    ids, dists = build_knn_graph(pts, k, metric=metric, seed=0)
+    assert ids.shape == (n, k) and dists.shape == (n, k)
+    rows = np.arange(n)[:, None]
+    assert not (ids == rows).any(), "self-edges are forbidden"
+    assert (np.diff(dists, axis=1) >= 0).all(), "rows must sort ascending"
+    assert ((0 <= ids) & (ids < n)).all()
+    # Each row holds k distinct neighbors.
+    assert all(len(set(row)) == k for row in ids)
+
+
+@pytest.mark.parametrize("metric", ["l2", "linf"])
+def test_graph_identical_under_identical_seed(metric):
+    pts = _points(7, 600)
+    a = build_knn_graph(pts, 6, metric=metric, seed=3)
+    b = build_knn_graph(pts, 6, metric=metric, seed=3)
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(a[1], b[1])
+
+
+def test_graph_recall_on_seeded_instance():
+    """NN-descent lands near the exact graph on easy 2-d data.
+
+    The sampled-join descent plateaus around 0.96 edge recall here
+    (measured across iteration counts); the 0.93 floor leaves an explicit
+    margin.  Engine-level recall is higher because client queries go
+    through beam search, not raw graph edges.
+    """
+    pts = _points(11, 900)
+    k = 8
+    ids, _ = build_knn_graph(pts, k, metric="l2", seed=0)
+    exact_ids, exact_d = brute_force_knn(pts, pts, k + 1, metric="l2")
+    # Drop the self column the brute query includes.
+    mask = exact_ids != np.arange(len(pts))[:, None]
+    kth = np.where(mask, exact_d, np.inf)
+    kth = np.sort(kth, axis=1)[:, k - 1]
+    got = np.take_along_axis(
+        pairwise_distances(pts, pts, "l2"), ids, axis=1
+    )
+    recall = float((got <= kth[:, None] + 1e-9).mean())
+    assert recall >= 0.93, f"graph recall {recall:.4f} below 0.93"
+
+
+def test_duplicate_points_are_handled():
+    """Exact duplicates neither self-link nor crash tie-breaking."""
+    base = _points(5, 40)
+    pts = np.vstack([base, base, base[:10]])  # heavy duplication
+    k = 5
+    ids, dists = build_knn_graph(pts, k, metric="l2", seed=0)
+    rows = np.arange(len(pts))[:, None]
+    assert not (ids == rows).any()
+    # A duplicated point's nearest neighbors sit at distance zero.
+    assert (dists[:, 0][: len(base)] == 0).all()
+    # Determinism holds in the presence of ties.
+    ids2, dists2 = build_knn_graph(pts, k, metric="l2", seed=0)
+    np.testing.assert_array_equal(ids, ids2)
+    np.testing.assert_array_equal(dists, dists2)
+
+
+def test_all_identical_points():
+    pts = np.ones((30, 2))
+    ids, dists = build_knn_graph(pts, 3, metric="l2", seed=1)
+    assert (dists == 0).all()
+    assert not (ids == np.arange(30)[:, None]).any()
+
+
+def test_symmetrize_is_undirected_superset():
+    pts = _points(13, 300)
+    ids, _ = build_knn_graph(pts, 5, metric="l2", seed=0)
+    adj = symmetrize(ids)
+    assert len(adj) == len(pts)
+    for i, nbrs in enumerate(adj):
+        assert i not in set(nbrs.tolist())
+        for j in nbrs:
+            assert i in set(adj[int(j)].tolist()), "symmetrized edge lost"
+    for i in range(len(pts)):
+        assert set(ids[i].tolist()) <= set(adj[i].tolist()), (
+            "symmetrize must keep every directed edge"
+        )
+
+
+def test_reverse_neighbor_counts_match_naive():
+    pts = _points(17, 120)
+    ids, _ = build_knn_graph(pts, 4, metric="l2", seed=0)
+    counts = reverse_neighbor_counts(ids, len(pts))
+    naive = np.zeros(len(pts), dtype=np.int64)
+    for row in ids:
+        for j in row:
+            naive[int(j)] += 1
+    np.testing.assert_array_equal(counts, naive)
+    assert counts.sum() == ids.size
+
+
+def test_search_graph_deterministic_and_bounded():
+    data = _points(19, 800)
+    queries = _points(23, 100)
+    graph, _ = build_knn_graph(data, 8, metric="l2", seed=0)
+    a = search_graph(queries, data, graph, 6, metric="l2", seed=4)
+    b = search_graph(queries, data, graph, 6, metric="l2", seed=4)
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(a[1], b[1])
+    assert ((0 <= a[0]) & (a[0] < len(data))).all()
+    assert (np.diff(a[1], axis=1) >= 0).all()
+
+
+# ----------------------------------------------------------------------
+# Hypothesis fuzz: random shapes, seeds and duplication patterns
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(10, 80),
+    k=st.integers(1, 6),
+    dup=st.integers(0, 20),
+)
+def test_fuzz_graph_invariants(seed, n, k, dup):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    if dup:
+        pts = np.vstack([pts, pts[rng.integers(0, n, size=dup)]])
+    k = min(k, len(pts) - 1)
+    ids, dists = build_knn_graph(pts, k, metric="l2", seed=seed)
+    rows = np.arange(len(pts))[:, None]
+    assert not (ids == rows).any()
+    assert (dists >= 0).all() and np.isfinite(dists).all()
+    assert (np.diff(dists, axis=1) >= 0).all()
+    assert all(len(set(row)) == k for row in ids)
+
+
+# ----------------------------------------------------------------------
+# LSH index properties
+# ----------------------------------------------------------------------
+def test_tables_for_recall_monotone_and_clamped():
+    lo = tables_for_recall(0.5)
+    hi = tables_for_recall(0.99)
+    assert 2 <= lo <= hi <= 64
+    with pytest.raises(InvalidInputError):
+        tables_for_recall(1.0)
+    with pytest.raises(InvalidInputError):
+        tables_for_recall(0.0)
+
+
+def test_calibrate_width_positive_even_for_duplicates():
+    assert calibrate_width(np.ones((20, 2)), 3, seed=0) == 1.0
+    width = calibrate_width(_points(3, 200), 5, seed=0)
+    assert 0.0 < width < 2.0
+
+
+def test_lsh_query_deterministic_with_exact_tie_breaks():
+    data = _points(29, 900)
+    queries = _points(31, 120)
+    index = LSHIndex(data, 8, seed=2)
+    a = index.query(queries)
+    index2 = LSHIndex(data, 8, seed=2)
+    b = index2.query(queries)
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(a[1], b[1])
+    assert (np.diff(a[1], axis=1) >= 0).all()
+    # Fallback accounting: starved queries were answered exactly, not
+    # silently under-filled.
+    assert index.fallbacks == index2.fallbacks
+    assert a[0].shape == (len(queries), 8)
+
+
+def test_lsh_starved_queries_fall_back_exactly():
+    """A far-away query collides with nothing and must go brute-force."""
+    data = _points(37, 600)
+    far = np.array([[50.0, 50.0], [-40.0, 12.0]])
+    index = LSHIndex(data, 4, seed=0)
+    ids, dists = index.query(far)
+    assert index.fallbacks >= 1
+    exact_ids, exact_d = brute_force_knn(far, data, 4, metric="l2")
+    np.testing.assert_array_equal(ids, exact_ids)
+    np.testing.assert_allclose(dists, exact_d)
+
+
+def test_lsh_rejects_bad_inputs():
+    data = _points(41, 50)
+    with pytest.raises(InvalidInputError):
+        LSHIndex(data, 0)
+    with pytest.raises(InvalidInputError):
+        LSHIndex(data, 3, tables=0)
+    with pytest.raises(InvalidInputError):
+        LSHIndex(data, 3, width=-1.0)
+    index = LSHIndex(data, 3, seed=0)
+    with pytest.raises(InvalidInputError):
+        index.query(np.zeros((4, 3)))

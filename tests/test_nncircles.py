@@ -64,7 +64,7 @@ class TestComputeNNCircles:
 
     def test_requires_facilities_for_bichromatic(self):
         with pytest.raises(InvalidInputError):
-            compute_nn_circles(np.random.rand(5, 2), None, "l2")
+            compute_nn_circles(np.random.default_rng(0).random((5, 2)), None, "l2")
 
     def test_mono_needs_two_points(self):
         with pytest.raises(InvalidInputError):

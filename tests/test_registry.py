@@ -21,7 +21,8 @@ class TestRegistryContents:
         assert ALGORITHMS == REGISTRY.names(public_only=True)
         assert ALGORITHMS == ("crest", "crest-a", "baseline", "superimposition",
                               "l2-batched", "linf-batched",
-                              "linf-parallel", "l2-parallel")
+                              "linf-parallel", "l2-parallel",
+                              "knn-graph", "lsh-rnn")
 
     def test_crest_l2_registered_non_public(self):
         spec = REGISTRY.get("crest-l2")

@@ -123,6 +123,6 @@ class TestAscii:
         assert " " in art   # cold background present
 
     def test_shape_control(self):
-        art = ascii_heat_map(np.random.rand(40, 40), width=30)
+        art = ascii_heat_map(np.random.default_rng(0).random((40, 40)), width=30)
         lines = art.split("\n")
         assert all(len(line) <= 30 for line in lines)

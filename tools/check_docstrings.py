@@ -31,6 +31,11 @@ PUBLIC_MODULES = (
     "core/registry.py",
     "core/regionset.py",
     "core/sweep_batched.py",
+    "approx/__init__.py",
+    "approx/knn_graph.py",
+    "approx/lsh.py",
+    "approx/surface.py",
+    "approx/engines.py",
     "parallel/shm.py",
     "dynamic/heatmap.py",
     "dynamic/assignment.py",
